@@ -1,0 +1,63 @@
+"""Experiment X3b: blocking probability vs m (below the bound).
+
+The flip side of the theorems: starved networks drop requests.  We
+sweep m from 1 to the Theorem-1 minimum and measure the Monte-Carlo
+blocking probability; it must start positive and reach exactly zero.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.montecarlo import blocking_vs_m
+from repro.core.multistage import min_middle_switches_msw_dominant
+
+
+def test_blocking_curve(benchmark):
+    n, r, k, x = 3, 3, 1, 1
+    bound = min_middle_switches_msw_dominant(n, r, k, x=x)
+
+    estimates = benchmark(
+        blocking_vs_m,
+        n,
+        r,
+        k,
+        list(range(1, bound + 1)),
+        x=x,
+        steps=800,
+        seeds=(0, 1),
+    )
+    probabilities = [estimate.probability for estimate in estimates]
+    assert probabilities[0] > 0.0
+    assert probabilities[-1] == 0.0
+    print()
+    print(f"blocking probability vs m (n=r=3, k=1, x=1; Theorem 1 bound m={bound}):")
+    for estimate in estimates:
+        bar = "#" * int(estimate.probability * 60)
+        print(
+            f"  m={estimate.m:2d}: P(block)={estimate.probability:7.4f} "
+            f"({estimate.blocked}/{estimate.attempts}) {bar}"
+        )
+
+
+def test_adversarial_curve(benchmark):
+    """With the randomized adversary, blocking persists closer to the bound."""
+    n, r, k, x = 3, 3, 1, 1
+    bound = min_middle_switches_msw_dominant(n, r, k, x=x)
+
+    estimates = benchmark(
+        blocking_vs_m,
+        n,
+        r,
+        k,
+        [1, 2, 3, 4, bound],
+        x=x,
+        steps=300,
+        seeds=(0,),
+        adversarial=True,
+        adversary_seeds=25,
+    )
+    # Blocking found at the starved points; never at the bound itself.
+    assert estimates[0].blocked > 0
+    assert estimates[-1].blocked == 0
+    witnessed = [e.m for e in estimates if e.blocked > 0]
+    print()
+    print(f"adversarial blocking witnesses at m = {witnessed}; none at m={bound}")

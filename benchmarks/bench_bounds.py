@@ -1,0 +1,63 @@
+"""Experiment X2: the Theorem 1/2 bound profiles m(x).
+
+Paper claims: the bound is minimized at an interior x (U-shape); the
+MAW-dominant construction needs at least as many middle switches as the
+MSW-dominant one; with x = 2 log r / log log r the bound reduces to
+m ~ 3 (n-1) log r / log log r.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import Construction
+from repro.core.multistage import (
+    NonblockingBound,
+    min_middle_switches_msw_dominant,
+    yang_masson_m,
+)
+
+
+@pytest.mark.parametrize("construction", list(Construction), ids=lambda c: c.value)
+def test_bound_profile(benchmark, construction):
+    bound = benchmark(NonblockingBound.compute, 16, 16, 4, construction)
+    profile = dict(bound.per_x)
+    # Interior optimum: strictly better than both extremes.
+    assert bound.m_min < profile[1]
+    assert bound.m_min < profile[max(profile)]
+    print()
+    print(f"m(x) profile, n=r=16, k=4, {construction.value}:")
+    for x, m in bound.per_x:
+        marker = "  <-- optimum" if x == bound.best_x else ""
+        print(f"  x={x:2d}: m={m}{marker}")
+
+
+def test_maw_dominant_needs_more(benchmark):
+    def profile_pair():
+        return (
+            NonblockingBound.compute(16, 16, 4, Construction.MSW_DOMINANT),
+            NonblockingBound.compute(16, 16, 4, Construction.MAW_DOMINANT),
+        )
+
+    msw, maw = benchmark(profile_pair)
+    assert maw.m_min >= msw.m_min
+    for (x, m_msw), (_, m_maw) in zip(msw.per_x, maw.per_x):
+        assert m_maw >= m_msw
+
+
+def test_closed_form_envelope(benchmark):
+    """The discrete optimum tracks 3(n-1) log r / log log r with n = r."""
+
+    def sweep():
+        return {
+            s: (min_middle_switches_msw_dominant(s, s), yang_masson_m(s, s))
+            for s in (16, 32, 64, 128, 256)
+        }
+
+    results = benchmark(sweep)
+    print()
+    print("discrete m_min vs closed form 3(n-1)log r/log log r (n = r):")
+    for s, (discrete, closed) in results.items():
+        print(f"  n=r={s:4d}: exact={discrete:6d}  closed-form={closed:9.1f}  "
+              f"ratio={discrete / closed:.3f}")
+        assert 0.3 * closed <= discrete <= 1.2 * closed

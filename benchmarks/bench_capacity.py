@@ -1,0 +1,53 @@
+"""Experiment X4: multicast capacity (Lemmas 1-3) and the brute-force oracle.
+
+Regenerates the capacity-growth series (log10 capacity vs k) and times
+both the closed forms and the exhaustive enumeration oracle that
+validates them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import capacity_growth
+from repro.core.capacity import full_multicast_capacity
+from repro.core.models import MulticastModel
+from repro.switching.enumeration import count_assignments
+
+
+def test_capacity_growth_series(benchmark):
+    points = benchmark(capacity_growth, 8, [1, 2, 4, 8])
+    # Monotone growth in k for every model; strict ordering at k > 1.
+    for model in MulticastModel:
+        series = [point.log10_full[model.value] for point in points]
+        assert series == sorted(series)
+    for point in points[1:]:
+        assert (
+            point.log10_full["MSW"]
+            < point.log10_full["MSDW"]
+            < point.log10_full["MAW"]
+        )
+    print()
+    print("log10 full-multicast capacity, N=8:")
+    for point in points:
+        values = ", ".join(
+            f"{model.value}={point.log10_full[model.value]:8.1f}"
+            for model in MulticastModel
+        )
+        print(f"  k={point.k}: {values}")
+
+
+@pytest.mark.parametrize("model", list(MulticastModel), ids=lambda m: m.value)
+def test_closed_form_speed(benchmark, model):
+    """Exact big-int capacity of a 128x128, 16-wavelength switch."""
+    value = benchmark(full_multicast_capacity, model, 128, 16)
+    assert value > 0
+
+
+@pytest.mark.parametrize("model", list(MulticastModel), ids=lambda m: m.value)
+def test_oracle_agrees_and_times(benchmark, model):
+    """The enumeration oracle on (N=2, k=2), compared with the formula."""
+    count = benchmark(count_assignments, model, 2, 2, full=False)
+    from repro.core.capacity import any_multicast_capacity
+
+    assert count == any_multicast_capacity(model, 2, 2)

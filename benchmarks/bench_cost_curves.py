@@ -1,0 +1,62 @@
+"""Experiment X1: crosspoint cost vs N and the crossbar/multistage crossover.
+
+Paper claim (Section 3.4): the three-stage construction reduces the
+crosspoint count from Theta(N^2) to O(N^{3/2} log N / log log N), so it
+must overtake the crossbar at moderate N and win by a growing factor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import cost_vs_n, find_crossover
+from repro.core.models import MulticastModel
+
+SWEEP = [64, 256, 1024, 4096, 16384]
+
+
+@pytest.mark.parametrize("model", list(MulticastModel), ids=lambda m: m.value)
+def test_cost_curve(benchmark, model):
+    points = benchmark(cost_vs_n, SWEEP, 4, model)
+    ratios = [point.ratio for point in points]
+    # The savings factor grows monotonically with N...
+    assert ratios == sorted(ratios)
+    # ...and is decisive at the top of the sweep.
+    assert ratios[-1] > 5
+    print()
+    print(f"crosspoints vs N, k=4, model {model.value}:")
+    for point in points:
+        print(
+            f"  N={point.n_ports:6d}: crossbar={point.crossbar:>12}  "
+            f"multistage={point.multistage:>12}  ratio={point.ratio:6.2f}"
+        )
+
+
+def test_crossover_locations(benchmark):
+    def sweep_models():
+        return {
+            model: find_crossover(4, model) for model in MulticastModel
+        }
+
+    crossovers = benchmark(sweep_models)
+    print()
+    for model, crossover in crossovers.items():
+        assert crossover is not None
+        print(
+            f"  {model.value}: multistage beats crossbar from N={crossover.n_ports}"
+        )
+    # Stronger models (k^2 crossbar) cross over no later than MSW.
+    assert (
+        crossovers[MulticastModel.MAW].n_ports
+        <= crossovers[MulticastModel.MSW].n_ports
+    )
+
+
+def test_asymptotic_tracks_exact(benchmark):
+    """The Table 2 O-form with the paper's constants stays within a small
+    factor of the exact optimized design."""
+    points = benchmark(cost_vs_n, [256, 1024, 4096], 4)
+    for point in points:
+        assert point.multistage_asymptotic is not None
+        ratio = point.multistage / point.multistage_asymptotic
+        assert 0.2 < ratio < 5.0

@@ -1,0 +1,93 @@
+"""Experiments F1-F9: the paper's construction figures, built and verified.
+
+* Fig. 4: MSW crossbar = k parallel space planes (k N^2 gates).
+* Fig. 5: N x N single-wavelength multicast space switch (N^2 gates).
+* Fig. 6: MSDW crossbar with input-side converters (paper example N=3, k=2).
+* Fig. 7: MAW crossbar with output-side converters (same example).
+* Fig. 8/9: the three-stage topology under both construction methods,
+  with per-stage component counts matching Section 3.4.
+
+Each benchmark times the construction and validates the component
+census and a realization round-trip.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import Construction, MulticastModel
+from repro.core.multistage import multistage_cost
+from repro.fabric.space_crossbar import SpaceCrossbar
+from repro.fabric.wdm_crossbar import build_crossbar
+from repro.multistage.fabric_backed import FabricBackedThreeStage
+from repro.switching.generators import AssignmentGenerator
+
+
+def test_fig5_space_switch(benchmark):
+    xbar = benchmark(SpaceCrossbar, 8)
+    assert xbar.crosspoint_count() == 64
+    assert xbar.delivered({0: {0, 1, 2, 3, 4, 5, 6, 7}}) == {
+        j: 0 for j in range(8)
+    }
+
+
+@pytest.mark.parametrize(
+    "model,expected_gates,expected_converters",
+    [
+        (MulticastModel.MSW, 2 * 9, 0),  # Fig. 4 at N=3, k=2
+        (MulticastModel.MSDW, 4 * 9, 6),  # Fig. 6 (the paper's example)
+        (MulticastModel.MAW, 4 * 9, 6),  # Fig. 7 (the paper's example)
+    ],
+    ids=["fig4-MSW", "fig6-MSDW", "fig7-MAW"],
+)
+def test_paper_example_crossbars(benchmark, model, expected_gates, expected_converters):
+    crossbar = benchmark(build_crossbar, model, 3, 2)
+    assert crossbar.crosspoint_count() == expected_gates
+    assert crossbar.converter_count() == expected_converters
+    census = crossbar.fabric.census()
+    print()
+    print(f"{model.value} crossbar (N=3, k=2) component census:")
+    for kind, count in sorted(census.items()):
+        print(f"  {kind:>22}: {count}")
+
+
+@pytest.mark.parametrize("model", list(MulticastModel), ids=lambda m: m.value)
+def test_crossbar_realization_throughput(benchmark, model):
+    """Time a full configure-propagate-verify cycle on a random assignment."""
+    crossbar = build_crossbar(model, 4, 2)
+    generator = AssignmentGenerator(model, 4, 2, rng=0)
+    assignments = [generator.random_assignment(0.3) for _ in range(10)]
+    index = 0
+
+    def realize_next():
+        nonlocal index
+        crossbar.realize(assignments[index % len(assignments)])
+        index += 1
+
+    benchmark(realize_next)
+
+
+@pytest.mark.parametrize(
+    "construction", list(Construction), ids=lambda c: c.value
+)
+def test_fig8_fig9_three_stage_builds(benchmark, construction):
+    """Build the full physical v(2,3,5,2) network; census must match
+    the Section 3.4 stage sums."""
+    physical = benchmark(
+        FabricBackedThreeStage,
+        2,
+        3,
+        5,
+        2,
+        construction=construction,
+        model=MulticastModel.MAW,
+    )
+    cost = multistage_cost(2, 3, 5, 2, construction, MulticastModel.MAW)
+    assert physical.crosspoint_count() == cost.crosspoints
+    assert physical.converter_count() == cost.converters
+    print()
+    print(
+        f"{construction.value} v(2,3,5,2): "
+        f"{physical.crosspoint_count()} gates, "
+        f"{physical.converter_count()} converters"
+    )

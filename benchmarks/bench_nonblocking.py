@@ -1,0 +1,72 @@
+"""Experiment X3a: nonblocking validation at the theorem bound.
+
+Paper claim (Theorems 1-2): with m at the bound, no legal dynamic
+multicast traffic can block.  We fuzz every construction/model pair at
+m = m_min and time routing throughput (connection setups + teardowns
+per second) on a mid-sized network.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import Construction, MulticastModel
+from repro.core.multistage import NonblockingBound
+from repro.multistage.network import ThreeStageNetwork
+from repro.switching.generators import dynamic_traffic
+
+
+@pytest.mark.parametrize("construction", list(Construction), ids=lambda c: c.value)
+@pytest.mark.parametrize("model", list(MulticastModel), ids=lambda m: m.value)
+def test_zero_blocking_at_bound(benchmark, construction, model):
+    n, r, k = 3, 3, 2
+    bound = NonblockingBound.compute(n, r, k, construction)
+    events = list(
+        dynamic_traffic(model, n * r, k, steps=300, seed=42)
+    )
+
+    def drive():
+        net = ThreeStageNetwork(
+            n,
+            r,
+            bound.m_min,
+            k,
+            construction=construction,
+            model=model,
+            x=bound.best_x,
+        )
+        live = {}
+        for event in events:
+            if event.kind == "setup":
+                live[event.connection_id] = net.connect(event.connection)
+            else:
+                net.disconnect(live.pop(event.connection_id))
+        return net
+
+    net = benchmark(drive)
+    assert net.blocks == 0
+    assert net.setups > 100
+
+
+def test_routing_throughput_large(benchmark):
+    """Setup/teardown throughput on v(8, 8, m_min, 4) -- a 64x64 switch."""
+    n, r, k = 8, 8, 4
+    bound = NonblockingBound.compute(n, r, k, Construction.MSW_DOMINANT)
+    events = list(
+        dynamic_traffic(MulticastModel.MSW, n * r, k, steps=500, seed=7)
+    )
+
+    def drive():
+        net = ThreeStageNetwork(
+            n, r, bound.m_min, k, x=bound.best_x
+        )
+        live = {}
+        for event in events:
+            if event.kind == "setup":
+                live[event.connection_id] = net.connect(event.connection)
+            else:
+                net.disconnect(live.pop(event.connection_id))
+        return net
+
+    net = benchmark(drive)
+    assert net.blocks == 0

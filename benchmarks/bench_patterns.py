@@ -1,0 +1,66 @@
+"""Experiment X11: canonical traffic patterns on bound-sized networks.
+
+Structured worst cases (permutations, broadcasts, saturating
+multicasts) must all route in arrival order on a network sized at the
+corrected bound; the benchmark also measures middle-switch usage per
+pattern -- broadcasts fan wide, permutations spread thin.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.corrected import CorrectedBound
+from repro.core.models import Construction, MulticastModel
+from repro.multistage.network import ThreeStageNetwork
+from repro.switching.patterns import (
+    bit_reversal,
+    broadcast,
+    identity,
+    perfect_shuffle,
+    ring_multicast,
+    saturating_multicast,
+)
+
+N_MODULE, R_MODULE, K = 4, 4, 2  # 16x16 network
+PATTERNS = {
+    "identity": lambda n, k: identity(n, k),
+    "shuffle": lambda n, k: perfect_shuffle(n, k),
+    "bit_reversal": lambda n, k: bit_reversal(n, k),
+    "broadcast": lambda n, k: broadcast(n, k),
+    "ring(4)": lambda n, k: ring_multicast(n, k, window=4),
+    "saturating": lambda n, k: saturating_multicast(n, k),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PATTERNS))
+def test_pattern_routes_at_bound(benchmark, name):
+    bound = CorrectedBound.compute(
+        N_MODULE, R_MODULE, K, Construction.MSW_DOMINANT, MulticastModel.MSW
+    )
+    assignment = PATTERNS[name](N_MODULE * R_MODULE, K)
+
+    def route():
+        net = ThreeStageNetwork(
+            N_MODULE, R_MODULE, bound.m_min, K, x=bound.best_x
+        )
+        for connection in assignment:
+            net.connect(connection)
+        return net
+
+    net = benchmark(route)
+    assert net.blocks == 0
+    branches = sum(
+        len(routed.branches) for routed in net.active_connections.values()
+    )
+    used_middles = {
+        branch.middle
+        for routed in net.active_connections.values()
+        for branch in routed.branches
+    }
+    print()
+    print(
+        f"  {name:>12}: {len(assignment)} connections, "
+        f"{branches} middle passes, {len(used_middles)}/{bound.m_min} "
+        f"middles touched"
+    )

@@ -1,0 +1,64 @@
+"""Experiment X7: crosstalk & power loss -- the §2.3 remark, quantified.
+
+The paper uses crosspoint counts as a proxy for crosstalk and power
+loss.  With built fabrics we can measure the real thing: worst-case
+insertion loss and cascaded-gate (crosstalk) stages for the crossbar vs
+the multistage construction.  The multistage design saves gates
+(Table 2) but pays ~3x the gate cascade and substantially more
+splitting loss per path -- the hidden cost of the cheaper fabric.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import MulticastModel
+from repro.fabric.power import analyze_power
+from repro.fabric.wdm_crossbar import build_crossbar
+from repro.multistage.fabric_backed import FabricBackedThreeStage
+
+
+@pytest.mark.parametrize("model", list(MulticastModel), ids=lambda m: m.value)
+def test_crossbar_power_scaling(benchmark, model):
+    def sweep():
+        return {
+            n_ports: analyze_power(build_crossbar(model, n_ports, 2).fabric)
+            for n_ports in (2, 4, 8)
+        }
+
+    reports = benchmark(sweep)
+    print()
+    print(f"{model.value} crossbar worst-case path loss (k=2):")
+    for n_ports, report in reports.items():
+        print(f"  N={n_ports}: {report.worst_loss_db:5.1f} dB, "
+              f"{report.max_gate_cascade} gate stage(s)")
+    losses = [report.worst_loss_db for report in reports.values()]
+    assert losses == sorted(losses)
+    assert all(r.max_gate_cascade == 1 for r in reports.values())
+
+
+def test_crossbar_vs_multistage_tradeoff(benchmark):
+    """Fewer gates (Table 2) but more loss and crosstalk stages."""
+    n, r, m, k = 2, 3, 5, 2
+    n_ports = n * r
+
+    def build_and_analyze():
+        crossbar = build_crossbar(MulticastModel.MAW, n_ports, k)
+        physical = FabricBackedThreeStage(n, r, m, k, model=MulticastModel.MAW)
+        return (
+            analyze_power(crossbar.fabric),
+            crossbar.crosspoint_count(),
+            analyze_power(physical.fabric),
+            physical.crosspoint_count(),
+        )
+
+    cb_report, cb_gates, ms_report, ms_gates = benchmark(build_and_analyze)
+    print()
+    print(f"6x6 MAW network, k=2 (three-stage: v({n},{r},{m},{k})):")
+    print(f"  crossbar:   {cb_gates:4d} gates, {cb_report.worst_loss_db:5.1f} dB, "
+          f"{cb_report.max_gate_cascade} gate stage(s)")
+    print(f"  multistage: {ms_gates:4d} gates, {ms_report.worst_loss_db:5.1f} dB, "
+          f"{ms_report.max_gate_cascade} gate stage(s)")
+    assert ms_report.max_gate_cascade == 3
+    assert cb_report.max_gate_cascade == 1
+    assert ms_report.worst_loss_db > cb_report.worst_loss_db

@@ -1,0 +1,47 @@
+"""Experiment X5: recursive (5+ stage) constructions.
+
+The paper's extension remark: networks "can have any odd number of
+stages and be built in a recursive fashion".  The recursion should
+never lose to the flat three-stage design and should strictly win for
+large N (when decomposing the middle modules pays for itself).
+"""
+
+from __future__ import annotations
+
+from repro.core.models import MulticastModel
+from repro.core.multistage import optimal_design
+from repro.multistage.recursive import best_recursive_design
+
+
+def test_recursive_vs_flat_vs_crossbar(benchmark):
+    def sweep():
+        rows = []
+        for exponent in (8, 10, 12, 14, 16):
+            n_ports = 2**exponent
+            crossbar = 2 * n_ports**2
+            flat = optimal_design(n_ports, 2).cost.crosspoints
+            recursive = best_recursive_design(n_ports, 2)
+            rows.append((n_ports, crossbar, flat, recursive))
+        return rows
+
+    rows = benchmark(sweep)
+    print()
+    print("crosspoints: crossbar vs flat 3-stage vs best recursive (k=2, MSW):")
+    for n_ports, crossbar, flat, recursive in rows:
+        print(
+            f"  N={n_ports:6d}: crossbar={crossbar:>13}  flat={flat:>12}  "
+            f"recursive={recursive.crosspoints:>12} ({recursive.stages} stages)"
+        )
+        assert recursive.crosspoints <= flat <= crossbar or flat >= crossbar
+        assert recursive.crosspoints <= min(flat, crossbar)
+    # Depth must eventually exceed 3 stages.
+    assert any(row[3].stages >= 5 for row in rows)
+
+
+def test_recursive_design_with_maw_output(benchmark):
+    design = benchmark(best_recursive_design, 4096, 4, MulticastModel.MAW)
+    assert design.converters >= 4096 * 4 or design.structure[0] == "crossbar"
+    print()
+    print(f"best recursive MAW design for N=4096, k=4 "
+          f"({design.stages} stages, {design.crosspoints} gates):")
+    print(design.describe(indent=1))

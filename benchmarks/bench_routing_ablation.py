@@ -1,0 +1,114 @@
+"""Ablation: routing-strategy design choices called out in DESIGN.md.
+
+1. The routing parameter x: larger x means fewer middle switches but
+   more splitting work per connection -- we measure m_min(x) and the
+   realized routing behaviour at each x.
+2. Greedy-vs-exact cover search: how often does the greedy pass
+   suffice?  (The exact fallback is what makes the simulator a faithful
+   Lemma 4 oracle, but it should be cold in practice.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import Construction, MulticastModel
+from repro.core.multistage import NonblockingBound, min_middle_switches_msw_dominant
+from repro.multistage.network import ThreeStageNetwork
+from repro.multistage.routing import CoverSearch
+from repro.switching.generators import dynamic_traffic
+
+
+def test_x_ablation(benchmark):
+    """Sweep x on v(4, 8, m_min(x), 2): all x values route everything,
+    with different m budgets."""
+    n, r, k = 4, 8, 2
+    events = list(dynamic_traffic(MulticastModel.MSW, n * r, k, steps=250, seed=3))
+
+    def sweep():
+        results = []
+        for x in (1, 2, 3):
+            m = min_middle_switches_msw_dominant(n, r, k, x=x)
+            net = ThreeStageNetwork(n, r, m, k, x=x)
+            live = {}
+            middles_used = 0
+            for event in events:
+                if event.kind == "setup":
+                    live[event.connection_id] = net.connect(event.connection)
+                    routed = net.active_connections[live[event.connection_id]]
+                    middles_used += len(routed.branches)
+                else:
+                    net.disconnect(live.pop(event.connection_id))
+            results.append((x, m, net.setups, middles_used / max(net.setups, 1)))
+        return results
+
+    results = benchmark(sweep)
+    print()
+    print("x ablation on v(4, 8, m_min(x), 2):")
+    for x, m, setups, avg_branches in results:
+        print(
+            f"  x={x}: m_min={m:3d}  setups={setups}  "
+            f"avg middles/connection={avg_branches:.2f}"
+        )
+    ms = [m for _, m, _, _ in results]
+    assert ms[1] < ms[0]  # x=2 needs far fewer middles than x=1
+
+
+def test_greedy_hit_rate(benchmark):
+    """Count greedy vs exact cover searches under random traffic."""
+    n, r, k = 3, 3, 2
+    bound = NonblockingBound.compute(n, r, k, Construction.MSW_DOMINANT)
+    events = list(
+        dynamic_traffic(MulticastModel.MSW, n * r, k, steps=400, seed=9)
+    )
+
+    def drive():
+        net = ThreeStageNetwork(
+            n, r, bound.m_min, k, x=bound.best_x
+        )
+        live = {}
+        greedy_hits = 0
+        searches = 0
+        for event in events:
+            if event.kind == "setup":
+                stats = CoverSearch()
+                live[event.connection_id] = net.connect(event.connection, stats=stats)
+                searches += 1
+                greedy_hits += stats.greedy_hit
+            else:
+                net.disconnect(live.pop(event.connection_id))
+        return greedy_hits, searches
+
+    greedy_hits, searches = benchmark(drive)
+    assert searches > 100
+    hit_rate = greedy_hits / searches
+    print()
+    print(f"greedy cover hit rate at m = m_min: {hit_rate:.3f} "
+          f"({greedy_hits}/{searches})")
+    assert hit_rate > 0.9  # the exact fallback is a rarely-needed safety net
+
+
+@pytest.mark.parametrize("construction", list(Construction), ids=lambda c: c.value)
+def test_construction_ablation(benchmark, construction):
+    """Same traffic, both constructions, identical m: MAW-dominant has
+    more wavelength freedom so it never blocks where MSW-dominant doesn't."""
+    n, r, k = 2, 3, 2
+    m = NonblockingBound.compute(n, r, k, construction).m_min
+    events = list(
+        dynamic_traffic(MulticastModel.MAW, n * r, k, steps=300, seed=1)
+    )
+
+    def drive():
+        net = ThreeStageNetwork(
+            n, r, m, k, construction=construction, model=MulticastModel.MAW
+        )
+        live = {}
+        for event in events:
+            if event.kind == "setup":
+                live[event.connection_id] = net.connect(event.connection)
+            else:
+                net.disconnect(live.pop(event.connection_id))
+        return net
+
+    net = benchmark(drive)
+    assert net.blocks == 0

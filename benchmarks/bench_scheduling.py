@@ -1,0 +1,76 @@
+"""Experiment X13: WDM concurrency vs electronic scheduling rounds.
+
+The paper's Section 1 motivation, in numbers: batches of multicast
+demands with overlapping destinations need serial rounds on an
+electronic switch (conflict-graph coloring) but compress by up to
+``k``-fold on a k-wavelength WDM switch whose nodes carry k
+transmitters/receivers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scheduling.demands import random_demand_batch, video_fanout_batch
+from repro.scheduling.electronic import electronic_rounds, exact_chromatic_rounds
+from repro.scheduling.wdm import load_lower_bound, wdm_rounds
+
+
+def test_round_compression_random_batches(benchmark):
+    batches = [random_demand_batch(16, 40, seed=seed) for seed in range(5)]
+
+    def schedule_all():
+        rows = []
+        for demands in batches:
+            electronic, _ = electronic_rounds(demands)
+            per_k = {k: wdm_rounds(demands, k)[0] for k in (1, 2, 4, 8)}
+            rows.append((electronic, per_k))
+        return rows
+
+    rows = benchmark(schedule_all)
+    print()
+    print("rounds: electronic vs WDM (16 nodes, 40 demands, 5 batches):")
+    totals = {k: 0 for k in (1, 2, 4, 8)}
+    electronic_total = 0
+    for electronic, per_k in rows:
+        electronic_total += electronic
+        for k, rounds in per_k.items():
+            totals[k] += rounds
+            assert rounds <= electronic  # WDM never loses
+    for k, total in totals.items():
+        print(f"  k={k}: {total} rounds total vs {electronic_total} electronic "
+              f"({electronic_total / total:.2f}x compression)")
+    assert totals[8] < totals[1]
+
+
+def test_vod_batch_compression(benchmark):
+    """The overlapped-audience regime where WDM helps most."""
+    demands = video_fanout_batch(32, 16, seed=3)
+
+    def schedule():
+        return (
+            electronic_rounds(demands)[0],
+            {k: wdm_rounds(demands, k)[0] for k in (1, 2, 4)},
+        )
+
+    electronic, per_k = benchmark(schedule)
+    print()
+    print(f"VoD batch (32 nodes, 16 channels): electronic={electronic} rounds; "
+          + "  ".join(f"k={k}: {r}" for k, r in per_k.items()))
+    assert per_k[4] < electronic
+    # Quality: within 2x of the information-theoretic load bound.
+    for k, rounds in per_k.items():
+        assert rounds <= max(1, 2 * load_lower_bound(demands, k)) + 1
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_greedy_vs_exact_coloring(benchmark, seed):
+    demands = random_demand_batch(6, 10, seed=seed)
+
+    def both():
+        return electronic_rounds(demands)[0], exact_chromatic_rounds(demands)
+
+    greedy, exact = benchmark(both)
+    assert exact is not None and exact <= greedy
+    print()
+    print(f"  seed {seed}: greedy {greedy} rounds, exact chromatic {exact}")

@@ -1,0 +1,49 @@
+"""Experiment X12: aspect-ratio sensitivity of the three-stage design.
+
+Section 3.4 assumes n = r = sqrt(N).  How much does the split actually
+matter at finite sizes?  The study sweeps every factorization and
+reports the crosspoint penalty relative to the optimum.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sensitivity import aspect_ratio_study, nearest_square_point
+from repro.core.models import MulticastModel
+
+
+def test_aspect_ratio_curve(benchmark):
+    points = benchmark(aspect_ratio_study, 1024, 4, MulticastModel.MAW)
+    best = min(p.crosspoints for p in points)
+    print()
+    print("v(n, r, m_min, 4) crosspoints by factorization of N=1024 (MAW):")
+    for point in points:
+        penalty = point.crosspoints / best
+        marker = "  <-- optimum" if point.crosspoints == best else ""
+        print(
+            f"  n={point.n:4d} r={point.r:4d} (m={point.m:4d}, x={point.x}): "
+            f"{point.crosspoints:>12,} gates  ({penalty:4.2f}x){marker}"
+        )
+    square = nearest_square_point(points)
+    print(f"  paper's square split n=r=32: {square.crosspoints:,} gates "
+          f"({square.crosspoints / best:.2f}x of optimum)")
+    # The square split is competitive; the extremes are not.
+    assert square.crosspoints <= 2 * best
+    assert points[0].crosspoints > best or points[-1].crosspoints > best
+
+
+def test_sensitivity_across_sizes(benchmark):
+    def sweep():
+        rows = []
+        for n_ports in (64, 256, 1024, 4096):
+            points = aspect_ratio_study(n_ports, 2)
+            best = min(p.crosspoints for p in points)
+            square = nearest_square_point(points)
+            rows.append((n_ports, square.crosspoints / best))
+        return rows
+
+    rows = benchmark(sweep)
+    print()
+    print("square-split penalty vs optimum (MSW, k=2):")
+    for n_ports, penalty in rows:
+        print(f"  N={n_ports:5d}: {penalty:.3f}x")
+        assert penalty < 2.0

@@ -1,0 +1,55 @@
+"""Experiment T1: regenerate Table 1 (capacity and cost per model).
+
+Paper claim (Section 2.4, Table 1): capacities grow MSW < MSDW < MAW;
+crosspoints are k N^2 vs k^2 N^2; converters 0 vs kN; MSDW and MAW cost
+the same.  We regenerate the table for several concrete (N, k), assert
+the shape, and time the exact big-integer evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import render_table1, table1
+from repro.core.capacity import CapacityResult
+from repro.core.models import MulticastModel
+
+SIZES = [(4, 2), (8, 4), (16, 8)]
+
+
+@pytest.mark.parametrize("n_ports,k", SIZES)
+def test_table1_regeneration(benchmark, n_ports, k):
+    rows = benchmark(table1, n_ports, k)
+    msw, msdw, maw = rows
+
+    # Capacity ordering (Lemmas 1-3).
+    assert msw.capacity_full < msdw.capacity_full < maw.capacity_full
+    assert msw.capacity_any < msdw.capacity_any < maw.capacity_any
+
+    # Cost columns (Section 2.3).
+    assert msw.crosspoints == k * n_ports**2
+    assert msdw.crosspoints == maw.crosspoints == k**2 * n_ports**2
+    assert msw.converters == 0
+    assert msdw.converters == maw.converters == n_ports * k
+
+    print()
+    print(render_table1(n_ports, k))
+
+
+def test_table1_large_instance(benchmark):
+    """Exact capacities stay tractable at realistic switch sizes."""
+    result = benchmark(CapacityResult.compute, MulticastModel.MSDW, 64, 16)
+    assert result.log10_full > 1000  # astronomically many assignments
+
+
+def test_table1_wdm_weaker_than_big_electronic(benchmark):
+    """Section 2.2's remark: an N x N k-lambda WDM net is NOT an Nk x Nk net."""
+
+    def compute():
+        return [
+            CapacityResult.compute(model, 8, 4).full for model in MulticastModel
+        ]
+
+    capacities = benchmark(compute)
+    electronic = (8 * 4) ** (8 * 4)
+    assert all(capacity < electronic for capacity in capacities)

@@ -1,0 +1,66 @@
+"""Experiment T2: regenerate Table 2 (crossbar vs multistage cost).
+
+Paper claim (Section 3.4, Table 2): the optimized three-stage network
+cuts crosspoints from Theta(N^2) to O(N^{3/2} log N / log log N); MAW/MS
+keeps exactly kN converters while MSDW/MS needs a log factor more;
+MSW-dominant beats MAW-dominant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import render_table2, table2
+from repro.core.models import Construction, MulticastModel
+from repro.core.multistage import multistage_cost, optimal_design
+
+SIZES = [(256, 4), (1024, 4), (4096, 2)]
+
+
+@pytest.mark.parametrize("n_ports,k", SIZES)
+def test_table2_regeneration(benchmark, n_ports, k):
+    rows = benchmark(table2, n_ports, k)
+    by_label = {row.label: row for row in rows}
+
+    # Multistage beats crossbar at these sizes, for every model.
+    for model in ("MSW", "MSDW", "MAW"):
+        assert by_label[f"{model}/MS"].crosspoints < by_label[f"{model}/CB"].crosspoints
+
+    # Converter columns: MSW zero, MAW exactly kN, MSDW at least MAW.
+    assert by_label["MSW/MS"].converters == 0
+    assert by_label["MAW/MS"].converters == k * n_ports
+    assert by_label["MSDW/MS"].converters >= by_label["MAW/MS"].converters
+
+    print()
+    print(render_table2(n_ports, k))
+
+
+def test_msw_dominant_beats_maw_dominant(benchmark):
+    """Section 3.4's conclusion, on exact optimized designs."""
+
+    def compare():
+        results = {}
+        for construction in Construction:
+            design = optimal_design(256, 4, MulticastModel.MAW, construction)
+            results[construction] = design.cost
+        return results
+
+    costs = benchmark(compare)
+    assert (
+        costs[Construction.MSW_DOMINANT].crosspoints
+        <= costs[Construction.MAW_DOMINANT].crosspoints
+    )
+
+
+def test_stage_sum_identities(benchmark):
+    """The closed forms k m r (2n + r) and k m r ((k+1) n + r)."""
+
+    def check():
+        for n, r, m, k in [(16, 16, 83, 4), (8, 32, 44, 4)]:
+            msw = multistage_cost(n, r, m, k)
+            assert msw.crosspoints == k * m * r * (2 * n + r)
+            maw = multistage_cost(n, r, m, k, output_model=MulticastModel.MAW)
+            assert maw.crosspoints == k * m * r * ((k + 1) * n + r)
+        return True
+
+    assert benchmark(check)

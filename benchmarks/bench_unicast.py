@@ -1,0 +1,57 @@
+"""Experiment X10: the unicast special case recovers Clos (1953).
+
+A sharp end-to-end calibration: specializing the paper's multicast
+machinery to fanout-1 traffic must reproduce the classical
+strict-sense Clos threshold ``m = 2n - 1`` -- by formula, by simulator
+fuzz, and by exhaustive model checking (which also confirms necessity:
+blocking states exist at ``2n - 2``).
+"""
+
+from __future__ import annotations
+
+from repro.core.models import Construction, MulticastModel
+from repro.core.unicast import clos_unicast_minimum
+from repro.multistage.exhaustive import exact_minimal_m
+
+
+def test_clos_threshold_model_checked(benchmark):
+    def decide():
+        return exact_minimal_m(
+            2, 3, 1, x=1, m_max=6, state_budget=300_000, unicast_only=True
+        )
+
+    result = benchmark(decide)
+    clos = clos_unicast_minimum(2)
+    print()
+    print(f"v(2,3,m,1) unicast: model-checked exact m = {result.m_exact}; "
+          f"Clos 2n-1 = {clos}")
+    for per_m in result.per_m:
+        print(f"  m={per_m.m}: blockable={per_m.blockable} "
+              f"({per_m.states_explored} states)")
+    assert result.m_exact == clos
+
+
+def test_unicast_gap_table(benchmark):
+    """The Theorem-1 gap at fanout 1: output-side conversion is not free."""
+
+    def table():
+        rows = []
+        for k in (1, 2, 4):
+            msw = clos_unicast_minimum(4, k)
+            maw_model = clos_unicast_minimum(
+                4, k, Construction.MSW_DOMINANT, MulticastModel.MAW
+            )
+            maw_dom = clos_unicast_minimum(
+                4, k, Construction.MAW_DOMINANT, MulticastModel.MAW
+            )
+            rows.append((k, msw, maw_model, maw_dom))
+        return rows
+
+    rows = benchmark(table)
+    print()
+    print("unicast strict-sense minima, n=4:")
+    print("  k   MSW model   MAW model (MSW-dom)   MAW model (MAW-dom)")
+    for k, msw, maw_model, maw_dom in rows:
+        print(f"  {k}   {msw:9d}   {maw_model:19d}   {maw_dom:19d}")
+    assert rows[0][1] == rows[0][2] == rows[0][3] == 7  # 2n-1 at k=1
+    assert rows[2][2] > rows[2][3]  # MAW-dominant wins for MAW model

@@ -1,0 +1,14 @@
+"""Benchmark harness configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each module regenerates one of the paper's artifacts (tables, figures,
+or the design-space curves the text argues verbally), asserts the
+qualitative shape the paper claims, and times the computation that
+produces it.  The printed artifacts are collected into
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations

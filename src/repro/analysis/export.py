@@ -1,0 +1,95 @@
+"""CSV / JSON exporters for every regenerated data series.
+
+Downstream users typically want the raw numbers behind the tables and
+curves (to plot with their own tooling).  This module flattens the
+analysis dataclasses into row dictionaries and writes them as CSV or
+JSON, with a stable column order so diffs against regenerated data are
+meaningful.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+from collections.abc import Iterable, Mapping, Sequence
+from pathlib import Path
+from typing import Any
+
+__all__ = ["flatten", "to_csv", "to_json", "write_series"]
+
+
+def flatten(record: Any, prefix: str = "") -> dict[str, Any]:
+    """Flatten a dataclass/mapping into a single-level row dict.
+
+    Nested dataclasses and mappings are expanded with dotted keys; enums
+    become their ``value``; tuples/lists of scalars are joined with
+    ``;`` so the row stays CSV-friendly.
+    """
+    if dataclasses.is_dataclass(record) and not isinstance(record, type):
+        items: Iterable[tuple[str, Any]] = (
+            (field.name, getattr(record, field.name))
+            for field in dataclasses.fields(record)
+        )
+    elif isinstance(record, Mapping):
+        items = record.items()
+    else:
+        raise TypeError(f"cannot flatten {type(record).__name__}")
+
+    row: dict[str, Any] = {}
+    for key, value in items:
+        full_key = f"{prefix}{key}"
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            row.update(flatten(value, prefix=f"{full_key}."))
+        elif isinstance(value, Mapping):
+            row.update(flatten(value, prefix=f"{full_key}."))
+        elif isinstance(value, (list, tuple, frozenset, set)):
+            row[full_key] = ";".join(str(v) for v in sorted(value, key=str))
+        elif hasattr(value, "value") and not isinstance(value, (int, float, str, bool)):
+            row[full_key] = value.value  # enums
+        else:
+            row[full_key] = value
+    return row
+
+
+def to_csv(records: Sequence[Any]) -> str:
+    """Render records (dataclasses or mappings) as a CSV string.
+
+    The header is the union of all rows' keys, in first-seen order.
+    """
+    rows = [flatten(record) for record in records]
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def to_json(records: Sequence[Any], *, indent: int = 2) -> str:
+    """Render records as a JSON array of flattened row objects."""
+    return json.dumps([flatten(record) for record in records], indent=indent)
+
+
+def write_series(
+    records: Sequence[Any],
+    path: str | Path,
+) -> Path:
+    """Write records to ``path``; format chosen by suffix (.csv / .json)."""
+    path = Path(path)
+    if path.suffix == ".csv":
+        payload = to_csv(records)
+    elif path.suffix == ".json":
+        payload = to_json(records)
+    else:
+        raise ValueError(
+            f"unsupported export suffix {path.suffix!r}; use .csv or .json"
+        )
+    path.write_text(payload, encoding="utf-8")
+    return path

@@ -1,0 +1,164 @@
+"""Data series for the paper's implied design-space figures.
+
+The paper's Figs. 1-10 are constructions, not data plots; the *implied*
+quantitative claims (multistage is asymptotically cheaper; the bound is
+U-shaped in ``x``; capacity grows with model strength) become the curve
+generators below.  Each returns plain Python data (lists of points), so
+benchmarks, examples and the CLI can render or assert on them without a
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.asymptotics import (
+    multistage_crosspoints_asymptotic,
+)
+from repro.core.capacity import (
+    log10_any_multicast_capacity,
+    log10_full_multicast_capacity,
+)
+from repro.core.cost import crossbar_crosspoints
+from repro.core.models import Construction, MulticastModel
+from repro.core.multistage import (
+    NonblockingBound,
+    optimal_design,
+)
+
+__all__ = [
+    "CostPoint",
+    "Crossover",
+    "bound_vs_x",
+    "capacity_growth",
+    "cost_vs_n",
+    "find_crossover",
+]
+
+
+@dataclass(frozen=True)
+class CostPoint:
+    """Crossbar vs multistage crosspoints at one network size."""
+
+    n_ports: int
+    k: int
+    model: MulticastModel
+    crossbar: int
+    multistage: int
+    multistage_asymptotic: float | None
+
+    @property
+    def ratio(self) -> float:
+        """``crossbar / multistage`` -- the multistage savings factor."""
+        return self.crossbar / self.multistage
+
+
+def cost_vs_n(
+    n_port_values: list[int],
+    k: int,
+    model: MulticastModel = MulticastModel.MSW,
+    construction: Construction = Construction.MSW_DOMINANT,
+) -> list[CostPoint]:
+    """Crosspoint cost vs network size ``N`` (implied figure X1).
+
+    Multistage points use the exact optimized design; the asymptotic
+    column (where defined, ``N >= 256``) is the Table 2 form with the
+    paper's constants.
+    """
+    points = []
+    for n_ports in n_port_values:
+        design = optimal_design(n_ports, k, model, construction)
+        try:
+            asymptotic = multistage_crosspoints_asymptotic(model, n_ports, k)
+        except ValueError:
+            asymptotic = None
+        points.append(
+            CostPoint(
+                n_ports=n_ports,
+                k=k,
+                model=model,
+                crossbar=crossbar_crosspoints(model, n_ports, k),
+                multistage=design.cost.crosspoints,
+                multistage_asymptotic=asymptotic,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class Crossover:
+    """Where the multistage design starts beating the crossbar."""
+
+    k: int
+    model: MulticastModel
+    n_ports: int  # smallest swept N with multistage strictly cheaper
+    swept: tuple[int, ...]
+
+
+def find_crossover(
+    k: int,
+    model: MulticastModel = MulticastModel.MSW,
+    construction: Construction = Construction.MSW_DOMINANT,
+    *,
+    max_exponent: int = 14,
+) -> Crossover | None:
+    """Scan powers of two for the crossbar/multistage crossover (X1).
+
+    Returns None if the multistage design never wins within the sweep
+    (it always does for reasonable ``max_exponent``).
+    """
+    swept = []
+    for exponent in range(2, max_exponent + 1):
+        n_ports = 2**exponent
+        swept.append(n_ports)
+        design = optimal_design(n_ports, k, model, construction)
+        if design.cost.crosspoints < crossbar_crosspoints(model, n_ports, k):
+            return Crossover(
+                k=k, model=model, n_ports=n_ports, swept=tuple(swept)
+            )
+    return None
+
+
+def bound_vs_x(
+    n: int, r: int, k: int, construction: Construction
+) -> list[tuple[int, int]]:
+    """The ``m(x)`` profile of Theorem 1/2 (implied figure X2).
+
+    Returns ``(x, minimal m)`` pairs; the profile is U-shaped: small
+    ``x`` pays the ``r**(1/x)`` term, large ``x`` pays the
+    ``(n-1) x`` (or ``(nk-1)x/k``) term.
+    """
+    return list(NonblockingBound.compute(n, r, k, construction).per_x)
+
+
+@dataclass(frozen=True)
+class CapacityPoint:
+    """log10 multicast capacities of the three models at one size."""
+
+    n_ports: int
+    k: int
+    log10_full: dict[str, float]
+    log10_any: dict[str, float]
+
+
+def capacity_growth(
+    n_ports: int, k_values: list[int]
+) -> list[CapacityPoint]:
+    """Capacity vs wavelength count for all three models (figure X4)."""
+    points = []
+    for k in k_values:
+        points.append(
+            CapacityPoint(
+                n_ports=n_ports,
+                k=k,
+                log10_full={
+                    model.value: log10_full_multicast_capacity(model, n_ports, k)
+                    for model in MulticastModel
+                },
+                log10_any={
+                    model.value: log10_any_multicast_capacity(model, n_ports, k)
+                    for model in MulticastModel
+                },
+            )
+        )
+    return points

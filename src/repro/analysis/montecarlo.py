@@ -1,0 +1,179 @@
+"""Monte-Carlo blocking probability of three-stage networks.
+
+The paper's theorems assert zero blocking above the ``m`` bound; this
+module measures what happens *below* it: drive the network with random
+dynamic multicast traffic and estimate the per-request blocking
+probability as a function of ``m``.  The expected shape -- the implied
+"figure" X3 of DESIGN.md -- is a blocking probability that decreases
+with ``m`` and hits exactly zero at (in practice, somewhat before) the
+theorem bound.
+
+Blocked requests are dropped (the optical-domain behaviour the paper
+motivates: no optical RAM to buffer them) and the simulation proceeds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.models import Construction, MulticastModel
+from repro.multistage.adversary import search_blocking_state
+from repro.multistage.network import ThreeStageNetwork
+from repro.switching.generators import dynamic_traffic
+
+__all__ = ["BlockingEstimate", "blocking_probability", "blocking_vs_m"]
+
+
+@dataclass(frozen=True)
+class BlockingEstimate:
+    """Blocking statistics of one configuration under random traffic."""
+
+    n: int
+    r: int
+    m: int
+    k: int
+    construction: Construction
+    model: MulticastModel
+    x: int
+    attempts: int
+    blocked: int
+
+    @property
+    def probability(self) -> float:
+        """Fraction of setup attempts refused."""
+        return self.blocked / self.attempts if self.attempts else 0.0
+
+
+def blocking_probability(
+    n: int,
+    r: int,
+    m: int,
+    k: int,
+    *,
+    construction: Construction = Construction.MSW_DOMINANT,
+    model: MulticastModel = MulticastModel.MSW,
+    x: int = 1,
+    steps: int = 2000,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    max_fanout: int | None = None,
+) -> BlockingEstimate:
+    """Estimate blocking probability under random dynamic traffic.
+
+    Requests come from :func:`repro.switching.generators.dynamic_traffic`;
+    blocked setups are dropped (their endpoints stay free for later
+    requests, mirroring loss-mode optical switching).
+
+    Args:
+        n, r, m, k: topology.
+        construction, model, x: network configuration.
+        steps: traffic events per seed.
+        seeds: independent replications (results are pooled).
+        max_fanout: cap on destinations per request.
+    """
+    attempts = 0
+    blocked = 0
+    for seed in seeds:
+        net = ThreeStageNetwork(
+            n, r, m, k, construction=construction, model=model, x=x
+        )
+        live: dict[int, int] = {}
+        dropped: set[int] = set()
+        for event in dynamic_traffic(
+            model,
+            n * r,
+            k,
+            steps=steps,
+            seed=seed,
+            max_fanout=max_fanout,
+        ):
+            if event.kind == "setup":
+                attempts += 1
+                connection_id = net.try_connect(event.connection)
+                if connection_id is None:
+                    blocked += 1
+                    dropped.add(event.connection_id)
+                else:
+                    live[event.connection_id] = connection_id
+            else:
+                if event.connection_id in dropped:
+                    dropped.discard(event.connection_id)
+                    continue
+                net.disconnect(live.pop(event.connection_id))
+    return BlockingEstimate(
+        n=n,
+        r=r,
+        m=m,
+        k=k,
+        construction=construction,
+        model=model,
+        x=x,
+        attempts=attempts,
+        blocked=blocked,
+    )
+
+
+def blocking_vs_m(
+    n: int,
+    r: int,
+    k: int,
+    m_values: list[int],
+    *,
+    construction: Construction = Construction.MSW_DOMINANT,
+    model: MulticastModel = MulticastModel.MSW,
+    x: int = 1,
+    steps: int = 1500,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    adversarial: bool = False,
+    adversary_seeds: int = 20,
+) -> list[BlockingEstimate]:
+    """The blocking-probability-vs-``m`` curve (implied figure X3).
+
+    With ``adversarial=True``, each point additionally runs the
+    randomized adversary of
+    :func:`repro.multistage.adversary.search_blocking_state`; if the
+    adversary finds a witness at an ``m`` where random traffic saw no
+    blocking, one synthetic blocked attempt is recorded so the curve
+    reflects *worst-case* rather than average-case behaviour.
+    """
+    estimates = []
+    for m in m_values:
+        estimate = blocking_probability(
+            n,
+            r,
+            m,
+            k,
+            construction=construction,
+            model=model,
+            x=x,
+            steps=steps,
+            seeds=seeds,
+        )
+        if adversarial and estimate.blocked == 0:
+            rng = random.Random(m)
+            for _ in range(adversary_seeds):
+                witness = search_blocking_state(
+                    n,
+                    r,
+                    m,
+                    k,
+                    construction=construction,
+                    model=model,
+                    x=x,
+                    seed=rng.randrange(10**9),
+                )
+                if witness is not None:
+                    estimate = BlockingEstimate(
+                        n=n,
+                        r=r,
+                        m=m,
+                        k=k,
+                        construction=construction,
+                        model=model,
+                        x=x,
+                        attempts=estimate.attempts + 1,
+                        blocked=1,
+                    )
+                    break
+        estimates.append(estimate)
+    return estimates

@@ -1,0 +1,84 @@
+"""Design-space sensitivity: how the (n, r) split shapes the cost.
+
+Section 3.4 fixes ``n = r = sqrt(N)`` for its asymptotics; this module
+quantifies how sensitive the real (non-asymptotic) optimum is to that
+choice: for every factorization ``N = n * r``, the minimal nonblocking
+``m`` (corrected bound), the resulting crosspoints and converters, and
+the penalty relative to the best split.
+
+The finding the benchmark verifies: the crosspoint curve over aspect
+ratios is shallow near the optimum but punishes extreme splits (tiny
+``n`` wastes middle-stage area on ``r x r`` modules; tiny ``r`` inflates
+``m`` through the ``(n-1)`` factor), and the optimum sits near --
+though not always exactly at -- the paper's square split.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.corrected import CorrectedBound
+from repro.core.models import Construction, MulticastModel
+from repro.core.multistage import multistage_cost
+
+__all__ = ["AspectPoint", "aspect_ratio_study"]
+
+
+@dataclass(frozen=True)
+class AspectPoint:
+    """One factorization's optimized design."""
+
+    n: int
+    r: int
+    x: int
+    m: int
+    crosspoints: int
+    converters: int
+
+    @property
+    def aspect(self) -> float:
+        """``n / r`` -- 1.0 is the paper's square split."""
+        return self.n / self.r
+
+
+def aspect_ratio_study(
+    n_ports: int,
+    k: int,
+    model: MulticastModel = MulticastModel.MSW,
+    construction: Construction = Construction.MSW_DOMINANT,
+) -> list[AspectPoint]:
+    """Evaluate every proper factorization ``N = n * r``.
+
+    Returns points sorted by ``n`` (ascending).  Raises if ``N`` has no
+    proper factorization (prime or < 4).
+    """
+    if n_ports < 4:
+        raise ValueError(f"need N >= 4 for a proper split, got {n_ports}")
+    points = []
+    for n in range(2, n_ports):
+        if n_ports % n:
+            continue
+        r = n_ports // n
+        if r < 2:
+            continue
+        bound = CorrectedBound.compute(n, r, k, construction, model)
+        cost = multistage_cost(n, r, bound.m_min, k, construction, model)
+        points.append(
+            AspectPoint(
+                n=n,
+                r=r,
+                x=bound.best_x,
+                m=bound.m_min,
+                crosspoints=cost.crosspoints,
+                converters=cost.converters,
+            )
+        )
+    if not points:
+        raise ValueError(f"N={n_ports} has no proper factorization")
+    return points
+
+
+def nearest_square_point(points: list[AspectPoint]) -> AspectPoint:
+    """The factorization closest to the paper's ``n = r`` split."""
+    return min(points, key=lambda p: abs(math.log(p.aspect)))

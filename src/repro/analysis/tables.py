@@ -1,0 +1,254 @@
+"""Regeneration of Table 1 and Table 2.
+
+Table 1 (Section 2.4) compares the three models on a crossbar network:
+multicast capacity (full and any), crosspoints, and converters.
+
+Table 2 (Section 3.4) compares crossbar (CB) vs multistage (MS)
+implementations of each model on crosspoints and converters.  The
+symbolic column carries the paper's formulas; the evaluated columns use
+the exact optimized three-stage design from
+:func:`repro.core.multistage.optimal_design`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.rendering import render_table
+from repro.core.capacity import CapacityResult
+from repro.core.cost import crossbar_converters, crossbar_crosspoints
+from repro.core.models import Construction, MulticastModel
+from repro.core.multistage import MultistageDesign, optimal_design
+
+__all__ = [
+    "Table1Row",
+    "Table2Row",
+    "render_table1",
+    "render_table2",
+    "table1",
+    "table1_symbolic",
+    "table2",
+    "table2_symbolic",
+]
+
+_MODELS = (MulticastModel.MSW, MulticastModel.MSDW, MulticastModel.MAW)
+
+
+# ---------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One model's row of Table 1, evaluated for a concrete ``(N, k)``."""
+
+    model: MulticastModel
+    n_ports: int
+    k: int
+    capacity_full: int
+    capacity_any: int
+    crosspoints: int
+    converters: int
+
+    @property
+    def log10_capacity_full(self) -> float:
+        """``log10`` of the full-multicast capacity (for display)."""
+        from repro.core.capacity import log10_int
+
+        return log10_int(self.capacity_full)
+
+    @property
+    def log10_capacity_any(self) -> float:
+        """``log10`` of the any-multicast capacity (for display)."""
+        from repro.core.capacity import log10_int
+
+        return log10_int(self.capacity_any)
+
+
+def table1(n_ports: int, k: int) -> list[Table1Row]:
+    """Evaluate Table 1 for a concrete network size."""
+    rows = []
+    for model in _MODELS:
+        capacity = CapacityResult.compute(model, n_ports, k)
+        rows.append(
+            Table1Row(
+                model=model,
+                n_ports=n_ports,
+                k=k,
+                capacity_full=capacity.full,
+                capacity_any=capacity.any,
+                crosspoints=crossbar_crosspoints(model, n_ports, k),
+                converters=crossbar_converters(model, n_ports, k),
+            )
+        )
+    return rows
+
+
+def table1_symbolic() -> list[dict[str, str]]:
+    """Table 1 as the paper prints it (formula strings)."""
+    return [
+        {
+            "model": "MSW",
+            "capacity_full": "N^(Nk)",
+            "capacity_any": "(N+1)^(Nk)",
+            "crosspoints": "k N^2",
+            "converters": "0",
+        },
+        {
+            "model": "MSDW",
+            "capacity_full": "sum P(Nk, sum j_i) prod S(N, j_i)",
+            "capacity_any": "sum P(Nk, sum j_i) prod C(N, l_i) S(N-l_i, j_i)",
+            "crosspoints": "k^2 N^2",
+            "converters": "k N",
+        },
+        {
+            "model": "MAW",
+            "capacity_full": "[P(Nk, k)]^N",
+            "capacity_any": "[sum_j P(Nk, k-j) C(k, j)]^N",
+            "crosspoints": "k^2 N^2",
+            "converters": "k N",
+        },
+    ]
+
+
+def render_table1(n_ports: int, k: int) -> str:
+    """Table 1 as printable text (capacities shown as log10 when huge)."""
+    rows = table1(n_ports, k)
+    display = []
+    for row in rows:
+        full = (
+            str(row.capacity_full)
+            if row.capacity_full < 10**12
+            else f"10^{row.log10_capacity_full:.1f}"
+        )
+        any_ = (
+            str(row.capacity_any)
+            if row.capacity_any < 10**12
+            else f"10^{row.log10_capacity_any:.1f}"
+        )
+        display.append(
+            [row.model.value, full, any_, row.crosspoints, row.converters]
+        )
+    return render_table(
+        ["model", "capacity (full)", "capacity (any)", "crosspoints", "converters"],
+        display,
+        title=f"Table 1 -- N={n_ports}, k={k}",
+    )
+
+
+# ---------------------------------------------------------------------
+# Table 2
+# ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One (model, implementation) row of Table 2 for a concrete ``(N, k)``."""
+
+    model: MulticastModel
+    implementation: str  # "CB" (crossbar) or "MS" (multistage)
+    n_ports: int
+    k: int
+    crosspoints: int
+    converters: int
+    design: MultistageDesign | None = None  # MS rows only
+
+    @property
+    def label(self) -> str:
+        """The paper's row label, e.g. ``MSW/CB``."""
+        return f"{self.model.value}/{self.implementation}"
+
+
+def table2(
+    n_ports: int,
+    k: int,
+    construction: Construction = Construction.MSW_DOMINANT,
+    *,
+    use_paper_bound: bool = False,
+) -> list[Table2Row]:
+    """Evaluate Table 2: CB and optimized MS rows for each model.
+
+    MS rows are sized with the corrected model-aware bound by default
+    (actually nonblocking for MSDW/MAW with k > 1); pass
+    ``use_paper_bound=True`` for the paper's Theorem-1 sizing as
+    printed.
+    """
+    rows: list[Table2Row] = []
+    for model in _MODELS:
+        rows.append(
+            Table2Row(
+                model=model,
+                implementation="CB",
+                n_ports=n_ports,
+                k=k,
+                crosspoints=crossbar_crosspoints(model, n_ports, k),
+                converters=crossbar_converters(model, n_ports, k),
+            )
+        )
+        design = optimal_design(
+            n_ports, k, model, construction, use_paper_bound=use_paper_bound
+        )
+        rows.append(
+            Table2Row(
+                model=model,
+                implementation="MS",
+                n_ports=n_ports,
+                k=k,
+                crosspoints=design.cost.crosspoints,
+                converters=design.cost.converters,
+                design=design,
+            )
+        )
+    return rows
+
+
+def table2_symbolic() -> list[dict[str, str]]:
+    """Table 2 as the paper prints it (asymptotic forms; see DESIGN.md)."""
+    return [
+        {"row": "MSW/CB", "crosspoints": "k N^2", "converters": "0"},
+        {
+            "row": "MSW/MS",
+            "crosspoints": "O(k N^(3/2) log N / log log N)",
+            "converters": "0",
+        },
+        {"row": "MSDW/CB", "crosspoints": "k^2 N^2", "converters": "k N"},
+        {
+            "row": "MSDW/MS",
+            "crosspoints": "O(k^2 N^(3/2) log N / log log N)",
+            "converters": "O(k N log N / log log N)",
+        },
+        {"row": "MAW/CB", "crosspoints": "k^2 N^2", "converters": "k N"},
+        {
+            "row": "MAW/MS",
+            "crosspoints": "O(k^2 N^(3/2) log N / log log N)",
+            "converters": "k N",
+        },
+    ]
+
+
+def render_table2(
+    n_ports: int,
+    k: int,
+    construction: Construction = Construction.MSW_DOMINANT,
+    *,
+    use_paper_bound: bool = False,
+) -> str:
+    """Table 2 as printable text, with the chosen MS designs annotated."""
+    rows = table2(n_ports, k, construction, use_paper_bound=use_paper_bound)
+    display = []
+    for row in rows:
+        design = row.design
+        detail = (
+            f"n={design.n} r={design.r} m={design.m} x={design.x}"
+            if design
+            else "-"
+        )
+        display.append(
+            [row.label, row.crosspoints, row.converters, detail]
+        )
+    return render_table(
+        ["network", "crosspoints", "converters", "MS design"],
+        display,
+        title=f"Table 2 -- N={n_ports}, k={k} ({construction.value})",
+    )

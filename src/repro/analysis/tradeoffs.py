@@ -1,0 +1,79 @@
+"""The cost-performance comparison of Section 2.4.
+
+The paper's qualitative conclusions, made checkable:
+
+1. capacity is strictly increasing in model strength
+   (MSW < MSDW < MAW for ``k > 1``; all equal at ``k = 1``);
+2. MSDW is *dominated*: it costs exactly as much as MAW (crosspoints
+   and converters) but has strictly smaller capacity for ``k > 1`` --
+   "the MSDW model is not desirable";
+3. MSW vs MAW is a genuine trade-off: MAW buys
+   ``log(capacity_MAW) - log(capacity_MSW)`` extra capacity for a
+   factor-``k`` crosspoint increase plus ``kN`` converters.
+
+:func:`compare_models` packages the numbers; :func:`dominated_models`
+identifies rows beaten on every axis (which must be exactly ``{MSDW}``
+for ``k > 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.capacity import CapacityResult, log10_int
+from repro.core.cost import CrossbarCost
+from repro.core.models import MulticastModel
+
+__all__ = ["ModelComparison", "compare_models", "dominated_models"]
+
+
+@dataclass(frozen=True)
+class ModelComparison:
+    """Capacity and cost of one model on one crossbar network."""
+
+    model: MulticastModel
+    capacity: CapacityResult
+    cost: CrossbarCost
+
+    @property
+    def log10_capacity_per_crosspoint(self) -> float:
+        """A capacity-per-hardware figure of merit (log10 capacity / crosspoint)."""
+        return log10_int(self.capacity.any) / self.cost.crosspoints
+
+
+def compare_models(n_ports: int, k: int) -> list[ModelComparison]:
+    """Section 2.4's comparison for a concrete ``(N, k)``."""
+    return [
+        ModelComparison(
+            model=model,
+            capacity=CapacityResult.compute(model, n_ports, k),
+            cost=CrossbarCost.compute(model, n_ports, k),
+        )
+        for model in MulticastModel
+    ]
+
+
+def dominated_models(n_ports: int, k: int) -> set[MulticastModel]:
+    """Models beaten-or-equalled on cost and strictly beaten on capacity.
+
+    For ``k > 1`` this is exactly ``{MSDW}`` (the paper's conclusion);
+    for ``k = 1`` all models coincide and nothing is dominated.
+    """
+    comparisons = compare_models(n_ports, k)
+    dominated: set[MulticastModel] = set()
+    for row in comparisons:
+        for other in comparisons:
+            if other.model is row.model:
+                continue
+            cost_no_worse = (
+                other.cost.crosspoints <= row.cost.crosspoints
+                and other.cost.converters <= row.cost.converters
+            )
+            capacity_better = (
+                other.capacity.full > row.capacity.full
+                and other.capacity.any > row.capacity.any
+            )
+            if cost_no_worse and capacity_better:
+                dominated.add(row.model)
+                break
+    return dominated

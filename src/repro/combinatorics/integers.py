@@ -1,0 +1,144 @@
+"""Exact integer primitives used throughout the reproduction.
+
+The paper's capacity formulas (Lemmas 1-3) are products of falling
+factorials, binomials and Stirling numbers; its nonblocking conditions
+(Theorems 1-2) involve the real quantity ``r**(1/x)``.  To keep every
+result exact (and therefore property-testable without epsilon fudging),
+this module provides:
+
+* :func:`falling_factorial` -- the paper's ``P(x, i)``;
+* :func:`binomial` -- binomial coefficients;
+* :func:`integer_root` -- exact floor of the x-th root of an integer;
+* :func:`power_exceeds` / :func:`min_base_exceeding` -- the exact integer
+  comparisons that replace floating-point evaluation of ``r**(1/x)`` in
+  the nonblocking predicates (see :mod:`repro.core.multistage`).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "binomial",
+    "falling_factorial",
+    "integer_root",
+    "min_base_exceeding",
+    "power_exceeds",
+]
+
+
+def falling_factorial(x: int, i: int) -> int:
+    """The paper's ``P(x, i) = x (x-1) ... (x-i+1)``.
+
+    ``P(x, 0) = 1`` (empty product), which Lemma 2's any-multicast sum
+    relies on at the ``j = k`` term.  For ``i > x >= 0`` the product hits
+    zero, matching the combinatorial meaning (no injections exist).
+
+    Args:
+        x: the upper argument (number of items to choose from).
+        i: the number of factors (length of the injection).
+
+    Returns:
+        The exact integer value of the falling factorial.
+
+    Raises:
+        ValueError: if ``i`` is negative.
+    """
+    if i < 0:
+        raise ValueError(f"falling factorial length must be >= 0, got {i}")
+    result = 1
+    for term in range(x, x - i, -1):
+        if term <= 0:
+            return 0
+        result *= term
+    return result
+
+
+def binomial(n: int, j: int) -> int:
+    """Binomial coefficient ``C(n, j)``; zero outside ``0 <= j <= n``."""
+    if j < 0 or j > n or n < 0:
+        return 0
+    return math.comb(n, j)
+
+
+def integer_root(value: int, degree: int) -> int:
+    """Exact ``floor(value ** (1/degree))`` for non-negative integers.
+
+    Uses Newton iteration on integers, so the result is exact for
+    arbitrarily large ``value`` (unlike ``value ** (1.0 / degree)``).
+
+    Args:
+        value: the radicand, ``>= 0``.
+        degree: the root degree, ``>= 1``.
+
+    Returns:
+        The largest integer ``s`` with ``s ** degree <= value``.
+
+    Raises:
+        ValueError: if ``value < 0`` or ``degree < 1``.
+    """
+    if degree < 1:
+        raise ValueError(f"root degree must be >= 1, got {degree}")
+    if value < 0:
+        raise ValueError(f"radicand must be >= 0, got {value}")
+    if value in (0, 1) or degree == 1:
+        return value
+    # Integer seed from the bit length (floats overflow on big values),
+    # then integer Newton to correct rounding.
+    guess = 1 << -(-value.bit_length() // degree)  # 2**ceil(bits/degree)
+    guess = max(guess, 1)
+    while True:
+        # Newton step for f(s) = s**degree - value.
+        better = ((degree - 1) * guess + value // guess ** (degree - 1)) // degree
+        if better >= guess:
+            break
+        guess = better
+    while guess**degree > value:
+        guess -= 1
+    while (guess + 1) ** degree <= value:
+        guess += 1
+    return guess
+
+
+def power_exceeds(base: int, exponent: int, bound: int) -> bool:
+    """Exact test ``base ** exponent > bound`` without huge intermediates.
+
+    For the sizes in this project a direct power would be fine, but the
+    short-circuiting keeps adversarial property-test inputs cheap.
+    """
+    if base <= 0:
+        return 0 > bound if base == 0 and exponent > 0 else (exponent == 0 and 1 > bound)
+    if exponent == 0:
+        return 1 > bound
+    if bound < 0:
+        return True
+    # bit_length bound: base**exponent >= 2**((bl-1)*exponent)
+    if (base.bit_length() - 1) * exponent > bound.bit_length():
+        return True
+    return base**exponent > bound
+
+
+def min_base_exceeding(bound: int, exponent: int) -> int:
+    """Smallest non-negative integer ``s`` with ``s ** exponent > bound``.
+
+    This is the exact-integer replacement for ``floor(bound**(1/exponent)) + 1``
+    used when computing minimal middle-stage sizes: Theorem 1 requires
+    ``m - (n-1)x > (n-1) * r**(1/x)``, i.e. the smallest integer strictly
+    greater than ``(n-1) r^{1/x}``, which (after clearing the root) is
+    ``min_base_exceeding(r * (n-1)**x, x)`` -- see
+    :func:`repro.core.multistage.min_middle_switches_msw_dominant`.
+
+    Args:
+        bound: the integer to exceed, ``>= 0``.
+        exponent: the exponent ``x >= 1``.
+
+    Returns:
+        The smallest ``s >= 0`` with ``s ** exponent > bound``.
+    """
+    if bound < 0:
+        raise ValueError(f"bound must be >= 0, got {bound}")
+    if exponent < 1:
+        raise ValueError(f"exponent must be >= 1, got {exponent}")
+    root = integer_root(bound, exponent)
+    # root**exponent <= bound < (root+1)**exponent, so root+1 is the answer.
+    return root + 1

@@ -1,0 +1,195 @@
+"""Destination multiset algebra -- the paper's equations (2)-(5).
+
+In the MAW-dominant construction, the state of a middle-stage switch ``j``
+is summarized by a *destination multiset* ``M_j`` over the base set
+``O = {1, ..., r}`` of output-stage switches: the multiplicity of ``p`` in
+``M_j`` is the number of multicast connections currently routed from
+``j`` to ``p`` (equivalently: busy wavelengths on the link ``j -> p``),
+bounded by the link's wavelength count ``k``.
+
+The paper redefines the usual multiset operations so Lemma 4 carries over:
+
+* eq. (2): ``M_j = {1^{i_1}, ..., r^{i_r}}`` with ``0 <= i_p <= k``;
+* eq. (3): intersection is *element-wise minimum* of multiplicities --
+  an output switch is unusable through a set of middle switches only if
+  its link is saturated at every one of them;
+* eq. (4): the cardinality ``|M_j|`` counts elements whose multiplicity
+  equals ``k`` (saturated elements, which "cannot be used");
+* eq. (5): ``M_j`` is *null* iff ``|M_j| = 0``, i.e. no element saturated.
+
+With these definitions, a new request with destination set ``D`` can be
+realized through middle switches ``j_1..j_x`` iff the intersection of
+their multisets, restricted to ``D``, is null (generalized Lemma 4).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = ["DestinationMultiset"]
+
+
+class DestinationMultiset:
+    """A multiset over output-switch indices ``0..r-1``, capped at ``k``.
+
+    Immutable; all mutating operations return new instances.  Indices are
+    0-based internally (the paper numbers output switches from 1).
+    """
+
+    __slots__ = ("_counts", "_k")
+
+    def __init__(self, counts: Iterable[int], k: int):
+        counts = tuple(counts)
+        if k < 1:
+            raise ValueError(f"wavelength count k must be >= 1, got {k}")
+        for p, count in enumerate(counts):
+            if not 0 <= count <= k:
+                raise ValueError(
+                    f"multiplicity of element {p} is {count}, outside [0, {k}]"
+                )
+        self._counts = counts
+        self._k = k
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def empty(cls, r: int, k: int) -> DestinationMultiset:
+        """The all-zero multiset over ``r`` elements."""
+        return cls((0,) * r, k)
+
+    @classmethod
+    def from_elements(cls, elements: Iterable[int], r: int, k: int) -> DestinationMultiset:
+        """Build from a stream of element indices (repeats add multiplicity)."""
+        counts = [0] * r
+        for element in elements:
+            if not 0 <= element < r:
+                raise ValueError(f"element {element} outside [0, {r})")
+            counts[element] += 1
+            if counts[element] > k:
+                raise ValueError(
+                    f"element {element} appears more than k={k} times"
+                )
+        return cls(counts, k)
+
+    # -- inspection ---------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        """Multiplicity cap (wavelengths per link)."""
+        return self._k
+
+    @property
+    def r(self) -> int:
+        """Size of the base set ``O``."""
+        return len(self._counts)
+
+    @property
+    def counts(self) -> tuple[int, ...]:
+        """Multiplicity vector ``(i_1, ..., i_r)`` of eq. (2)."""
+        return self._counts
+
+    def multiplicity(self, element: int) -> int:
+        """Multiplicity of ``element`` (number of connections to it)."""
+        return self._counts[element]
+
+    def total(self) -> int:
+        """Total number of connections represented (sum of multiplicities)."""
+        return sum(self._counts)
+
+    def saturated_elements(self) -> frozenset[int]:
+        """Elements with multiplicity exactly ``k`` -- unusable per eq. (4)."""
+        return frozenset(
+            p for p, count in enumerate(self._counts) if count == self._k
+        )
+
+    def usable_elements(self) -> frozenset[int]:
+        """Elements with spare multiplicity -- the maximal realizable fanout."""
+        return frozenset(
+            p for p, count in enumerate(self._counts) if count < self._k
+        )
+
+    def cardinality(self) -> int:
+        """The paper's ``|M_j|`` (eq. (4)): the number of saturated elements."""
+        return sum(1 for count in self._counts if count == self._k)
+
+    def is_null(self) -> bool:
+        """The paper's null test (eq. (5)): true iff no element is saturated."""
+        return self.cardinality() == 0
+
+    # -- algebra ------------------------------------------------------
+
+    def intersect(self, other: DestinationMultiset) -> DestinationMultiset:
+        """Element-wise minimum (eq. (3)).
+
+        The maximal multicast connection realizable through two middle
+        switches with multisets ``A`` and ``B`` equals the one realizable
+        through a single switch with multiset ``A.intersect(B)``.
+        """
+        self._check_compatible(other)
+        return DestinationMultiset(
+            (min(a, b) for a, b in zip(self._counts, other._counts)),
+            self._k,
+        )
+
+    def restrict(self, elements: Iterable[int]) -> DestinationMultiset:
+        """Zero out multiplicities outside ``elements``.
+
+        Used to apply Lemma 4 to a specific request: only the requested
+        destinations matter for the null test.
+        """
+        keep = set(elements)
+        return DestinationMultiset(
+            (count if p in keep else 0 for p, count in enumerate(self._counts)),
+            self._k,
+        )
+
+    def add(self, element: int, amount: int = 1) -> DestinationMultiset:
+        """Return a copy with ``amount`` added to ``element``'s multiplicity."""
+        counts = list(self._counts)
+        counts[element] += amount
+        return DestinationMultiset(counts, self._k)
+
+    def remove(self, element: int, amount: int = 1) -> DestinationMultiset:
+        """Return a copy with ``amount`` removed from ``element``."""
+        return self.add(element, -amount)
+
+    def _check_compatible(self, other: DestinationMultiset) -> None:
+        if self.r != other.r or self._k != other._k:
+            raise ValueError(
+                f"incompatible multisets: (r={self.r}, k={self._k}) vs "
+                f"(r={other.r}, k={other._k})"
+            )
+
+    # -- dunder -------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DestinationMultiset):
+            return NotImplemented
+        return self._counts == other._counts and self._k == other._k
+
+    def __hash__(self) -> int:
+        return hash((self._counts, self._k))
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate elements with multiplicity (each repeated that many times)."""
+        for p, count in enumerate(self._counts):
+            for _ in range(count):
+                yield p
+
+    def __repr__(self) -> str:
+        parts = [
+            f"{p}^{count}" for p, count in enumerate(self._counts) if count
+        ]
+        return f"DestinationMultiset({{{', '.join(parts)}}}, k={self._k})"
+
+    @staticmethod
+    def intersect_all(multisets: Iterable[DestinationMultiset]) -> DestinationMultiset:
+        """Intersection (element-wise min) of a non-empty collection."""
+        iterator = iter(multisets)
+        try:
+            result = next(iterator)
+        except StopIteration as exc:
+            raise ValueError("intersect_all needs at least one multiset") from exc
+        for multiset in iterator:
+            result = result.intersect(multiset)
+        return result

@@ -1,0 +1,56 @@
+"""Enumeration of set partitions.
+
+Used by the brute-force cross-checks of Lemma 3: the MSDW capacity proof
+groups the ``N`` output copies of each wavelength into the destination
+sets of multicast connections, i.e. into set partitions.  Enumerating the
+partitions directly and counting assignments must reproduce the
+closed-form capacity exactly; see ``tests/test_capacity_enumeration.py``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from typing import TypeVar
+
+from repro.combinatorics.stirling import stirling2
+
+T = TypeVar("T")
+
+__all__ = ["count_partitions_into", "iter_set_partitions", "iter_set_partitions_into"]
+
+
+def iter_set_partitions(items: Sequence[T]) -> Iterator[list[list[T]]]:
+    """Yield every set partition of ``items`` (blocks in canonical order).
+
+    The canonical order lists blocks by their smallest element's position,
+    which makes the output deterministic and duplicate-free.  The number
+    of partitions yielded is the Bell number ``B(len(items))``.
+    """
+    items = list(items)
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partial in iter_set_partitions(rest):
+        # Insert `first` into each existing block, or as a new first block.
+        yield [[first], *partial]
+        for index in range(len(partial)):
+            grown = [list(block) for block in partial]
+            grown[index] = [first, *grown[index]]
+            yield grown
+
+
+def iter_set_partitions_into(items: Sequence[T], blocks: int) -> Iterator[list[list[T]]]:
+    """Yield set partitions of ``items`` with exactly ``blocks`` blocks.
+
+    Yields ``S(len(items), blocks)`` partitions (Stirling number of the
+    second kind), the quantity Lemma 3 sums over.
+    """
+    for partition in iter_set_partitions(items):
+        if len(partition) == blocks:
+            yield partition
+
+
+def count_partitions_into(n: int, blocks: int) -> int:
+    """Closed-form count matching :func:`iter_set_partitions_into`."""
+    return stirling2(n, blocks)

@@ -1,0 +1,165 @@
+"""Dense integer polynomials as generating functions.
+
+Lemma 3's MSDW capacity is a sum over ``k`` independent per-wavelength
+partition choices coupled only through the total number of connections
+``t = sum_i j_i`` (which picks ``P(Nk, t)`` source wavelengths).  Writing
+the per-wavelength choice counts as a polynomial ``A(z) = sum_j a_j z^j``
+turns the k-fold sum into a single coefficient extraction:
+
+    capacity = sum_t  [z^t] A(z)**k  *  P(Nk, t)
+
+which is dramatically cheaper than iterating over all ``N**k`` index
+vectors and keeps everything in exact integers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = ["IntPolynomial"]
+
+
+class IntPolynomial:
+    """An immutable dense polynomial with exact integer coefficients.
+
+    Coefficients are stored low-degree-first; trailing zeros are
+    normalized away so equality is structural.
+    """
+
+    __slots__ = ("_coeffs",)
+
+    def __init__(self, coefficients: Iterable[int] = ()):
+        coeffs = list(coefficients)
+        while coeffs and coeffs[-1] == 0:
+            coeffs.pop()
+        self._coeffs: tuple[int, ...] = tuple(coeffs)
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> IntPolynomial:
+        """The zero polynomial."""
+        return cls(())
+
+    @classmethod
+    def one(cls) -> IntPolynomial:
+        """The constant polynomial 1."""
+        return cls((1,))
+
+    @classmethod
+    def monomial(cls, degree: int, coefficient: int = 1) -> IntPolynomial:
+        """``coefficient * z**degree``."""
+        if degree < 0:
+            raise ValueError(f"degree must be >= 0, got {degree}")
+        return cls((0,) * degree + (coefficient,))
+
+    # -- inspection ---------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial; -1 for the zero polynomial."""
+        return len(self._coeffs) - 1
+
+    @property
+    def coefficients(self) -> tuple[int, ...]:
+        """Coefficients low-degree-first (empty for the zero polynomial)."""
+        return self._coeffs
+
+    def coefficient(self, degree: int) -> int:
+        """The coefficient of ``z**degree`` (0 beyond the stored degree)."""
+        if degree < 0:
+            raise ValueError(f"degree must be >= 0, got {degree}")
+        if degree >= len(self._coeffs):
+            return 0
+        return self._coeffs[degree]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._coeffs)
+
+    def __len__(self) -> int:
+        return len(self._coeffs)
+
+    def __bool__(self) -> bool:
+        return bool(self._coeffs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntPolynomial):
+            return NotImplemented
+        return self._coeffs == other._coeffs
+
+    def __hash__(self) -> int:
+        return hash(self._coeffs)
+
+    def __repr__(self) -> str:
+        return f"IntPolynomial({list(self._coeffs)!r})"
+
+    def __call__(self, point: int) -> int:
+        """Evaluate at an integer point (Horner's scheme)."""
+        result = 0
+        for coeff in reversed(self._coeffs):
+            result = result * point + coeff
+        return result
+
+    # -- arithmetic ---------------------------------------------------
+
+    def __add__(self, other: IntPolynomial) -> IntPolynomial:
+        if not isinstance(other, IntPolynomial):
+            return NotImplemented
+        longer, shorter = self._coeffs, other._coeffs
+        if len(longer) < len(shorter):
+            longer, shorter = shorter, longer
+        summed = list(longer)
+        for index, coeff in enumerate(shorter):
+            summed[index] += coeff
+        return IntPolynomial(summed)
+
+    def __mul__(self, other: IntPolynomial | int) -> IntPolynomial:
+        if isinstance(other, int):
+            return IntPolynomial(coeff * other for coeff in self._coeffs)
+        if not isinstance(other, IntPolynomial):
+            return NotImplemented
+        if not self._coeffs or not other._coeffs:
+            return IntPolynomial.zero()
+        product = [0] * (len(self._coeffs) + len(other._coeffs) - 1)
+        for i, a in enumerate(self._coeffs):
+            if a == 0:
+                continue
+            for j, b in enumerate(other._coeffs):
+                product[i + j] += a * b
+        return IntPolynomial(product)
+
+    __rmul__ = __mul__
+
+    def __pow__(self, exponent: int) -> IntPolynomial:
+        if exponent < 0:
+            raise ValueError(f"exponent must be >= 0, got {exponent}")
+        result = IntPolynomial.one()
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            exponent >>= 1
+            if exponent:
+                base = base * base
+        return result
+
+    # -- convolutions with weights -------------------------------------
+
+    def weighted_sum(self, weights: Iterable[int]) -> int:
+        """``sum_t coeff[t] * weight[t]`` over the stored coefficients.
+
+        ``weights`` must provide at least ``degree + 1`` values; extra
+        values are ignored.  This is the coefficient-extraction step of
+        the MSDW capacity computation.
+        """
+        total = 0
+        weight_iter = iter(weights)
+        for coeff in self._coeffs:
+            try:
+                weight = next(weight_iter)
+            except StopIteration as exc:
+                raise ValueError(
+                    f"need at least {len(self._coeffs)} weights, ran out early"
+                ) from exc
+            total += coeff * weight
+        return total

@@ -1,0 +1,52 @@
+"""Stirling numbers of the second kind and Bell numbers.
+
+Lemma 3 expresses the MSDW multicast capacity in terms of ``S(N, j)``,
+the number of ways to partition ``N`` labelled elements into ``j``
+non-empty unlabelled groups.  The values are computed once per row via
+the standard triangle recurrence and cached.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+__all__ = ["bell_number", "stirling2", "stirling2_row"]
+
+
+@lru_cache(maxsize=None)
+def stirling2_row(n: int) -> tuple[int, ...]:
+    """Row ``n`` of the Stirling-number triangle: ``(S(n,0), ..., S(n,n))``.
+
+    ``S(0, 0) = 1`` (the empty partition), ``S(n, 0) = 0`` for ``n > 0``.
+    Computed iteratively with the recurrence
+    ``S(n, j) = j S(n-1, j) + S(n-1, j-1)`` (no recursion, so large rows
+    -- N in the thousands -- do not hit the interpreter stack limit).
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    prev: tuple[int, ...] = (1,)
+    for size in range(1, n + 1):
+        row = [0] * (size + 1)
+        for j in range(1, size + 1):
+            above = prev[j] if j < len(prev) else 0
+            row[j] = j * above + prev[j - 1]
+        prev = tuple(row)
+    return prev
+
+
+def stirling2(n: int, j: int) -> int:
+    """``S(n, j)``: partitions of an ``n``-set into ``j`` non-empty blocks.
+
+    Returns 0 outside ``0 <= j <= n`` (and for ``j = 0`` with ``n > 0``),
+    matching the combinatorial convention used by Lemma 3.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if j < 0 or j > n:
+        return 0
+    return stirling2_row(n)[j]
+
+
+def bell_number(n: int) -> int:
+    """``B(n) = sum_j S(n, j)``: the number of set partitions of an n-set."""
+    return sum(stirling2_row(n))

@@ -1,0 +1,237 @@
+"""Multicast capacity of WDM crossbar networks -- Lemmas 1, 2 and 3.
+
+The *multicast capacity* of an ``N x N`` ``k``-wavelength WDM network
+under a model is the number of multicast assignments the network can
+realize (Section 2.2).  The paper derives closed forms:
+
+=========  ==============================================  =====================================================
+model      full-multicast-assignments                      any-multicast-assignments
+=========  ==============================================  =====================================================
+MSW        ``N**(N k)``                                    ``(N+1)**(N k)``
+MSDW       ``sum P(Nk, sum j_i) prod S(N, j_i)``           same with idle outputs: ``C(N, l_i) S(N-l_i, j_i)``
+MAW        ``P(Nk, k)**N``                                 ``(sum_j P(Nk, k-j) C(k, j))**N``
+=========  ==============================================  =====================================================
+
+All results are exact big integers.  The MSDW sums are evaluated through
+a generating polynomial (see :mod:`repro.combinatorics.polynomials`),
+which reduces the ``N**k`` index vectors of Lemma 3 to one polynomial
+power -- and handles the ``l_i = N`` (idle wavelength class) boundary of
+the any-multicast sum as the ``z**0`` coefficient.
+
+A useful sanity anchor (verified in the tests, and stated by the paper):
+at ``k = 1`` every model degenerates to a classical electronic multicast
+network with capacity ``N**N`` (full) and ``(N+1)**N`` (any).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.combinatorics.integers import binomial, falling_factorial
+from repro.combinatorics.polynomials import IntPolynomial
+from repro.combinatorics.stirling import stirling2
+from repro.core.models import MulticastModel
+
+__all__ = [
+    "CapacityResult",
+    "any_multicast_capacity",
+    "full_multicast_capacity",
+    "log10_any_multicast_capacity",
+    "log10_full_multicast_capacity",
+    "log10_int",
+    "multicast_capacity",
+]
+
+
+def _check_dimensions(n_ports: int, k: int) -> None:
+    if n_ports < 1:
+        raise ValueError(f"network size N must be >= 1, got {n_ports}")
+    if k < 1:
+        raise ValueError(f"wavelength count k must be >= 1, got {k}")
+
+
+# ---------------------------------------------------------------------
+# MSW -- Lemma 1
+# ---------------------------------------------------------------------
+
+
+def _msw_full(n_ports: int, k: int) -> int:
+    """Lemma 1: each of the ``Nk`` output wavelengths picks one of ``N`` sources."""
+    return n_ports ** (n_ports * k)
+
+
+def _msw_any(n_ports: int, k: int) -> int:
+    """Lemma 1: each output wavelength may additionally stay idle."""
+    return (n_ports + 1) ** (n_ports * k)
+
+
+# ---------------------------------------------------------------------
+# MAW -- Lemma 2
+# ---------------------------------------------------------------------
+
+
+def _maw_full(n_ports: int, k: int) -> int:
+    """Lemma 2: per port, an injection of its k wavelengths into Nk sources."""
+    return falling_factorial(n_ports * k, k) ** n_ports
+
+
+def _maw_any(n_ports: int, k: int) -> int:
+    """Lemma 2: j of the k wavelengths per port may stay idle."""
+    per_port = sum(
+        falling_factorial(n_ports * k, k - j) * binomial(k, j) for j in range(k + 1)
+    )
+    return per_port**n_ports
+
+
+# ---------------------------------------------------------------------
+# MSDW -- Lemma 3 (via generating polynomials)
+# ---------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _msdw_group_polynomial_full(n_ports: int) -> IntPolynomial:
+    """``A(z) = sum_{j=1}^{N} S(N, j) z^j``.
+
+    Coefficient of ``z^j``: ways to split the N same-wavelength output
+    copies into the destination sets of ``j`` multicast connections.
+    """
+    return IntPolynomial(
+        [0] + [stirling2(n_ports, j) for j in range(1, n_ports + 1)]
+    )
+
+
+@lru_cache(maxsize=None)
+def _msdw_group_polynomial_any(n_ports: int) -> IntPolynomial:
+    """``A(z) = sum_j (sum_l C(N, l) S(N-l, j)) z^j``.
+
+    Like the full-assignment polynomial but ``l`` of the N copies may be
+    idle.  The ``z^0`` term is 1 (all copies idle: ``l = N``).
+    """
+    coefficients = []
+    for j in range(n_ports + 1):
+        coefficients.append(
+            sum(
+                binomial(n_ports, idle) * stirling2(n_ports - idle, j)
+                for idle in range(n_ports + 1)
+            )
+        )
+    return IntPolynomial(coefficients)
+
+
+def _msdw_capacity(n_ports: int, k: int, polynomial: IntPolynomial) -> int:
+    """``sum_t [z^t] polynomial**k * P(Nk, t)`` -- the coupled source choice."""
+    combined = polynomial**k
+    weights = [
+        falling_factorial(n_ports * k, t) for t in range(combined.degree + 1)
+    ]
+    return combined.weighted_sum(weights)
+
+
+def _msdw_full(n_ports: int, k: int) -> int:
+    return _msdw_capacity(n_ports, k, _msdw_group_polynomial_full(n_ports))
+
+
+def _msdw_any(n_ports: int, k: int) -> int:
+    return _msdw_capacity(n_ports, k, _msdw_group_polynomial_any(n_ports))
+
+
+# ---------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------
+
+_FULL = {
+    MulticastModel.MSW: _msw_full,
+    MulticastModel.MSDW: _msdw_full,
+    MulticastModel.MAW: _maw_full,
+}
+_ANY = {
+    MulticastModel.MSW: _msw_any,
+    MulticastModel.MSDW: _msdw_any,
+    MulticastModel.MAW: _maw_any,
+}
+
+
+def full_multicast_capacity(model: MulticastModel, n_ports: int, k: int) -> int:
+    """Number of full-multicast-assignments (every output wavelength used).
+
+    Args:
+        model: the multicast model (MSW, MSDW or MAW).
+        n_ports: the network size ``N``.
+        k: the number of wavelengths per fiber.
+    """
+    _check_dimensions(n_ports, k)
+    return _FULL[model](n_ports, k)
+
+
+def any_multicast_capacity(model: MulticastModel, n_ports: int, k: int) -> int:
+    """Number of any-multicast-assignments (output wavelengths may idle)."""
+    _check_dimensions(n_ports, k)
+    return _ANY[model](n_ports, k)
+
+
+def multicast_capacity(
+    model: MulticastModel, n_ports: int, k: int, *, full: bool
+) -> int:
+    """Dispatch to :func:`full_multicast_capacity` or :func:`any_multicast_capacity`."""
+    if full:
+        return full_multicast_capacity(model, n_ports, k)
+    return any_multicast_capacity(model, n_ports, k)
+
+
+def log10_int(value: int) -> float:
+    """``log10`` of a positive big integer, safe beyond float range."""
+    if value <= 0:
+        raise ValueError(f"log10 requires a positive integer, got {value}")
+    bits = value.bit_length()
+    if bits <= 900:  # well inside float range
+        return math.log10(value)
+    shift = bits - 60
+    return math.log10(value >> shift) + shift * math.log10(2.0)
+
+
+def log10_full_multicast_capacity(
+    model: MulticastModel, n_ports: int, k: int
+) -> float:
+    """``log10`` of the full-multicast capacity (for plotting/reporting)."""
+    return log10_int(full_multicast_capacity(model, n_ports, k))
+
+
+def log10_any_multicast_capacity(
+    model: MulticastModel, n_ports: int, k: int
+) -> float:
+    """``log10`` of the any-multicast capacity (for plotting/reporting)."""
+    return log10_int(any_multicast_capacity(model, n_ports, k))
+
+
+@dataclass(frozen=True)
+class CapacityResult:
+    """Both capacities of one network under one model, with log10 views."""
+
+    model: MulticastModel
+    n_ports: int
+    k: int
+    full: int
+    any: int
+
+    @classmethod
+    def compute(cls, model: MulticastModel, n_ports: int, k: int) -> CapacityResult:
+        """Evaluate Lemmas 1-3 for the given network."""
+        return cls(
+            model=model,
+            n_ports=n_ports,
+            k=k,
+            full=full_multicast_capacity(model, n_ports, k),
+            any=any_multicast_capacity(model, n_ports, k),
+        )
+
+    @property
+    def log10_full(self) -> float:
+        """``log10`` of the full-multicast capacity."""
+        return log10_int(self.full)
+
+    @property
+    def log10_any(self) -> float:
+        """``log10`` of the any-multicast capacity."""
+        return log10_int(self.any)

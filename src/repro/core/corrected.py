@@ -1,0 +1,182 @@
+"""Model-aware (corrected) nonblocking bounds -- a reproduction finding.
+
+The paper's Theorem 1 argues that, under the MSW-dominant construction,
+"we can simply ignore other wavelengths and consider multicast routing
+using only wavelength lambda_i", reducing the analysis to the
+electronic (k = 1) case of [14].  That reduction is airtight when the
+*network model is MSW*: destinations then live on the same wavelength,
+so an output module can terminate at most ``n - 1`` other connections
+competing for any given wavelength (its ``n`` ports each carry that
+wavelength once).
+
+For networks whose overall model is **MSDW or MAW**, however, the
+output stage can convert: a connection *sourced* on lambda_0 can be
+*delivered* on any wavelength.  Up to ``n k - 1`` other lambda_0-sourced
+connections can therefore terminate at one output module -- each
+arriving on the lambda_0 channel of a *different* middle->output fiber
+and consuming one of the module's ``n k`` endpoints.  Each of those
+saturates a distinct middle switch with respect to that module, so the
+per-element "kill capacity" in the Yang-Masson counting is ``n k - 1``,
+not ``n - 1``, and the sufficient condition becomes::
+
+    m  >  (n - 1) x  +  (n k - 1) r^{1/x}        (MSW-dominant, MSDW/MAW)
+
+The gap is real, not just analytical slack:
+:func:`repro.multistage.adversary.demonstrate_theorem1_gap` constructs
+a legal traffic state (reachable under the paper's own routing
+strategy) that blocks a legal request at the paper's Theorem-1 minimum
+for ``n=2, r=3, k=2`` under the MAW model, and this module's corrected
+minimum provably routes everything (validated by the same adversary and
+by fuzzing).
+
+Theorem 2 (MAW-dominant) needs no correction: its destination-multiset
+machinery already counts ``n k - 1`` per element and divides by the
+``k``-fold link multiplicity, giving ``floor((nk-1)/k) = n - 1`` kills
+per element for every output model.
+
+A consequence worth noting (quantified in ``bench_corrected_bounds.py``):
+for MSDW/MAW networks the MAW-dominant construction now needs *fewer*
+middle switches than the (corrected) MSW-dominant one at equal ``x`` --
+the paper's Section 3.4 preference for MSW-dominant is then a trade-off
+between middle-stage count and per-module cost rather than a uniform win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.combinatorics.integers import min_base_exceeding, power_exceeds
+from repro.core.models import Construction, MulticastModel
+from repro.core.multistage import (
+    unavailable_middle_bound,
+    valid_x_range,
+)
+
+__all__ = [
+    "CorrectedBound",
+    "destination_kill_capacity",
+    "is_nonblocking_corrected",
+    "min_middle_switches_corrected",
+]
+
+
+def destination_kill_capacity(
+    n: int, k: int, construction: Construction, model: MulticastModel
+) -> int:
+    """Max middle switches one output module can make uncoverable.
+
+    The per-element capacity ``c`` in the Yang-Masson family bound
+    ``m' <= c * r^{1/x}``:
+
+    * MSW-dominant, model MSW: ``n - 1`` (the paper's Theorem 1 case);
+    * MSW-dominant, model MSDW/MAW: ``n k - 1`` (output stage converts,
+      so all ``n k`` endpoints compete -- the corrected case);
+    * MAW-dominant, any model: ``n - 1`` (a middle->output fiber only
+      saturates when all ``k`` wavelengths are busy:
+      ``floor((nk - 1)/k) = n - 1``).
+    """
+    if n < 1 or k < 1:
+        raise ValueError(f"need n >= 1 and k >= 1, got n={n}, k={k}")
+    if construction is Construction.MAW_DOMINANT:
+        return n - 1
+    if model is MulticastModel.MSW:
+        return n - 1
+    return n * k - 1
+
+
+def _min_m_with_x(
+    n: int,
+    r: int,
+    k: int,
+    x: int,
+    construction: Construction,
+    model: MulticastModel,
+) -> int:
+    unavailable = unavailable_middle_bound(n, k, x, construction)
+    capacity = destination_kill_capacity(n, k, construction, model)
+    if capacity == 0:
+        return unavailable + 1
+    return unavailable + min_base_exceeding(r * capacity**x, x)
+
+
+def is_nonblocking_corrected(
+    m: int,
+    n: int,
+    r: int,
+    k: int,
+    construction: Construction,
+    model: MulticastModel,
+    x: int | None = None,
+) -> bool:
+    """Model-aware sufficiency check: ``m > unavailable + c * r^{1/x}``.
+
+    Coincides with the paper's Theorems 1-2 except for MSW-dominant
+    networks under MSDW/MAW with ``k > 1``, where it is strictly
+    stronger (see the module docstring).
+    """
+    if r < 1:
+        raise ValueError(f"need r >= 1, got {r}")
+    xs = [x] if x is not None else list(valid_x_range(n, r))
+    capacity = destination_kill_capacity(n, k, construction, model)
+    for xi in xs:
+        headroom = m - unavailable_middle_bound(n, k, xi, construction)
+        if headroom <= 0:
+            continue
+        if capacity == 0 or power_exceeds(headroom, xi, r * capacity**xi):
+            return True
+    return False
+
+
+def min_middle_switches_corrected(
+    n: int,
+    r: int,
+    k: int,
+    construction: Construction = Construction.MSW_DOMINANT,
+    model: MulticastModel = MulticastModel.MSW,
+    x: int | None = None,
+) -> int:
+    """Smallest ``m`` passing the model-aware bound."""
+    if r < 1:
+        raise ValueError(f"need r >= 1, got {r}")
+    xs = [x] if x is not None else list(valid_x_range(n, r))
+    return min(_min_m_with_x(n, r, k, xi, construction, model) for xi in xs)
+
+
+@dataclass(frozen=True)
+class CorrectedBound:
+    """The model-aware ``m(x)`` profile for one configuration."""
+
+    n: int
+    r: int
+    k: int
+    construction: Construction
+    model: MulticastModel
+    per_x: tuple[tuple[int, int], ...]
+    best_x: int
+    m_min: int
+
+    @classmethod
+    def compute(
+        cls,
+        n: int,
+        r: int,
+        k: int,
+        construction: Construction,
+        model: MulticastModel,
+    ) -> CorrectedBound:
+        """Evaluate the corrected bound for every legal ``x``."""
+        profile = [
+            (x, _min_m_with_x(n, r, k, x, construction, model))
+            for x in valid_x_range(n, r)
+        ]
+        best_x, m_min = min(profile, key=lambda pair: (pair[1], pair[0]))
+        return cls(
+            n=n,
+            r=r,
+            k=k,
+            construction=construction,
+            model=model,
+            per_x=tuple(profile),
+            best_x=best_x,
+            m_min=m_min,
+        )

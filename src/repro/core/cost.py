@@ -1,0 +1,95 @@
+"""Crossbar network cost -- Section 2.3 / Table 1.
+
+The paper measures hardware cost by two counts:
+
+* **crosspoints** -- SOA gates (or MEMS mirrors) in the switching fabric,
+  excluding wavelength multiplexers/demultiplexers and the passive
+  splitters/combiners;
+* **wavelength converters** -- the only other active (and expensive)
+  devices.
+
+For an ``N x N`` ``k``-wavelength crossbar-style network:
+
+=======  ===========  ==========
+model    crosspoints  converters
+=======  ===========  ==========
+MSW      ``k N**2``    0
+MSDW     ``k**2 N**2`` ``k N``
+MAW      ``k**2 N**2`` ``k N``
+=======  ===========  ==========
+
+MSW needs only ``k`` parallel single-wavelength ``N x N`` planes
+(Fig. 4); MSDW/MAW must connect any of the ``Nk`` input wavelengths to
+any of the ``Nk`` output wavelengths (Figs. 6-7), hence the extra factor
+of ``k``.  These counts are cross-validated against the component-level
+fabric constructions in :mod:`repro.fabric` (the built networks are
+walked and their gates/converters counted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.models import MulticastModel
+
+__all__ = [
+    "CrossbarCost",
+    "crossbar_converters",
+    "crossbar_cost",
+    "crossbar_crosspoints",
+]
+
+
+def _check_dimensions(n_ports: int, k: int) -> None:
+    if n_ports < 1:
+        raise ValueError(f"network size N must be >= 1, got {n_ports}")
+    if k < 1:
+        raise ValueError(f"wavelength count k must be >= 1, got {k}")
+
+
+def crossbar_crosspoints(model: MulticastModel, n_ports: int, k: int) -> int:
+    """Number of crosspoints of the crossbar construction (Section 2.3.1)."""
+    _check_dimensions(n_ports, k)
+    if model is MulticastModel.MSW:
+        return k * n_ports**2
+    return k**2 * n_ports**2
+
+
+def crossbar_converters(model: MulticastModel, n_ports: int, k: int) -> int:
+    """Number of wavelength converters required (Section 2.3.2).
+
+    MSW needs none.  MSDW places one per input wavelength (before the
+    splitter); MAW one per output wavelength (after the combiner).  Both
+    come to ``N k``.
+    """
+    _check_dimensions(n_ports, k)
+    if model is MulticastModel.MSW:
+        return 0
+    return n_ports * k
+
+
+@dataclass(frozen=True)
+class CrossbarCost:
+    """Cost summary of one crossbar network (a Table 1 row)."""
+
+    model: MulticastModel
+    n_ports: int
+    k: int
+    crosspoints: int
+    converters: int
+
+    @classmethod
+    def compute(cls, model: MulticastModel, n_ports: int, k: int) -> CrossbarCost:
+        """Evaluate Section 2.3 for the given network."""
+        return cls(
+            model=model,
+            n_ports=n_ports,
+            k=k,
+            crosspoints=crossbar_crosspoints(model, n_ports, k),
+            converters=crossbar_converters(model, n_ports, k),
+        )
+
+
+def crossbar_cost(model: MulticastModel, n_ports: int, k: int) -> CrossbarCost:
+    """Convenience wrapper for :meth:`CrossbarCost.compute`."""
+    return CrossbarCost.compute(model, n_ports, k)

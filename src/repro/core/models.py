@@ -1,0 +1,119 @@
+"""The paper's multicast models and multistage construction methods.
+
+Section 2.1 defines three ways to assign wavelengths to the endpoints of
+a multicast connection in a WDM network:
+
+* **MSW** -- Multicast with Same Wavelength: source and every destination
+  use the same wavelength.  No wavelength converters needed.  A
+  traditional electronic switch is the ``k = 1`` special case.
+* **MSDW** -- Multicast with Same Destination Wavelength: all destinations
+  share one wavelength; the source may use a different one.  One
+  converter per connection, placed before the splitter (input side).
+* **MAW** -- Multicast with Any Wavelength: every endpoint chooses its
+  wavelength independently.  One converter per splitter output
+  (output side).
+
+Model strength is a strict order: every MSW connection is legal under
+MSDW, and every MSDW connection is legal under MAW (Fig. 2).
+
+Section 3.1 defines two ways to build a three-stage network from these
+modules: **MSW-dominant** (first two stages MSW) and **MAW-dominant**
+(first two stages MAW); the last stage's model determines the model of
+the network as a whole.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Construction", "MulticastModel"]
+
+
+class MulticastModel(enum.Enum):
+    """Wavelength-assignment discipline for multicast connections."""
+
+    MSW = "MSW"
+    MSDW = "MSDW"
+    MAW = "MAW"
+
+    @property
+    def strength(self) -> int:
+        """Strict strength order: MSW (0) < MSDW (1) < MAW (2).
+
+        A connection legal under a model is legal under every stronger
+        model (Section 2.1), and multicast capacity is strictly
+        increasing in strength for ``k > 1``.
+        """
+        return _STRENGTH[self]
+
+    def is_at_least(self, other: MulticastModel) -> bool:
+        """True if this model admits every connection ``other`` admits."""
+        return self.strength >= other.strength
+
+    @property
+    def needs_converters(self) -> bool:
+        """Whether realizing the model requires wavelength converters."""
+        return self is not MulticastModel.MSW
+
+    @property
+    def converter_side(self) -> str | None:
+        """Where Section 2.3.2 places the converters: 'input', 'output'.
+
+        MSDW converts once per connection before the splitter (input
+        side); MAW converts per splitter output (output side); MSW needs
+        none.
+        """
+        if self is MulticastModel.MSW:
+            return None
+        if self is MulticastModel.MSDW:
+            return "input"
+        return "output"
+
+    def admits(self, source_wavelength: int, destination_wavelengths: list[int]) -> bool:
+        """Check the model's wavelength rule for one connection.
+
+        Args:
+            source_wavelength: wavelength index used at the source.
+            destination_wavelengths: wavelength index per destination.
+
+        Returns:
+            True iff a connection with these wavelengths is legal under
+            this model.  (Structural rules -- distinct output ports,
+            etc. -- live in :mod:`repro.switching.validity`.)
+        """
+        if not destination_wavelengths:
+            return False
+        if self is MulticastModel.MAW:
+            return True
+        first = destination_wavelengths[0]
+        all_same = all(w == first for w in destination_wavelengths)
+        if self is MulticastModel.MSDW:
+            return all_same
+        return all_same and first == source_wavelength
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_STRENGTH = {
+    MulticastModel.MSW: 0,
+    MulticastModel.MSDW: 1,
+    MulticastModel.MAW: 2,
+}
+
+
+class Construction(enum.Enum):
+    """Model used by the first two stages of a multistage network."""
+
+    MSW_DOMINANT = "MSW-dominant"
+    MAW_DOMINANT = "MAW-dominant"
+
+    @property
+    def inner_model(self) -> MulticastModel:
+        """The model the input- and middle-stage modules run under."""
+        if self is Construction.MSW_DOMINANT:
+            return MulticastModel.MSW
+        return MulticastModel.MAW
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

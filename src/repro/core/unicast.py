@@ -1,0 +1,72 @@
+"""The unicast special case: classical Clos bounds inside the WDM model.
+
+The paper treats unicast as a special case of multicast (fanout 1).
+Specializing the middle-switch counting to fanout-1 requests recovers
+the classical strict-sense Clos condition -- and, in the WDM setting,
+its model-aware generalization:
+
+* a request's input module can have made at most ``in_kills`` middle
+  switches unavailable (first-stage fiber interference);
+* its single output module can have made at most ``out_kills`` middle
+  switches unreachable (second-stage fiber interference);
+* one more middle switch always remains:  ``m >= in_kills + out_kills + 1``.
+
+For the electronic case (``k = 1``) this is Clos's 1953 bound
+``m >= 2n - 1``, which is also *necessary* -- so the exhaustive checker
+must find blocking states at ``2n - 2``, a sharp end-to-end calibration
+of the whole simulator stack (see ``bench_unicast.py``).
+
+The Theorem-1 gap shows up here too: under the MSW-dominant
+construction with the MSDW/MAW models, ``out_kills`` is ``nk - 1``
+rather than ``n - 1``, so unicast WDM switching already needs
+``m >= (n - 1) + (nk - 1) + 1`` -- wavelength conversion at the output
+stage is not free even for fanout-1 traffic.
+"""
+
+from __future__ import annotations
+
+from repro.core.corrected import destination_kill_capacity
+from repro.core.models import Construction, MulticastModel
+
+__all__ = ["clos_unicast_minimum", "is_nonblocking_unicast"]
+
+
+def clos_unicast_minimum(
+    n: int,
+    k: int = 1,
+    construction: Construction = Construction.MSW_DOMINANT,
+    model: MulticastModel = MulticastModel.MSW,
+) -> int:
+    """Smallest ``m`` that is strict-sense nonblocking for unicast traffic.
+
+    ``m = in_kills + out_kills + 1`` with the per-side interference
+    capacities of the WDM analysis; equals the classical ``2n - 1`` for
+    ``k = 1`` (any model) and for the MSW model at any ``k``.
+
+    Args:
+        n: ports per input/output module.
+        k: wavelengths per fiber.
+        construction: first-two-stage module model.
+        model: the network's multicast model (output stage).
+    """
+    if n < 1 or k < 1:
+        raise ValueError(f"need n >= 1 and k >= 1, got n={n}, k={k}")
+    if construction is Construction.MSW_DOMINANT:
+        in_kills = n - 1
+    else:
+        # One middle per unicast connection (x = 1 effectively); a fiber
+        # saturates only when all k wavelengths are busy.
+        in_kills = (n * k - 1) // k  # = n - 1
+    out_kills = destination_kill_capacity(n, k, construction, model)
+    return in_kills + out_kills + 1
+
+
+def is_nonblocking_unicast(
+    m: int,
+    n: int,
+    k: int = 1,
+    construction: Construction = Construction.MSW_DOMINANT,
+    model: MulticastModel = MulticastModel.MSW,
+) -> bool:
+    """Whether ``m`` middle switches suffice for unicast-only traffic."""
+    return m >= clos_unicast_minimum(n, k, construction, model)

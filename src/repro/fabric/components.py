@@ -1,0 +1,261 @@
+"""Optical components of a WDM switching fabric.
+
+Section 2 of the paper builds its crossbars from exactly these parts:
+
+* **splitters** -- passive glass; copy the light on one fiber to several;
+* **combiners** -- passive; merge several fibers into one, *legal only
+  when at most one input carries light at a time* (this is what
+  distinguishes them from multiplexers, and the constraint whose
+  violation would mean a switching conflict);
+* **SOA gates** -- the active crosspoints: on = pass, off = block;
+* **wavelength converters** -- the expensive active parts; move a signal
+  to a different carrier;
+* **multiplexers / demultiplexers** -- combine/separate the ``k``
+  wavelength channels of one fiber (not counted as crosspoints).
+
+Every component is a small transfer function from per-input-port signal
+lists to per-output-port signal lists.  Components raise on physically
+meaningless situations (two signals on one carrier in a mux, two active
+combiner inputs, ...) so the fabric tests detect conflicts instead of
+silently merging light.
+"""
+
+from __future__ import annotations
+
+from repro.fabric.signal import OpticalSignal
+
+__all__ = [
+    "Combiner",
+    "CombinerConflictError",
+    "Component",
+    "Demux",
+    "FabricError",
+    "InputTerminal",
+    "Mux",
+    "MuxConflictError",
+    "OutputTerminal",
+    "SOAGate",
+    "Splitter",
+    "WavelengthConverter",
+]
+
+Signals = list[OpticalSignal]
+
+
+class FabricError(RuntimeError):
+    """A physically impossible situation inside the fabric."""
+
+
+class CombinerConflictError(FabricError):
+    """Two combiner inputs carried light simultaneously."""
+
+
+class MuxConflictError(FabricError):
+    """Two signals on the same wavelength entered one multiplexer."""
+
+
+class Component:
+    """Base class: a named box with numbered input and output ports."""
+
+    #: set by subclasses; used for census/cost accounting
+    kind: str = "component"
+
+    def __init__(self, name: str, n_inputs: int, n_outputs: int):
+        if n_inputs < 0 or n_outputs < 0:
+            raise ValueError("port counts must be >= 0")
+        self.name = name
+        self.n_inputs = n_inputs
+        self.n_outputs = n_outputs
+
+    def transfer(self, inputs: list[Signals]) -> list[Signals]:
+        """Map per-input-port signals to per-output-port signals."""
+        raise NotImplementedError
+
+    def _expect_ports(self, inputs: list[Signals]) -> None:
+        if len(inputs) != self.n_inputs:
+            raise FabricError(
+                f"{self.name}: got {len(inputs)} input bundles, "
+                f"expected {self.n_inputs}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class InputTerminal(Component):
+    """Network entry point: one output fiber, signals injected externally."""
+
+    kind = "input_terminal"
+
+    def __init__(self, name: str):
+        super().__init__(name, n_inputs=0, n_outputs=1)
+        self.injected: Signals = []
+
+    def inject(self, signals: Signals) -> None:
+        """Set the signals this terminal transmits on the next propagation."""
+        self.injected = list(signals)
+
+    def clear(self) -> None:
+        """Remove injected signals."""
+        self.injected = []
+
+    def transfer(self, inputs: list[Signals]) -> list[Signals]:
+        self._expect_ports(inputs)
+        return [list(self.injected)]
+
+
+class OutputTerminal(Component):
+    """Network exit point: absorbs and records whatever arrives."""
+
+    kind = "output_terminal"
+
+    def __init__(self, name: str):
+        super().__init__(name, n_inputs=1, n_outputs=0)
+        self.received: Signals = []
+
+    def transfer(self, inputs: list[Signals]) -> list[Signals]:
+        self._expect_ports(inputs)
+        self.received = list(inputs[0])
+        return []
+
+
+class Splitter(Component):
+    """Passive 1-to-``fanout`` light splitter: copies input to every output."""
+
+    kind = "splitter"
+
+    def __init__(self, name: str, fanout: int):
+        if fanout < 1:
+            raise ValueError(f"splitter fanout must be >= 1, got {fanout}")
+        super().__init__(name, n_inputs=1, n_outputs=fanout)
+
+    def transfer(self, inputs: list[Signals]) -> list[Signals]:
+        self._expect_ports(inputs)
+        return [list(inputs[0]) for _ in range(self.n_outputs)]
+
+
+class Combiner(Component):
+    """Passive ``fanin``-to-1 combiner.
+
+    Per the paper: unlike a multiplexer, only one input may carry a
+    signal at any given time (on any wavelength).  Violations raise
+    :class:`CombinerConflictError` -- a real switching conflict.
+    """
+
+    kind = "combiner"
+
+    def __init__(self, name: str, fanin: int):
+        if fanin < 1:
+            raise ValueError(f"combiner fanin must be >= 1, got {fanin}")
+        super().__init__(name, n_inputs=fanin, n_outputs=1)
+
+    def transfer(self, inputs: list[Signals]) -> list[Signals]:
+        self._expect_ports(inputs)
+        active = [bundle for bundle in inputs if bundle]
+        if len(active) > 1:
+            raise CombinerConflictError(
+                f"{self.name}: {len(active)} inputs active simultaneously"
+            )
+        return [list(active[0]) if active else []]
+
+
+class SOAGate(Component):
+    """Semiconductor-optical-amplifier gate: the crosspoint.
+
+    ``enabled = True`` passes light through; ``False`` blocks it.  The
+    number of these in a fabric is the paper's crosspoint count.
+    """
+
+    kind = "soa_gate"
+
+    def __init__(self, name: str, enabled: bool = False):
+        super().__init__(name, n_inputs=1, n_outputs=1)
+        self.enabled = enabled
+
+    def transfer(self, inputs: list[Signals]) -> list[Signals]:
+        self._expect_ports(inputs)
+        return [list(inputs[0]) if self.enabled else []]
+
+
+class WavelengthConverter(Component):
+    """All-optical wavelength converter.
+
+    When ``target_wavelength`` is None the converter is transparent
+    (pass-through); otherwise every signal leaves on the target carrier.
+    A converter handles one channel, so at most one signal may be
+    present at a time.
+    """
+
+    kind = "wavelength_converter"
+
+    def __init__(self, name: str, target_wavelength: int | None = None):
+        super().__init__(name, n_inputs=1, n_outputs=1)
+        self.target_wavelength = target_wavelength
+
+    def transfer(self, inputs: list[Signals]) -> list[Signals]:
+        self._expect_ports(inputs)
+        signals = inputs[0]
+        if len(signals) > 1:
+            raise FabricError(
+                f"{self.name}: converter saw {len(signals)} simultaneous signals"
+            )
+        if self.target_wavelength is None:
+            return [list(signals)]
+        return [[signal.converted_to(self.target_wavelength) for signal in signals]]
+
+
+class Demux(Component):
+    """Wavelength demultiplexer: splits a ``k``-wavelength fiber by carrier.
+
+    A signal on wavelength ``w`` leaves on output port ``w``.  Signals
+    with carriers outside ``[0, k)`` are a wiring bug and raise.
+    """
+
+    kind = "demux"
+
+    def __init__(self, name: str, k: int):
+        if k < 1:
+            raise ValueError(f"demux needs k >= 1 wavelengths, got {k}")
+        super().__init__(name, n_inputs=1, n_outputs=k)
+
+    def transfer(self, inputs: list[Signals]) -> list[Signals]:
+        self._expect_ports(inputs)
+        outputs: list[Signals] = [[] for _ in range(self.n_outputs)]
+        for signal in inputs[0]:
+            if not 0 <= signal.wavelength < self.n_outputs:
+                raise FabricError(
+                    f"{self.name}: signal carrier {signal.wavelength} outside "
+                    f"[0, {self.n_outputs})"
+                )
+            outputs[signal.wavelength].append(signal)
+        return outputs
+
+
+class Mux(Component):
+    """Wavelength multiplexer: merges ``k`` carriers onto one fiber.
+
+    Unlike a combiner, several inputs may be active simultaneously --
+    but two signals on the *same* carrier would interfere and raise
+    :class:`MuxConflictError`.
+    """
+
+    kind = "mux"
+
+    def __init__(self, name: str, k: int):
+        if k < 1:
+            raise ValueError(f"mux needs k >= 1 wavelengths, got {k}")
+        super().__init__(name, n_inputs=k, n_outputs=1)
+
+    def transfer(self, inputs: list[Signals]) -> list[Signals]:
+        self._expect_ports(inputs)
+        merged: Signals = []
+        seen_carriers: set[int] = set()
+        for bundle in inputs:
+            for signal in bundle:
+                if signal.wavelength in seen_carriers:
+                    raise MuxConflictError(
+                        f"{self.name}: two signals on carrier {signal.wavelength}"
+                    )
+                seen_carriers.add(signal.wavelength)
+                merged.append(signal)
+        return [merged]

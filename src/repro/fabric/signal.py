@@ -1,0 +1,67 @@
+"""Optical signals flowing through a fabric.
+
+A signal remembers where it entered the network (``source_port``,
+``source_wavelength``) so the delivery checks can verify not just *that*
+light arrives at an output endpoint but that it is the *right* light.
+The ``wavelength`` field is the signal's current carrier and changes
+only at a :class:`repro.fabric.components.WavelengthConverter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["OpticalSignal"]
+
+
+@dataclass(frozen=True)
+class OpticalSignal:
+    """A lightwave on one carrier wavelength.
+
+    Attributes:
+        source_port: input port where the signal entered the network.
+        source_wavelength: wavelength of the transmitter that produced it.
+        wavelength: current carrier wavelength (changes at converters).
+        payload: opaque label for debugging/tracing (defaults to a
+            ``"port/wavelength"`` tag).
+    """
+
+    source_port: int
+    source_wavelength: int
+    wavelength: int
+    payload: str = ""
+
+    def __post_init__(self) -> None:
+        if self.source_port < 0:
+            raise ValueError(f"source_port must be >= 0, got {self.source_port}")
+        if self.source_wavelength < 0:
+            raise ValueError(
+                f"source_wavelength must be >= 0, got {self.source_wavelength}"
+            )
+        if self.wavelength < 0:
+            raise ValueError(f"wavelength must be >= 0, got {self.wavelength}")
+        if not self.payload:
+            object.__setattr__(
+                self, "payload", f"s{self.source_port}w{self.source_wavelength}"
+            )
+
+    @classmethod
+    def transmit(cls, port: int, wavelength: int, payload: str = "") -> OpticalSignal:
+        """A fresh signal leaving transmitter ``wavelength`` of ``port``."""
+        return cls(
+            source_port=port,
+            source_wavelength=wavelength,
+            wavelength=wavelength,
+            payload=payload,
+        )
+
+    def converted_to(self, wavelength: int) -> OpticalSignal:
+        """The same signal on a new carrier (what a converter emits)."""
+        return replace(self, wavelength=wavelength)
+
+    def same_origin(self, other: OpticalSignal) -> bool:
+        """True if both signals carry the same source's data."""
+        return (
+            self.source_port == other.source_port
+            and self.source_wavelength == other.source_wavelength
+        )

@@ -1,0 +1,350 @@
+"""Exhaustive reachability analysis: the *exact* minimal nonblocking m.
+
+Theorems 1-2 (and the corrected bounds) are sufficient conditions; the
+paper cites [16] for matching necessary values "under several commonly
+used routing strategies".  For tiny networks we can settle the question
+outright by model checking:
+
+* A network is **strictly nonblocking** (for the <= x routing strategy,
+  against an adversary who may also choose how earlier connections were
+  routed) iff *no reachable state* admits a legal request with no
+  <= x-middle cover.
+
+* Reachable states are exactly the resource-disjoint sets of routed
+  connections: given any such set, connecting its members one by one
+  (any order) with their final routes is always feasible, because the
+  resources each route needs are held by nobody else.  So reachability
+  reduces to enumerating consistent routed configurations -- no
+  sequence search is needed.
+
+:func:`is_blockable` performs a depth-first enumeration of routed
+configurations (deduplicated by resource signature) and reports the
+first blocking witness; :func:`exact_minimal_m` binary-scans ``m`` to
+find the true threshold, which the benchmarks compare against the
+sufficient bounds.  Exponential, of course -- intended for ``N k <= 8``
+and small ``m``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, product
+
+from repro.core.models import Construction, MulticastModel
+from repro.multistage.network import ThreeStageNetwork
+from repro.multistage.routing import find_cover
+from repro.switching.requests import Endpoint, MulticastConnection
+
+__all__ = ["BlockableResult", "ExactMinimal", "exact_minimal_m", "is_blockable"]
+
+
+@dataclass(frozen=True)
+class BlockableResult:
+    """Outcome of one blockability check.
+
+    ``blockable`` is None when the state budget ran out before the
+    search completed (the answer is then unknown).
+    """
+
+    n: int
+    r: int
+    m: int
+    k: int
+    construction: Construction
+    model: MulticastModel
+    x: int
+    blockable: bool | None
+    states_explored: int
+    witness_state: tuple[MulticastConnection, ...] | None = None
+    witness_request: MulticastConnection | None = None
+    #: the adversarial route of each witness connection:
+    #: one ``(middle, (modules...))`` tuple set per connection
+    witness_routes: tuple[tuple[tuple[int, tuple[int, ...]], ...], ...] | None = None
+
+    def replay(self) -> ThreeStageNetwork:
+        """Re-enact a blocking witness (exact adversarial routes included).
+
+        Returns the network in the blocking state; raises AssertionError
+        if the witness no longer blocks.
+        """
+        if not self.blockable:
+            raise ValueError("no witness to replay")
+        assert self.witness_state is not None and self.witness_routes is not None
+        net = ThreeStageNetwork(
+            self.n, self.r, self.m, self.k,
+            construction=self.construction, model=self.model, x=self.x,
+        )
+        for connection, route in zip(self.witness_state, self.witness_routes):
+            net.connect(
+                connection,
+                force_middles={j: list(ps) for j, ps in route},
+            )
+        assert self.witness_request is not None
+        if net.try_connect(self.witness_request) is not None:
+            raise AssertionError("witness no longer blocks")
+        return net
+
+
+@dataclass(frozen=True)
+class ExactMinimal:
+    """The exact minimal nonblocking ``m`` for a tiny configuration."""
+
+    n: int
+    r: int
+    k: int
+    construction: Construction
+    model: MulticastModel
+    x: int
+    m_exact: int | None  # None if the scan was inconclusive (budget)
+    per_m: tuple[BlockableResult, ...]
+
+
+def _legal_requests(
+    net: ThreeStageNetwork,
+    *,
+    unicast_only: bool = False,
+) -> list[MulticastConnection]:
+    """Every legal request in the network's current state, largest fanout
+    first (supersets block at least as easily, so big ones find
+    witnesses sooner).  With ``unicast_only``, only fanout-1 requests
+    (the classical Clos setting)."""
+    topo = net.topology
+    n_ports, k = topo.n_ports, topo.k
+    free_inputs = [
+        Endpoint(p, w)
+        for p in range(n_ports)
+        for w in range(k)
+        if not net._input_used[p, w]
+    ]
+    free_outputs = [
+        Endpoint(p, w)
+        for p in range(n_ports)
+        for w in range(k)
+        if not net._output_used[p, w]
+    ]
+    requests: list[MulticastConnection] = []
+    for source in free_inputs:
+        if net.model is MulticastModel.MSW:
+            wavelength_choices = [[source.wavelength]]
+        elif net.model is MulticastModel.MSDW:
+            wavelength_choices = [[w] for w in range(k)]
+        else:
+            wavelength_choices = [list(range(k))]
+        for allowed in wavelength_choices:
+            per_port: dict[int, list[Endpoint]] = {}
+            for endpoint in free_outputs:
+                if endpoint.wavelength in allowed:
+                    per_port.setdefault(endpoint.port, []).append(endpoint)
+            ports = sorted(per_port)
+            max_size = 1 if unicast_only else len(ports)
+            for size in range(max_size, 0, -1):
+                for chosen_ports in combinations(ports, size):
+                    for picks in product(
+                        *(per_port[port] for port in chosen_ports)
+                    ):
+                        requests.append(MulticastConnection(source, picks))
+    requests.sort(key=lambda c: -c.fanout)
+    return requests
+
+
+def _all_covers(
+    net: ThreeStageNetwork, request: MulticastConnection
+) -> list[dict[int, list[int]]]:
+    """Every distinct <= x-middle split the adversary could have used."""
+    g = net.topology.input_module_of(request.source.port)
+    module_destinations = net._module_destinations(request)
+    destinations = sorted(module_destinations)
+    required = net._required_out_wavelength(module_destinations)
+    coverable = net._coverable_sets(
+        g, request.source.wavelength, frozenset(destinations), required
+    )
+    options = []
+    for p in destinations:
+        admissible = [j for j, reach in coverable.items() if p in reach]
+        if not admissible:
+            return []
+        options.append(admissible)
+    covers: set[tuple[tuple[int, tuple[int, ...]], ...]] = set()
+    results = []
+    for assignment in product(*options):
+        groups: dict[int, list[int]] = {}
+        for p, j in zip(destinations, assignment):
+            groups.setdefault(j, []).append(p)
+        if len(groups) > net.x:
+            continue
+        key = tuple(sorted((j, tuple(ps)) for j, ps in groups.items()))
+        if key in covers:
+            continue
+        covers.add(key)
+        results.append(groups)
+    return results
+
+
+def _signature(net: ThreeStageNetwork) -> bytes:
+    return (
+        net._in_mid.tobytes()
+        + net._mid_out.tobytes()
+        + net._input_used.tobytes()
+        + net._output_used.tobytes()
+    )
+
+
+def is_blockable(
+    n: int,
+    r: int,
+    m: int,
+    k: int,
+    *,
+    construction: Construction = Construction.MSW_DOMINANT,
+    model: MulticastModel = MulticastModel.MSW,
+    x: int = 1,
+    state_budget: int = 100_000,
+    unicast_only: bool = False,
+) -> BlockableResult:
+    """Decide by exhaustive search whether any reachable state blocks.
+
+    Args:
+        n, r, m, k: topology under test (keep ``N k <= 8``!).
+        construction, model, x: network configuration.
+        state_budget: abort (result ``blockable=None``) after exploring
+            this many distinct states.
+        unicast_only: restrict both the adversary's connections and the
+            probed requests to fanout 1 (the classical Clos setting).
+
+    Returns:
+        The decision, with a witness when blockable.
+    """
+    net = ThreeStageNetwork(
+        n, r, m, k, construction=construction, model=model, x=x
+    )
+    seen: set[bytes] = set()
+    explored = 0
+    Route = tuple[tuple[int, tuple[int, ...]], ...]
+    live: list[tuple[int, MulticastConnection, Route]] = []
+
+    def blocked_request() -> MulticastConnection | None:
+        for request in _legal_requests(net, unicast_only=unicast_only):
+            g = net.topology.input_module_of(request.source.port)
+            module_destinations = net._module_destinations(request)
+            destinations = frozenset(module_destinations)
+            required = net._required_out_wavelength(module_destinations)
+            coverable = net._coverable_sets(
+                g, request.source.wavelength, destinations, required
+            )
+            if find_cover(destinations, coverable, net.x) is None:
+                return request
+        return None
+
+    def dfs() -> (
+        tuple[
+            tuple[MulticastConnection, ...],
+            tuple[Route, ...],
+            MulticastConnection,
+        ]
+        | None
+    ):
+        nonlocal explored
+        signature = _signature(net)
+        if signature in seen:
+            return None
+        seen.add(signature)
+        explored += 1
+        if explored > state_budget:
+            raise _BudgetExceeded
+        victim = blocked_request()
+        if victim is not None:
+            return (
+                tuple(connection for _, connection, _ in live),
+                tuple(route for _, _, route in live),
+                victim,
+            )
+        # Expand small-fanout requests first: blocking states are built
+        # from unicast "blockers", so this ordering finds witnesses far
+        # sooner (the full space is still explored when none exists).
+        expansion = _legal_requests(net, unicast_only=unicast_only)
+        for request in sorted(expansion, key=lambda c: c.fanout):
+            for cover in _all_covers(net, request):
+                cid = net.connect(request, force_middles=cover)
+                route: Route = tuple(
+                    sorted((j, tuple(ps)) for j, ps in cover.items())
+                )
+                live.append((cid, request, route))
+                result = dfs()
+                live.pop()
+                net.disconnect(cid)
+                if result is not None:
+                    return result
+        return None
+
+    try:
+        witness = dfs()
+    except _BudgetExceeded:
+        return BlockableResult(
+            n=n, r=r, m=m, k=k,
+            construction=construction, model=model, x=x,
+            blockable=None, states_explored=explored,
+        )
+    if witness is None:
+        return BlockableResult(
+            n=n, r=r, m=m, k=k,
+            construction=construction, model=model, x=x,
+            blockable=False, states_explored=explored,
+        )
+    state, routes, request = witness
+    return BlockableResult(
+        n=n, r=r, m=m, k=k,
+        construction=construction, model=model, x=x,
+        blockable=True, states_explored=explored,
+        witness_state=state, witness_request=request,
+        witness_routes=routes,
+    )
+
+
+class _BudgetExceeded(Exception):
+    pass
+
+
+def exact_minimal_m(
+    n: int,
+    r: int,
+    k: int,
+    *,
+    construction: Construction = Construction.MSW_DOMINANT,
+    model: MulticastModel = MulticastModel.MSW,
+    x: int = 1,
+    m_max: int | None = None,
+    state_budget: int = 100_000,
+    unicast_only: bool = False,
+) -> ExactMinimal:
+    """Scan ``m`` upward for the true nonblocking threshold.
+
+    Returns the smallest ``m`` whose reachable-state space contains no
+    blocking state (``m_exact``), along with the per-``m`` results.  If
+    any check hits the budget before a nonblocking ``m`` is found, the
+    scan is inconclusive and ``m_exact`` is None.
+    """
+    if m_max is None:
+        from repro.core.corrected import min_middle_switches_corrected
+
+        m_max = min_middle_switches_corrected(n, r, k, construction, model, x=x)
+    results = []
+    for m in range(1, m_max + 1):
+        result = is_blockable(
+            n, r, m, k,
+            construction=construction, model=model, x=x,
+            state_budget=state_budget, unicast_only=unicast_only,
+        )
+        results.append(result)
+        if result.blockable is False:
+            return ExactMinimal(
+                n=n, r=r, k=k,
+                construction=construction, model=model, x=x,
+                m_exact=m, per_m=tuple(results),
+            )
+        if result.blockable is None:
+            break
+    return ExactMinimal(
+        n=n, r=r, k=k,
+        construction=construction, model=model, x=x,
+        m_exact=None, per_m=tuple(results),
+    )

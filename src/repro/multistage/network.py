@@ -1,0 +1,662 @@
+"""Discrete-event simulator of a three-stage WDM multicast network.
+
+State model
+-----------
+
+The simulator tracks exactly the resources the paper's proofs count:
+
+* ``in_mid[g, j, w]``  -- wavelength ``w`` busy on the fiber from input
+  module ``g`` to middle module ``j``;
+* ``mid_out[j, p, w]`` -- wavelength ``w`` busy on the fiber from middle
+  module ``j`` to output module ``p``;
+* per-endpoint usage of the network's external input/output wavelength
+  channels.
+
+Modules themselves are multicast-capable nonblocking crossbars (the
+paper's assumption), so module-internal routing never blocks; all
+contention lives on the inter-stage fibers.
+
+Wavelength discipline
+---------------------
+
+* **MSW-dominant construction**: a connection sourced on wavelength
+  ``lambda`` uses ``lambda`` on every first- and second-stage fiber it
+  crosses (the input and middle modules are MSW and cannot convert).
+  The output module then delivers per the network model (converting if
+  the network model is MSDW/MAW).
+* **MAW-dominant construction**: first- and second-stage fibers may use
+  any free wavelength (the MAW modules convert at will).  If the
+  network model is MSW, the fiber into each output module must carry
+  the destinations' wavelength, because the MSW output module cannot
+  convert -- exactly the distinction Fig. 10 illustrates.
+
+Routing uses the x-middle-switch strategy via
+:func:`repro.multistage.routing.find_cover`; a request raises
+:class:`BlockedError` only when *no* set of at most ``x`` available
+middle switches can reach all requested output modules, so a network
+sized by Theorem 1/2 must never raise under legal traffic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.combinatorics.multiset import DestinationMultiset
+from repro.core.models import Construction, MulticastModel
+from repro.core.multistage import is_nonblocking, valid_x_range
+from repro.multistage.routing import CoverSearch, find_cover
+from repro.multistage.topology import ThreeStageTopology
+from repro.switching.requests import Endpoint, MulticastConnection
+from repro.switching.validity import ValidityError, check_connection
+
+__all__ = ["BlockedError", "RoutedBranch", "RoutedConnection", "ThreeStageNetwork"]
+
+
+class BlockedError(RuntimeError):
+    """No admissible set of middle switches can realize the request."""
+
+
+@dataclass(frozen=True)
+class RoutedBranch:
+    """One middle switch's share of a routed connection.
+
+    Attributes:
+        middle: index of the middle module.
+        in_wavelength: wavelength used on the input-module -> middle fiber.
+        deliveries: ``(output_module, wavelength)`` per covered module,
+            the wavelength being the one on the middle -> output fiber.
+    """
+
+    middle: int
+    in_wavelength: int
+    deliveries: tuple[tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class RoutedConnection:
+    """A live connection: the request plus the resources it holds."""
+
+    connection_id: int
+    request: MulticastConnection
+    input_module: int
+    branches: tuple[RoutedBranch, ...]
+
+    @property
+    def middles_used(self) -> tuple[int, ...]:
+        """Indices of the middle switches carrying this connection."""
+        return tuple(branch.middle for branch in self.branches)
+
+
+class ThreeStageNetwork:
+    """A ``v(n, r, m, k)`` WDM multicast network with live routing state."""
+
+    #: middle-switch selection strategies for :meth:`connect`
+    SELECTIONS = ("greedy", "first_fit", "least_loaded", "most_loaded", "random")
+    #: wavelength-assignment policies for MAW-dominant internal fibers
+    WAVELENGTH_POLICIES = ("first_fit", "most_used", "least_used", "random")
+
+    def __init__(
+        self,
+        n: int,
+        r: int,
+        m: int,
+        k: int,
+        *,
+        construction: Construction = Construction.MSW_DOMINANT,
+        model: MulticastModel = MulticastModel.MSW,
+        x: int | None = None,
+        selection: str = "greedy",
+        selection_seed: int = 0,
+        wavelength_policy: str = "first_fit",
+    ):
+        """Build an idle network.
+
+        Args:
+            n, r, m, k: topology parameters (Fig. 8).
+            construction: MSW-dominant or MAW-dominant (Section 3.1).
+            model: the network's multicast model; the output stage runs
+                under this model.
+            x: routing parameter -- max middle switches per connection.
+                Defaults to the largest legal value ``min(n-1, r)`` (the
+                most permissive routing; pass the theorem's optimal x to
+                study the bounds).
+            selection: preference order among admissible middle switches:
+                ``greedy``/``first_fit`` (ascending index),
+                ``least_loaded`` (spread load), ``most_loaded`` (pack
+                load -- the classic strict-sense heuristic), or
+                ``random``.  All strategies stay within the <=x routing
+                strategy; the theorems' guarantees are
+                strategy-independent, and the Monte-Carlo benchmarks
+                measure how the strategies differ *below* the bound.
+            selection_seed: RNG seed for the ``random`` strategy.
+            wavelength_policy: how the MAW-dominant construction picks a
+                carrier on an internal fiber when the model leaves it
+                free: ``first_fit`` (lowest index, the classic RWA
+                default), ``most_used`` (pack onto globally busy
+                wavelengths), ``least_used`` (spread), or ``random``
+                (seeded by ``selection_seed``).  Ignored by the
+                MSW-dominant construction, whose carriers are pinned.
+        """
+        self.topology = ThreeStageTopology(n, r, m, k)
+        self.construction = construction
+        self.model = model
+        legal_x = valid_x_range(n, r)
+        self.x = legal_x[-1] if x is None else x
+        if self.x not in legal_x:
+            raise ValueError(
+                f"x={self.x} outside the legal range "
+                f"[{legal_x[0]}, {legal_x[-1]}] for n={n}, r={r}"
+            )
+        if selection not in self.SELECTIONS:
+            raise ValueError(
+                f"unknown selection strategy {selection!r}; "
+                f"choose from {self.SELECTIONS}"
+            )
+        self.selection = selection
+        if wavelength_policy not in self.WAVELENGTH_POLICIES:
+            raise ValueError(
+                f"unknown wavelength policy {wavelength_policy!r}; "
+                f"choose from {self.WAVELENGTH_POLICIES}"
+            )
+        self.wavelength_policy = wavelength_policy
+        import random as _random
+
+        self._selection_rng = _random.Random(selection_seed)
+        self._in_mid = np.zeros((r, m, k), dtype=bool)
+        self._mid_out = np.zeros((m, r, k), dtype=bool)
+        self._input_used = np.zeros((self.topology.n_ports, k), dtype=bool)
+        self._output_used = np.zeros((self.topology.n_ports, k), dtype=bool)
+        self._active: dict[int, RoutedConnection] = {}
+        self._failed_middles: set[int] = set()
+        self._next_id = 0
+        self.setups = 0
+        self.teardowns = 0
+        self.blocks = 0
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def active_connections(self) -> dict[int, RoutedConnection]:
+        """Live connections by id (a copy)."""
+        return dict(self._active)
+
+    def is_provably_nonblocking(self, *, corrected: bool = True) -> bool:
+        """Does this network's ``m`` meet the sufficient bound at this ``x``?
+
+        Args:
+            corrected: if True (default), use the model-aware bound of
+                :mod:`repro.core.corrected` -- for MSW-dominant networks
+                under MSDW/MAW models this is strictly stronger than the
+                paper's Theorem 1, whose reduction misses the k-fold
+                output-side interference (see that module's docstring and
+                :func:`repro.multistage.adversary.demonstrate_theorem1_gap`).
+                With ``corrected=False``, check the paper's theorem as
+                printed.
+        """
+        if corrected:
+            from repro.core.corrected import is_nonblocking_corrected
+
+            return is_nonblocking_corrected(
+                self.topology.m,
+                self.topology.n,
+                self.topology.r,
+                self.topology.k,
+                self.construction,
+                self.model,
+                self.x,
+            )
+        return is_nonblocking(
+            self.topology.m,
+            self.topology.n,
+            self.topology.r,
+            self.topology.k,
+            self.construction,
+            self.x,
+        )
+
+    def destination_multiset(self, middle: int) -> DestinationMultiset:
+        """The paper's ``M_j`` for middle switch ``middle`` (eq. (2)).
+
+        Multiplicity of output module ``p`` = busy wavelengths on the
+        fiber ``middle -> p``.
+        """
+        counts = self._mid_out[middle].sum(axis=1)
+        return DestinationMultiset(
+            (int(c) for c in counts), self.topology.k
+        )
+
+    def destination_set(self, middle: int, wavelength: int) -> frozenset[int]:
+        """MSW-dominant per-wavelength destination set of a middle switch."""
+        busy = self._mid_out[middle, :, wavelength]
+        return frozenset(int(p) for p in np.nonzero(busy)[0])
+
+    def conversions_of(self, connection_id: int) -> int:
+        """Wavelength conversions a live connection undergoes end to end.
+
+        Counts carrier changes at the input module (source wavelength to
+        first-stage fiber), the middle modules (first- to second-stage
+        fiber) and the output modules (second-stage fiber to destination
+        endpoints).  Under the MSW-dominant construction with the MSW
+        model this is always zero; the MAW-dominant construction and the
+        stronger models spend converters for their flexibility -- the
+        trade-off Section 2.3.2 prices.
+        """
+        routed = self._active[connection_id]
+        source_wavelength = routed.request.source.wavelength
+        by_module: dict[int, list[int]] = defaultdict(list)
+        for destination in routed.request.destinations:
+            by_module[self.topology.output_module_of(destination.port)].append(
+                destination.wavelength
+            )
+        conversions = 0
+        for branch in routed.branches:
+            if branch.in_wavelength != source_wavelength:
+                conversions += 1
+            for p, out_wavelength in branch.deliveries:
+                if out_wavelength != branch.in_wavelength:
+                    conversions += 1
+                conversions += sum(
+                    1 for v in by_module[p] if v != out_wavelength
+                )
+        return conversions
+
+    def total_conversions(self) -> int:
+        """Sum of :meth:`conversions_of` over all live connections."""
+        return sum(self.conversions_of(cid) for cid in self._active)
+
+    def link_utilization(self) -> dict[str, float]:
+        """Fraction of busy wavelength channels per inter-stage gap."""
+        return {
+            "input_to_middle": float(self._in_mid.mean()),
+            "middle_to_output": float(self._mid_out.mean()),
+        }
+
+    def available_middles(self, source: Endpoint) -> list[int]:
+        """Middle switches reachable from ``source``'s input module now."""
+        g = self.topology.input_module_of(source.port)
+        if self.construction is Construction.MSW_DOMINANT:
+            free = ~self._in_mid[g, :, source.wavelength]
+        else:
+            free = ~self._in_mid[g].all(axis=1)
+        return [
+            int(j)
+            for j in np.nonzero(free)[0]
+            if int(j) not in self._failed_middles
+        ]
+
+    # -- request admission --------------------------------------------------
+
+    def _validate_request(self, request: MulticastConnection) -> None:
+        try:
+            check_connection(
+                request, self.model, self.topology.n_ports, self.topology.k
+            )
+        except ValidityError as exc:
+            raise ValidityError(f"illegal request: {exc}") from exc
+        source = request.source
+        if self._input_used[source.port, source.wavelength]:
+            raise ValidityError(f"input endpoint {source} already in use")
+        for destination in request.destinations:
+            if self._output_used[destination.port, destination.wavelength]:
+                raise ValidityError(
+                    f"output endpoint {destination} already in use"
+                )
+
+    def _module_destinations(
+        self, request: MulticastConnection
+    ) -> dict[int, list[Endpoint]]:
+        by_module: dict[int, list[Endpoint]] = defaultdict(list)
+        for destination in request.destinations:
+            by_module[self.topology.output_module_of(destination.port)].append(
+                destination
+            )
+        return dict(by_module)
+
+    def _required_out_wavelength(
+        self, module_destinations: dict[int, list[Endpoint]]
+    ) -> dict[int, int | None]:
+        """Wavelength each middle->output fiber must carry (None = any free).
+
+        Pinned only when the output modules cannot convert, i.e. when
+        the network model is MSW (output stage is MSW): the fiber must
+        carry the destinations' wavelength.
+        """
+        required: dict[int, int | None] = {}
+        for module, destinations in module_destinations.items():
+            if self.model is MulticastModel.MSW:
+                required[module] = destinations[0].wavelength
+            else:
+                required[module] = None
+        return required
+
+    # -- routing -----------------------------------------------------------
+
+    def _coverable_sets(
+        self,
+        input_module: int,
+        source_wavelength: int,
+        destinations: frozenset[int],
+        required: dict[int, int | None],
+    ) -> dict[int, frozenset[int]]:
+        """For each available middle switch, the destination modules it can reach."""
+        m = self.topology.m
+        coverable: dict[int, frozenset[int]] = {}
+        msw_dominant = self.construction is Construction.MSW_DOMINANT
+        for j in range(m):
+            if j in self._failed_middles:
+                continue
+            # First-stage fiber availability.
+            if msw_dominant:
+                if self._in_mid[input_module, j, source_wavelength]:
+                    continue
+            else:
+                if self._in_mid[input_module, j].all():
+                    continue
+            reach = set()
+            for p in destinations:
+                if msw_dominant:
+                    # Middle module is MSW: the second-stage fiber carries
+                    # the source wavelength, full stop.
+                    if not self._mid_out[j, p, source_wavelength]:
+                        reach.add(p)
+                else:
+                    pinned = required[p]
+                    if pinned is not None:
+                        if not self._mid_out[j, p, pinned]:
+                            reach.add(p)
+                    elif not self._mid_out[j, p].all():
+                        reach.add(p)
+            if reach:
+                coverable[j] = frozenset(reach)
+        return coverable
+
+    def connect(
+        self,
+        request: MulticastConnection,
+        *,
+        stats: CoverSearch | None = None,
+        force_middles: dict[int, list[int]] | None = None,
+    ) -> int:
+        """Set up a multicast connection; returns its connection id.
+
+        Args:
+            request: the multicast connection to establish.
+            stats: optional cover-search statistics accumulator.
+            force_middles: adversarial/test hook -- a specific
+                ``{middle switch: [output modules]}`` split to use instead
+                of running the cover search.  The forced split must still
+                be *feasible* (fibers free, within the ``x`` budget); it
+                just overrides the router's free choice.  The nonblocking
+                theorems quantify over every choice the routing strategy
+                allows, so worst-case demonstrations (necessity
+                constructions) legitimately steer this choice.
+
+        Raises:
+            repro.switching.validity.ValidityError: the request is not a
+                legal addition to the active assignment (caller error).
+            BlockedError: the request is legal but the network cannot
+                route it with at most ``x`` middle switches -- the event
+                the nonblocking theorems forbid when ``m`` meets the bound.
+            ValueError: a ``force_middles`` split is malformed or
+                infeasible.
+        """
+        self._validate_request(request)
+        g = self.topology.input_module_of(request.source.port)
+        module_destinations = self._module_destinations(request)
+        destinations = frozenset(module_destinations)
+        required = self._required_out_wavelength(module_destinations)
+        coverable = self._coverable_sets(
+            g, request.source.wavelength, destinations, required
+        )
+        if force_middles is not None:
+            cover = self._validated_forced_cover(
+                force_middles, destinations, coverable
+            )
+        else:
+            cover = find_cover(
+                destinations,
+                coverable,
+                self.x,
+                stats=stats,
+                preference=self._middle_preference(),
+            )
+        if cover is None:
+            self.blocks += 1
+            raise BlockedError(
+                f"request {request} blocked: no <= {self.x}-middle cover "
+                f"among {len(coverable)} available middles"
+            )
+
+        branches = []
+        msw_dominant = self.construction is Construction.MSW_DOMINANT
+        for j, modules in sorted(cover.items()):
+            if msw_dominant:
+                in_wavelength = request.source.wavelength
+            else:
+                in_wavelength = self._pick_wavelength(
+                    np.nonzero(~self._in_mid[g, j])[0]
+                )
+            self._in_mid[g, j, in_wavelength] = True
+            deliveries = []
+            for p in modules:
+                pinned = required[p]
+                if msw_dominant:
+                    out_wavelength = request.source.wavelength
+                elif pinned is not None:
+                    out_wavelength = pinned
+                else:
+                    out_wavelength = self._pick_wavelength(
+                        np.nonzero(~self._mid_out[j, p])[0]
+                    )
+                self._mid_out[j, p, out_wavelength] = True
+                deliveries.append((p, out_wavelength))
+            branches.append(
+                RoutedBranch(
+                    middle=j,
+                    in_wavelength=in_wavelength,
+                    deliveries=tuple(deliveries),
+                )
+            )
+
+        self._input_used[request.source.port, request.source.wavelength] = True
+        for destination in request.destinations:
+            self._output_used[destination.port, destination.wavelength] = True
+
+        connection_id = self._next_id
+        self._next_id += 1
+        self._active[connection_id] = RoutedConnection(
+            connection_id=connection_id,
+            request=request,
+            input_module=g,
+            branches=tuple(branches),
+        )
+        self.setups += 1
+        return connection_id
+
+    # -- failure injection -------------------------------------------------
+
+    @property
+    def failed_middles(self) -> frozenset[int]:
+        """Middle switches currently marked failed."""
+        return frozenset(self._failed_middles)
+
+    def fail_middle(self, middle: int, *, drain: bool = False) -> list[MulticastConnection]:
+        """Mark a middle switch failed; no new routes will use it.
+
+        Args:
+            middle: index of the middle switch.
+            drain: if True, live connections routed through the failed
+                switch are disconnected and their requests returned so the
+                caller can re-route them (the optical-recovery workflow);
+                if False (default) the call refuses to fail a middle that
+                carries traffic.
+
+        Returns:
+            The requests of drained connections (empty without ``drain``).
+
+        Raises:
+            ValueError: the middle is out of range, or carries traffic
+                and ``drain`` is False.
+
+        Provisioning rule validated by the tests: a network sized at
+        ``m >= bound + f`` tolerates any ``f`` concurrent failures with
+        zero blocking -- failed switches just count against the spare
+        margin.
+        """
+        if not 0 <= middle < self.topology.m:
+            raise ValueError(
+                f"middle {middle} outside [0, {self.topology.m})"
+            )
+        victims = [
+            cid
+            for cid, routed in self._active.items()
+            if middle in routed.middles_used
+        ]
+        if victims and not drain:
+            raise ValueError(
+                f"middle {middle} carries {len(victims)} live connections; "
+                "pass drain=True to disconnect and reclaim them"
+            )
+        drained = []
+        for cid in victims:
+            drained.append(self._active[cid].request)
+            self.disconnect(cid)
+        self._failed_middles.add(middle)
+        return drained
+
+    def repair_middle(self, middle: int) -> None:
+        """Return a failed middle switch to service."""
+        self._failed_middles.discard(middle)
+
+    def wavelength_usage(self) -> list[int]:
+        """Busy internal channels per wavelength index, network-wide."""
+        usage = self._in_mid.sum(axis=(0, 1)) + self._mid_out.sum(axis=(0, 1))
+        return [int(v) for v in usage]
+
+    def _pick_wavelength(self, free: "np.ndarray") -> int:
+        """Choose a carrier among ``free`` per the wavelength policy."""
+        if self.wavelength_policy == "first_fit" or len(free) == 1:
+            return int(free[0])
+        if self.wavelength_policy == "random":
+            return int(self._selection_rng.choice(list(free)))
+        usage = self.wavelength_usage()
+        if self.wavelength_policy == "most_used":
+            return int(max(free, key=lambda w: (usage[int(w)], -int(w))))
+        # least_used
+        return int(min(free, key=lambda w: (usage[int(w)], int(w))))
+
+    def middle_load(self, middle: int) -> int:
+        """Busy wavelength channels on a middle switch's fibers (both sides)."""
+        return int(self._in_mid[:, middle, :].sum()) + int(
+            self._mid_out[middle].sum()
+        )
+
+    def _middle_preference(self) -> list[int] | None:
+        """Candidate order implementing the selection strategy."""
+        if self.selection in ("greedy", "first_fit"):
+            return None  # ascending index, the default
+        middles = list(range(self.topology.m))
+        if self.selection == "random":
+            self._selection_rng.shuffle(middles)
+            return middles
+        loads = self._in_mid.sum(axis=(0, 2)) + self._mid_out.sum(axis=(1, 2))
+        if self.selection == "least_loaded":
+            return sorted(middles, key=lambda j: (loads[j], j))
+        # most_loaded (packing)
+        return sorted(middles, key=lambda j: (-loads[j], j))
+
+    def _validated_forced_cover(
+        self,
+        force_middles: dict[int, list[int]],
+        destinations: frozenset[int],
+        coverable: dict[int, frozenset[int]],
+    ) -> dict[int, list[int]]:
+        """Check a caller-chosen middle-switch split for feasibility."""
+        if len(force_middles) > self.x:
+            raise ValueError(
+                f"forced split uses {len(force_middles)} middles, x={self.x}"
+            )
+        assigned: list[int] = []
+        for j, modules in force_middles.items():
+            if j not in coverable:
+                raise ValueError(f"middle switch {j} is not available")
+            bad = set(modules) - coverable[j]
+            if bad:
+                raise ValueError(
+                    f"middle switch {j} cannot reach output modules {sorted(bad)}"
+                )
+            assigned.extend(modules)
+        if sorted(assigned) != sorted(destinations):
+            raise ValueError(
+                f"forced split covers {sorted(assigned)}, request needs "
+                f"{sorted(destinations)}"
+            )
+        return {j: sorted(modules) for j, modules in force_middles.items()}
+
+    def try_connect(self, request: MulticastConnection) -> int | None:
+        """Like :meth:`connect` but returns None instead of raising on block."""
+        try:
+            return self.connect(request)
+        except BlockedError:
+            return None
+
+    def disconnect(self, connection_id: int) -> None:
+        """Tear down a live connection and release its resources."""
+        routed = self._active.pop(connection_id, None)
+        if routed is None:
+            raise KeyError(f"no active connection with id {connection_id}")
+        g = routed.input_module
+        for branch in routed.branches:
+            assert self._in_mid[g, branch.middle, branch.in_wavelength]
+            self._in_mid[g, branch.middle, branch.in_wavelength] = False
+            for p, out_wavelength in branch.deliveries:
+                assert self._mid_out[branch.middle, p, out_wavelength]
+                self._mid_out[branch.middle, p, out_wavelength] = False
+        source = routed.request.source
+        self._input_used[source.port, source.wavelength] = False
+        for destination in routed.request.destinations:
+            self._output_used[destination.port, destination.wavelength] = False
+        self.teardowns += 1
+
+    def disconnect_all(self) -> None:
+        """Tear everything down (returns the network to idle)."""
+        for connection_id in list(self._active):
+            self.disconnect(connection_id)
+
+    # -- invariants ----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify the link state equals the sum of active connections.
+
+        Used by the fuzz tests after every event: any leak or
+        double-booking in setup/teardown shows up immediately.
+        """
+        in_mid = np.zeros_like(self._in_mid)
+        mid_out = np.zeros_like(self._mid_out)
+        input_used = np.zeros_like(self._input_used)
+        output_used = np.zeros_like(self._output_used)
+        for routed in self._active.values():
+            g = routed.input_module
+            source = routed.request.source
+            assert not input_used[source.port, source.wavelength]
+            input_used[source.port, source.wavelength] = True
+            for destination in routed.request.destinations:
+                assert not output_used[destination.port, destination.wavelength]
+                output_used[destination.port, destination.wavelength] = True
+            for branch in routed.branches:
+                assert not in_mid[g, branch.middle, branch.in_wavelength], (
+                    "two connections share a first-stage link wavelength"
+                )
+                in_mid[g, branch.middle, branch.in_wavelength] = True
+                for p, w in branch.deliveries:
+                    assert not mid_out[branch.middle, p, w], (
+                        "two connections share a second-stage link wavelength"
+                    )
+                    mid_out[branch.middle, p, w] = True
+        assert (in_mid == self._in_mid).all(), "first-stage link state leak"
+        assert (mid_out == self._mid_out).all(), "second-stage link state leak"
+        assert (input_used == self._input_used).all(), "input endpoint leak"
+        assert (output_used == self._output_used).all(), "output endpoint leak"

@@ -1,0 +1,199 @@
+"""Recursive (5-, 7-, ...-stage) constructions -- Section 3's remark.
+
+"In general, a network can have any odd number of stages and be built in
+a recursive fashion from these switching modules, which are in fact
+regarded as networks of a smaller size."
+
+Under the MSW-dominant construction the middle-stage modules are square
+``r x r`` MSW networks, so each can itself be replaced by a nonblocking
+three-stage MSW network, yielding five stages, and so on.  This module
+computes the cheapest such recursive design by dynamic programming over
+square MSW network sizes:
+
+    C(s) = min( k s**2,
+                min over s = n*r, x:  r*k*n*m  +  m*C(r)  +  r*k*m*n )
+
+with ``m`` the minimal Theorem-1 middle count for ``(n, r, x)``.  The
+outermost output stage then carries the network's model (adding the
+``k**2`` factor and converters for MSDW/MAW), exactly as in the
+three-stage cost analysis.
+
+For large ``N`` the recursion beats the flat three-stage design -- the
+classical ``O(N (log N)^{...})`` multistage behaviour -- which the
+benchmark ``benchmarks/bench_recursive.py`` demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core.models import Construction, MulticastModel
+from repro.core.multistage import (
+    min_middle_switches_msw_dominant,
+    module_converters,
+    module_crosspoints,
+    valid_x_range,
+)
+
+__all__ = ["RecursiveDesign", "best_recursive_design", "recursive_msw_crosspoints"]
+
+
+@dataclass(frozen=True)
+class RecursiveDesign:
+    """A recursively decomposed nonblocking MSW-dominant design.
+
+    ``structure`` describes the decomposition: either ``("crossbar", s)``
+    or ``("clos", n, r, m, x, middle_structure)``.
+    """
+
+    n_ports: int
+    k: int
+    model: MulticastModel
+    crosspoints: int
+    converters: int
+    stages: int
+    structure: tuple
+
+    def describe(self, indent: int = 0) -> str:
+        """Readable multi-line description of the decomposition tree."""
+        return _describe(self.structure, self.k, indent)
+
+
+def _describe(structure: tuple, k: int, indent: int) -> str:
+    pad = "  " * indent
+    if structure[0] == "crossbar":
+        return f"{pad}crossbar {structure[1]}x{structure[1]} (k={k})"
+    _, n, r, m, x, inner = structure
+    lines = [
+        f"{pad}clos n={n} r={r} m={m} x={x} (k={k}); middle modules:",
+        _describe(inner, k, indent + 1),
+    ]
+    return "\n".join(lines)
+
+
+@lru_cache(maxsize=None)
+def _best_square_msw(s: int, k: int, max_depth: int) -> tuple[int, int, tuple]:
+    """Cheapest nonblocking square MSW network of size ``s``.
+
+    Returns ``(crosspoints, stages, structure)``.
+    """
+    crossbar_cost = k * s * s
+    best = (crossbar_cost, 1, ("crossbar", s))
+    if max_depth <= 0 or s < 4:
+        return best
+    for n in range(2, s):
+        if s % n:
+            continue
+        r = s // n
+        if r < 2:
+            continue
+        for x in valid_x_range(n, r):
+            m = min_middle_switches_msw_dominant(n, r, k, x=x)
+            middle_cost, middle_stages, middle_structure = _best_square_msw(
+                r, k, max_depth - 1
+            )
+            crosspoints = (
+                r * module_crosspoints(MulticastModel.MSW, n, m, k)
+                + m * middle_cost
+                + r * module_crosspoints(MulticastModel.MSW, m, n, k)
+            )
+            stages = 2 + middle_stages
+            if crosspoints < best[0] or (
+                crosspoints == best[0] and stages < best[1]
+            ):
+                best = (crosspoints, stages, ("clos", n, r, m, x, middle_structure))
+    return best
+
+
+def recursive_msw_crosspoints(n_ports: int, k: int, max_depth: int = 8) -> int:
+    """Crosspoints of the best recursive MSW design (model = MSW)."""
+    if n_ports < 1 or k < 1:
+        raise ValueError(f"need N >= 1 and k >= 1, got N={n_ports}, k={k}")
+    return _best_square_msw(n_ports, k, max_depth)[0]
+
+
+def best_recursive_design(
+    n_ports: int,
+    k: int,
+    model: MulticastModel = MulticastModel.MSW,
+    *,
+    max_depth: int = 8,
+) -> RecursiveDesign:
+    """Cheapest recursive MSW-dominant design under ``model``.
+
+    For the MSW model the whole network is the recursive square MSW
+    network.  For MSDW/MAW, the outermost layer is a three-stage
+    MSW-dominant network whose output stage runs under ``model`` (the
+    inner square recursion stays MSW), mirroring the paper's
+    construction method.
+
+    Args:
+        n_ports: network size ``N``.
+        k: wavelengths per fiber.
+        model: network model.
+        max_depth: recursion depth cap (8 is effectively unbounded for
+            any practical ``N``).
+    """
+    if n_ports < 2:
+        raise ValueError(f"need N >= 2, got {n_ports}")
+    if model is MulticastModel.MSW:
+        crosspoints, stages, structure = _best_square_msw(n_ports, k, max_depth)
+        return RecursiveDesign(
+            n_ports=n_ports,
+            k=k,
+            model=model,
+            crosspoints=crosspoints,
+            converters=0,
+            stages=stages,
+            structure=structure,
+        )
+
+    # MSDW/MAW: outermost Clos layer with a model-typed output stage.
+    # The middle count must meet the corrected model-aware bound (the
+    # paper's Theorem 1 under-provisions MSDW/MAW for k > 1).
+    from repro.core.corrected import min_middle_switches_corrected
+    from repro.core.models import Construction
+
+    crossbar_crosspoints = k * k * n_ports * n_ports
+    crossbar_converters = n_ports * k
+    best = RecursiveDesign(
+        n_ports=n_ports,
+        k=k,
+        model=model,
+        crosspoints=crossbar_crosspoints,
+        converters=crossbar_converters,
+        stages=1,
+        structure=("crossbar", n_ports),
+    )
+    for n in range(2, n_ports):
+        if n_ports % n:
+            continue
+        r = n_ports // n
+        if r < 2:
+            continue
+        for x in valid_x_range(n, r):
+            m = min_middle_switches_corrected(
+                n, r, k, Construction.MSW_DOMINANT, model, x=x
+            )
+            middle_cost, middle_stages, middle_structure = _best_square_msw(
+                r, k, max_depth - 1
+            )
+            crosspoints = (
+                r * module_crosspoints(MulticastModel.MSW, n, m, k)
+                + m * middle_cost
+                + r * module_crosspoints(model, m, n, k)
+            )
+            converters = r * module_converters(model, m, n, k)
+            stages = 2 + middle_stages
+            if (crosspoints, converters) < (best.crosspoints, best.converters):
+                best = RecursiveDesign(
+                    n_ports=n_ports,
+                    k=k,
+                    model=model,
+                    crosspoints=crosspoints,
+                    converters=converters,
+                    stages=stages,
+                    structure=("clos", n, r, m, x, middle_structure),
+                )
+    return best

@@ -1,0 +1,165 @@
+"""The x-middle-switch routing strategy -- Lemma 4 made executable.
+
+The paper (following [14]) routes each multicast connection through at
+most ``x`` middle switches.  Lemma 4 (and its multiset generalization)
+says a request with destination set ``D`` can be realized through
+middle switches ``j_1..j_x`` iff the intersection of their destination
+(multi)sets, restricted to ``D``, is null -- equivalently, iff every
+``p`` in ``D`` is *coverable* by at least one chosen middle switch.
+
+So routing is a set-cover problem with a cardinality cap.  We solve it
+exactly:
+
+1. **greedy first** -- pick the candidate covering the most uncovered
+   destinations; this finds a cover quickly in the common case;
+2. **exact fallback** -- depth-first search over candidate subsets of
+   size <= ``x`` (with standard dominance pruning).  Only if the exact
+   search fails is the request declared blocked, which is what makes
+   the simulator a faithful test of the theorems: they promise a cover
+   *exists*, not that greedy finds it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["CoverSearch", "find_cover"]
+
+
+@dataclass
+class CoverSearch:
+    """Statistics of one cover search (exposed for tests/benchmarks)."""
+
+    greedy_hit: bool = False
+    exact_nodes: int = 0
+    cover: dict[int, list[int]] | None = field(default=None)
+
+
+def _greedy(
+    destinations: frozenset[int],
+    coverable: Mapping[int, frozenset[int]],
+    candidates: Sequence[int],
+    max_switches: int,
+) -> dict[int, list[int]] | None:
+    """Max-coverage greedy; ties broken by position in ``candidates``.
+
+    The caller controls the candidate order, which is how the selection
+    strategies (first-fit, least-loaded, packing, random) plug in
+    without touching the correctness-critical search.
+    """
+    uncovered = set(destinations)
+    chosen: dict[int, list[int]] = {}
+    while uncovered and len(chosen) < max_switches:
+        best = None
+        best_gain: frozenset[int] = frozenset()
+        for j in candidates:
+            if j in chosen:
+                continue
+            gain = coverable[j] & uncovered
+            if len(gain) > len(best_gain):
+                best, best_gain = j, frozenset(gain)
+        if best is None or not best_gain:
+            return None
+        chosen[best] = sorted(best_gain)
+        uncovered -= best_gain
+    return chosen if not uncovered else None
+
+
+def _exact(
+    destinations: frozenset[int],
+    coverable: Mapping[int, frozenset[int]],
+    candidates: Sequence[int],
+    max_switches: int,
+    stats: CoverSearch,
+) -> dict[int, list[int]] | None:
+    # Keep only useful candidates, largest coverage first (helps pruning).
+    useful = [j for j in candidates if coverable[j] & destinations]
+    useful.sort(key=lambda j: -len(coverable[j] & destinations))
+
+    def recurse(
+        uncovered: frozenset[int], start: int, picked: list[int]
+    ) -> list[int] | None:
+        stats.exact_nodes += 1
+        if not uncovered:
+            return picked
+        if len(picked) == max_switches:
+            return None
+        remaining_slots = max_switches - len(picked)
+        # Bound: even taking the largest remaining coverages can't finish.
+        best_possible = sum(
+            sorted(
+                (len(coverable[j] & uncovered) for j in useful[start:]),
+                reverse=True,
+            )[:remaining_slots]
+        )
+        if best_possible < len(uncovered):
+            return None
+        for index in range(start, len(useful)):
+            j = useful[index]
+            gain = coverable[j] & uncovered
+            if not gain:
+                continue
+            result = recurse(uncovered - gain, index + 1, [*picked, j])
+            if result is not None:
+                return result
+        return None
+
+    picked = recurse(destinations, 0, [])
+    if picked is None:
+        return None
+    # Assign each destination to the first picked switch that covers it.
+    cover: dict[int, list[int]] = {j: [] for j in picked}
+    for p in sorted(destinations):
+        for j in picked:
+            if p in coverable[j]:
+                cover[j].append(p)
+                break
+    return {j: ps for j, ps in cover.items() if ps}
+
+
+def find_cover(
+    destinations: frozenset[int] | set[int],
+    coverable: Mapping[int, frozenset[int]],
+    max_switches: int,
+    *,
+    stats: CoverSearch | None = None,
+    preference: Sequence[int] | None = None,
+) -> dict[int, list[int]] | None:
+    """Find <= ``max_switches`` middle switches covering ``destinations``.
+
+    Args:
+        destinations: output modules the request must reach.
+        coverable: for each *available* middle switch, the set of output
+            modules reachable through it right now (``D``-restricted or
+            not -- extra elements are ignored).
+        max_switches: the routing parameter ``x``.
+        stats: optional search-statistics accumulator.
+        preference: candidate order used for greedy tie-breaking (the
+            selection strategy); defaults to ascending index.  Middles
+            missing from ``preference`` are appended in index order; the
+            exact fallback ignores preference (correctness first).
+
+    Returns:
+        ``{middle_switch: [assigned destinations]}`` or None if no cover
+        of size <= ``max_switches`` exists (the request is blocked).
+    """
+    destinations = frozenset(destinations)
+    if not destinations:
+        return {}
+    if max_switches < 1:
+        raise ValueError(f"max_switches must be >= 1, got {max_switches}")
+    stats = stats if stats is not None else CoverSearch()
+    candidates = sorted(coverable)
+    if preference is not None:
+        in_preference = [j for j in preference if j in coverable]
+        rest = [j for j in candidates if j not in set(in_preference)]
+        candidates = in_preference + rest
+    greedy = _greedy(destinations, coverable, candidates, max_switches)
+    if greedy is not None:
+        stats.greedy_hit = True
+        stats.cover = greedy
+        return greedy
+    exact = _exact(destinations, coverable, sorted(coverable), max_switches, stats)
+    stats.cover = exact
+    return exact

@@ -1,0 +1,186 @@
+"""JSON (de)serialization for connections, witnesses and designs.
+
+Blocking witnesses and optimized designs are the artifacts users want
+to save, share and replay; this module round-trips them through plain
+JSON-compatible dictionaries (no pickling, so files are portable and
+diff-able).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.models import Construction, MulticastModel
+from repro.core.multistage import MultistageDesign, multistage_cost
+from repro.multistage.adversary import BlockingWitness
+from repro.switching.requests import Endpoint, MulticastAssignment, MulticastConnection
+
+__all__ = [
+    "assignment_from_dict",
+    "assignment_to_dict",
+    "connection_from_dict",
+    "connection_to_dict",
+    "design_from_dict",
+    "design_to_dict",
+    "dumps",
+    "loads",
+    "witness_from_dict",
+    "witness_to_dict",
+]
+
+
+# -- connections -------------------------------------------------------
+
+
+def connection_to_dict(connection: MulticastConnection) -> dict[str, Any]:
+    """``{"source": [port, w], "destinations": [[port, w], ...]}``."""
+    return {
+        "source": [connection.source.port, connection.source.wavelength],
+        "destinations": sorted(
+            [d.port, d.wavelength] for d in connection.destinations
+        ),
+    }
+
+
+def connection_from_dict(payload: dict[str, Any]) -> MulticastConnection:
+    """Inverse of :func:`connection_to_dict`."""
+    source = Endpoint(*payload["source"])
+    destinations = [Endpoint(port, w) for port, w in payload["destinations"]]
+    return MulticastConnection(source, destinations)
+
+
+def assignment_to_dict(assignment: MulticastAssignment) -> dict[str, Any]:
+    """``{"connections": [...]}`` in source order."""
+    return {
+        "connections": [
+            connection_to_dict(connection) for connection in assignment
+        ]
+    }
+
+
+def assignment_from_dict(payload: dict[str, Any]) -> MulticastAssignment:
+    """Inverse of :func:`assignment_to_dict`."""
+    return MulticastAssignment(
+        connection_from_dict(item) for item in payload["connections"]
+    )
+
+
+# -- witnesses ----------------------------------------------------------
+
+
+def witness_to_dict(witness: BlockingWitness) -> dict[str, Any]:
+    """Serialize a replayable blocking witness."""
+    return {
+        "kind": "blocking_witness",
+        "n": witness.n,
+        "r": witness.r,
+        "m": witness.m,
+        "k": witness.k,
+        "construction": witness.construction.name,
+        "model": witness.model.value,
+        "x": witness.x,
+        "prior": [connection_to_dict(c) for c in witness.prior],
+        "blocked_request": connection_to_dict(witness.blocked_request),
+    }
+
+
+def witness_from_dict(payload: dict[str, Any]) -> BlockingWitness:
+    """Inverse of :func:`witness_to_dict` (validates the kind tag)."""
+    if payload.get("kind") != "blocking_witness":
+        raise ValueError(f"not a blocking witness payload: {payload.get('kind')!r}")
+    return BlockingWitness(
+        n=payload["n"],
+        r=payload["r"],
+        m=payload["m"],
+        k=payload["k"],
+        construction=Construction[payload["construction"]],
+        model=MulticastModel(payload["model"]),
+        x=payload["x"],
+        prior=tuple(connection_from_dict(item) for item in payload["prior"]),
+        blocked_request=connection_from_dict(payload["blocked_request"]),
+    )
+
+
+# -- designs --------------------------------------------------------------
+
+
+def design_to_dict(design: MultistageDesign) -> dict[str, Any]:
+    """Serialize an optimized three-stage design (costs are recomputed
+    on load, so the payload carries only the free parameters)."""
+    return {
+        "kind": "multistage_design",
+        "n": design.n,
+        "r": design.r,
+        "m": design.m,
+        "x": design.x,
+        "k": design.k,
+        "construction": design.construction.name,
+        "output_model": design.output_model.value,
+        "crosspoints": design.cost.crosspoints,
+        "converters": design.cost.converters,
+    }
+
+
+def design_from_dict(payload: dict[str, Any]) -> MultistageDesign:
+    """Inverse of :func:`design_to_dict`; re-derives and cross-checks cost."""
+    if payload.get("kind") != "multistage_design":
+        raise ValueError(f"not a design payload: {payload.get('kind')!r}")
+    construction = Construction[payload["construction"]]
+    output_model = MulticastModel(payload["output_model"])
+    cost = multistage_cost(
+        payload["n"],
+        payload["r"],
+        payload["m"],
+        payload["k"],
+        construction,
+        output_model,
+    )
+    if cost.crosspoints != payload["crosspoints"]:
+        raise ValueError(
+            f"stored crosspoints {payload['crosspoints']} disagree with "
+            f"recomputed {cost.crosspoints}; corrupt payload?"
+        )
+    return MultistageDesign(
+        n=payload["n"],
+        r=payload["r"],
+        m=payload["m"],
+        x=payload["x"],
+        k=payload["k"],
+        construction=construction,
+        output_model=output_model,
+        cost=cost,
+    )
+
+
+# -- top level --------------------------------------------------------------
+
+_SERIALIZERS = {
+    BlockingWitness: witness_to_dict,
+    MultistageDesign: design_to_dict,
+    MulticastConnection: connection_to_dict,
+    MulticastAssignment: assignment_to_dict,
+}
+
+
+def dumps(obj: Any, *, indent: int = 2) -> str:
+    """Serialize any supported artifact to a JSON string."""
+    for klass, serializer in _SERIALIZERS.items():
+        if isinstance(obj, klass):
+            return json.dumps(serializer(obj), indent=indent)
+    raise TypeError(f"cannot serialize {type(obj).__name__}")
+
+
+def loads(text: str) -> Any:
+    """Deserialize a JSON artifact by its ``kind`` tag (or structure)."""
+    payload = json.loads(text)
+    kind = payload.get("kind")
+    if kind == "blocking_witness":
+        return witness_from_dict(payload)
+    if kind == "multistage_design":
+        return design_from_dict(payload)
+    if "connections" in payload:
+        return assignment_from_dict(payload)
+    if "source" in payload:
+        return connection_from_dict(payload)
+    raise ValueError("unrecognized artifact payload")

@@ -1,0 +1,98 @@
+"""WDM multicast scheduling: k-concurrent rounds.
+
+On a ``k``-wavelength WDM multicast switch (with a nonblocking fabric
+such as the paper's MAW crossbar), each node carries ``k`` transmitters
+and ``k`` receivers, so a single round may contain up to ``k`` demands
+sourced at any node and up to ``k`` demands terminating at any node --
+the very concurrency the paper's introduction advertises.
+
+:func:`wdm_rounds` packs a batch greedily (first-fit decreasing by
+fanout) under those per-node budgets.  A simple load bound certifies
+quality: no schedule can beat ``ceil(max node load / k)``, and the
+tests check the greedy packer meets that bound on the instances the
+benchmarks report.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.scheduling.demands import Demand
+
+__all__ = ["load_lower_bound", "wdm_rounds"]
+
+
+def load_lower_bound(demands: Sequence[Demand], k: int) -> int:
+    """``ceil(max per-node load / k)`` -- no schedule can do better.
+
+    A node's load is the number of demands it sources plus the number
+    it receives; each round serves at most ``k`` of either kind.
+    """
+    if k < 1:
+        raise ValueError(f"need k >= 1, got {k}")
+    if not demands:
+        return 0
+    source_load: Counter[int] = Counter()
+    sink_load: Counter[int] = Counter()
+    for demand in demands:
+        source_load[demand.source] += 1
+        for destination in demand.destinations:
+            sink_load[destination] += 1
+    heaviest = max(
+        max(source_load.values(), default=0),
+        max(sink_load.values(), default=0),
+    )
+    return math.ceil(heaviest / k)
+
+
+def wdm_rounds(
+    demands: Sequence[Demand], k: int
+) -> tuple[int, list[list[int]]]:
+    """First-fit-decreasing packing into k-concurrent rounds.
+
+    Returns ``(rounds, demand indices per round)``.  Each round
+    respects: <= ``k`` demands per source node, <= ``k`` demands
+    terminating per destination node (any nonblocking MAW fabric of the
+    paper then realizes the round as one multicast assignment).
+    """
+    if k < 1:
+        raise ValueError(f"need k >= 1, got {k}")
+    order = sorted(range(len(demands)), key=lambda i: -demands[i].fanout)
+    rounds: list[list[int]] = []
+    budgets: list[tuple[Counter[int], Counter[int]]] = []
+
+    for index in order:
+        demand = demands[index]
+        placed = False
+        for round_index, (sources, sinks) in enumerate(budgets):
+            if sources[demand.source] >= k:
+                continue
+            if any(sinks[d] >= k for d in demand.destinations):
+                continue
+            sources[demand.source] += 1
+            for d in demand.destinations:
+                sinks[d] += 1
+            rounds[round_index].append(index)
+            placed = True
+            break
+        if not placed:
+            sources: Counter[int] = Counter({demand.source: 1})
+            sinks: Counter[int] = Counter(demand.destinations)
+            budgets.append((sources, sinks))
+            rounds.append([index])
+
+    # Safety net: any conflict-free electronic schedule is valid under
+    # every k (one demand per node per round), so never return worse
+    # than the coloring heuristic -- this also pins the guarantee
+    # wdm_rounds(k) <= electronic_rounds that the WDM argument makes.
+    from repro.scheduling.electronic import electronic_rounds
+
+    electronic_count, electronic_schedule = electronic_rounds(demands)
+    if electronic_count < len(rounds):
+        rounds = [sorted(bucket) for bucket in electronic_schedule]
+
+    for bucket in rounds:
+        bucket.sort()
+    return len(rounds), rounds

@@ -1,0 +1,132 @@
+"""Exhaustive enumeration of legal multicast assignments.
+
+This is the brute-force oracle for Lemmas 1-3: enumerate *every*
+assignment of a small ``N x N`` ``k``-wavelength network under a model
+and count them; the counts must equal the closed-form capacities of
+:mod:`repro.core.capacity` exactly.
+
+An assignment is represented during the search as a mapping from output
+endpoints to input endpoints (or idle).  The mapping view makes the
+model rules local:
+
+* **MSW**: an output endpoint ``(p, w)`` may only map to an input
+  endpoint with the same wavelength ``w``;
+* **MSDW**: two output endpoints with *different* wavelengths may not
+  map to the same input endpoint (a source carries one signal, and all
+  destinations of a connection share a wavelength);
+* **MAW**: two output endpoints at the *same port* may not map to the
+  same input endpoint (a connection may not use two wavelengths at one
+  output port).
+
+(The MAW same-port rule is implied for MSW/MSDW because same-port
+outputs differ in wavelength.)  Everything else is unrestricted, which
+is exactly why the counting arguments of the paper's proofs decompose
+the way they do.
+
+Complexity is ``O((Nk + 1)**(Nk))`` raw; intended for ``N k <= 8``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.models import MulticastModel
+from repro.switching.requests import Endpoint, MulticastAssignment
+
+__all__ = ["count_assignments", "iter_assignments", "iter_mappings"]
+
+
+def _endpoints(n_ports: int, k: int) -> list[Endpoint]:
+    return [
+        Endpoint(port, wavelength)
+        for port in range(n_ports)
+        for wavelength in range(k)
+    ]
+
+
+def _compatible(
+    model: MulticastModel,
+    output_endpoint: Endpoint,
+    input_endpoint: Endpoint,
+    chosen: dict[Endpoint, Endpoint],
+) -> bool:
+    """Can ``output_endpoint`` map to ``input_endpoint`` given ``chosen``?"""
+    if model is MulticastModel.MSW:
+        if input_endpoint.wavelength != output_endpoint.wavelength:
+            return False
+    for prior_output, prior_input in chosen.items():
+        if prior_input != input_endpoint:
+            continue
+        if model is MulticastModel.MSDW:
+            if prior_output.wavelength != output_endpoint.wavelength:
+                return False
+        if prior_output.port == output_endpoint.port:
+            # Same connection would use two wavelengths at one output port.
+            return False
+    return True
+
+
+def iter_mappings(
+    model: MulticastModel,
+    n_ports: int,
+    k: int,
+    *,
+    full: bool,
+) -> Iterator[dict[Endpoint, Endpoint]]:
+    """Yield every legal output->input endpoint mapping.
+
+    Args:
+        model: multicast model in force.
+        n_ports: network size ``N``.
+        k: wavelengths per fiber.
+        full: if True, every output endpoint must be mapped
+            (full-multicast-assignments); otherwise outputs may idle
+            (any-multicast-assignments).
+    """
+    if n_ports < 1 or k < 1:
+        raise ValueError(f"need N >= 1 and k >= 1, got N={n_ports}, k={k}")
+    outputs = _endpoints(n_ports, k)
+    inputs = _endpoints(n_ports, k)
+    chosen: dict[Endpoint, Endpoint] = {}
+
+    def recurse(index: int) -> Iterator[dict[Endpoint, Endpoint]]:
+        if index == len(outputs):
+            yield dict(chosen)
+            return
+        output_endpoint = outputs[index]
+        if not full:
+            # Leave this output endpoint idle.
+            yield from recurse(index + 1)
+        for input_endpoint in inputs:
+            if _compatible(model, output_endpoint, input_endpoint, chosen):
+                chosen[output_endpoint] = input_endpoint
+                yield from recurse(index + 1)
+                del chosen[output_endpoint]
+
+    yield from recurse(0)
+
+
+def iter_assignments(
+    model: MulticastModel,
+    n_ports: int,
+    k: int,
+    *,
+    full: bool,
+) -> Iterator[MulticastAssignment]:
+    """Yield every legal assignment as a :class:`MulticastAssignment`."""
+    for mapping in iter_mappings(model, n_ports, k, full=full):
+        yield MulticastAssignment.from_mapping(mapping)
+
+
+def count_assignments(
+    model: MulticastModel,
+    n_ports: int,
+    k: int,
+    *,
+    full: bool,
+) -> int:
+    """Count legal assignments by exhaustive search (the Lemma 1-3 oracle)."""
+    total = 0
+    for _ in iter_mappings(model, n_ports, k, full=full):
+        total += 1
+    return total

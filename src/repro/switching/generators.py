@@ -1,0 +1,199 @@
+"""Seeded random assignment and dynamic-traffic generators.
+
+Two kinds of randomness are needed by the reproduction:
+
+* **static assignments** -- random legal multicast assignments of a
+  crossbar network, used to exercise the fabric simulator
+  (:mod:`repro.fabric`) on inputs it has never seen;
+* **dynamic traffic** -- randomized sequences of connection setups and
+  teardowns, used to fuzz the three-stage simulator: Theorems 1-2 claim
+  the network never blocks under *any* such sequence once ``m`` meets
+  the bound, which is exactly the property the fuzz tests assert.
+
+All randomness flows through :class:`random.Random` instances seeded by
+the caller, so every test and benchmark is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.core.models import MulticastModel
+from repro.switching.enumeration import _compatible
+from repro.switching.requests import Endpoint, MulticastAssignment, MulticastConnection
+
+__all__ = ["AssignmentGenerator", "TrafficEvent", "dynamic_traffic"]
+
+
+class AssignmentGenerator:
+    """Generates random legal assignments of an ``N x N`` ``k``-wavelength net.
+
+    Sampling walks the output endpoints in random order and picks a
+    compatible input endpoint (or idle) uniformly at each step.  The
+    distribution is *not* uniform over assignments -- it doesn't need to
+    be; it just needs to cover the legal space and be reproducible.
+    """
+
+    def __init__(
+        self,
+        model: MulticastModel,
+        n_ports: int,
+        k: int,
+        rng: random.Random | int | None = None,
+    ):
+        if n_ports < 1 or k < 1:
+            raise ValueError(f"need N >= 1 and k >= 1, got N={n_ports}, k={k}")
+        self.model = model
+        self.n_ports = n_ports
+        self.k = k
+        if isinstance(rng, random.Random):
+            self._rng = rng
+        else:
+            self._rng = random.Random(rng)
+
+    def random_mapping(self, idle_probability: float = 0.3) -> dict[Endpoint, Endpoint]:
+        """One random output->input endpoint mapping.
+
+        Args:
+            idle_probability: chance each output endpoint stays idle
+                (0.0 forces an attempt at a full assignment; an output
+                may still idle if no compatible input remains, which for
+                these models cannot actually happen -- there is always a
+                same-wavelength input free -- so 0.0 yields full
+                assignments).
+        """
+        outputs = [
+            Endpoint(port, wavelength)
+            for port in range(self.n_ports)
+            for wavelength in range(self.k)
+        ]
+        inputs = list(outputs)
+        self._rng.shuffle(outputs)
+        chosen: dict[Endpoint, Endpoint] = {}
+        for output_endpoint in outputs:
+            if idle_probability and self._rng.random() < idle_probability:
+                continue
+            candidates = [
+                input_endpoint
+                for input_endpoint in inputs
+                if _compatible(self.model, output_endpoint, input_endpoint, chosen)
+            ]
+            if not candidates:
+                continue
+            chosen[output_endpoint] = self._rng.choice(candidates)
+        return chosen
+
+    def random_assignment(self, idle_probability: float = 0.3) -> MulticastAssignment:
+        """One random legal :class:`MulticastAssignment`."""
+        return MulticastAssignment.from_mapping(
+            self.random_mapping(idle_probability)
+        )
+
+    def random_full_assignment(self) -> MulticastAssignment:
+        """One random legal *full* assignment (every output endpoint used)."""
+        return MulticastAssignment.from_mapping(self.random_mapping(0.0))
+
+
+@dataclass(frozen=True)
+class TrafficEvent:
+    """One step of a dynamic traffic sequence."""
+
+    kind: Literal["setup", "teardown"]
+    connection: MulticastConnection
+    connection_id: int
+
+
+def dynamic_traffic(
+    model: MulticastModel,
+    n_ports: int,
+    k: int,
+    *,
+    steps: int,
+    seed: int,
+    max_fanout: int | None = None,
+    teardown_probability: float = 0.35,
+) -> Iterator[TrafficEvent]:
+    """Yield a random feasible sequence of connection setups/teardowns.
+
+    Every prefix of the generated sequence keeps the set of active
+    connections a legal multicast assignment under ``model``; a
+    nonblocking network must therefore accept every setup event.
+
+    Args:
+        model: multicast model the connections must obey.
+        n_ports: network size ``N``.
+        k: wavelengths per fiber.
+        steps: number of events to generate (fewer if the traffic space
+            is exhausted, which only happens for degenerate sizes).
+        seed: RNG seed; identical seeds give identical sequences.
+        max_fanout: cap on destinations per connection (default ``N``).
+        teardown_probability: chance a step tears down an active
+            connection instead of setting up a new one.
+    """
+    rng = random.Random(seed)
+    cap = n_ports if max_fanout is None else min(max_fanout, n_ports)
+    if cap < 1:
+        raise ValueError(f"max_fanout must allow at least one destination, got {cap}")
+
+    free_inputs: set[Endpoint] = {
+        Endpoint(p, w) for p in range(n_ports) for w in range(k)
+    }
+    free_outputs: set[Endpoint] = set(free_inputs)
+    active: dict[int, MulticastConnection] = {}
+    next_id = 0
+
+    def try_setup() -> MulticastConnection | None:
+        if not free_inputs:
+            return None
+        source = rng.choice(sorted(free_inputs))
+        if model is MulticastModel.MSW:
+            dest_wavelengths = [source.wavelength]
+        elif model is MulticastModel.MSDW:
+            dest_wavelengths = [rng.randrange(k)]
+        else:
+            dest_wavelengths = list(range(k))
+        # Ports that offer a free endpoint on an allowed wavelength.
+        port_options: dict[int, list[int]] = {}
+        for endpoint in free_outputs:
+            if endpoint.wavelength in dest_wavelengths:
+                port_options.setdefault(endpoint.port, []).append(endpoint.wavelength)
+        if model is not MulticastModel.MAW and len(dest_wavelengths) == 1:
+            pass  # port_options already restricted to the single wavelength
+        if not port_options:
+            return None
+        fanout = rng.randint(1, min(cap, len(port_options)))
+        ports = rng.sample(sorted(port_options), fanout)
+        destinations = [
+            Endpoint(port, rng.choice(port_options[port])) for port in ports
+        ]
+        return MulticastConnection(source, destinations)
+
+    for _ in range(steps):
+        do_teardown = active and (
+            rng.random() < teardown_probability or not free_inputs
+        )
+        if do_teardown:
+            connection_id = rng.choice(sorted(active))
+            connection = active.pop(connection_id)
+            free_inputs.add(connection.source)
+            free_outputs.update(connection.destinations)
+            yield TrafficEvent("teardown", connection, connection_id)
+            continue
+        connection = try_setup()
+        if connection is None:
+            if not active:
+                return  # nothing to do in either direction
+            connection_id = rng.choice(sorted(active))
+            connection = active.pop(connection_id)
+            free_inputs.add(connection.source)
+            free_outputs.update(connection.destinations)
+            yield TrafficEvent("teardown", connection, connection_id)
+            continue
+        free_inputs.discard(connection.source)
+        free_outputs.difference_update(connection.destinations)
+        active[next_id] = connection
+        yield TrafficEvent("setup", connection, next_id)
+        next_id += 1

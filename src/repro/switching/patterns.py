@@ -1,0 +1,166 @@
+"""Canonical multicast traffic patterns.
+
+Structured worst-ish-case workloads classically used to stress
+switching fabrics, expressed as legal multicast assignments of an
+``N x N`` ``k``-wavelength network:
+
+* **identity / permutation** -- unicast patterns (fanout 1);
+* **perfect shuffle** and **bit reversal** -- the classic adversarial
+  unicast permutations;
+* **broadcast** -- one source per wavelength reaching every port;
+* **ring multicast** -- each source multicasts to a window of
+  neighbours (models neighbour exchange in parallel computations);
+* **saturating multicast** -- a full-multicast-assignment using every
+  output endpoint, fanouts as equal as possible.
+
+Every generator returns a valid :class:`MulticastAssignment` under the
+requested model; a nonblocking network sized by the corrected bound
+must route each of them offline *and* in any arrival order, which the
+tests and ``bench_patterns.py`` verify.
+"""
+
+from __future__ import annotations
+
+from repro.core.models import MulticastModel
+from repro.switching.requests import Endpoint, MulticastAssignment, MulticastConnection
+
+__all__ = [
+    "bit_reversal",
+    "broadcast",
+    "identity",
+    "perfect_shuffle",
+    "ring_multicast",
+    "saturating_multicast",
+]
+
+
+def _check(n_ports: int, k: int) -> None:
+    if n_ports < 1 or k < 1:
+        raise ValueError(f"need N >= 1 and k >= 1, got N={n_ports}, k={k}")
+
+
+def identity(n_ports: int, k: int) -> MulticastAssignment:
+    """Every input endpoint to the same-numbered output endpoint."""
+    _check(n_ports, k)
+    return MulticastAssignment(
+        MulticastConnection(Endpoint(p, w), [Endpoint(p, w)])
+        for p in range(n_ports)
+        for w in range(k)
+    )
+
+
+def perfect_shuffle(n_ports: int, k: int) -> MulticastAssignment:
+    """Port ``p`` to port ``(2p) mod (N-1)`` (fixed point at ``N-1``).
+
+    The classic shuffle permutation; requires ``N >= 2``.
+    """
+    _check(n_ports, k)
+    if n_ports < 2:
+        raise ValueError("perfect shuffle needs N >= 2")
+
+    def shuffle(p: int) -> int:
+        if p == n_ports - 1:
+            return p
+        return (2 * p) % (n_ports - 1)
+
+    return MulticastAssignment(
+        MulticastConnection(Endpoint(p, w), [Endpoint(shuffle(p), w)])
+        for p in range(n_ports)
+        for w in range(k)
+    )
+
+
+def bit_reversal(n_ports: int, k: int) -> MulticastAssignment:
+    """Port ``p`` to the port with reversed bits (``N`` a power of two)."""
+    _check(n_ports, k)
+    bits = n_ports.bit_length() - 1
+    if 2**bits != n_ports:
+        raise ValueError(f"bit reversal needs N a power of two, got {n_ports}")
+
+    def reverse(p: int) -> int:
+        result = 0
+        for _ in range(bits):
+            result = (result << 1) | (p & 1)
+            p >>= 1
+        return result
+
+    return MulticastAssignment(
+        MulticastConnection(Endpoint(p, w), [Endpoint(reverse(p), w)])
+        for p in range(n_ports)
+        for w in range(k)
+    )
+
+
+def broadcast(n_ports: int, k: int) -> MulticastAssignment:
+    """Wavelength ``w``'s channel of port ``w mod N`` broadcasts to all ports.
+
+    One broadcast tree per wavelength plane -- ``k`` concurrent
+    broadcasts saturating every output endpoint.  (Legal under every
+    model: source and destinations share the wavelength.)
+    """
+    _check(n_ports, k)
+    return MulticastAssignment(
+        MulticastConnection(
+            Endpoint(w % n_ports, w),
+            [Endpoint(p, w) for p in range(n_ports)],
+        )
+        for w in range(k)
+    )
+
+
+def ring_multicast(
+    n_ports: int, k: int, *, window: int = 2
+) -> MulticastAssignment:
+    """Each input endpoint multicasts to the next ``window`` ports (same w).
+
+    Neighbour-exchange traffic; every output endpoint is used exactly
+    once (a full-multicast-assignment) when ``window`` divides into the
+    ring cleanly -- sources are spaced ``window`` apart per wavelength.
+    """
+    _check(n_ports, k)
+    if not 1 <= window <= n_ports:
+        raise ValueError(f"window must be in [1, {n_ports}], got {window}")
+    connections = []
+    for w in range(k):
+        port = 0
+        while port < n_ports:
+            width = min(window, n_ports - port)
+            connections.append(
+                MulticastConnection(
+                    Endpoint(port, w),
+                    [Endpoint((port + i) % n_ports, w) for i in range(width)],
+                )
+            )
+            port += width
+    return MulticastAssignment(connections)
+
+
+def saturating_multicast(
+    n_ports: int, k: int, *, sources: int | None = None
+) -> MulticastAssignment:
+    """A full-multicast-assignment from few sources, fanouts balanced.
+
+    ``sources`` input endpoints per wavelength (default ``max(1, N//4)``)
+    split the ``N`` output ports of their wavelength plane as evenly as
+    possible -- the high-fanout stress case for middle-switch sharing.
+    """
+    _check(n_ports, k)
+    per_wavelength = sources if sources is not None else max(1, n_ports // 4)
+    if not 1 <= per_wavelength <= n_ports:
+        raise ValueError(
+            f"sources must be in [1, {n_ports}], got {per_wavelength}"
+        )
+    connections = []
+    for w in range(k):
+        base, extra = divmod(n_ports, per_wavelength)
+        cursor = 0
+        for index in range(per_wavelength):
+            width = base + (1 if index < extra else 0)
+            connections.append(
+                MulticastConnection(
+                    Endpoint(index, w),
+                    [Endpoint(cursor + i, w) for i in range(width)],
+                )
+            )
+            cursor += width
+    return MulticastAssignment(connections)

@@ -1,0 +1,214 @@
+"""Endpoints, multicast connections, and multicast assignments.
+
+Terminology follows Section 2 of the paper:
+
+* an **endpoint** is a ``(port, wavelength)`` pair -- one of the ``N k``
+  wavelength channels at the input or output side of an ``N x N``
+  ``k``-wavelength network (Fig. 1);
+* a **multicast connection** carries the signal from one input endpoint
+  to a set of output endpoints, *at most one per output port*;
+* a **multicast assignment** is a set of connections in which every
+  input endpoint sources at most one connection and every output
+  endpoint terminates at most one connection;
+* a **full** multicast assignment uses *every* output endpoint; an
+  assignment in general ("any-multicast-assignment") may leave output
+  endpoints idle.
+
+Ports and wavelengths are 0-based throughout the code (the paper counts
+from 1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+
+__all__ = ["Endpoint", "MulticastAssignment", "MulticastConnection"]
+
+
+@dataclass(frozen=True, order=True)
+class Endpoint:
+    """One wavelength channel at one port: ``(port, wavelength)``."""
+
+    port: int
+    wavelength: int
+
+    def __post_init__(self) -> None:
+        if self.port < 0:
+            raise ValueError(f"port must be >= 0, got {self.port}")
+        if self.wavelength < 0:
+            raise ValueError(f"wavelength must be >= 0, got {self.wavelength}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"(port {self.port}, lambda_{self.wavelength})"
+
+
+@dataclass(frozen=True)
+class MulticastConnection:
+    """A single multicast connection: one source, a fanout of destinations.
+
+    Invariants enforced at construction:
+
+    * the destination set is non-empty;
+    * no two destinations share an output port (Section 2.1's first
+      restriction: a connection may not use two wavelengths at the same
+      output port).
+
+    Wavelength-model rules (same wavelength everywhere, etc.) are *not*
+    enforced here -- they belong to the model and are checked by
+    :mod:`repro.switching.validity`, so the same connection object can be
+    classified under each model.
+    """
+
+    source: Endpoint
+    destinations: frozenset[Endpoint]
+
+    def __init__(self, source: Endpoint, destinations: Iterable[Endpoint]):
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "destinations", frozenset(destinations))
+        if not self.destinations:
+            raise ValueError("a multicast connection needs at least one destination")
+        ports = [d.port for d in self.destinations]
+        if len(ports) != len(set(ports)):
+            raise ValueError(
+                "a multicast connection may use at most one wavelength per "
+                f"output port; got destinations {sorted(self.destinations)}"
+            )
+
+    @property
+    def fanout(self) -> int:
+        """Number of destinations."""
+        return len(self.destinations)
+
+    @property
+    def destination_ports(self) -> frozenset[int]:
+        """The set of output ports reached."""
+        return frozenset(d.port for d in self.destinations)
+
+    @property
+    def destination_wavelengths(self) -> tuple[int, ...]:
+        """Destination wavelengths in destination order (sorted by port)."""
+        return tuple(
+            d.wavelength for d in sorted(self.destinations, key=lambda e: e.port)
+        )
+
+    def is_unicast(self) -> bool:
+        """True if the connection has exactly one destination."""
+        return self.fanout == 1
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dests = ", ".join(str(d) for d in sorted(self.destinations))
+        return f"{self.source} -> {{{dests}}}"
+
+
+class MulticastAssignment:
+    """An immutable set of conflict-free multicast connections.
+
+    Invariants enforced at construction:
+
+    * distinct connections have distinct source endpoints (an input
+      wavelength carries at most one signal);
+    * no output endpoint terminates more than one connection
+      (Section 2.1's second restriction).
+
+    Equality is by the induced output-to-input mapping, which uniquely
+    determines the assignment.
+    """
+
+    __slots__ = ("_connections",)
+
+    def __init__(self, connections: Iterable[MulticastConnection]):
+        connections = tuple(
+            sorted(connections, key=lambda c: (c.source.port, c.source.wavelength))
+        )
+        sources = [c.source for c in connections]
+        if len(sources) != len(set(sources)):
+            raise ValueError("two connections share a source endpoint")
+        seen_outputs: set[Endpoint] = set()
+        for connection in connections:
+            overlap = seen_outputs & connection.destinations
+            if overlap:
+                raise ValueError(
+                    f"output endpoints used twice: {sorted(overlap)}"
+                )
+            seen_outputs |= connection.destinations
+        self._connections = connections
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> MulticastAssignment:
+        """The assignment with no connections."""
+        return cls(())
+
+    @classmethod
+    def from_mapping(
+        cls, mapping: Mapping[Endpoint, Endpoint]
+    ) -> MulticastAssignment:
+        """Build from an output-endpoint -> input-endpoint mapping.
+
+        Output endpoints mapped to the same input endpoint become the
+        destinations of a single multicast connection.  This is the
+        representation the capacity proofs count, so the enumeration
+        oracle works directly on mappings.
+        """
+        groups: dict[Endpoint, list[Endpoint]] = defaultdict(list)
+        for output_endpoint, input_endpoint in mapping.items():
+            groups[input_endpoint].append(output_endpoint)
+        return cls(
+            MulticastConnection(source, destinations)
+            for source, destinations in groups.items()
+        )
+
+    # -- views ---------------------------------------------------------
+
+    @property
+    def connections(self) -> tuple[MulticastConnection, ...]:
+        """The connections, sorted by source endpoint."""
+        return self._connections
+
+    def to_mapping(self) -> dict[Endpoint, Endpoint]:
+        """The induced output-endpoint -> input-endpoint mapping."""
+        mapping: dict[Endpoint, Endpoint] = {}
+        for connection in self._connections:
+            for destination in connection.destinations:
+                mapping[destination] = connection.source
+        return mapping
+
+    def used_input_endpoints(self) -> frozenset[Endpoint]:
+        """Input endpoints sourcing a connection."""
+        return frozenset(c.source for c in self._connections)
+
+    def used_output_endpoints(self) -> frozenset[Endpoint]:
+        """Output endpoints terminating a connection."""
+        return frozenset(
+            d for c in self._connections for d in c.destinations
+        )
+
+    def is_full(self, n_ports: int, k: int) -> bool:
+        """True iff every one of the ``N k`` output endpoints is used."""
+        return len(self.used_output_endpoints()) == n_ports * k
+
+    def total_fanout(self) -> int:
+        """Sum of connection fanouts (= number of used output endpoints)."""
+        return sum(c.fanout for c in self._connections)
+
+    # -- dunder --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._connections)
+
+    def __iter__(self) -> Iterator[MulticastConnection]:
+        return iter(self._connections)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MulticastAssignment):
+            return NotImplemented
+        return self._connections == other._connections
+
+    def __hash__(self) -> int:
+        return hash(self._connections)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MulticastAssignment({len(self._connections)} connections)"

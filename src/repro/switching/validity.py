@@ -1,0 +1,136 @@
+"""Validity rules for connections and assignments under each model.
+
+Structural rules (independent of the multicast model, Section 2.1):
+
+1. within a connection, at most one wavelength per output port
+   (enforced by :class:`repro.switching.requests.MulticastConnection`);
+2. across an assignment, each output endpoint used at most once and each
+   input endpoint sources at most one connection (enforced by
+   :class:`repro.switching.requests.MulticastAssignment`);
+3. every endpoint must exist: ``0 <= port < N`` and ``0 <= wavelength < k``.
+
+Model rules (Fig. 2):
+
+* **MSW**: source wavelength == every destination wavelength;
+* **MSDW**: all destination wavelengths equal (source free);
+* **MAW**: no wavelength rule.
+
+This module re-checks *everything* (including what the dataclasses
+enforce), so it can serve as an independent oracle for the enumeration
+and fabric tests.
+"""
+
+from __future__ import annotations
+
+from repro.core.models import MulticastModel
+from repro.switching.requests import Endpoint, MulticastAssignment, MulticastConnection
+
+__all__ = [
+    "ValidityError",
+    "check_assignment",
+    "check_connection",
+    "is_valid_assignment",
+    "is_valid_connection",
+]
+
+
+class ValidityError(ValueError):
+    """A connection or assignment violates a structural or model rule."""
+
+
+def _check_endpoint(endpoint: Endpoint, n_ports: int, k: int, side: str) -> None:
+    if not 0 <= endpoint.port < n_ports:
+        raise ValidityError(
+            f"{side} port {endpoint.port} outside [0, {n_ports})"
+        )
+    if not 0 <= endpoint.wavelength < k:
+        raise ValidityError(
+            f"{side} wavelength {endpoint.wavelength} outside [0, {k})"
+        )
+
+
+def check_connection(
+    connection: MulticastConnection,
+    model: MulticastModel,
+    n_ports: int,
+    k: int,
+) -> None:
+    """Raise :class:`ValidityError` if the connection is illegal.
+
+    Checks endpoint ranges, the one-wavelength-per-output-port rule, and
+    the model's wavelength rule.
+    """
+    _check_endpoint(connection.source, n_ports, k, "source")
+    ports_seen: set[int] = set()
+    for destination in connection.destinations:
+        _check_endpoint(destination, n_ports, k, "destination")
+        if destination.port in ports_seen:
+            raise ValidityError(
+                f"two destinations at output port {destination.port}"
+            )
+        ports_seen.add(destination.port)
+    if not model.admits(
+        connection.source.wavelength,
+        [d.wavelength for d in connection.destinations],
+    ):
+        raise ValidityError(
+            f"wavelengths violate the {model} rule: source "
+            f"lambda_{connection.source.wavelength}, destinations "
+            f"{sorted(d.wavelength for d in connection.destinations)}"
+        )
+
+
+def check_assignment(
+    assignment: MulticastAssignment,
+    model: MulticastModel,
+    n_ports: int,
+    k: int,
+) -> None:
+    """Raise :class:`ValidityError` if the assignment is illegal.
+
+    Checks every connection plus the cross-connection exclusivity of
+    input and output endpoints.
+    """
+    used_inputs: set[Endpoint] = set()
+    used_outputs: set[Endpoint] = set()
+    for connection in assignment:
+        check_connection(connection, model, n_ports, k)
+        if connection.source in used_inputs:
+            raise ValidityError(
+                f"input endpoint {connection.source} sources two connections"
+            )
+        used_inputs.add(connection.source)
+        for destination in connection.destinations:
+            if destination in used_outputs:
+                raise ValidityError(
+                    f"output endpoint {destination} terminates two connections"
+                )
+            used_outputs.add(destination)
+
+
+def is_valid_connection(
+    connection: MulticastConnection,
+    model: MulticastModel,
+    n_ports: int,
+    k: int,
+) -> bool:
+    """Boolean form of :func:`check_connection`."""
+    try:
+        check_connection(connection, model, n_ports, k)
+    except ValidityError:
+        return False
+    return True
+
+
+def is_valid_assignment(
+    assignment: MulticastAssignment,
+    model: MulticastModel,
+    n_ports: int,
+    k: int,
+) -> bool:
+    """Boolean form of :func:`check_assignment`."""
+    try:
+        check_assignment(assignment, model, n_ports, k)
+    except ValidityError:
+        return False
+    return True

@@ -1,0 +1,63 @@
+"""Tests for the CSV/JSON data exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.export import flatten, to_csv, to_json, write_series
+from repro.analysis.figures import cost_vs_n
+from repro.analysis.tables import table1
+from repro.core.models import MulticastModel
+
+
+class TestFlatten:
+    def test_dataclass_with_enum(self):
+        row = flatten(table1(3, 2)[0])
+        assert row["model"] == "MSW"
+        assert row["crosspoints"] == 18
+
+    def test_mapping(self):
+        assert flatten({"a": 1, "b": {"c": 2}}) == {"a": 1, "b.c": 2}
+
+    def test_sequence_values_joined(self):
+        assert flatten({"xs": [3, 1, 2]}) == {"xs": "1;2;3"}
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            flatten(42)
+
+
+class TestCsv:
+    def test_table1_roundtrip(self):
+        text = to_csv(table1(4, 2))
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("model,")
+        assert len(lines) == 4  # header + 3 models
+        assert "MSDW" in lines[2]
+
+    def test_cost_points(self):
+        text = to_csv(cost_vs_n([64, 256], 2, MulticastModel.MSW))
+        assert "n_ports" in text and "multistage" in text
+
+
+class TestJson:
+    def test_parses_back(self):
+        payload = json.loads(to_json(table1(3, 2)))
+        assert len(payload) == 3
+        assert payload[2]["model"] == "MAW"
+
+
+class TestWriteSeries:
+    def test_csv_file(self, tmp_path):
+        path = write_series(table1(3, 2), tmp_path / "t1.csv")
+        assert path.read_text().startswith("model,")
+
+    def test_json_file(self, tmp_path):
+        path = write_series(table1(3, 2), tmp_path / "t1.json")
+        assert json.loads(path.read_text())[0]["model"] == "MSW"
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="suffix"):
+            write_series(table1(3, 2), tmp_path / "t1.xlsx")

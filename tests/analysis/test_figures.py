@@ -1,0 +1,91 @@
+"""Tests for the implied-figure data series."""
+
+from __future__ import annotations
+
+from repro.analysis.figures import (
+    bound_vs_x,
+    capacity_growth,
+    cost_vs_n,
+    find_crossover,
+)
+from repro.core.models import Construction, MulticastModel
+
+
+class TestCostVsN:
+    def test_multistage_ratio_grows(self):
+        points = cost_vs_n([256, 1024, 4096], 4)
+        ratios = [point.ratio for point in points]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > 2.0
+
+    def test_asymptotic_only_for_large_n(self):
+        points = cost_vs_n([64, 256], 4)
+        assert points[0].multistage_asymptotic is None
+        assert points[1].multistage_asymptotic is not None
+
+    def test_crossbar_column_exact(self):
+        [point] = cost_vs_n([128], 2, MulticastModel.MAW)
+        assert point.crossbar == 4 * 128 * 128
+
+
+class TestCrossover:
+    def test_exists_for_every_model(self, model):
+        crossover = find_crossover(4, model)
+        assert crossover is not None
+        assert crossover.n_ports in crossover.swept
+
+    def test_stronger_models_cross_earlier_or_equal(self):
+        """The k^2 crossbar penalty makes MSDW/MAW multistage pay off sooner."""
+        msw = find_crossover(4, MulticastModel.MSW).n_ports
+        maw = find_crossover(4, MulticastModel.MAW).n_ports
+        assert maw <= msw
+
+    def test_crossover_is_genuine(self, model):
+        from repro.core.cost import crossbar_crosspoints
+        from repro.core.multistage import optimal_design
+
+        crossover = find_crossover(2, model)
+        design = optimal_design(crossover.n_ports, 2, model)
+        assert design.cost.crosspoints < crossbar_crosspoints(
+            model, crossover.n_ports, 2
+        )
+
+
+class TestBoundVsX:
+    def test_profile_covers_legal_range(self, construction):
+        profile = bound_vs_x(8, 8, 4, construction)
+        assert [x for x, _ in profile] == list(range(1, 8))
+
+    def test_u_shape_for_large_r(self, construction):
+        """m(1) is large (pays r), m(max x) is larger than the optimum."""
+        profile = dict(bound_vs_x(10, 40, 2, construction))
+        m_min = min(profile.values())
+        assert profile[1] > m_min
+        assert profile[max(profile)] > m_min
+
+    def test_maw_dominant_pointwise_geq(self):
+        msw = dict(bound_vs_x(6, 12, 3, Construction.MSW_DOMINANT))
+        maw = dict(bound_vs_x(6, 12, 3, Construction.MAW_DOMINANT))
+        for x in msw:
+            assert maw[x] >= msw[x]
+
+
+class TestCapacityGrowth:
+    def test_monotone_in_k(self):
+        points = capacity_growth(6, [1, 2, 3, 4])
+        for model in MulticastModel:
+            series = [point.log10_full[model.value] for point in points]
+            assert series == sorted(series)
+
+    def test_model_order_at_every_k(self):
+        for point in capacity_growth(6, [2, 3]):
+            assert (
+                point.log10_full["MSW"]
+                < point.log10_full["MSDW"]
+                < point.log10_full["MAW"]
+            )
+
+    def test_k1_models_coincide(self):
+        [point] = capacity_growth(6, [1])
+        values = set(point.log10_full.values())
+        assert len(values) == 1

@@ -1,0 +1,53 @@
+"""Tests for the aspect-ratio sensitivity study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    aspect_ratio_study,
+    nearest_square_point,
+)
+from repro.core.models import MulticastModel
+from repro.core.multistage import optimal_design
+
+
+class TestStudy:
+    def test_covers_all_proper_factorizations(self):
+        points = aspect_ratio_study(64, 2)
+        assert [(p.n, p.r) for p in points] == [
+            (2, 32), (4, 16), (8, 8), (16, 4), (32, 2),
+        ]
+
+    def test_minimum_matches_optimal_design(self):
+        points = aspect_ratio_study(64, 2)
+        best = min(points, key=lambda p: p.crosspoints)
+        design = optimal_design(64, 2)
+        assert best.crosspoints == design.cost.crosspoints
+
+    def test_extreme_splits_are_penalized(self):
+        points = aspect_ratio_study(256, 2)
+        best = min(p.crosspoints for p in points)
+        widest = points[0].crosspoints  # n = 2
+        narrowest = points[-1].crosspoints  # r = 2
+        assert widest > best
+        assert narrowest > best
+
+    def test_square_split_near_optimal(self):
+        """The paper's n = r choice is within 2x of the true optimum."""
+        for n_ports in (64, 256, 1024):
+            points = aspect_ratio_study(n_ports, 4, MulticastModel.MAW)
+            best = min(p.crosspoints for p in points)
+            square = nearest_square_point(points)
+            assert square.crosspoints <= 2 * best
+
+    def test_prime_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            aspect_ratio_study(7, 2)
+        with pytest.raises(ValueError):
+            aspect_ratio_study(2, 2)
+
+    def test_aspect_property(self):
+        points = aspect_ratio_study(16, 1)
+        squares = [p for p in points if p.n == p.r]
+        assert squares and squares[0].aspect == 1.0

@@ -1,0 +1,146 @@
+"""Tests for the Table 1 / Table 2 regeneration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.rendering import render_table
+from repro.analysis.tables import (
+    render_table1,
+    render_table2,
+    table1,
+    table1_symbolic,
+    table2,
+    table2_symbolic,
+)
+from repro.core.capacity import any_multicast_capacity, full_multicast_capacity
+from repro.core.cost import crossbar_converters, crossbar_crosspoints
+from repro.core.models import Construction, MulticastModel
+
+
+class TestTable1:
+    def test_rows_cover_all_models_in_paper_order(self):
+        rows = table1(4, 2)
+        assert [row.model for row in rows] == [
+            MulticastModel.MSW,
+            MulticastModel.MSDW,
+            MulticastModel.MAW,
+        ]
+
+    def test_values_match_core(self):
+        for row in table1(3, 2):
+            assert row.capacity_full == full_multicast_capacity(row.model, 3, 2)
+            assert row.capacity_any == any_multicast_capacity(row.model, 3, 2)
+            assert row.crosspoints == crossbar_crosspoints(row.model, 3, 2)
+            assert row.converters == crossbar_converters(row.model, 3, 2)
+
+    def test_paper_qualitative_shape(self):
+        """Capacity up, MSDW/MAW same cost, MSW zero converters."""
+        msw, msdw, maw = table1(4, 3)
+        assert msw.capacity_full < msdw.capacity_full < maw.capacity_full
+        assert msdw.crosspoints == maw.crosspoints == 3 * msw.crosspoints
+        assert msw.converters == 0
+        assert msdw.converters == maw.converters == 12
+
+    def test_log10_properties(self):
+        row = table1(8, 4)[2]
+        assert row.log10_capacity_full < row.log10_capacity_any
+
+    def test_symbolic_rows(self):
+        rows = table1_symbolic()
+        assert [row["model"] for row in rows] == ["MSW", "MSDW", "MAW"]
+        assert rows[0]["capacity_full"] == "N^(Nk)"
+
+    def test_render_contains_all_models(self):
+        text = render_table1(4, 2)
+        for label in ("MSW", "MSDW", "MAW", "Table 1"):
+            assert label in text
+
+    def test_render_switches_to_log_for_huge_capacities(self):
+        text = render_table1(16, 8)
+        assert "10^" in text
+
+
+class TestTable2:
+    def test_six_rows_in_paper_order(self):
+        rows = table2(64, 2)
+        assert [row.label for row in rows] == [
+            "MSW/CB",
+            "MSW/MS",
+            "MSDW/CB",
+            "MSDW/MS",
+            "MAW/CB",
+            "MAW/MS",
+        ]
+
+    def test_cb_rows_match_core(self):
+        for row in table2(64, 2):
+            if row.implementation == "CB":
+                assert row.crosspoints == crossbar_crosspoints(row.model, 64, 2)
+                assert row.design is None
+
+    def test_ms_rows_carry_nonblocking_designs(self):
+        from repro.core.multistage import is_nonblocking
+
+        for row in table2(64, 2):
+            if row.implementation == "MS":
+                design = row.design
+                assert design is not None
+                assert is_nonblocking(
+                    design.m,
+                    design.n,
+                    design.r,
+                    design.k,
+                    Construction.MSW_DOMINANT,
+                    design.x,
+                )
+
+    def test_multistage_wins_at_large_n(self):
+        rows = {row.label: row for row in table2(1024, 4)}
+        for model in ("MSW", "MSDW", "MAW"):
+            assert rows[f"{model}/MS"].crosspoints < rows[f"{model}/CB"].crosspoints
+
+    def test_maw_ms_converters_kn(self):
+        rows = {row.label: row for row in table2(256, 4)}
+        assert rows["MAW/MS"].converters == 4 * 256
+        # MSDW/MS pays the log factor in converters.
+        assert rows["MSDW/MS"].converters > rows["MAW/MS"].converters
+
+    def test_symbolic_rows(self):
+        rows = table2_symbolic()
+        assert len(rows) == 6
+        assert rows[1]["crosspoints"].startswith("O(")
+
+    def test_render(self):
+        text = render_table2(64, 2)
+        assert "MSW/MS" in text and "n=" in text
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(["a", "bb"], [[1, 22], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "333" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+
+class TestTable2BoundChoice:
+    def test_corrected_default_never_smaller_than_paper(self):
+        corrected = {r.label: r for r in table2(256, 4)}
+        paper = {r.label: r for r in table2(256, 4, use_paper_bound=True)}
+        for model in ("MSDW", "MAW"):
+            assert (
+                corrected[f"{model}/MS"].design.m
+                > paper[f"{model}/MS"].design.m
+            )
+        # MSW rows identical under both bounds.
+        assert corrected["MSW/MS"].design.m == paper["MSW/MS"].design.m
+
+    def test_corrected_designs_still_beat_crossbar(self):
+        rows = {r.label: r for r in table2(1024, 4)}
+        for model in ("MSW", "MSDW", "MAW"):
+            assert rows[f"{model}/MS"].crosspoints < rows[f"{model}/CB"].crosspoints

@@ -1,0 +1,37 @@
+"""Tests for the Section 2.4 cost-performance comparison."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.tradeoffs import compare_models, dominated_models
+from repro.core.models import MulticastModel
+
+
+class TestCompareModels:
+    def test_three_rows(self):
+        rows = compare_models(4, 2)
+        assert [row.model for row in rows] == list(MulticastModel)
+
+    def test_figure_of_merit_finite(self):
+        for row in compare_models(6, 3):
+            assert row.log10_capacity_per_crosspoint > 0
+
+
+class TestDomination:
+    @given(st.integers(2, 6), st.integers(2, 4))
+    def test_msdw_dominated_for_k_gt_1(self, n_ports, k):
+        """The paper's Section 2.4 conclusion, exactly."""
+        assert dominated_models(n_ports, k) == {MulticastModel.MSDW}
+
+    @given(st.integers(1, 8))
+    def test_nothing_dominated_at_k1(self, n_ports):
+        assert dominated_models(n_ports, 1) == set()
+
+    def test_msw_maw_genuine_tradeoff(self):
+        """MSW is cheaper, MAW is stronger; neither dominates."""
+        rows = {row.model: row for row in compare_models(4, 3)}
+        msw, maw = rows[MulticastModel.MSW], rows[MulticastModel.MAW]
+        assert msw.cost.crosspoints < maw.cost.crosspoints
+        assert msw.capacity.full < maw.capacity.full

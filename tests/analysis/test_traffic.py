@@ -1,0 +1,81 @@
+"""Tests for the stochastic offered-load study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.traffic import LoadPoint, loss_vs_load, simulate_offered_load
+from repro.core.corrected import min_middle_switches_corrected
+from repro.core.models import Construction, MulticastModel
+
+
+class TestSimulation:
+    def test_deterministic_given_seed(self):
+        a = simulate_offered_load(2, 2, 3, 1, offered_erlangs=2.0, seed=5, arrivals=300)
+        b = simulate_offered_load(2, 2, 3, 1, offered_erlangs=2.0, seed=5, arrivals=300)
+        assert a == b
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_offered_load(2, 2, 3, 1, offered_erlangs=0.0)
+
+    def test_zero_fabric_loss_at_corrected_bound(self):
+        """The theorems' guarantee survives heavy stochastic load."""
+        n, r, k = 3, 3, 2
+        model = MulticastModel.MAW
+        m = min_middle_switches_corrected(
+            n, r, k, Construction.MSW_DOMINANT, model, x=1
+        )
+        for load in (2.0, 8.0, 20.0):
+            point = simulate_offered_load(
+                n, r, m, k,
+                offered_erlangs=load, model=model, x=1, arrivals=1200, seed=2,
+            )
+            assert point.fabric_losses == 0
+
+    def test_starved_network_loses_traffic(self):
+        point = simulate_offered_load(
+            3, 3, 2, 2,
+            offered_erlangs=8.0,
+            model=MulticastModel.MAW,
+            x=1,
+            arrivals=1200,
+            seed=2,
+        )
+        assert point.fabric_loss_probability > 0.05
+
+    def test_carried_load_saturates(self):
+        """Mean carried load approaches the offered load when unblocked
+        and is capped by endpoint capacity under overload."""
+        light = simulate_offered_load(
+            3, 3, 10, 1, offered_erlangs=1.0, arrivals=1500, seed=0
+        )
+        heavy = simulate_offered_load(
+            3, 3, 10, 1, offered_erlangs=30.0, arrivals=1500, seed=0
+        )
+        assert light.mean_carried == pytest.approx(1.0, abs=0.35)
+        assert heavy.mean_carried <= 9.0  # at most N*k concurrent sources
+
+    def test_loss_probability_fields(self):
+        point = LoadPoint(
+            offered_erlangs=1.0,
+            arrivals=100,
+            fabric_losses=5,
+            endpoint_losses=10,
+            mean_carried=0.9,
+        )
+        assert point.fabric_loss_probability == 0.05
+        assert point.endpoint_busy_probability == 0.10
+
+
+class TestCurve:
+    def test_loss_increases_with_load_below_bound(self):
+        points = loss_vs_load(
+            3, 3, 3, 1, [0.5, 4.0, 16.0], x=1, arrivals=1200, seed=1
+        )
+        losses = [point.fabric_loss_probability for point in points]
+        assert losses[0] < losses[-1]
+
+    def test_curve_is_ordered_by_input(self):
+        points = loss_vs_load(2, 2, 3, 1, [1.0, 2.0], arrivals=200, seed=0)
+        assert [p.offered_erlangs for p in points] == [1.0, 2.0]

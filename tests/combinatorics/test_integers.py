@@ -1,0 +1,133 @@
+"""Tests for the exact integer primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.combinatorics.integers import (
+    binomial,
+    falling_factorial,
+    integer_root,
+    min_base_exceeding,
+    power_exceeds,
+)
+
+
+class TestFallingFactorial:
+    def test_empty_product_is_one(self):
+        assert falling_factorial(7, 0) == 1
+        assert falling_factorial(0, 0) == 1
+
+    def test_single_factor(self):
+        assert falling_factorial(9, 1) == 9
+
+    def test_known_values(self):
+        assert falling_factorial(5, 3) == 5 * 4 * 3
+        assert falling_factorial(10, 10) == math.factorial(10)
+
+    def test_too_long_injection_is_zero(self):
+        assert falling_factorial(3, 4) == 0
+        assert falling_factorial(0, 1) == 0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            falling_factorial(5, -1)
+
+    @given(st.integers(0, 40), st.integers(0, 40))
+    def test_matches_factorial_ratio(self, x: int, i: int):
+        if i <= x:
+            assert falling_factorial(x, i) == math.factorial(x) // math.factorial(x - i)
+        else:
+            assert falling_factorial(x, i) == 0
+
+    @given(st.integers(1, 30), st.integers(1, 30))
+    def test_recurrence(self, x: int, i: int):
+        """P(x, i) = x * P(x-1, i-1)."""
+        assert falling_factorial(x, i) == x * falling_factorial(x - 1, i - 1)
+
+
+class TestBinomial:
+    def test_known_values(self):
+        assert binomial(5, 2) == 10
+        assert binomial(6, 0) == 1
+        assert binomial(6, 6) == 1
+
+    def test_out_of_range_is_zero(self):
+        assert binomial(4, 5) == 0
+        assert binomial(4, -1) == 0
+        assert binomial(-1, 0) == 0
+
+    @given(st.integers(0, 60), st.integers(0, 60))
+    def test_symmetry(self, n: int, j: int):
+        assert binomial(n, j) == binomial(n, n - j) if 0 <= j <= n else True
+
+    @given(st.integers(1, 50), st.integers(0, 50))
+    def test_pascal(self, n: int, j: int):
+        assert binomial(n, j) == binomial(n - 1, j - 1) + binomial(n - 1, j)
+
+
+class TestIntegerRoot:
+    def test_small_values(self):
+        assert integer_root(0, 3) == 0
+        assert integer_root(1, 7) == 1
+        assert integer_root(8, 3) == 2
+        assert integer_root(9, 3) == 2
+        assert integer_root(26, 3) == 2
+        assert integer_root(27, 3) == 3
+
+    def test_degree_one(self):
+        assert integer_root(12345, 1) == 12345
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            integer_root(-1, 2)
+        with pytest.raises(ValueError):
+            integer_root(4, 0)
+
+    def test_huge_value_exact(self):
+        value = 10**60 + 12345
+        root = integer_root(value, 3)
+        assert root**3 <= value < (root + 1) ** 3
+
+    @given(st.integers(0, 10**18), st.integers(1, 12))
+    def test_floor_property(self, value: int, degree: int):
+        root = integer_root(value, degree)
+        assert root**degree <= value
+        assert (root + 1) ** degree > value
+
+    @given(st.integers(0, 10**6), st.integers(1, 8))
+    def test_exact_powers_roundtrip(self, base: int, degree: int):
+        assert integer_root(base**degree, degree) == base
+
+
+class TestPowerExceeds:
+    @given(st.integers(0, 1000), st.integers(0, 20), st.integers(-5, 10**12))
+    def test_matches_direct_computation(self, base: int, exponent: int, bound: int):
+        assert power_exceeds(base, exponent, bound) == (base**exponent > bound)
+
+    def test_huge_shortcut(self):
+        assert power_exceeds(2, 10**6, 10**300)
+
+
+class TestMinBaseExceeding:
+    def test_small_cases(self):
+        assert min_base_exceeding(0, 1) == 1
+        assert min_base_exceeding(8, 3) == 3  # 2^3 = 8 not > 8
+        assert min_base_exceeding(7, 3) == 2
+        assert min_base_exceeding(26, 3) == 3
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            min_base_exceeding(-1, 2)
+        with pytest.raises(ValueError):
+            min_base_exceeding(5, 0)
+
+    @given(st.integers(0, 10**12), st.integers(1, 10))
+    def test_minimality(self, bound: int, exponent: int):
+        s = min_base_exceeding(bound, exponent)
+        assert s**exponent > bound
+        assert s == 0 or (s - 1) ** exponent <= bound

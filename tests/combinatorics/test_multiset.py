@@ -1,0 +1,161 @@
+"""Tests for the destination multiset algebra (paper eqs. (2)-(5))."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.combinatorics.multiset import DestinationMultiset
+
+
+@st.composite
+def multisets(draw, r_range=(1, 6), k_range=(1, 4)):
+    r = draw(st.integers(*r_range))
+    k = draw(st.integers(*k_range))
+    counts = draw(st.lists(st.integers(0, k), min_size=r, max_size=r))
+    return DestinationMultiset(counts, k)
+
+
+@st.composite
+def multiset_pairs(draw):
+    r = draw(st.integers(1, 6))
+    k = draw(st.integers(1, 4))
+    a = draw(st.lists(st.integers(0, k), min_size=r, max_size=r))
+    b = draw(st.lists(st.integers(0, k), min_size=r, max_size=r))
+    return DestinationMultiset(a, k), DestinationMultiset(b, k)
+
+
+class TestConstruction:
+    def test_empty(self):
+        m = DestinationMultiset.empty(4, 2)
+        assert m.counts == (0, 0, 0, 0)
+        assert m.is_null()
+        assert m.total() == 0
+
+    def test_from_elements(self):
+        m = DestinationMultiset.from_elements([0, 2, 2], r=3, k=2)
+        assert m.counts == (1, 0, 2)
+        assert m.multiplicity(2) == 2
+
+    def test_from_elements_over_cap_rejected(self):
+        with pytest.raises(ValueError):
+            DestinationMultiset.from_elements([1, 1, 1], r=2, k=2)
+
+    def test_from_elements_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            DestinationMultiset.from_elements([5], r=2, k=2)
+
+    def test_multiplicity_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            DestinationMultiset([3], k=2)
+        with pytest.raises(ValueError):
+            DestinationMultiset([-1], k=2)
+        with pytest.raises(ValueError):
+            DestinationMultiset([0], k=0)
+
+
+class TestPaperSemantics:
+    def test_cardinality_counts_saturated_elements(self):
+        """Eq. (4): |M| = #{p : multiplicity(p) == k}."""
+        m = DestinationMultiset([2, 1, 2, 0], k=2)
+        assert m.cardinality() == 2
+        assert m.saturated_elements() == {0, 2}
+        assert m.usable_elements() == {1, 3}
+
+    def test_null_iff_no_saturation(self):
+        """Eq. (5): M = null iff |M| = 0 (NOT iff all zero)."""
+        assert DestinationMultiset([1, 1], k=2).is_null()
+        assert not DestinationMultiset([2, 0], k=2).is_null()
+
+    def test_intersection_is_elementwise_min(self):
+        """Eq. (3): usable through {j, h} == usable through M_j `intersect` M_h."""
+        a = DestinationMultiset([2, 1, 0], k=2)
+        b = DestinationMultiset([2, 2, 1], k=2)
+        assert a.intersect(b).counts == (2, 1, 0)
+
+    @given(multiset_pairs())
+    def test_intersection_usability_semantics(self, pair):
+        """p unusable via the pair iff saturated in both (the paper's point)."""
+        a, b = pair
+        meet = a.intersect(b)
+        for p in range(a.r):
+            through_either = (
+                a.multiplicity(p) < a.k or b.multiplicity(p) < b.k
+            )
+            assert (meet.multiplicity(p) < meet.k) == through_either
+
+
+class TestAlgebraProperties:
+    @given(multiset_pairs())
+    def test_intersection_commutative(self, pair):
+        a, b = pair
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(multisets())
+    def test_intersection_idempotent(self, m):
+        assert m.intersect(m) == m
+
+    @given(multisets())
+    def test_intersect_with_empty(self, m):
+        empty = DestinationMultiset.empty(m.r, m.k)
+        assert m.intersect(empty) == empty
+
+    @given(multiset_pairs())
+    def test_intersection_shrinks_cardinality(self, pair):
+        a, b = pair
+        meet = a.intersect(b)
+        assert meet.cardinality() <= min(a.cardinality(), b.cardinality())
+
+    def test_incompatible_multisets_rejected(self):
+        a = DestinationMultiset([0, 0], k=2)
+        b = DestinationMultiset([0], k=2)
+        c = DestinationMultiset([0, 0], k=3)
+        with pytest.raises(ValueError):
+            a.intersect(b)
+        with pytest.raises(ValueError):
+            a.intersect(c)
+
+    def test_intersect_all(self):
+        sets = [
+            DestinationMultiset([2, 2, 1], k=2),
+            DestinationMultiset([2, 1, 2], k=2),
+            DestinationMultiset([1, 2, 2], k=2),
+        ]
+        assert DestinationMultiset.intersect_all(sets).counts == (1, 1, 1)
+
+    def test_intersect_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DestinationMultiset.intersect_all([])
+
+
+class TestMutatorsAndViews:
+    def test_add_remove_roundtrip(self):
+        m = DestinationMultiset([1, 0], k=2)
+        grown = m.add(1)
+        assert grown.counts == (1, 1)
+        assert grown.remove(1) == m
+
+    def test_add_over_cap_rejected(self):
+        with pytest.raises(ValueError):
+            DestinationMultiset([2], k=2).add(0)
+
+    def test_restrict(self):
+        m = DestinationMultiset([2, 1, 2], k=2)
+        assert m.restrict([0]).counts == (2, 0, 0)
+        assert m.restrict([]).is_null()
+
+    def test_iteration_expands_multiplicity(self):
+        m = DestinationMultiset([2, 0, 1], k=2)
+        assert sorted(m) == [0, 0, 2]
+
+    def test_hash_and_eq(self):
+        a = DestinationMultiset([1, 2], k=2)
+        b = DestinationMultiset([1, 2], k=2)
+        c = DestinationMultiset([1, 2], k=3)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_repr_mentions_nonzero_elements(self):
+        text = repr(DestinationMultiset([0, 2], k=2))
+        assert "1^2" in text

@@ -1,0 +1,66 @@
+"""Tests for set-partition enumeration."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.combinatorics.partitions import (
+    count_partitions_into,
+    iter_set_partitions,
+    iter_set_partitions_into,
+)
+from repro.combinatorics.stirling import bell_number, stirling2
+
+
+class TestIterSetPartitions:
+    def test_empty_set(self):
+        assert list(iter_set_partitions([])) == [[]]
+
+    def test_singleton(self):
+        assert list(iter_set_partitions([7])) == [[[7]]]
+
+    def test_two_elements(self):
+        partitions = [
+            sorted(sorted(block) for block in partition)
+            for partition in iter_set_partitions([1, 2])
+        ]
+        assert sorted(partitions) == [[[1], [2]], [[1, 2]]]
+
+    @given(st.integers(0, 8))
+    def test_count_is_bell(self, n: int):
+        items = list(range(n))
+        assert sum(1 for _ in iter_set_partitions(items)) == bell_number(n)
+
+    @given(st.integers(1, 7))
+    def test_partitions_are_valid_and_distinct(self, n: int):
+        items = list(range(n))
+        seen = set()
+        for partition in iter_set_partitions(items):
+            flattened = sorted(x for block in partition for x in block)
+            assert flattened == items, "blocks must partition the set"
+            assert all(block for block in partition), "no empty blocks"
+            key = frozenset(frozenset(block) for block in partition)
+            assert key not in seen, "duplicate partition emitted"
+            seen.add(key)
+
+
+class TestIterSetPartitionsInto:
+    @given(st.integers(0, 7), st.integers(0, 8))
+    def test_count_is_stirling(self, n: int, blocks: int):
+        items = list(range(n))
+        count = sum(1 for _ in iter_set_partitions_into(items, blocks))
+        assert count == stirling2(n, blocks)
+
+    def test_block_count_respected(self):
+        for partition in iter_set_partitions_into(list(range(5)), 3):
+            assert len(partition) == 3
+
+
+class TestCountPartitionsInto:
+    @pytest.mark.parametrize(
+        "n,blocks,expected", [(4, 2, 7), (5, 3, 25), (6, 1, 1), (6, 6, 1), (3, 5, 0)]
+    )
+    def test_known(self, n: int, blocks: int, expected: int):
+        assert count_partitions_into(n, blocks) == expected

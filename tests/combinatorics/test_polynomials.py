@@ -1,0 +1,116 @@
+"""Tests for the integer polynomial generating functions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.combinatorics.polynomials import IntPolynomial
+
+coeff_lists = st.lists(st.integers(-50, 50), max_size=8)
+
+
+def poly(coeffs: list[int]) -> IntPolynomial:
+    return IntPolynomial(coeffs)
+
+
+class TestConstruction:
+    def test_trailing_zeros_normalized(self):
+        assert poly([1, 2, 0, 0]) == poly([1, 2])
+        assert poly([0, 0]) == IntPolynomial.zero()
+
+    def test_zero_and_one(self):
+        assert not IntPolynomial.zero()
+        assert IntPolynomial.one().coefficients == (1,)
+        assert IntPolynomial.zero().degree == -1
+
+    def test_monomial(self):
+        m = IntPolynomial.monomial(3, 5)
+        assert m.coefficient(3) == 5
+        assert m.coefficient(2) == 0
+        assert m.degree == 3
+
+    def test_monomial_negative_degree_rejected(self):
+        with pytest.raises(ValueError):
+            IntPolynomial.monomial(-1)
+
+    def test_coefficient_out_of_range(self):
+        p = poly([1, 2])
+        assert p.coefficient(10) == 0
+        with pytest.raises(ValueError):
+            p.coefficient(-1)
+
+
+class TestArithmetic:
+    @given(coeff_lists, coeff_lists)
+    def test_addition_matches_evaluation(self, a: list[int], b: list[int]):
+        pa, pb = poly(a), poly(b)
+        for point in (-2, 0, 1, 3):
+            assert (pa + pb)(point) == pa(point) + pb(point)
+
+    @given(coeff_lists, coeff_lists)
+    def test_multiplication_matches_evaluation(self, a: list[int], b: list[int]):
+        pa, pb = poly(a), poly(b)
+        for point in (-2, 0, 1, 3):
+            assert (pa * pb)(point) == pa(point) * pb(point)
+
+    @given(coeff_lists, coeff_lists)
+    def test_commutativity(self, a: list[int], b: list[int]):
+        assert poly(a) * poly(b) == poly(b) * poly(a)
+        assert poly(a) + poly(b) == poly(b) + poly(a)
+
+    @given(coeff_lists)
+    def test_identities(self, a: list[int]):
+        pa = poly(a)
+        assert pa * IntPolynomial.one() == pa
+        assert pa * IntPolynomial.zero() == IntPolynomial.zero()
+        assert pa + IntPolynomial.zero() == pa
+
+    @given(coeff_lists, st.integers(0, 5))
+    def test_power_matches_repeated_multiplication(self, a: list[int], exp: int):
+        pa = poly(a)
+        expected = IntPolynomial.one()
+        for _ in range(exp):
+            expected = expected * pa
+        assert pa**exp == expected
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            poly([1, 1]) ** -1
+
+    @given(coeff_lists, st.integers(-10, 10))
+    def test_scalar_multiplication(self, a: list[int], scalar: int):
+        pa = poly(a)
+        assert (pa * scalar)(3) == scalar * pa(3)
+        assert (scalar * pa) == pa * scalar
+
+
+class TestWeightedSum:
+    def test_basic(self):
+        p = poly([2, 3, 4])  # 2 + 3z + 4z^2
+        assert p.weighted_sum([10, 100, 1000]) == 2 * 10 + 3 * 100 + 4 * 1000
+
+    def test_extra_weights_ignored(self):
+        assert poly([1]).weighted_sum([5, 6, 7]) == 5
+
+    def test_too_few_weights_rejected(self):
+        with pytest.raises(ValueError):
+            poly([1, 2, 3]).weighted_sum([1])
+
+    def test_zero_polynomial(self):
+        assert IntPolynomial.zero().weighted_sum([]) == 0
+
+
+class TestDunder:
+    def test_iteration_and_len(self):
+        p = poly([1, 0, 2])
+        assert list(p) == [1, 0, 2]
+        assert len(p) == 3
+
+    def test_hash_consistency(self):
+        assert hash(poly([1, 2])) == hash(poly([1, 2, 0]))
+
+    def test_repr_roundtrip(self):
+        p = poly([1, -2, 3])
+        assert eval(repr(p)) == p  # noqa: S307 - controlled input

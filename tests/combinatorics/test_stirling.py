@@ -1,0 +1,79 @@
+"""Tests for Stirling and Bell numbers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.combinatorics.integers import binomial, falling_factorial
+from repro.combinatorics.stirling import bell_number, stirling2, stirling2_row
+
+
+KNOWN_ROWS = {
+    0: (1,),
+    1: (0, 1),
+    2: (0, 1, 1),
+    3: (0, 1, 3, 1),
+    4: (0, 1, 7, 6, 1),
+    5: (0, 1, 15, 25, 10, 1),
+    6: (0, 1, 31, 90, 65, 15, 1),
+}
+
+
+class TestStirling2:
+    @pytest.mark.parametrize("n,row", sorted(KNOWN_ROWS.items()))
+    def test_known_rows(self, n: int, row: tuple[int, ...]):
+        assert stirling2_row(n) == row
+
+    def test_out_of_range_zero(self):
+        assert stirling2(3, 4) == 0
+        assert stirling2(3, -1) == 0
+        assert stirling2(4, 0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            stirling2(-1, 0)
+        with pytest.raises(ValueError):
+            stirling2_row(-2)
+
+    @given(st.integers(1, 40), st.integers(1, 40))
+    def test_recurrence(self, n: int, j: int):
+        assert stirling2(n, j) == j * stirling2(n - 1, j) + stirling2(n - 1, j - 1)
+
+    @given(st.integers(0, 25), st.integers(0, 25))
+    def test_surjection_identity(self, n: int, x: int):
+        """x^n = sum_j S(n, j) P(x, j): classify functions by image size."""
+        total = sum(
+            stirling2(n, j) * falling_factorial(x, j) for j in range(n + 1)
+        )
+        assert total == x**n
+
+    @given(st.integers(1, 30))
+    def test_singleton_and_full_partitions(self, n: int):
+        assert stirling2(n, 1) == 1
+        assert stirling2(n, n) == 1
+        assert stirling2(n, 2) == 2 ** (n - 1) - 1
+
+    @given(st.integers(2, 25))
+    def test_pairs_column(self, n: int):
+        """S(n, n-1) = C(n, 2): exactly one block of size two."""
+        assert stirling2(n, n - 1) == binomial(n, 2)
+
+
+class TestBell:
+    def test_known_values(self):
+        assert [bell_number(n) for n in range(8)] == [
+            1, 1, 2, 5, 15, 52, 203, 877,
+        ]
+
+    @given(st.integers(0, 20))
+    def test_row_sum(self, n: int):
+        assert bell_number(n) == sum(stirling2(n, j) for j in range(n + 1))
+
+    @given(st.integers(1, 18))
+    def test_touchard_recurrence(self, n: int):
+        """B(n+1) = sum_j C(n, j) B(j)."""
+        assert bell_number(n) == sum(
+            binomial(n - 1, j) * bell_number(j) for j in range(n)
+        )

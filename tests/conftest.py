@@ -1,0 +1,38 @@
+"""Shared fixtures and hypothesis profiles for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core.models import Construction, MulticastModel
+
+# A single moderate profile: the property tests here are CPU-bound
+# combinatorics, not I/O, so the default deadline is both unnecessary
+# and flaky under load.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(params=list(MulticastModel), ids=lambda m: m.value)
+def model(request: pytest.FixtureRequest) -> MulticastModel:
+    """Each multicast model in turn."""
+    return request.param
+
+
+@pytest.fixture(params=list(Construction), ids=lambda c: c.value)
+def construction(request: pytest.FixtureRequest) -> Construction:
+    """Each multistage construction method in turn."""
+    return request.param
+
+
+#: (N, k) pairs small enough for exhaustive assignment enumeration.
+ENUMERABLE_SIZES = [(1, 1), (2, 1), (3, 1), (4, 1), (1, 2), (2, 2), (1, 3), (2, 3), (3, 2)]
+
+#: (n, r, k) topologies small enough for routing fuzz tests.
+FUZZ_TOPOLOGIES = [(2, 2, 1), (2, 3, 1), (3, 2, 2), (2, 3, 2), (3, 3, 2), (2, 2, 3)]

@@ -1,0 +1,78 @@
+"""Tests for the Table 2 asymptotic forms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.asymptotics import (
+    crossbar_converters_asymptotic,
+    crossbar_crosspoints_asymptotic,
+    growth_factor,
+    multistage_converters_asymptotic,
+    multistage_crosspoints_asymptotic,
+)
+from repro.core.models import MulticastModel
+from repro.core.multistage import optimal_design
+
+
+class TestGuards:
+    def test_small_n_rejected(self, model):
+        with pytest.raises(ValueError):
+            multistage_crosspoints_asymptotic(model, 128, 2)
+        with pytest.raises(ValueError):
+            multistage_converters_asymptotic(model, 100, 2)
+
+    def test_bad_k_rejected(self, model):
+        with pytest.raises(ValueError):
+            multistage_crosspoints_asymptotic(model, 1024, 0)
+
+
+class TestForms:
+    def test_crossbar_forms_exact(self, model):
+        assert crossbar_crosspoints_asymptotic(model, 512, 3) == (
+            3 * 512**2 if model is MulticastModel.MSW else 9 * 512**2
+        )
+        assert crossbar_converters_asymptotic(model, 512, 3) == (
+            0 if model is MulticastModel.MSW else 3 * 512
+        )
+
+    def test_msw_converters_zero(self):
+        assert multistage_converters_asymptotic(MulticastModel.MSW, 1024, 4) == 0
+
+    def test_maw_converters_exactly_kn(self):
+        assert multistage_converters_asymptotic(MulticastModel.MAW, 1024, 4) == 4096
+
+    def test_msdw_converters_carry_log_factor(self):
+        """MSDW/MS converters grow faster than kN (the log factor)."""
+        for n_ports in (1024, 4096, 16384):
+            msdw = multistage_converters_asymptotic(
+                MulticastModel.MSDW, n_ports, 4
+            )
+            assert msdw > 4 * n_ports
+
+    def test_multistage_beats_crossbar_asymptotically(self, model):
+        """The N^{3/2} log form must dip below N^2 for large N."""
+        n_ports = 2**16
+        assert multistage_crosspoints_asymptotic(
+            model, n_ports, 4
+        ) < crossbar_crosspoints_asymptotic(model, n_ports, 4)
+
+    def test_growth_factor_increases(self):
+        assert growth_factor(4096) > growth_factor(512)
+
+    def test_msdw_maw_crosspoints_equal(self):
+        assert multistage_crosspoints_asymptotic(
+            MulticastModel.MSDW, 4096, 4
+        ) == multistage_crosspoints_asymptotic(MulticastModel.MAW, 4096, 4)
+
+
+class TestTracksExactDesign:
+    @pytest.mark.parametrize("n_ports", [256, 1024, 4096])
+    def test_same_order_of_magnitude(self, n_ports):
+        """The exact optimized design stays within a small constant of the form."""
+        exact = optimal_design(n_ports, 4).cost.crosspoints
+        asymptotic = multistage_crosspoints_asymptotic(
+            MulticastModel.MSW, n_ports, 4
+        )
+        ratio = exact / asymptotic
+        assert 0.2 < ratio < 5.0

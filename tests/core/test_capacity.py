@@ -1,0 +1,212 @@
+"""Tests for the multicast capacity formulas (Lemmas 1-3).
+
+The heavyweight check is the brute-force oracle: for every small
+``(N, k)`` the closed forms must equal exhaustive assignment counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.combinatorics.integers import binomial, falling_factorial
+from repro.combinatorics.stirling import stirling2
+from repro.core.capacity import (
+    CapacityResult,
+    any_multicast_capacity,
+    full_multicast_capacity,
+    log10_any_multicast_capacity,
+    log10_full_multicast_capacity,
+    log10_int,
+    multicast_capacity,
+)
+from repro.core.models import MulticastModel
+from repro.switching.enumeration import count_assignments
+from tests.conftest import ENUMERABLE_SIZES
+
+
+class TestLemma1MSW:
+    @given(st.integers(1, 8), st.integers(1, 5))
+    def test_closed_forms(self, n_ports: int, k: int):
+        assert full_multicast_capacity(
+            MulticastModel.MSW, n_ports, k
+        ) == n_ports ** (n_ports * k)
+        assert any_multicast_capacity(MulticastModel.MSW, n_ports, k) == (
+            n_ports + 1
+        ) ** (n_ports * k)
+
+
+class TestLemma2MAW:
+    @given(st.integers(1, 6), st.integers(1, 4))
+    def test_full_form(self, n_ports: int, k: int):
+        expected = falling_factorial(n_ports * k, k) ** n_ports
+        assert full_multicast_capacity(MulticastModel.MAW, n_ports, k) == expected
+
+    @given(st.integers(1, 6), st.integers(1, 4))
+    def test_any_form(self, n_ports: int, k: int):
+        per_port = sum(
+            falling_factorial(n_ports * k, k - j) * binomial(k, j)
+            for j in range(k + 1)
+        )
+        assert (
+            any_multicast_capacity(MulticastModel.MAW, n_ports, k)
+            == per_port**n_ports
+        )
+
+
+class TestLemma3MSDW:
+    def test_direct_sum_small(self):
+        """Check the polynomial evaluation against the naive k-fold sum."""
+        from itertools import product
+
+        for n_ports, k in [(2, 2), (3, 2), (2, 3)]:
+            naive = 0
+            for js in product(range(1, n_ports + 1), repeat=k):
+                naive += falling_factorial(n_ports * k, sum(js)) * _prod(
+                    stirling2(n_ports, j) for j in js
+                )
+            assert (
+                full_multicast_capacity(MulticastModel.MSDW, n_ports, k) == naive
+            )
+
+    def test_any_direct_sum_small(self):
+        from itertools import product
+
+        for n_ports, k in [(2, 2), (3, 2)]:
+            naive = 0
+            # Per wavelength: choose l idle copies and j groups of the rest.
+            per_wavelength = []
+            for _ in range(k):
+                options = []
+                for idle in range(n_ports + 1):
+                    for j in range(0, n_ports - idle + 1):
+                        if j == 0 and idle != n_ports:
+                            continue
+                        options.append(
+                            (j, binomial(n_ports, idle) * stirling2(n_ports - idle, j))
+                        )
+                per_wavelength.append(options)
+            for combo in product(*per_wavelength):
+                total_groups = sum(j for j, _ in combo)
+                weight = _prod(w for _, w in combo)
+                naive += falling_factorial(n_ports * k, total_groups) * weight
+            assert (
+                any_multicast_capacity(MulticastModel.MSDW, n_ports, k) == naive
+            )
+
+
+def _prod(values) -> int:
+    result = 1
+    for value in values:
+        result *= value
+    return result
+
+
+class TestBruteForceOracle:
+    """The decisive check: formulas == exhaustive enumeration."""
+
+    @pytest.mark.parametrize("n_ports,k", ENUMERABLE_SIZES)
+    def test_full_assignments(self, model, n_ports: int, k: int):
+        assert full_multicast_capacity(model, n_ports, k) == count_assignments(
+            model, n_ports, k, full=True
+        )
+
+    @pytest.mark.parametrize("n_ports,k", ENUMERABLE_SIZES)
+    def test_any_assignments(self, model, n_ports: int, k: int):
+        assert any_multicast_capacity(model, n_ports, k) == count_assignments(
+            model, n_ports, k, full=False
+        )
+
+
+class TestPaperSanityChecks:
+    @given(st.integers(1, 8))
+    def test_k1_reduction(self, n_ports: int):
+        """At k=1 all models reduce to the electronic N^N / (N+1)^N."""
+        for model in MulticastModel:
+            assert full_multicast_capacity(model, n_ports, 1) == n_ports**n_ports
+            assert (
+                any_multicast_capacity(model, n_ports, 1)
+                == (n_ports + 1) ** n_ports
+            )
+
+    @given(st.integers(1, 6), st.integers(2, 4))
+    def test_model_ordering_strict_for_k_gt_1(self, n_ports: int, k: int):
+        """Capacity strictly increases MSW < MSDW < MAW when k > 1, N > 1."""
+        full = [
+            full_multicast_capacity(model, n_ports, k) for model in MulticastModel
+        ]
+        any_ = [
+            any_multicast_capacity(model, n_ports, k) for model in MulticastModel
+        ]
+        if n_ports == 1:
+            # Single port: MSDW == MAW (all destinations are the one port).
+            assert full[0] <= full[1] <= full[2]
+            assert any_[0] <= any_[1] <= any_[2]
+        else:
+            assert full[0] < full[1] < full[2]
+            assert any_[0] < any_[1] < any_[2]
+
+    @given(st.integers(1, 6), st.integers(1, 4))
+    def test_any_exceeds_full(self, n_ports: int, k: int):
+        for model in MulticastModel:
+            assert any_multicast_capacity(model, n_ports, k) > full_multicast_capacity(
+                model, n_ports, k
+            )
+
+    @given(st.integers(2, 5), st.integers(2, 3))
+    def test_below_equivalent_electronic_network(self, n_ports: int, k: int):
+        """An N x N k-wavelength WDM net is weaker than an Nk x Nk electronic one."""
+        electronic_full = (n_ports * k) ** (n_ports * k)
+        for model in MulticastModel:
+            assert full_multicast_capacity(model, n_ports, k) < electronic_full
+
+
+class TestInterfaces:
+    def test_dispatcher(self, model):
+        assert multicast_capacity(model, 3, 2, full=True) == full_multicast_capacity(
+            model, 3, 2
+        )
+        assert multicast_capacity(model, 3, 2, full=False) == any_multicast_capacity(
+            model, 3, 2
+        )
+
+    def test_capacity_result(self, model):
+        result = CapacityResult.compute(model, 3, 2)
+        assert result.full == full_multicast_capacity(model, 3, 2)
+        assert result.any == any_multicast_capacity(model, 3, 2)
+        assert result.log10_full < result.log10_any
+
+    def test_invalid_dimensions_rejected(self, model):
+        with pytest.raises(ValueError):
+            full_multicast_capacity(model, 0, 1)
+        with pytest.raises(ValueError):
+            any_multicast_capacity(model, 2, 0)
+
+    def test_log10_int_matches_math(self):
+        import math
+
+        assert log10_int(1000) == pytest.approx(3.0)
+        assert log10_int(7**30) == pytest.approx(30 * math.log10(7))
+
+    def test_log10_int_beyond_float_range(self):
+        huge = 10 ** (400)
+        assert log10_int(huge) == pytest.approx(400.0, abs=1e-6)
+
+    def test_log10_int_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log10_int(0)
+
+    def test_log10_wrappers(self, model):
+        assert log10_full_multicast_capacity(model, 4, 2) == pytest.approx(
+            log10_int(full_multicast_capacity(model, 4, 2))
+        )
+        assert log10_any_multicast_capacity(model, 4, 2) == pytest.approx(
+            log10_int(any_multicast_capacity(model, 4, 2))
+        )
+
+    def test_large_network_fast(self):
+        """Big-int formulas must stay fast at realistic sizes."""
+        value = full_multicast_capacity(MulticastModel.MSDW, 32, 8)
+        assert value > 0
+        assert log10_int(value) > 100

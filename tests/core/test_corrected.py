@@ -1,0 +1,153 @@
+"""Tests for the model-aware (corrected) nonblocking bounds."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.corrected import (
+    CorrectedBound,
+    destination_kill_capacity,
+    is_nonblocking_corrected,
+    min_middle_switches_corrected,
+)
+from repro.core.models import Construction, MulticastModel
+from repro.core.multistage import (
+    min_middle_switches_maw_dominant,
+    min_middle_switches_msw_dominant,
+    valid_x_range,
+)
+
+topologies = st.tuples(st.integers(2, 10), st.integers(2, 30), st.integers(1, 6))
+
+
+class TestKillCapacity:
+    def test_msw_dominant_msw_model_matches_paper(self):
+        assert destination_kill_capacity(
+            4, 3, Construction.MSW_DOMINANT, MulticastModel.MSW
+        ) == 3
+
+    def test_msw_dominant_strong_models_k_fold(self):
+        for model in (MulticastModel.MSDW, MulticastModel.MAW):
+            assert destination_kill_capacity(
+                4, 3, Construction.MSW_DOMINANT, model
+            ) == 11  # nk - 1
+
+    def test_maw_dominant_all_models_n_minus_1(self, model):
+        assert destination_kill_capacity(
+            4, 3, Construction.MAW_DOMINANT, model
+        ) == 3
+
+    def test_invalid_rejected(self, model, construction):
+        with pytest.raises(ValueError):
+            destination_kill_capacity(0, 1, construction, model)
+
+
+class TestAgreementWithPaper:
+    @given(topologies)
+    def test_msw_model_equals_theorem1(self, nrk):
+        """For the MSW model the corrected bound IS the paper's Theorem 1."""
+        n, r, k = nrk
+        for x in valid_x_range(n, r):
+            assert min_middle_switches_corrected(
+                n, r, k, Construction.MSW_DOMINANT, MulticastModel.MSW, x=x
+            ) == min_middle_switches_msw_dominant(n, r, k, x=x)
+
+    @given(nrk=topologies)
+    def test_maw_dominant_equals_theorem2(self, nrk):
+        """Theorem 2 needs no correction for any model."""
+        n, r, k = nrk
+        for model in MulticastModel:
+            for x in valid_x_range(n, r):
+                assert min_middle_switches_corrected(
+                    n, r, k, Construction.MAW_DOMINANT, model, x=x
+                ) == min_middle_switches_maw_dominant(n, r, k, x=x)
+
+    @given(nrk=topologies)
+    def test_k1_no_gap_anywhere(self, nrk):
+        """At k=1 every model collapses to MSW and the paper is exact."""
+        n, r, _ = nrk
+        for model in MulticastModel:
+            for construction in Construction:
+                assert min_middle_switches_corrected(
+                    n, r, 1, construction, model
+                ) == min_middle_switches_corrected(
+                    n, r, 1, construction, MulticastModel.MSW
+                )
+
+
+class TestTheGap:
+    @given(st.tuples(st.integers(2, 8), st.integers(2, 20), st.integers(2, 5)))
+    def test_strong_models_need_more_middles(self, nrk):
+        """For MSDW/MAW with k>1, the corrected MSW-dominant bound is
+        strictly larger than the paper's Theorem 1."""
+        n, r, k = nrk
+        paper = min_middle_switches_msw_dominant(n, r, k)
+        for model in (MulticastModel.MSDW, MulticastModel.MAW):
+            corrected = min_middle_switches_corrected(
+                n, r, k, Construction.MSW_DOMINANT, model
+            )
+            assert corrected > paper
+
+    def test_gap_example_numbers(self):
+        """The worked example: n=2, r=3, k=2, x=1."""
+        assert min_middle_switches_msw_dominant(2, 3, 2, x=1) == 5
+        assert min_middle_switches_corrected(
+            2, 3, 2, Construction.MSW_DOMINANT, MulticastModel.MAW, x=1
+        ) == 11  # (n-1)x + (nk-1)r + 1 = 1 + 9 + 1
+
+    @given(st.tuples(st.integers(3, 8), st.integers(4, 20), st.integers(2, 4)))
+    def test_maw_dominant_now_needs_fewer_for_strong_models(self, nrk):
+        """The reproduction's twist on Section 3.4: with the corrected
+        bound, MAW-dominant needs no MORE middles than MSW-dominant for
+        MSDW/MAW networks at the same x (and typically strictly fewer)."""
+        n, r, k = nrk
+        for x in valid_x_range(n, r):
+            msw_dom = min_middle_switches_corrected(
+                n, r, k, Construction.MSW_DOMINANT, MulticastModel.MAW, x=x
+            )
+            maw_dom = min_middle_switches_corrected(
+                n, r, k, Construction.MAW_DOMINANT, MulticastModel.MAW, x=x
+            )
+            assert maw_dom <= msw_dom
+
+
+class TestPredicates:
+    @given(nrk=topologies)
+    def test_min_m_is_minimal(self, nrk):
+        n, r, k = nrk
+        for model in MulticastModel:
+            for construction in Construction:
+                for x in valid_x_range(n, r):
+                    m_min = min_middle_switches_corrected(
+                        n, r, k, construction, model, x=x
+                    )
+                    assert is_nonblocking_corrected(
+                        m_min, n, r, k, construction, model, x
+                    )
+                    assert not is_nonblocking_corrected(
+                        m_min - 1, n, r, k, construction, model, x
+                    )
+
+    @given(nrk=topologies, m=st.integers(1, 400))
+    def test_monotone_in_m(self, nrk, m):
+        n, r, k = nrk
+        for model in MulticastModel:
+            for construction in Construction:
+                if is_nonblocking_corrected(m, n, r, k, construction, model):
+                    assert is_nonblocking_corrected(
+                        m + 1, n, r, k, construction, model
+                    )
+
+    def test_profile_object(self, model, construction):
+        bound = CorrectedBound.compute(4, 9, 2, construction, model)
+        assert bound.m_min == min(m for _, m in bound.per_x)
+        assert (bound.best_x, bound.m_min) in bound.per_x
+        assert bound.model is model
+
+    def test_invalid_rejected(self, model, construction):
+        with pytest.raises(ValueError):
+            min_middle_switches_corrected(2, 0, 1, construction, model)
+        with pytest.raises(ValueError):
+            is_nonblocking_corrected(5, 2, 0, 1, construction, model)

@@ -1,0 +1,64 @@
+"""Tests for the crossbar cost formulas (Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.cost import (
+    CrossbarCost,
+    crossbar_converters,
+    crossbar_cost,
+    crossbar_crosspoints,
+)
+from repro.core.models import MulticastModel
+
+
+class TestCrosspoints:
+    @given(st.integers(1, 64), st.integers(1, 16))
+    def test_msw(self, n_ports: int, k: int):
+        assert crossbar_crosspoints(MulticastModel.MSW, n_ports, k) == k * n_ports**2
+
+    @given(st.integers(1, 64), st.integers(1, 16))
+    def test_msdw_equals_maw(self, n_ports: int, k: int):
+        msdw = crossbar_crosspoints(MulticastModel.MSDW, n_ports, k)
+        maw = crossbar_crosspoints(MulticastModel.MAW, n_ports, k)
+        assert msdw == maw == k**2 * n_ports**2
+
+    @given(st.integers(1, 64))
+    def test_k1_all_equal(self, n_ports: int):
+        values = {
+            crossbar_crosspoints(model, n_ports, 1) for model in MulticastModel
+        }
+        assert values == {n_ports**2}
+
+    @given(st.integers(1, 32), st.integers(2, 8))
+    def test_msw_cheaper_factor_k(self, n_ports: int, k: int):
+        assert (
+            crossbar_crosspoints(MulticastModel.MAW, n_ports, k)
+            == k * crossbar_crosspoints(MulticastModel.MSW, n_ports, k)
+        )
+
+
+class TestConverters:
+    @given(st.integers(1, 64), st.integers(1, 16))
+    def test_counts(self, n_ports: int, k: int):
+        assert crossbar_converters(MulticastModel.MSW, n_ports, k) == 0
+        assert crossbar_converters(MulticastModel.MSDW, n_ports, k) == n_ports * k
+        assert crossbar_converters(MulticastModel.MAW, n_ports, k) == n_ports * k
+
+
+class TestInterfaces:
+    def test_cost_object(self, model):
+        cost = crossbar_cost(model, 8, 4)
+        assert isinstance(cost, CrossbarCost)
+        assert cost.crosspoints == crossbar_crosspoints(model, 8, 4)
+        assert cost.converters == crossbar_converters(model, 8, 4)
+        assert cost.n_ports == 8 and cost.k == 4
+
+    def test_invalid_dimensions_rejected(self, model):
+        with pytest.raises(ValueError):
+            crossbar_crosspoints(model, 0, 2)
+        with pytest.raises(ValueError):
+            crossbar_converters(model, 2, -1)

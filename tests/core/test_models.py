@@ -1,0 +1,76 @@
+"""Tests for the multicast models and construction methods."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import Construction, MulticastModel
+
+
+class TestStrengthOrder:
+    def test_strict_order(self):
+        assert (
+            MulticastModel.MSW.strength
+            < MulticastModel.MSDW.strength
+            < MulticastModel.MAW.strength
+        )
+
+    def test_is_at_least(self):
+        assert MulticastModel.MAW.is_at_least(MulticastModel.MSW)
+        assert MulticastModel.MAW.is_at_least(MulticastModel.MAW)
+        assert not MulticastModel.MSW.is_at_least(MulticastModel.MSDW)
+
+    def test_containment_of_admitted_connections(self, model):
+        """Anything a model admits, every stronger model admits (Fig. 2)."""
+        cases = [
+            (0, [0, 0]),
+            (0, [1, 1]),
+            (0, [0, 1]),
+            (2, [2]),
+            (1, [0]),
+        ]
+        for stronger in MulticastModel:
+            if not stronger.is_at_least(model):
+                continue
+            for source, dests in cases:
+                if model.admits(source, dests):
+                    assert stronger.admits(source, dests)
+
+
+class TestAdmits:
+    def test_msw_requires_same_everywhere(self):
+        assert MulticastModel.MSW.admits(1, [1, 1, 1])
+        assert not MulticastModel.MSW.admits(1, [1, 2])
+        assert not MulticastModel.MSW.admits(1, [2, 2])
+
+    def test_msdw_requires_same_destinations_only(self):
+        assert MulticastModel.MSDW.admits(0, [2, 2])
+        assert not MulticastModel.MSDW.admits(0, [1, 2])
+
+    def test_maw_admits_anything(self):
+        assert MulticastModel.MAW.admits(0, [3, 1, 2])
+
+    def test_empty_destinations_rejected(self, model):
+        assert not model.admits(0, [])
+
+
+class TestConverterMetadata:
+    def test_needs_converters(self):
+        assert not MulticastModel.MSW.needs_converters
+        assert MulticastModel.MSDW.needs_converters
+        assert MulticastModel.MAW.needs_converters
+
+    def test_converter_side(self):
+        assert MulticastModel.MSW.converter_side is None
+        assert MulticastModel.MSDW.converter_side == "input"
+        assert MulticastModel.MAW.converter_side == "output"
+
+
+class TestConstruction:
+    def test_inner_models(self):
+        assert Construction.MSW_DOMINANT.inner_model is MulticastModel.MSW
+        assert Construction.MAW_DOMINANT.inner_model is MulticastModel.MAW
+
+    @pytest.mark.parametrize("construction", list(Construction))
+    def test_str(self, construction):
+        assert "dominant" in str(construction)

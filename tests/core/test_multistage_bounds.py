@@ -1,0 +1,326 @@
+"""Tests for Theorems 1-2: nonblocking conditions and cost (Section 3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.models import Construction, MulticastModel
+from repro.core.multistage import (
+    MultistageDesign,
+    NonblockingBound,
+    is_nonblocking,
+    is_nonblocking_maw_dominant,
+    is_nonblocking_msw_dominant,
+    max_available_needed,
+    min_middle_switches,
+    min_middle_switches_maw_dominant,
+    min_middle_switches_msw_dominant,
+    module_converters,
+    module_crosspoints,
+    multistage_cost,
+    optimal_design,
+    unavailable_middle_bound,
+    valid_x_range,
+    yang_masson_m,
+    yang_masson_x,
+)
+
+topologies = st.tuples(
+    st.integers(2, 12), st.integers(2, 40), st.integers(1, 8)
+)
+
+
+class TestValidXRange:
+    def test_paper_range(self):
+        assert list(valid_x_range(5, 3)) == [1, 2, 3]
+        assert list(valid_x_range(3, 10)) == [1, 2]
+
+    def test_degenerate_n1_keeps_x1(self):
+        assert list(valid_x_range(1, 5)) == [1]
+
+
+class TestTheorem1:
+    @given(topologies, st.integers(1, 6))
+    def test_exact_predicate_matches_float_formula(self, nrk, x):
+        """(m - (n-1)x)^x > r (n-1)^x  <=>  m > (n-1)(x + r^(1/x))."""
+        n, r, k = nrk
+        if x not in valid_x_range(n, r):
+            return
+        bound = (n - 1) * (x + r ** (1.0 / x))
+        for m in range(1, int(bound) + 4):
+            exact = is_nonblocking_msw_dominant(m, n, r, k, x)
+            # Guard against float round-off exactly at the boundary.
+            if abs(m - bound) > 1e-9:
+                assert exact == (m > bound), (m, n, r, k, x, bound)
+
+    @given(topologies)
+    def test_min_m_is_minimal(self, nrk):
+        n, r, k = nrk
+        for x in valid_x_range(n, r):
+            m_min = min_middle_switches_msw_dominant(n, r, k, x=x)
+            assert is_nonblocking_msw_dominant(m_min, n, r, k, x)
+            assert not is_nonblocking_msw_dominant(m_min - 1, n, r, k, x)
+
+    @given(topologies)
+    def test_min_over_x(self, nrk):
+        n, r, k = nrk
+        overall = min_middle_switches_msw_dominant(n, r, k)
+        per_x = [
+            min_middle_switches_msw_dominant(n, r, k, x=x)
+            for x in valid_x_range(n, r)
+        ]
+        assert overall == min(per_x)
+
+    @given(topologies, st.integers(1, 200))
+    def test_monotone_in_m(self, nrk, m):
+        """Nonblocking at m implies nonblocking at m+1."""
+        n, r, k = nrk
+        if is_nonblocking_msw_dominant(m, n, r, k):
+            assert is_nonblocking_msw_dominant(m + 1, n, r, k)
+
+    def test_bound_independent_of_k(self):
+        assert min_middle_switches_msw_dominant(
+            4, 9, 1
+        ) == min_middle_switches_msw_dominant(4, 9, 7)
+
+    def test_x1_closed_form(self):
+        """x=1: m > (n-1)(1 + r), the classic multicast Clos bound."""
+        for n, r in [(2, 2), (3, 5), (4, 7)]:
+            assert min_middle_switches_msw_dominant(n, r, 1, x=1) == (n - 1) * (
+                1 + r
+            ) + 1
+
+    def test_degenerate_n1(self):
+        assert min_middle_switches_msw_dominant(1, 5, 2) == 1
+
+
+class TestTheorem2:
+    @given(topologies, st.integers(1, 6))
+    def test_exact_predicate_matches_float_formula(self, nrk, x):
+        n, r, k = nrk
+        if x not in valid_x_range(n, r):
+            return
+        bound = ((n * k - 1) * x) // k + (n - 1) * r ** (1.0 / x)
+        for m in range(1, int(bound) + 4):
+            exact = is_nonblocking_maw_dominant(m, n, r, k, x)
+            if abs(m - bound) > 1e-9:
+                assert exact == (m > bound)
+
+    @given(topologies)
+    def test_k1_reduces_to_theorem1(self, nrk):
+        """The paper's consistency requirement: Thm 2 at k=1 is Thm 1."""
+        n, r, _ = nrk
+        for x in valid_x_range(n, r):
+            assert min_middle_switches_maw_dominant(
+                n, r, 1, x=x
+            ) == min_middle_switches_msw_dominant(n, r, 1, x=x)
+
+    @given(topologies)
+    def test_maw_dominant_needs_at_least_msw_dominant(self, nrk):
+        """Section 3.4: MAW-dominant m is never smaller, per fixed x."""
+        n, r, k = nrk
+        for x in valid_x_range(n, r):
+            assert min_middle_switches_maw_dominant(
+                n, r, k, x=x
+            ) >= min_middle_switches_msw_dominant(n, r, k, x=x)
+
+    @given(topologies)
+    def test_min_m_is_minimal(self, nrk):
+        n, r, k = nrk
+        for x in valid_x_range(n, r):
+            m_min = min_middle_switches_maw_dominant(n, r, k, x=x)
+            assert is_nonblocking_maw_dominant(m_min, n, r, k, x)
+            assert not is_nonblocking_maw_dominant(m_min - 1, n, r, k, x)
+
+
+class TestHelpers:
+    def test_unavailable_bounds(self):
+        assert unavailable_middle_bound(4, 1, 2, Construction.MSW_DOMINANT) == 6
+        # floor((4*3 - 1) * 2 / 3) = floor(22/3) = 7
+        assert unavailable_middle_bound(4, 3, 2, Construction.MAW_DOMINANT) == 7
+
+    @given(st.integers(2, 12), st.integers(2, 40), st.integers(1, 6))
+    def test_max_available_needed_is_lemma5_ceiling(self, n, r, x):
+        if x not in valid_x_range(n, r):
+            return
+        bound = max_available_needed(n, r, x)
+        # bound is the floor of (n-1) r^(1/x); one more always suffices.
+        assert bound <= (n - 1) * r ** (1.0 / x) + 1e-9
+        assert bound + 1 > (n - 1) * r ** (1.0 / x) - 1e-9
+
+    def test_dispatcher(self, construction):
+        assert min_middle_switches(3, 4, 2, construction) >= 1
+        m = min_middle_switches(3, 4, 2, construction)
+        assert is_nonblocking(m, 3, 4, 2, construction)
+
+    def test_nonblocking_bound_profile(self, construction):
+        bound = NonblockingBound.compute(4, 9, 2, construction)
+        xs = [x for x, _ in bound.per_x]
+        assert xs == list(valid_x_range(4, 9))
+        assert bound.m_min == min(m for _, m in bound.per_x)
+        assert (bound.best_x, bound.m_min) in bound.per_x
+
+
+class TestYangMassonClosedForm:
+    def test_rejects_small_r(self):
+        with pytest.raises(ValueError):
+            yang_masson_x(8)
+        with pytest.raises(ValueError):
+            yang_masson_m(3, 15)
+
+    @given(st.integers(16, 4000))
+    def test_x_formula(self, r):
+        assert yang_masson_x(r) == pytest.approx(
+            2 * math.log(r) / math.log(math.log(r))
+        )
+
+    @given(st.integers(16, 512))
+    def test_discrete_min_close_to_closed_form(self, s):
+        """With n = r (the paper's Section 3.4 choice), the exact discrete
+        optimum tracks 3(n-1) log r / log log r from below.
+
+        (For small n the closed form does not apply: x is capped at
+        n - 1, so the analytic x = 2 log r / log log r is infeasible.)
+        """
+        discrete = min_middle_switches_msw_dominant(s, s)
+        closed = yang_masson_m(s, s)
+        assert 0.3 * closed <= discrete <= 1.2 * closed
+
+
+class TestModuleCost:
+    @given(st.integers(1, 20), st.integers(1, 20), st.integers(1, 6))
+    def test_crosspoints(self, a, b, k):
+        assert module_crosspoints(MulticastModel.MSW, a, b, k) == k * a * b
+        assert module_crosspoints(MulticastModel.MSDW, a, b, k) == k * k * a * b
+        assert module_crosspoints(MulticastModel.MAW, a, b, k) == k * k * a * b
+
+    @given(st.integers(1, 20), st.integers(1, 20), st.integers(1, 6))
+    def test_converters(self, a, b, k):
+        assert module_converters(MulticastModel.MSW, a, b, k) == 0
+        assert module_converters(MulticastModel.MSDW, a, b, k) == a * k
+        assert module_converters(MulticastModel.MAW, a, b, k) == b * k
+
+
+class TestMultistageCost:
+    @given(
+        st.integers(1, 10), st.integers(1, 10), st.integers(1, 30), st.integers(1, 5)
+    )
+    def test_msw_identity(self, n, r, m, k):
+        """Section 3.4: total = k m r (2n + r) for all-MSW."""
+        cost = multistage_cost(n, r, m, k)
+        assert cost.crosspoints == k * m * r * (2 * n + r)
+        assert cost.converters == 0
+
+    @given(
+        st.integers(1, 10), st.integers(1, 10), st.integers(1, 30), st.integers(1, 5)
+    )
+    def test_msdw_maw_identity(self, n, r, m, k):
+        """Section 3.4: total = k m r ((k+1) n + r) for MSDW/MAW output."""
+        for model in (MulticastModel.MSDW, MulticastModel.MAW):
+            cost = multistage_cost(n, r, m, k, output_model=model)
+            assert cost.crosspoints == k * m * r * ((k + 1) * n + r)
+        # Converter placement: MSDW on the m side, MAW on the n side.
+        msdw = multistage_cost(n, r, m, k, output_model=MulticastModel.MSDW)
+        maw = multistage_cost(n, r, m, k, output_model=MulticastModel.MAW)
+        assert msdw.converters == r * m * k
+        assert maw.converters == r * n * k
+
+    def test_msdw_more_converters_than_maw_when_m_exceeds_n(self):
+        """The paper's observation: MSDW/MS needs more converters (m > n)."""
+        msdw = multistage_cost(4, 4, 12, 2, output_model=MulticastModel.MSDW)
+        maw = multistage_cost(4, 4, 12, 2, output_model=MulticastModel.MAW)
+        assert msdw.converters > maw.converters
+
+    def test_maw_dominant_costs_more(self, model):
+        msw_dom = multistage_cost(
+            4, 4, 12, 2, Construction.MSW_DOMINANT, model
+        )
+        maw_dom = multistage_cost(
+            4, 4, 12, 2, Construction.MAW_DOMINANT, model
+        )
+        assert maw_dom.crosspoints > msw_dom.crosspoints
+        assert maw_dom.converters >= msw_dom.converters
+
+    def test_stage_breakdown_sums(self):
+        cost = multistage_cost(3, 5, 9, 2, output_model=MulticastModel.MAW)
+        assert cost.crosspoints == (
+            cost.input_stage.crosspoints
+            + cost.middle_stage.crosspoints
+            + cost.output_stage.crosspoints
+        )
+        assert cost.n_ports == 15
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            multistage_cost(0, 2, 3, 1)
+        with pytest.raises(ValueError):
+            multistage_cost(2, 2, 0, 1)
+
+
+class TestOptimalDesign:
+    def test_respects_factorization(self):
+        design = optimal_design(64, 2)
+        assert design.n * design.r == 64
+        assert design.n > 1 and design.r > 1
+
+    def test_design_is_nonblocking(self, construction, model):
+        design = optimal_design(36, 2, model, construction)
+        assert is_nonblocking(
+            design.m, design.n, design.r, design.k, construction, design.x
+        )
+
+    def test_beats_or_matches_any_explicit_choice(self):
+        design = optimal_design(64, 3)
+        for n in (2, 4, 8, 16, 32):
+            r = 64 // n
+            for x in valid_x_range(n, r):
+                m = min_middle_switches_msw_dominant(n, r, 3, x=x)
+                other = multistage_cost(n, r, m, 3)
+                assert design.cost.crosspoints <= other.crosspoints
+
+    def test_prime_sizes_fall_back_to_degenerate(self):
+        design = optimal_design(7, 2)
+        assert design.n * design.r == 7
+
+    def test_large_n_multistage_beats_crossbar(self):
+        design = optimal_design(1024, 2)
+        assert design.cost.crosspoints < 2 * 1024 * 1024
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_design(1, 2)
+
+    def test_design_dataclass_fields(self):
+        design = optimal_design(16, 2)
+        assert isinstance(design, MultistageDesign)
+        assert design.n_ports == 16
+        assert design.cost.n == design.n
+
+
+class TestMSDWConverterPlacement:
+    """Section 3.4's optimized MSDW converter placement."""
+
+    def test_internal_placement_matches_maw(self):
+        default = multistage_cost(4, 4, 12, 2, output_model=MulticastModel.MSDW)
+        internal = multistage_cost(
+            4, 4, 12, 2,
+            output_model=MulticastModel.MSDW,
+            msdw_internal_placement=True,
+        )
+        maw = multistage_cost(4, 4, 12, 2, output_model=MulticastModel.MAW)
+        assert internal.converters == maw.converters == 4 * 4 * 2
+        assert default.converters == 4 * 12 * 2
+        # Crosspoints are unaffected by converter placement.
+        assert internal.crosspoints == default.crosspoints
+
+    def test_flag_is_noop_for_other_models(self):
+        for model in (MulticastModel.MSW, MulticastModel.MAW):
+            assert multistage_cost(
+                3, 3, 8, 2, output_model=model, msdw_internal_placement=True
+            ).converters == multistage_cost(
+                3, 3, 8, 2, output_model=model
+            ).converters

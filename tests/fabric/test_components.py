@@ -1,0 +1,164 @@
+"""Tests for the optical component transfer functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric.components import (
+    Combiner,
+    CombinerConflictError,
+    Demux,
+    FabricError,
+    InputTerminal,
+    Mux,
+    MuxConflictError,
+    OutputTerminal,
+    SOAGate,
+    Splitter,
+    WavelengthConverter,
+)
+from repro.fabric.signal import OpticalSignal
+
+
+def sig(port=0, source_w=0, w=None):
+    return OpticalSignal(port, source_w, source_w if w is None else w)
+
+
+class TestSignal:
+    def test_transmit_defaults(self):
+        signal = OpticalSignal.transmit(3, 1)
+        assert signal.wavelength == 1
+        assert signal.source_wavelength == 1
+        assert signal.payload == "s3w1"
+
+    def test_converted_to_preserves_origin(self):
+        converted = sig(2, 1).converted_to(0)
+        assert converted.wavelength == 0
+        assert converted.source_wavelength == 1
+        assert converted.same_origin(sig(2, 1))
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValueError):
+            OpticalSignal(-1, 0, 0)
+        with pytest.raises(ValueError):
+            OpticalSignal(0, -1, 0)
+        with pytest.raises(ValueError):
+            OpticalSignal(0, 0, -1)
+
+
+class TestTerminals:
+    def test_input_terminal_emits_injected(self):
+        terminal = InputTerminal("in")
+        terminal.inject([sig()])
+        assert terminal.transfer([]) == [[sig()]]
+        terminal.clear()
+        assert terminal.transfer([]) == [[]]
+
+    def test_output_terminal_records(self):
+        terminal = OutputTerminal("out")
+        terminal.transfer([[sig()]])
+        assert terminal.received == [sig()]
+
+
+class TestSplitter:
+    def test_copies_to_all_outputs(self):
+        splitter = Splitter("s", 3)
+        outputs = splitter.transfer([[sig()]])
+        assert len(outputs) == 3
+        assert all(bundle == [sig()] for bundle in outputs)
+
+    def test_fanout_validated(self):
+        with pytest.raises(ValueError):
+            Splitter("s", 0)
+
+
+class TestCombiner:
+    def test_passes_single_active_input(self):
+        combiner = Combiner("c", 3)
+        assert combiner.transfer([[], [sig()], []]) == [[sig()]]
+
+    def test_all_dark(self):
+        assert Combiner("c", 2).transfer([[], []]) == [[]]
+
+    def test_conflict_raises(self):
+        combiner = Combiner("c", 2)
+        with pytest.raises(CombinerConflictError):
+            combiner.transfer([[sig(0)], [sig(1)]])
+
+    def test_conflict_even_on_different_wavelengths(self):
+        """The paper's combiner rule: one active input, period."""
+        combiner = Combiner("c", 2)
+        with pytest.raises(CombinerConflictError):
+            combiner.transfer([[sig(0, 0)], [sig(1, 1)]])
+
+    def test_fanin_validated(self):
+        with pytest.raises(ValueError):
+            Combiner("c", 0)
+
+
+class TestSOAGate:
+    def test_off_blocks(self):
+        assert SOAGate("g").transfer([[sig()]]) == [[]]
+
+    def test_on_passes(self):
+        gate = SOAGate("g", enabled=True)
+        assert gate.transfer([[sig()]]) == [[sig()]]
+
+
+class TestConverter:
+    def test_transparent_by_default(self):
+        converter = WavelengthConverter("w")
+        assert converter.transfer([[sig(w=1)]]) == [[sig(w=1)]]
+
+    def test_converts_carrier(self):
+        converter = WavelengthConverter("w", target_wavelength=2)
+        [out] = converter.transfer([[sig(0, 1)]])
+        assert out[0].wavelength == 2
+        assert out[0].source_wavelength == 1
+
+    def test_single_channel_only(self):
+        converter = WavelengthConverter("w", 0)
+        with pytest.raises(FabricError):
+            converter.transfer([[sig(0, 0), sig(1, 1)]])
+
+
+class TestDemux:
+    def test_separates_by_carrier(self):
+        demux = Demux("d", 3)
+        outputs = demux.transfer([[sig(w=2), sig(0, 1, 0)]])
+        assert outputs[0] == [sig(0, 1, 0)]
+        assert outputs[1] == []
+        assert outputs[2] == [sig(w=2)]
+
+    def test_out_of_range_carrier_raises(self):
+        demux = Demux("d", 2)
+        with pytest.raises(FabricError):
+            demux.transfer([[sig(w=5)]])
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            Demux("d", 0)
+
+
+class TestMux:
+    def test_merges_distinct_carriers(self):
+        mux = Mux("m", 2)
+        [merged] = mux.transfer([[sig(0, 0)], [sig(1, 1)]])
+        assert len(merged) == 2
+
+    def test_same_carrier_conflict(self):
+        mux = Mux("m", 2)
+        with pytest.raises(MuxConflictError):
+            mux.transfer([[sig(0, 0)], [sig(1, 0)]])
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            Mux("m", 0)
+
+
+class TestPortCountChecks:
+    def test_wrong_bundle_count_raises(self):
+        with pytest.raises(FabricError):
+            Splitter("s", 2).transfer([[], []])
+        with pytest.raises(FabricError):
+            Combiner("c", 2).transfer([[]])

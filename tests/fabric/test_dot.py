@@ -1,0 +1,42 @@
+"""Tests for the Graphviz DOT export."""
+
+from __future__ import annotations
+
+from repro.core.models import MulticastModel
+from repro.fabric.dot import to_dot
+from repro.fabric.wdm_crossbar import build_crossbar
+from repro.switching.requests import Endpoint, MulticastAssignment, MulticastConnection
+
+
+class TestToDot:
+    def test_contains_every_component(self):
+        crossbar = build_crossbar(MulticastModel.MSW, 2, 1)
+        dot = to_dot(crossbar.fabric)
+        for component in crossbar.fabric.components():
+            assert f'"{component.name}"' in dot
+
+    def test_edge_labels_carry_ports(self):
+        crossbar = build_crossbar(MulticastModel.MSW, 2, 1)
+        dot = to_dot(crossbar.fabric)
+        assert "->" in dot and "label=" in dot
+
+    def test_enabled_gates_highlighted(self):
+        crossbar = build_crossbar(MulticastModel.MSW, 2, 1)
+        assignment = MulticastAssignment(
+            [MulticastConnection(Endpoint(0, 0), [Endpoint(1, 0)])]
+        )
+        crossbar.realize(assignment)
+        dot = to_dot(crossbar.fabric)
+        assert 'color="red"' in dot
+
+    def test_valid_dot_syntax_basics(self):
+        dot = to_dot(build_crossbar(MulticastModel.MAW, 2, 2).fabric)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("{") == dot.count("}")
+
+    def test_rankdir_option(self):
+        dot = to_dot(
+            build_crossbar(MulticastModel.MSW, 2, 1).fabric, rankdir="TB"
+        )
+        assert "rankdir=TB;" in dot

@@ -1,0 +1,167 @@
+"""Tests for the rectangular WDM module builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import MulticastModel
+from repro.core.multistage import module_converters, module_crosspoints
+from repro.fabric.components import InputTerminal, OutputTerminal
+from repro.fabric.modules import build_wdm_module
+from repro.fabric.network import OpticalFabric
+from repro.fabric.signal import OpticalSignal
+
+
+def harnessed_module(model, n_in, n_out, k):
+    """A module with terminals attached to every fiber for direct testing."""
+    fabric = OpticalFabric("test")
+    module = build_wdm_module(fabric, "m", model, n_in, n_out, k)
+    inputs = []
+    for i in range(n_in):
+        terminal = fabric.add(InputTerminal(f"tin{i}"))
+        name, port = module.entries[i]
+        fabric.connect(terminal, 0, name, port)
+        inputs.append(terminal)
+    outputs = []
+    for j in range(n_out):
+        terminal = fabric.add(OutputTerminal(f"tout{j}"))
+        name, port = module.exits[j]
+        fabric.connect(name, port, terminal, 0)
+        outputs.append(terminal)
+    fabric.check_wiring()
+    return fabric, module, inputs, outputs
+
+
+SHAPES = [(2, 3, 2), (3, 2, 2), (2, 2, 3), (4, 4, 1)]
+
+
+class TestCounts:
+    @pytest.mark.parametrize("a,b,k", SHAPES)
+    def test_gate_count_matches_cost_model(self, model, a, b, k):
+        fabric, module, _, _ = harnessed_module(model, a, b, k)
+        assert fabric.crosspoint_count() == module_crosspoints(model, a, b, k)
+        assert module.gate_count() == module_crosspoints(model, a, b, k)
+
+    @pytest.mark.parametrize("a,b,k", SHAPES)
+    def test_converter_count_matches_cost_model(self, model, a, b, k):
+        fabric, module, _, _ = harnessed_module(model, a, b, k)
+        assert fabric.converter_count() == module_converters(model, a, b, k)
+        assert module.converter_count() == module_converters(model, a, b, k)
+
+    def test_invalid_shape_rejected(self, model):
+        fabric = OpticalFabric()
+        with pytest.raises(ValueError):
+            build_wdm_module(fabric, "m", model, 0, 2, 1)
+        with pytest.raises(ValueError):
+            build_wdm_module(fabric, "m2", model, 2, 2, 0)
+
+
+def run(fabric, inputs, injections):
+    fabric.clear_inputs()
+    for fiber, signals in injections.items():
+        inputs[fiber].inject(signals)
+    return fabric.propagate()
+
+
+class TestRoutingSemantics:
+    def test_msw_same_wavelength_delivery(self):
+        fabric, module, inputs, _ = harnessed_module(MulticastModel.MSW, 2, 3, 2)
+        module.route(0, 1, [(0, 1), (2, 1)])
+        result = run(fabric, inputs, {0: [OpticalSignal.transmit(0, 1)]})
+        assert len(result.at("tout0")) == 1
+        assert result.at("tout0")[0].wavelength == 1
+        assert result.at("tout1") == ()
+        assert result.at("tout2")[0].wavelength == 1
+
+    def test_msw_refuses_conversion(self):
+        _, module, _, _ = harnessed_module(MulticastModel.MSW, 2, 2, 2)
+        with pytest.raises(ValueError, match="convert"):
+            module.route(0, 0, [(1, 1)])
+
+    def test_msdw_converts_once(self):
+        fabric, module, inputs, _ = harnessed_module(MulticastModel.MSDW, 2, 3, 2)
+        module.route(1, 0, [(0, 1), (1, 1)])
+        result = run(fabric, inputs, {1: [OpticalSignal.transmit(9, 0)]})
+        for terminal in ("tout0", "tout1"):
+            [signal] = result.at(terminal)
+            assert signal.wavelength == 1
+            assert signal.source_port == 9
+
+    def test_msdw_refuses_mixed_destinations(self):
+        _, module, _, _ = harnessed_module(MulticastModel.MSDW, 2, 2, 2)
+        with pytest.raises(ValueError, match="one wavelength"):
+            module.route(0, 0, [(0, 0), (1, 1)])
+
+    def test_maw_delivers_mixed_wavelengths(self):
+        fabric, module, inputs, _ = harnessed_module(MulticastModel.MAW, 2, 3, 2)
+        module.route(0, 0, [(0, 0), (1, 1), (2, 0)])
+        result = run(fabric, inputs, {0: [OpticalSignal.transmit(0, 0)]})
+        assert result.at("tout0")[0].wavelength == 0
+        assert result.at("tout1")[0].wavelength == 1
+        assert result.at("tout2")[0].wavelength == 0
+
+    def test_two_routes_share_fabric(self):
+        fabric, module, inputs, _ = harnessed_module(MulticastModel.MAW, 2, 2, 2)
+        module.route(0, 0, [(0, 1)])
+        module.route(1, 1, [(1, 0)])
+        result = run(
+            fabric,
+            inputs,
+            {
+                0: [OpticalSignal.transmit(0, 0)],
+                1: [OpticalSignal.transmit(1, 1)],
+            },
+        )
+        assert result.at("tout0")[0].source_port == 0
+        assert result.at("tout1")[0].source_port == 1
+
+    def test_wdm_parallelism_on_one_output_fiber(self):
+        """Two connections can land on the same output fiber, different w."""
+        fabric, module, inputs, _ = harnessed_module(MulticastModel.MSW, 2, 2, 2)
+        module.route(0, 0, [(0, 0)])
+        module.route(1, 1, [(0, 1)])
+        result = run(
+            fabric,
+            inputs,
+            {
+                0: [OpticalSignal.transmit(0, 0)],
+                1: [OpticalSignal.transmit(1, 1)],
+            },
+        )
+        signals = result.at("tout0")
+        assert {s.wavelength for s in signals} == {0, 1}
+
+
+class TestRouteValidation:
+    def test_channel_reuse_rejected(self, model):
+        _, module, _, _ = harnessed_module(model, 2, 2, 2)
+        module.route(0, 0, [(0, 0)])
+        with pytest.raises(ValueError, match="already"):
+            module.route(0, 0, [(1, 0)])
+
+    def test_duplicate_output_fiber_rejected(self, model):
+        _, module, _, _ = harnessed_module(model, 2, 2, 2)
+        with pytest.raises(ValueError, match="same output fiber"):
+            module.route(0, 0, [(0, 0), (0, 0)])
+
+    def test_out_of_range_rejected(self, model):
+        _, module, _, _ = harnessed_module(model, 2, 2, 2)
+        with pytest.raises(ValueError):
+            module.route(5, 0, [(0, 0)])
+        with pytest.raises(ValueError):
+            module.route(0, 5, [(0, 0)])
+        with pytest.raises(ValueError):
+            module.route(0, 0, [(5, 0)])
+        with pytest.raises(ValueError):
+            module.route(0, 0, [(0, 5)])
+
+    def test_empty_deliveries_rejected(self, model):
+        _, module, _, _ = harnessed_module(model, 2, 2, 2)
+        with pytest.raises(ValueError, match="at least one"):
+            module.route(0, 0, [])
+
+    def test_reset_allows_reroute(self, model):
+        _, module, _, _ = harnessed_module(model, 2, 2, 2)
+        module.route(0, 0, [(0, 0)])
+        module.reset()
+        module.route(0, 0, [(1, 0)])

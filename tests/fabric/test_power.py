@@ -1,0 +1,120 @@
+"""Tests for the power-budget / crosstalk analysis."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.models import MulticastModel
+from repro.fabric.components import (
+    InputTerminal,
+    OutputTerminal,
+    SOAGate,
+    Splitter,
+)
+from repro.fabric.network import OpticalFabric
+from repro.fabric.power import LossBudget, analyze_power
+from repro.fabric.space_crossbar import SpaceCrossbar
+from repro.fabric.wdm_crossbar import build_crossbar
+from repro.multistage.fabric_backed import FabricBackedThreeStage
+
+
+def chain_fabric(gates: int) -> OpticalFabric:
+    """in -> gate -> gate -> ... -> out."""
+    fabric = OpticalFabric("chain")
+    previous = fabric.add(InputTerminal("in"))
+    for index in range(gates):
+        gate = fabric.add(SOAGate(f"g{index}"))
+        fabric.connect(previous, 0, gate, 0)
+        previous = gate
+    sink = fabric.add(OutputTerminal("out"))
+    fabric.connect(previous, 0, sink, 0)
+    return fabric
+
+
+class TestBudget:
+    def test_splitter_loss_is_log_fanout(self):
+        budget = LossBudget(splitter_excess_db=0.0)
+        assert budget.component_loss(Splitter("s", 8)) == pytest.approx(
+            10 * math.log10(8)
+        )
+
+    def test_gate_gain_offsets_insertion(self):
+        budget = LossBudget(gate_insertion_db=1.0, gate_gain_db=3.0)
+        assert budget.component_loss(SOAGate("g")) == pytest.approx(-2.0)
+
+    def test_terminals_are_free(self):
+        budget = LossBudget()
+        assert budget.component_loss(InputTerminal("i")) == 0.0
+        assert budget.component_loss(OutputTerminal("o")) == 0.0
+
+
+class TestChainAnalysis:
+    def test_gate_cascade_counted(self):
+        report = analyze_power(chain_fabric(5))
+        assert report.max_gate_cascade == 5
+        assert report.worst_loss_db == pytest.approx(5 * 1.0)
+        assert report.max_path_components == 7
+
+    def test_worst_path_reconstruction(self):
+        report = analyze_power(chain_fabric(2))
+        assert report.worst_loss_path == ("in", "g0", "g1", "out")
+
+    def test_empty_fabric_rejected(self):
+        fabric = OpticalFabric("empty")
+        fabric.add(InputTerminal("in"))
+        with pytest.raises(ValueError, match="no input->output path"):
+            analyze_power(fabric)
+
+
+class TestCrossbarLoss:
+    def test_space_crossbar_closed_form(self):
+        """Fig. 5 path: splitter(N) + gate + combiner(N)."""
+        n = 8
+        budget = LossBudget()
+        report = analyze_power(SpaceCrossbar(n).fabric, budget)
+        expected = (
+            2 * (10 * math.log10(n))
+            + budget.splitter_excess_db
+            + budget.combiner_excess_db
+            + budget.gate_insertion_db
+        )
+        assert report.worst_loss_db == pytest.approx(expected)
+        assert report.max_gate_cascade == 1
+
+    def test_loss_grows_with_n(self, model):
+        small = analyze_power(build_crossbar(model, 2, 2).fabric)
+        large = analyze_power(build_crossbar(model, 6, 2).fabric)
+        assert large.worst_loss_db > small.worst_loss_db
+
+    def test_full_reach_lossier_than_msw(self):
+        """MSDW/MAW split over Nk branches instead of N: more loss."""
+        msw = analyze_power(build_crossbar(MulticastModel.MSW, 4, 4).fabric)
+        maw = analyze_power(build_crossbar(MulticastModel.MAW, 4, 4).fabric)
+        assert maw.worst_loss_db > msw.worst_loss_db
+
+    def test_single_gate_stage_in_any_crossbar(self, model):
+        report = analyze_power(build_crossbar(model, 3, 2).fabric)
+        assert report.max_gate_cascade == 1
+
+
+class TestMultistageLoss:
+    def test_three_gate_stages(self):
+        physical = FabricBackedThreeStage(2, 2, 3, 2, model=MulticastModel.MAW)
+        report = analyze_power(physical.fabric)
+        assert report.max_gate_cascade == 3
+
+    def test_multistage_lossier_per_path_than_crossbar(self):
+        """The Table 2 trade-off's flip side: fewer gates, more loss."""
+        n_ports, k = 4, 2
+        crossbar = analyze_power(
+            build_crossbar(MulticastModel.MAW, n_ports, k).fabric
+        )
+        physical = FabricBackedThreeStage(2, 2, 4, k, model=MulticastModel.MAW)
+        multistage = analyze_power(physical.fabric)
+        assert multistage.worst_loss_db > crossbar.worst_loss_db
+
+    def test_describe_mentions_db(self):
+        report = analyze_power(build_crossbar(MulticastModel.MSW, 2, 1).fabric)
+        assert "dB" in report.describe()

@@ -1,0 +1,54 @@
+"""Tests for the single-wavelength multicast space switch (Fig. 5)."""
+
+from __future__ import annotations
+
+from itertools import product
+
+import pytest
+
+from repro.fabric.space_crossbar import SpaceCrossbar
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_crosspoint_count_is_n_squared(self, n):
+        assert SpaceCrossbar(n).crosspoint_count() == n * n
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            SpaceCrossbar(0)
+
+
+class TestRouting:
+    def test_unicast(self):
+        xbar = SpaceCrossbar(3)
+        assert xbar.delivered({0: {2}}) == {2: 0}
+
+    def test_multicast(self):
+        xbar = SpaceCrossbar(3)
+        assert xbar.delivered({1: {0, 1, 2}}) == {0: 1, 1: 1, 2: 1}
+
+    def test_broadcast_plus_idle_inputs(self):
+        xbar = SpaceCrossbar(4)
+        assert xbar.delivered({2: {0, 1, 2, 3}}) == {j: 2 for j in range(4)}
+
+    def test_exhaustive_full_assignments_n3(self):
+        """Every map {output -> input} must be deliverable: Fig. 5's claim."""
+        xbar = SpaceCrossbar(3)
+        for choice in product(range(3), repeat=3):
+            routes: dict[int, set[int]] = {}
+            for output_port, input_port in enumerate(choice):
+                routes.setdefault(input_port, set()).add(output_port)
+            assert xbar.delivered(routes) == {
+                j: choice[j] for j in range(3)
+            }
+
+    def test_conflicting_routes_rejected(self):
+        xbar = SpaceCrossbar(3)
+        with pytest.raises(ValueError, match="twice"):
+            xbar.configure({0: {1}, 2: {1}})
+
+    def test_reconfiguration_clears_previous_state(self):
+        xbar = SpaceCrossbar(3)
+        xbar.delivered({0: {0, 1, 2}})
+        assert xbar.delivered({1: {2}}) == {2: 1}

@@ -1,0 +1,168 @@
+"""Tests for the crossbar constructions of Figs. 4, 6 and 7."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import crossbar_converters, crossbar_crosspoints
+from repro.core.models import MulticastModel
+from repro.fabric.wdm_crossbar import (
+    DeliveryError,
+    MAWCrossbar,
+    MSDWCrossbar,
+    MSWCrossbar,
+    build_crossbar,
+)
+from repro.switching.enumeration import iter_assignments
+from repro.switching.generators import AssignmentGenerator
+from repro.switching.requests import Endpoint, MulticastAssignment, MulticastConnection
+from repro.switching.validity import ValidityError
+
+SIZES = [(2, 2), (3, 2), (2, 3), (4, 1)]
+
+
+class TestTable1Costs:
+    @pytest.mark.parametrize("n_ports,k", SIZES)
+    def test_crosspoints(self, model, n_ports, k):
+        crossbar = build_crossbar(model, n_ports, k)
+        assert crossbar.crosspoint_count() == crossbar_crosspoints(model, n_ports, k)
+
+    @pytest.mark.parametrize("n_ports,k", SIZES)
+    def test_converters(self, model, n_ports, k):
+        crossbar = build_crossbar(model, n_ports, k)
+        assert crossbar.converter_count() == crossbar_converters(model, n_ports, k)
+
+    def test_factory_returns_right_types(self):
+        assert isinstance(build_crossbar(MulticastModel.MSW, 2, 2), MSWCrossbar)
+        assert isinstance(build_crossbar(MulticastModel.MSDW, 2, 2), MSDWCrossbar)
+        assert isinstance(build_crossbar(MulticastModel.MAW, 2, 2), MAWCrossbar)
+
+    def test_invalid_sizes_rejected(self, model):
+        with pytest.raises(ValueError):
+            build_crossbar(model, 0, 2)
+        with pytest.raises(ValueError):
+            build_crossbar(model, 2, 0)
+
+
+class TestPaperExampleN3K2:
+    """The exact example the paper draws: N=3, k=2 (Figs. 6 and 7)."""
+
+    def test_msdw_example_counts(self):
+        crossbar = MSDWCrossbar(3, 2, "fig6")
+        assert crossbar.crosspoint_count() == 36  # k^2 N^2 = 4*9
+        assert crossbar.converter_count() == 6  # kN
+
+    def test_maw_example_counts(self):
+        crossbar = MAWCrossbar(3, 2, "fig7")
+        assert crossbar.crosspoint_count() == 36
+        assert crossbar.converter_count() == 6
+
+    def test_msw_fig4_counts(self):
+        crossbar = MSWCrossbar(3, 2, "fig4")
+        assert crossbar.crosspoint_count() == 18  # k N^2
+
+
+class TestRealization:
+    def test_single_multicast(self, model):
+        crossbar = build_crossbar(model, 3, 2)
+        assignment = MulticastAssignment(
+            [MulticastConnection(Endpoint(0, 0), [Endpoint(1, 0), Endpoint(2, 0)])]
+        )
+        crossbar.realize(assignment)
+
+    def test_empty_assignment(self, model):
+        crossbar = build_crossbar(model, 2, 2)
+        result = crossbar.realize(MulticastAssignment.empty())
+        assert result.active_terminals() == {}
+
+    def test_maw_cross_wavelength(self):
+        crossbar = build_crossbar(MulticastModel.MAW, 3, 2)
+        assignment = MulticastAssignment(
+            [
+                MulticastConnection(
+                    Endpoint(0, 0), [Endpoint(1, 1), Endpoint(2, 0)]
+                )
+            ]
+        )
+        result = crossbar.realize(assignment)
+        [at_one] = result.at("maw3x2.out1")
+        assert at_one.wavelength == 1
+        assert at_one.source_wavelength == 0
+
+    def test_msdw_converted_delivery(self):
+        crossbar = build_crossbar(MulticastModel.MSDW, 3, 2)
+        assignment = MulticastAssignment(
+            [
+                MulticastConnection(
+                    Endpoint(0, 0), [Endpoint(1, 1), Endpoint(2, 1)]
+                )
+            ]
+        )
+        result = crossbar.realize(assignment)
+        for terminal in ("msdw3x2.out1", "msdw3x2.out2"):
+            [signal] = result.at(terminal)
+            assert signal.wavelength == 1
+
+    def test_model_rule_enforced(self):
+        crossbar = build_crossbar(MulticastModel.MSW, 3, 2)
+        cross_wavelength = MulticastAssignment(
+            [MulticastConnection(Endpoint(0, 0), [Endpoint(1, 1)])]
+        )
+        with pytest.raises(ValidityError):
+            crossbar.realize(cross_wavelength)
+
+    @pytest.mark.parametrize("n_ports,k", [(3, 2), (2, 3)])
+    def test_random_assignments_realize(self, model, n_ports, k):
+        crossbar = build_crossbar(model, n_ports, k)
+        generator = AssignmentGenerator(model, n_ports, k, rng=99)
+        for _ in range(15):
+            crossbar.realize(generator.random_assignment(0.25))
+
+    def test_random_full_assignments_realize(self, model):
+        crossbar = build_crossbar(model, 3, 2)
+        generator = AssignmentGenerator(model, 3, 2, rng=4)
+        for _ in range(10):
+            crossbar.realize(generator.random_full_assignment())
+
+    def test_every_small_assignment_realizes(self, model):
+        """Exhaustive nonblocking check: the crossbar realizes its whole
+        multicast capacity for N=2, k=2 (the Table 1 claim in photons)."""
+        crossbar = build_crossbar(model, 2, 2)
+        count = 0
+        for assignment in iter_assignments(model, 2, 2, full=False):
+            crossbar.realize(assignment)
+            count += 1
+        # The count is exactly the any-multicast capacity.
+        from repro.core.capacity import any_multicast_capacity
+
+        assert count == any_multicast_capacity(model, 2, 2)
+
+    def test_reuse_after_realization(self, model):
+        crossbar = build_crossbar(model, 2, 2)
+        generator = AssignmentGenerator(model, 2, 2, rng=0)
+        first = generator.random_full_assignment()
+        second = generator.random_full_assignment()
+        crossbar.realize(first)
+        crossbar.realize(second)  # state fully reset between calls
+
+
+class TestDeliveryVerification:
+    def test_sabotaged_gate_detected(self):
+        """If a gate is silently disabled after configuration, verification
+        must catch the missing delivery."""
+        crossbar = build_crossbar(MulticastModel.MSW, 2, 1)
+        assignment = MulticastAssignment(
+            [MulticastConnection(Endpoint(0, 0), [Endpoint(1, 0)])]
+        )
+        crossbar.realize(assignment)  # sanity
+
+        # Monkeypatch: disable all gates post-configuration.
+        original_route = crossbar.module.route
+
+        def sabotaged(*args, **kwargs):
+            original_route(*args, **kwargs)
+            crossbar.fabric.reset_gates()
+
+        crossbar.module.route = sabotaged  # type: ignore[method-assign]
+        with pytest.raises(DeliveryError, match="missing"):
+            crossbar.realize(assignment)

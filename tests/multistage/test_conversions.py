@@ -1,0 +1,95 @@
+"""Tests for the end-to-end wavelength-conversion accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import Construction, MulticastModel
+from repro.multistage.network import ThreeStageNetwork
+from repro.switching.generators import dynamic_traffic
+from repro.switching.requests import Endpoint, MulticastConnection
+
+
+def conn(source, *destinations):
+    return MulticastConnection(Endpoint(*source), [Endpoint(*d) for d in destinations])
+
+
+class TestMSWDominant:
+    def test_msw_model_never_converts(self):
+        net = ThreeStageNetwork(2, 3, 6, 2, model=MulticastModel.MSW)
+        live = {}
+        for event in dynamic_traffic(MulticastModel.MSW, 6, 2, steps=120, seed=1):
+            if event.kind == "setup":
+                live[event.connection_id] = net.connect(event.connection)
+            else:
+                net.disconnect(live.pop(event.connection_id))
+        assert net.total_conversions() == 0
+
+    def test_maw_model_converts_only_at_output(self):
+        """MSW-dominant carries the source wavelength through stages 1-2,
+        so every conversion happens in the output modules."""
+        net = ThreeStageNetwork(2, 3, 6, 2, model=MulticastModel.MAW, x=1)
+        cid = net.connect(conn((0, 0), (2, 1), (4, 0)))
+        # One destination differs from the source wavelength.
+        assert net.conversions_of(cid) == 1
+
+    def test_unicast_same_wavelength_is_free(self):
+        net = ThreeStageNetwork(2, 3, 6, 2, model=MulticastModel.MAW)
+        cid = net.connect(conn((0, 1), (3, 1)))
+        assert net.conversions_of(cid) == 0
+
+
+class TestMAWDominant:
+    def test_first_stage_conversions_counted(self):
+        net = ThreeStageNetwork(
+            2, 2, 4, 2,
+            construction=Construction.MAW_DOMINANT,
+            model=MulticastModel.MAW,
+            x=1,
+        )
+        # Occupy wavelength 0 on module 0's fiber to every middle, then a
+        # second connection from module 0 must convert to wavelength 1
+        # somewhere on its first-stage fiber.
+        first = net.connect(conn((0, 0), (2, 0)))
+        second = net.connect(conn((1, 0), (3, 0)))
+        [branch1] = net.active_connections[first].branches
+        [branch2] = net.active_connections[second].branches
+        total = net.conversions_of(first) + net.conversions_of(second)
+        if branch1.middle == branch2.middle:
+            assert total >= 1  # one of them had to shift carrier
+        assert net.total_conversions() == total
+
+
+class TestAggregate:
+    @pytest.mark.parametrize(
+        "construction", list(Construction), ids=lambda c: c.value
+    )
+    def test_total_matches_sum(self, construction):
+        net = ThreeStageNetwork(
+            2, 3, 6, 2, construction=construction, model=MulticastModel.MAW
+        )
+        live = {}
+        for event in dynamic_traffic(MulticastModel.MAW, 6, 2, steps=80, seed=5):
+            if event.kind == "setup":
+                live[event.connection_id] = net.connect(event.connection)
+            else:
+                net.disconnect(live.pop(event.connection_id))
+        assert net.total_conversions() == sum(
+            net.conversions_of(cid) for cid in net.active_connections
+        )
+
+    def test_conversions_nonnegative_and_bounded(self):
+        """A connection converts at most once per branch at each of the
+        three stages plus once per destination."""
+        net = ThreeStageNetwork(
+            2, 3, 6, 2,
+            construction=Construction.MAW_DOMINANT,
+            model=MulticastModel.MAW,
+        )
+        cid = net.connect(conn((0, 0), (2, 1), (4, 1), (1, 0)))
+        routed = net.active_connections[cid]
+        branches = len(routed.branches)
+        deliveries = sum(len(b.deliveries) for b in routed.branches)
+        fanout = routed.request.fanout
+        conversions = net.conversions_of(cid)
+        assert 0 <= conversions <= branches + deliveries + fanout

@@ -1,0 +1,98 @@
+"""End-to-end integration: state-level routing mirrored into real optics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import Construction, MulticastModel
+from repro.core.multistage import NonblockingBound, multistage_cost
+from repro.multistage.fabric_backed import FabricBackedThreeStage
+from repro.multistage.network import ThreeStageNetwork
+from repro.switching.generators import dynamic_traffic
+from repro.switching.requests import Endpoint, MulticastConnection
+
+
+def conn(source, *destinations):
+    return MulticastConnection(Endpoint(*source), [Endpoint(*d) for d in destinations])
+
+
+class TestCostsMatchSection34:
+    @pytest.mark.parametrize("n,r,m,k", [(2, 3, 5, 2), (3, 2, 4, 2), (2, 2, 3, 3)])
+    def test_crosspoints_and_converters(self, construction, model, n, r, m, k):
+        physical = FabricBackedThreeStage(
+            n, r, m, k, construction=construction, model=model
+        )
+        cost = multistage_cost(n, r, m, k, construction, model)
+        assert physical.crosspoint_count() == cost.crosspoints
+        assert physical.converter_count() == cost.converters
+
+
+class TestEndToEndDelivery:
+    def test_single_multicast_photon_path(self, construction, model):
+        n, r, k = 2, 3, 2
+        bound = NonblockingBound.compute(n, r, k, construction)
+        net = ThreeStageNetwork(
+            n, r, bound.m_min, k, construction=construction, model=model,
+            x=bound.best_x,
+        )
+        physical = FabricBackedThreeStage(
+            n, r, bound.m_min, k, construction=construction, model=model
+        )
+        net.connect(conn((0, 0), (2, 0), (4, 0)))
+        result = physical.realize(net.active_connections.values())
+        assert len(result.active_terminals()) == 2
+
+    @pytest.mark.parametrize("seed", [5, 17])
+    def test_mirrored_random_traffic(self, construction, model, seed):
+        """Every state the router reaches must be physically realizable."""
+        n, r, k = 2, 3, 2
+        bound = NonblockingBound.compute(n, r, k, construction)
+        net = ThreeStageNetwork(
+            n, r, bound.m_min, k, construction=construction, model=model,
+            x=bound.best_x,
+        )
+        physical = FabricBackedThreeStage(
+            n, r, bound.m_min, k, construction=construction, model=model
+        )
+        live = {}
+        for event in dynamic_traffic(model, n * r, k, steps=40, seed=seed):
+            if event.kind == "setup":
+                live[event.connection_id] = net.connect(event.connection)
+            else:
+                net.disconnect(live.pop(event.connection_id))
+            physical.realize(net.active_connections.values())
+
+    def test_wrong_topology_flagged_by_construction(self):
+        with pytest.raises(ValueError):
+            FabricBackedThreeStage(0, 2, 2, 1)
+
+    def test_cross_wavelength_multicast_maw(self):
+        """A single source fans out to different wavelengths at different
+        ports -- only possible end-to-end because converters exist."""
+        n, r, k = 2, 2, 2
+        net = ThreeStageNetwork(
+            n, r, 5, k,
+            construction=Construction.MSW_DOMINANT,
+            model=MulticastModel.MAW,
+            x=1,
+        )
+        physical = FabricBackedThreeStage(
+            n, r, 5, k,
+            construction=Construction.MSW_DOMINANT,
+            model=MulticastModel.MAW,
+        )
+        net.connect(conn((0, 0), (1, 1), (2, 0), (3, 1)))
+        result = physical.realize(net.active_connections.values())
+        received = {
+            name: signals for name, signals in result.active_terminals().items()
+        }
+        assert set(received) == {"port_out1", "port_out2", "port_out3"}
+        assert received["port_out1"][0].wavelength == 1
+        assert received["port_out2"][0].wavelength == 0
+        # All three copies originate from the same transmitter.
+        origins = {
+            (s.source_port, s.source_wavelength)
+            for signals in received.values()
+            for s in signals
+        }
+        assert origins == {(0, 0)}

@@ -1,0 +1,136 @@
+"""Tests for middle-switch failure injection and fault-tolerant sizing."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.corrected import CorrectedBound
+from repro.core.models import Construction, MulticastModel
+from repro.multistage.network import ThreeStageNetwork
+from repro.switching.generators import dynamic_traffic
+from repro.switching.requests import Endpoint, MulticastConnection
+
+
+def conn(source, *destinations):
+    return MulticastConnection(Endpoint(*source), [Endpoint(*d) for d in destinations])
+
+
+class TestFailureMechanics:
+    def test_failed_middle_not_used_for_new_routes(self):
+        net = ThreeStageNetwork(2, 3, 6, 1, x=1)
+        net.fail_middle(0)
+        cid = net.connect(conn((0, 0), (2, 0)))
+        assert 0 not in net.active_connections[cid].middles_used
+        assert net.failed_middles == {0}
+
+    def test_fail_busy_middle_requires_drain(self):
+        net = ThreeStageNetwork(2, 3, 6, 1, x=1)
+        cid = net.connect(conn((0, 0), (2, 0)))
+        [middle] = net.active_connections[cid].middles_used
+        with pytest.raises(ValueError, match="drain"):
+            net.fail_middle(middle)
+
+    def test_drain_returns_affected_requests(self):
+        net = ThreeStageNetwork(2, 3, 6, 1, x=1)
+        request = conn((0, 0), (2, 0))
+        cid = net.connect(request)
+        [middle] = net.active_connections[cid].middles_used
+        drained = net.fail_middle(middle, drain=True)
+        assert drained == [request]
+        assert net.active_connections == {}
+        # The drained request re-routes around the failure.
+        new_cid = net.connect(request)
+        assert middle not in net.active_connections[new_cid].middles_used
+
+    def test_repair_restores_service(self):
+        net = ThreeStageNetwork(2, 2, 1, 1, x=1)
+        net.fail_middle(0)
+        assert net.try_connect(conn((0, 0), (2, 0))) is None  # no fabric left
+        net.repair_middle(0)
+        assert net.try_connect(conn((0, 0), (2, 0))) is not None
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ThreeStageNetwork(2, 2, 3, 1).fail_middle(3)
+
+    def test_forced_route_through_failed_rejected(self):
+        net = ThreeStageNetwork(2, 3, 6, 1, x=1)
+        net.fail_middle(2)
+        with pytest.raises(ValueError, match="not available"):
+            net.connect(conn((0, 0), (2, 0)), force_middles={2: [1]})
+
+    def test_invariants_hold_through_fail_repair(self):
+        net = ThreeStageNetwork(2, 3, 6, 2, x=1)
+        net.connect(conn((0, 0), (2, 0)))
+        net.fail_middle(5)
+        net.check_invariants()
+        net.repair_middle(5)
+        net.check_invariants()
+
+
+class TestFaultTolerantProvisioning:
+    @pytest.mark.parametrize("failures", [1, 2])
+    def test_bound_plus_f_tolerates_f_failures(self, construction, failures):
+        """m = bound + f stays nonblocking with any f middles down."""
+        n, r, k = 2, 3, 2
+        model = MulticastModel.MAW
+        bound = CorrectedBound.compute(n, r, k, construction, model)
+        net = ThreeStageNetwork(
+            n,
+            r,
+            bound.m_min + failures,
+            k,
+            construction=construction,
+            model=model,
+            x=bound.best_x,
+        )
+        rng = random.Random(9)
+        failed = rng.sample(range(net.topology.m), failures)
+        for middle in failed:
+            net.fail_middle(middle)
+        live = {}
+        for event in dynamic_traffic(model, n * r, k, steps=250, seed=4):
+            if event.kind == "setup":
+                live[event.connection_id] = net.connect(event.connection)
+            else:
+                net.disconnect(live.pop(event.connection_id))
+        assert net.blocks == 0
+
+    def test_failure_churn_with_rerouting(self):
+        """Fail/repair churn mid-traffic: drained requests always re-route
+        when the spare margin covers the failures."""
+        n, r, k = 2, 3, 2
+        model = MulticastModel.MAW
+        bound = CorrectedBound.compute(
+            n, r, k, Construction.MSW_DOMINANT, model
+        )
+        spare = 2
+        net = ThreeStageNetwork(
+            n, r, bound.m_min + spare, k, model=model, x=bound.best_x
+        )
+        rng = random.Random(31)
+        live = {}
+        for step, event in enumerate(
+            dynamic_traffic(model, n * r, k, steps=300, seed=8)
+        ):
+            if event.kind == "setup":
+                live[event.connection_id] = net.connect(event.connection)
+            else:
+                net.disconnect(live.pop(event.connection_id))
+            if step % 25 == 10:
+                if len(net.failed_middles) < spare:
+                    victim = rng.randrange(net.topology.m)
+                    if victim not in net.failed_middles:
+                        for request in net.fail_middle(victim, drain=True):
+                            replacement = net.connect(request)
+                            # Re-attach the id bookkeeping.
+                            for key, cid in list(live.items()):
+                                if cid not in net.active_connections:
+                                    live[key] = replacement
+                                    break
+                else:
+                    net.repair_middle(min(net.failed_middles))
+        assert net.blocks == 0
+        net.check_invariants()

@@ -1,0 +1,224 @@
+"""Tests for the three-stage network simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.combinatorics.multiset import DestinationMultiset
+from repro.core.models import Construction, MulticastModel
+from repro.multistage.network import ThreeStageNetwork
+from repro.switching.requests import Endpoint, MulticastConnection
+from repro.switching.validity import ValidityError
+
+
+def conn(source, *destinations):
+    return MulticastConnection(Endpoint(*source), [Endpoint(*d) for d in destinations])
+
+
+def network(**overrides):
+    defaults = dict(
+        n=2,
+        r=3,
+        m=6,
+        k=2,
+        construction=Construction.MSW_DOMINANT,
+        model=MulticastModel.MSW,
+        x=1,
+    )
+    defaults.update(overrides)
+    return ThreeStageNetwork(**defaults)
+
+
+class TestConstruction:
+    def test_default_x_is_most_permissive(self):
+        net = ThreeStageNetwork(4, 5, 10, 2)
+        assert net.x == 3  # min(n-1, r) = 3
+
+    def test_bad_x_rejected(self):
+        with pytest.raises(ValueError, match="x="):
+            ThreeStageNetwork(2, 3, 6, 1, x=2)  # min(n-1, r) = 1
+
+    def test_provable_nonblocking_flag(self):
+        assert network(m=7).is_provably_nonblocking()  # bound: (1)(1+3)=4 -> m>4
+        assert not network(m=4).is_provably_nonblocking()
+
+
+class TestAdmission:
+    def test_model_rule_checked(self):
+        net = network(model=MulticastModel.MSW)
+        with pytest.raises(ValidityError):
+            net.connect(conn((0, 0), (1, 1)))
+
+    def test_busy_input_endpoint_rejected(self):
+        net = network()
+        net.connect(conn((0, 0), (1, 0)))
+        with pytest.raises(ValidityError, match="input endpoint"):
+            net.connect(conn((0, 0), (2, 0)))
+
+    def test_busy_output_endpoint_rejected(self):
+        net = network()
+        net.connect(conn((0, 0), (1, 0)))
+        with pytest.raises(ValidityError, match="output endpoint"):
+            net.connect(conn((1, 0), (1, 0)))
+
+    def test_out_of_range_endpoint_rejected(self):
+        net = network()
+        with pytest.raises(ValidityError):
+            net.connect(conn((0, 0), (9, 0)))
+
+
+class TestLifecycle:
+    def test_connect_disconnect_roundtrip(self):
+        net = network()
+        cid = net.connect(conn((0, 0), (2, 0), (4, 0)))
+        assert cid in net.active_connections
+        net.check_invariants()
+        net.disconnect(cid)
+        assert net.active_connections == {}
+        net.check_invariants()
+        assert net.setups == 1 and net.teardowns == 1
+
+    def test_endpoint_reusable_after_teardown(self):
+        net = network()
+        cid = net.connect(conn((0, 0), (1, 0)))
+        net.disconnect(cid)
+        net.connect(conn((0, 0), (1, 0)))
+
+    def test_unknown_disconnect_rejected(self):
+        with pytest.raises(KeyError):
+            network().disconnect(42)
+
+    def test_disconnect_all(self):
+        net = network()
+        net.connect(conn((0, 0), (1, 0)))
+        net.connect(conn((1, 0), (2, 0)))
+        net.disconnect_all()
+        assert net.active_connections == {}
+        assert net.link_utilization() == {
+            "input_to_middle": 0.0,
+            "middle_to_output": 0.0,
+        }
+
+    def test_try_connect_returns_none_when_blocked(self):
+        net = network(m=1)
+        net.connect(conn((1, 0), (2, 0)))
+        # Port 0 shares input module 0 with port 1; the single middle's
+        # first-stage fiber wavelength 0 is taken.
+        assert net.try_connect(conn((0, 0), (4, 0))) is None
+        assert net.blocks == 1
+
+
+class TestRoutingState:
+    def test_branches_recorded(self):
+        net = network(x=1)
+        cid = net.connect(conn((0, 0), (1, 0), (3, 0)))
+        routed = net.active_connections[cid]
+        assert len(routed.branches) == 1  # x=1: single middle switch
+        [branch] = routed.branches
+        assert branch.in_wavelength == 0
+        assert sorted(p for p, _ in branch.deliveries) == [0, 1]
+
+    def test_multi_branch_when_x_allows(self):
+        net = ThreeStageNetwork(3, 3, 9, 1, x=2)
+        # Saturate middle 0's fiber to output module 2 so a fanout-3
+        # request must split across two middles.
+        cid0 = net.connect(conn((3, 0), (6, 0)))
+        [branch] = net.active_connections[cid0].branches
+        j = branch.middle
+        request = conn((0, 0), (1, 0), (4, 0), (7, 0))
+        cid = net.connect(request)
+        routed = net.active_connections[cid]
+        assert 1 <= len(routed.branches) <= 2
+
+    def test_available_middles_shrink(self):
+        net = network(x=1)
+        source = Endpoint(0, 0)
+        before = net.available_middles(source)
+        net.connect(conn((1, 0), (2, 0)))  # same module, same wavelength
+        after = net.available_middles(source)
+        assert len(after) == len(before) - 1
+
+    def test_destination_set_tracking(self):
+        net = network(x=1)
+        cid = net.connect(conn((0, 0), (2, 0)))  # output module 1
+        [branch] = net.active_connections[cid].branches
+        assert net.destination_set(branch.middle, 0) == {1}
+        assert net.destination_set(branch.middle, 1) == frozenset()
+
+    def test_same_port_two_wavelengths_is_invalid_connection(self):
+        """Section 2.1: one connection may not use two wavelengths at a port."""
+        with pytest.raises(ValueError):
+            conn((0, 0), (2, 0), (2, 1))
+
+    def test_multiset_multiplicity(self):
+        net = ThreeStageNetwork(
+            2,
+            2,
+            4,
+            2,
+            construction=Construction.MAW_DOMINANT,
+            model=MulticastModel.MAW,
+            x=1,
+        )
+        a = net.connect(conn((0, 0), (2, 0)))
+        b = net.connect(conn((1, 0), (3, 0)))
+        multisets = [net.destination_multiset(j) for j in range(4)]
+        total = sum(ms.total() for ms in multisets)
+        assert total == 2
+        assert all(isinstance(ms, DestinationMultiset) for ms in multisets)
+        net.disconnect(a)
+        net.disconnect(b)
+        assert all(net.destination_multiset(j).total() == 0 for j in range(4))
+
+
+class TestWavelengthDiscipline:
+    def test_msw_dominant_pins_source_wavelength(self):
+        net = network(model=MulticastModel.MAW, x=1)
+        cid = net.connect(conn((0, 1), (2, 0)))
+        [branch] = net.active_connections[cid].branches
+        assert branch.in_wavelength == 1
+        assert branch.deliveries[0][1] == 1  # middle is MSW: no conversion
+
+    def test_maw_dominant_frees_internal_wavelengths(self):
+        net = ThreeStageNetwork(
+            2,
+            3,
+            6,
+            2,
+            construction=Construction.MAW_DOMINANT,
+            model=MulticastModel.MAW,
+            x=1,
+        )
+        # Fill wavelength 0 on the g0->m0 fiber, then a second connection
+        # from module 0 can still use middle 0 via wavelength 1.
+        first = net.connect(conn((0, 0), (2, 0)))
+        [branch] = net.active_connections[first].branches
+        second = net.connect(conn((1, 0), (4, 0)))
+        [branch2] = net.active_connections[second].branches
+        if branch2.middle == branch.middle:
+            assert branch2.in_wavelength != branch.in_wavelength
+
+    def test_maw_dominant_msw_model_pins_output_link(self):
+        """Network model MSW: the fiber into the output module must carry
+        the destination wavelength even under MAW-dominant construction."""
+        net = ThreeStageNetwork(
+            2,
+            2,
+            4,
+            2,
+            construction=Construction.MAW_DOMINANT,
+            model=MulticastModel.MSW,
+            x=1,
+        )
+        cid = net.connect(conn((0, 1), (2, 1)))
+        [branch] = net.active_connections[cid].branches
+        assert branch.deliveries[0][1] == 1
+
+
+class TestStats:
+    def test_link_utilization_moves(self):
+        net = network()
+        assert net.link_utilization()["input_to_middle"] == 0.0
+        net.connect(conn((0, 0), (2, 0)))
+        assert net.link_utilization()["input_to_middle"] > 0.0
+        assert net.link_utilization()["middle_to_output"] > 0.0

@@ -1,0 +1,138 @@
+"""The central claim, fuzzed: networks sized by Theorems 1-2 never block.
+
+For every small topology, construction and model, drive the simulator
+with randomized dynamic multicast traffic at ``m`` equal to the
+theorem's minimum.  Every setup must succeed; the link-state invariants
+must hold after every event.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import MulticastModel
+from repro.core.multistage import NonblockingBound
+from repro.multistage.network import ThreeStageNetwork
+from repro.switching.generators import dynamic_traffic
+from tests.conftest import FUZZ_TOPOLOGIES
+
+
+def drive(net: ThreeStageNetwork, model: MulticastModel, steps: int, seed: int):
+    """Apply a dynamic traffic sequence; all setups must route."""
+    n_ports = net.topology.n_ports
+    live = {}
+    for event in dynamic_traffic(model, n_ports, net.topology.k, steps=steps, seed=seed):
+        if event.kind == "setup":
+            live[event.connection_id] = net.connect(event.connection)
+        else:
+            net.disconnect(live.pop(event.connection_id))
+    net.check_invariants()
+
+
+class TestNonblockingAtTheBound:
+    @pytest.mark.parametrize("n,r,k", FUZZ_TOPOLOGIES)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_no_blocking_at_corrected_m_min(self, construction, model, n, r, k, seed):
+        """At the model-aware bound, nothing blocks -- provably."""
+        from repro.core.corrected import CorrectedBound
+
+        bound = CorrectedBound.compute(n, r, k, construction, model)
+        net = ThreeStageNetwork(
+            n,
+            r,
+            bound.m_min,
+            k,
+            construction=construction,
+            model=model,
+            x=bound.best_x,
+        )
+        assert net.is_provably_nonblocking()
+        drive(net, model, steps=250, seed=seed)
+        assert net.blocks == 0
+
+    @pytest.mark.parametrize("n,r,k", FUZZ_TOPOLOGIES)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_no_blocking_at_paper_m_min(self, construction, model, n, r, k, seed):
+        """At the paper's printed bound, random traffic never blocks either
+        (the Theorem-1 gap only bites under adversarial middle choices --
+        see test_theorem1_gap.py)."""
+        bound = NonblockingBound.compute(n, r, k, construction)
+        net = ThreeStageNetwork(
+            n,
+            r,
+            bound.m_min,
+            k,
+            construction=construction,
+            model=model,
+            x=bound.best_x,
+        )
+        assert net.is_provably_nonblocking(corrected=False)
+        drive(net, model, steps=250, seed=seed)
+        assert net.blocks == 0
+
+    @pytest.mark.parametrize("n,r,k", [(3, 3, 2), (2, 3, 2)])
+    def test_no_blocking_at_every_legal_x(self, construction, model, n, r, k):
+        """The theorem holds per-x, not only at the optimum."""
+        bound = NonblockingBound.compute(n, r, k, construction)
+        for x, m_min in bound.per_x:
+            net = ThreeStageNetwork(
+                n, r, m_min, k, construction=construction, model=model, x=x
+            )
+            drive(net, model, steps=150, seed=7)
+            assert net.blocks == 0, f"blocked at x={x}, m={m_min}"
+
+    @pytest.mark.parametrize("n,r,k", [(3, 3, 1), (2, 3, 2)])
+    def test_no_blocking_above_the_bound(self, construction, model, n, r, k):
+        bound = NonblockingBound.compute(n, r, k, construction)
+        net = ThreeStageNetwork(
+            n,
+            r,
+            bound.m_min + 3,
+            k,
+            construction=construction,
+            model=model,
+            x=bound.best_x,
+        )
+        drive(net, model, steps=200, seed=3)
+        assert net.blocks == 0
+
+
+class TestInvariantsUnderChurn:
+    @pytest.mark.parametrize("n,r,k", [(2, 3, 2), (3, 2, 2)])
+    def test_invariants_after_every_event(self, construction, model, n, r, k):
+        bound = NonblockingBound.compute(n, r, k, construction)
+        net = ThreeStageNetwork(
+            n,
+            r,
+            bound.m_min,
+            k,
+            construction=construction,
+            model=model,
+            x=bound.best_x,
+        )
+        live = {}
+        for event in dynamic_traffic(
+            model, n * r, k, steps=120, seed=13
+        ):
+            if event.kind == "setup":
+                live[event.connection_id] = net.connect(event.connection)
+            else:
+                net.disconnect(live.pop(event.connection_id))
+            net.check_invariants()
+
+    def test_full_drain_restores_idle(self, construction, model):
+        n, r, k = 2, 3, 2
+        bound = NonblockingBound.compute(n, r, k, construction)
+        net = ThreeStageNetwork(
+            n, r, bound.m_min, k, construction=construction, model=model
+        )
+        live = {}
+        for event in dynamic_traffic(model, n * r, k, steps=100, seed=21):
+            if event.kind == "setup":
+                live[event.connection_id] = net.connect(event.connection)
+            else:
+                net.disconnect(live.pop(event.connection_id))
+        net.disconnect_all()
+        utilization = net.link_utilization()
+        assert utilization["input_to_middle"] == 0.0
+        assert utilization["middle_to_output"] == 0.0

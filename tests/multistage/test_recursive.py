@@ -1,0 +1,80 @@
+"""Tests for the recursive multi-stage construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import MulticastModel
+from repro.core.multistage import optimal_design
+from repro.multistage.recursive import (
+    best_recursive_design,
+    recursive_msw_crosspoints,
+)
+
+
+class TestRecursiveMSW:
+    def test_small_networks_stay_crossbars(self):
+        design = best_recursive_design(4, 2)
+        assert design.structure == ("crossbar", 4)
+        assert design.stages == 1
+        assert design.crosspoints == 2 * 16
+
+    @pytest.mark.parametrize("n_ports", [64, 256, 1024])
+    def test_never_worse_than_crossbar(self, n_ports):
+        assert recursive_msw_crosspoints(n_ports, 4) <= 4 * n_ports**2
+
+    @pytest.mark.parametrize("n_ports", [256, 1024, 4096])
+    def test_never_worse_than_flat_three_stage(self, n_ports):
+        flat = optimal_design(n_ports, 4).cost.crosspoints
+        assert recursive_msw_crosspoints(n_ports, 4) <= flat
+
+    def test_odd_stage_counts(self):
+        for n_ports in (16, 64, 256, 1024, 4096):
+            design = best_recursive_design(n_ports, 2)
+            assert design.stages % 2 == 1
+
+    def test_deeper_recursion_kicks_in_eventually(self):
+        """For large enough N the middle modules decompose (>= 5 stages)."""
+        stage_counts = {
+            n_ports: best_recursive_design(n_ports, 2).stages
+            for n_ports in (2**10, 2**14, 2**16)
+        }
+        assert max(stage_counts.values()) >= 5
+
+    def test_depth_cap_respected(self):
+        shallow = best_recursive_design(2**14, 2, max_depth=1)
+        assert shallow.stages <= 3
+
+    def test_converters_zero_for_msw(self):
+        assert best_recursive_design(256, 4).converters == 0
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            best_recursive_design(1, 2)
+        with pytest.raises(ValueError):
+            recursive_msw_crosspoints(4, 0)
+
+
+class TestRecursiveWithOutputModels:
+    @pytest.mark.parametrize(
+        "model", [MulticastModel.MSDW, MulticastModel.MAW], ids=lambda m: m.value
+    )
+    def test_never_worse_than_crossbar(self, model):
+        for n_ports in (64, 256, 1024):
+            design = best_recursive_design(n_ports, 4, model)
+            assert design.crosspoints <= 16 * n_ports**2
+
+    def test_maw_converters_kn_when_clos(self):
+        design = best_recursive_design(1024, 4, MulticastModel.MAW)
+        if design.structure[0] == "clos":
+            assert design.converters == 4 * 1024
+
+    def test_msdw_converters_at_least_maw(self):
+        msdw = best_recursive_design(1024, 4, MulticastModel.MSDW)
+        maw = best_recursive_design(1024, 4, MulticastModel.MAW)
+        assert msdw.converters >= maw.converters
+
+    def test_describe_renders_tree(self):
+        design = best_recursive_design(1024, 2)
+        text = design.describe()
+        assert "clos" in text or "crossbar" in text

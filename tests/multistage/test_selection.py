@@ -1,0 +1,102 @@
+"""Tests for the pluggable middle-switch selection strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.corrected import CorrectedBound
+from repro.core.models import Construction, MulticastModel
+from repro.multistage.network import ThreeStageNetwork
+from repro.switching.generators import dynamic_traffic
+from repro.switching.requests import Endpoint, MulticastConnection
+
+
+def conn(source, *destinations):
+    return MulticastConnection(Endpoint(*source), [Endpoint(*d) for d in destinations])
+
+
+class TestConstruction:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="selection"):
+            ThreeStageNetwork(2, 2, 4, 1, selection="bogus")
+
+    @pytest.mark.parametrize("selection", ThreeStageNetwork.SELECTIONS)
+    def test_all_strategies_accepted(self, selection):
+        net = ThreeStageNetwork(2, 2, 4, 1, selection=selection)
+        assert net.selection == selection
+
+
+class TestStrategyBehaviour:
+    def test_first_fit_prefers_low_indices(self):
+        net = ThreeStageNetwork(2, 3, 6, 1, selection="first_fit", x=1)
+        cid = net.connect(conn((0, 0), (2, 0)))
+        assert net.active_connections[cid].middles_used == (0,)
+
+    def test_least_loaded_spreads(self):
+        net = ThreeStageNetwork(2, 3, 6, 1, selection="least_loaded", x=1)
+        used = []
+        for source_port, dest_port in [(0, 2), (2, 0), (4, 3)]:
+            cid = net.connect(conn((source_port, 0), (dest_port, 0)))
+            used.extend(net.active_connections[cid].middles_used)
+        # Three connections from three different modules land on three
+        # different middles under load balancing.
+        assert len(set(used)) == 3
+
+    def test_most_loaded_packs(self):
+        net = ThreeStageNetwork(2, 3, 6, 2, selection="most_loaded", x=1)
+        # Different source modules, different destination modules: a
+        # packing strategy reuses the already-loaded middle when legal.
+        a = net.connect(conn((0, 0), (2, 0)))
+        b = net.connect(conn((2, 0), (4, 0)))
+        middles_a = net.active_connections[a].middles_used
+        middles_b = net.active_connections[b].middles_used
+        assert middles_a == middles_b
+
+    def test_random_is_seeded(self):
+        def run(seed):
+            net = ThreeStageNetwork(
+                2, 3, 6, 1, selection="random", selection_seed=seed, x=1
+            )
+            cid = net.connect(conn((0, 0), (2, 0)))
+            return net.active_connections[cid].middles_used
+
+        assert run(7) == run(7)
+
+    def test_middle_load_accounting(self):
+        net = ThreeStageNetwork(2, 3, 6, 2, x=1)
+        assert all(net.middle_load(j) == 0 for j in range(6))
+        cid = net.connect(conn((0, 0), (2, 0), (4, 0)))
+        [branch] = net.active_connections[cid].branches
+        # one in-link channel + two out-link channels
+        assert net.middle_load(branch.middle) == 3
+        net.disconnect(cid)
+        assert net.middle_load(branch.middle) == 0
+
+
+class TestGuaranteeIsStrategyIndependent:
+    @pytest.mark.parametrize("selection", ThreeStageNetwork.SELECTIONS)
+    @pytest.mark.parametrize(
+        "construction", list(Construction), ids=lambda c: c.value
+    )
+    def test_no_blocking_at_corrected_bound(self, selection, construction):
+        n, r, k = 2, 3, 2
+        model = MulticastModel.MAW
+        bound = CorrectedBound.compute(n, r, k, construction, model)
+        net = ThreeStageNetwork(
+            n,
+            r,
+            bound.m_min,
+            k,
+            construction=construction,
+            model=model,
+            x=bound.best_x,
+            selection=selection,
+        )
+        live = {}
+        for event in dynamic_traffic(model, n * r, k, steps=200, seed=3):
+            if event.kind == "setup":
+                live[event.connection_id] = net.connect(event.connection)
+            else:
+                net.disconnect(live.pop(event.connection_id))
+        assert net.blocks == 0
+        net.check_invariants()

@@ -1,0 +1,88 @@
+"""Tests for JSON serialization of artifacts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.models import MulticastModel
+from repro.core.multistage import optimal_design
+from repro.multistage.adversary import minimal_blocking_scenario
+from repro.multistage.serialization import (
+    assignment_from_dict,
+    assignment_to_dict,
+    connection_from_dict,
+    connection_to_dict,
+    design_from_dict,
+    design_to_dict,
+    dumps,
+    loads,
+    witness_from_dict,
+    witness_to_dict,
+)
+from repro.switching.generators import AssignmentGenerator
+from repro.switching.requests import Endpoint, MulticastConnection
+
+
+def conn(source, *destinations):
+    return MulticastConnection(Endpoint(*source), [Endpoint(*d) for d in destinations])
+
+
+class TestConnections:
+    def test_roundtrip(self):
+        original = conn((0, 1), (2, 0), (3, 1))
+        assert connection_from_dict(connection_to_dict(original)) == original
+
+    def test_assignment_roundtrip(self):
+        generator = AssignmentGenerator(MulticastModel.MAW, 4, 2, rng=1)
+        assignment = generator.random_assignment(0.3)
+        assert assignment_from_dict(assignment_to_dict(assignment)) == assignment
+
+    def test_payload_is_plain_json(self):
+        payload = connection_to_dict(conn((0, 0), (1, 0)))
+        json.dumps(payload)  # must not raise
+
+
+class TestWitness:
+    def test_roundtrip_and_replay(self):
+        witness = minimal_blocking_scenario()
+        restored = witness_from_dict(witness_to_dict(witness))
+        assert restored == witness
+        restored.replay()  # still a valid blocking witness
+
+    def test_kind_tag_enforced(self):
+        with pytest.raises(ValueError, match="witness"):
+            witness_from_dict({"kind": "nonsense"})
+
+
+class TestDesign:
+    def test_roundtrip(self):
+        design = optimal_design(64, 2, MulticastModel.MAW)
+        restored = design_from_dict(design_to_dict(design))
+        assert restored == design
+        assert restored.cost.crosspoints == design.cost.crosspoints
+
+    def test_tampered_cost_detected(self):
+        payload = design_to_dict(optimal_design(64, 2))
+        payload["crosspoints"] += 1
+        with pytest.raises(ValueError, match="disagree"):
+            design_from_dict(payload)
+
+
+class TestTopLevel:
+    def test_dumps_loads_dispatch(self):
+        witness = minimal_blocking_scenario()
+        assert loads(dumps(witness)) == witness
+        design = optimal_design(16, 2)
+        assert loads(dumps(design)) == design
+        connection = conn((0, 0), (1, 0))
+        assert loads(dumps(connection)) == connection
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            dumps(object())
+
+    def test_unrecognized_payload_rejected(self):
+        with pytest.raises(ValueError, match="unrecognized"):
+            loads('{"kind": "mystery"}')

@@ -1,0 +1,46 @@
+"""Tests for the three-stage topology arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.multistage.topology import ThreeStageTopology
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        for bad in [(0, 2, 2, 1), (2, 0, 2, 1), (2, 2, 0, 1), (2, 2, 2, 0)]:
+            with pytest.raises(ValueError):
+                ThreeStageTopology(*bad)
+
+
+class TestPortArithmetic:
+    @given(st.integers(1, 8), st.integers(1, 8), st.integers(1, 10), st.integers(1, 4))
+    def test_module_of_port_consistent(self, n, r, m, k):
+        topo = ThreeStageTopology(n, r, m, k)
+        for port in range(topo.n_ports):
+            module = topo.input_module_of(port)
+            assert port in topo.ports_of_module(module)
+            assert topo.local_port(port) == port - module * n
+            assert topo.output_module_of(port) == module
+
+    def test_out_of_range_rejected(self):
+        topo = ThreeStageTopology(2, 3, 4, 1)
+        with pytest.raises(ValueError):
+            topo.input_module_of(6)
+        with pytest.raises(ValueError):
+            topo.ports_of_module(3)
+
+    @given(st.integers(1, 8), st.integers(1, 8), st.integers(1, 10), st.integers(1, 4))
+    def test_link_inventory(self, n, r, m, k):
+        topo = ThreeStageTopology(n, r, m, k)
+        assert topo.first_stage_links == r * m
+        assert topo.second_stage_links == m * r
+        assert topo.internal_wavelength_channels == 2 * r * m * k
+
+    def test_describe(self):
+        text = ThreeStageTopology(2, 3, 5, 4).describe()
+        assert "v(n=2, r=3, m=5, k=4)" in text
+        assert "6x6" in text

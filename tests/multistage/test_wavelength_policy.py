@@ -1,0 +1,108 @@
+"""Tests for the MAW-dominant wavelength-assignment policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.corrected import CorrectedBound
+from repro.core.models import Construction, MulticastModel
+from repro.multistage.network import ThreeStageNetwork
+from repro.switching.generators import dynamic_traffic
+from repro.switching.requests import Endpoint, MulticastConnection
+
+
+def conn(source, *destinations):
+    return MulticastConnection(Endpoint(*source), [Endpoint(*d) for d in destinations])
+
+
+def maw_dominant(policy, m=6, seed=0):
+    return ThreeStageNetwork(
+        2, 3, m, 3,
+        construction=Construction.MAW_DOMINANT,
+        model=MulticastModel.MAW,
+        x=1,
+        wavelength_policy=policy,
+        selection_seed=seed,
+    )
+
+
+class TestPolicyMechanics:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="wavelength policy"):
+            ThreeStageNetwork(2, 2, 4, 2, wavelength_policy="bogus")
+
+    def test_first_fit_picks_lowest(self):
+        net = maw_dominant("first_fit")
+        cid = net.connect(conn((0, 1), (2, 1)))
+        [branch] = net.active_connections[cid].branches
+        assert branch.in_wavelength == 0
+
+    def test_most_used_packs(self):
+        net = maw_dominant("most_used")
+        # Seed some usage on wavelength 2 via a forced route.
+        a = net.connect(conn((0, 0), (2, 0)))
+        [branch_a] = net.active_connections[a].branches
+        # Next connection from the other module should prefer the
+        # already-used wavelength on its own (fresh) fiber.
+        b = net.connect(conn((2, 0), (4, 0)))
+        [branch_b] = net.active_connections[b].branches
+        assert branch_b.in_wavelength == branch_a.in_wavelength
+
+    def test_least_used_spreads(self):
+        net = maw_dominant("least_used")
+        a = net.connect(conn((0, 0), (2, 0)))
+        [branch_a] = net.active_connections[a].branches
+        b = net.connect(conn((2, 0), (4, 0)))
+        [branch_b] = net.active_connections[b].branches
+        assert branch_b.in_wavelength != branch_a.in_wavelength
+
+    def test_random_is_seeded(self):
+        def run(seed):
+            net = maw_dominant("random", seed=seed)
+            cid = net.connect(conn((0, 0), (2, 0)))
+            [branch] = net.active_connections[cid].branches
+            return branch.in_wavelength
+
+        assert run(3) == run(3)
+
+    def test_wavelength_usage_accounting(self):
+        net = maw_dominant("first_fit")
+        assert net.wavelength_usage() == [0, 0, 0]
+        net.connect(conn((0, 0), (2, 0)))
+        usage = net.wavelength_usage()
+        assert sum(usage) == 2  # one in-fiber channel + one out-fiber channel
+
+    def test_msw_dominant_ignores_policy(self):
+        net = ThreeStageNetwork(
+            2, 3, 6, 2, x=1,
+            model=MulticastModel.MAW,
+            wavelength_policy="most_used",
+        )
+        cid = net.connect(conn((0, 1), (2, 0)))
+        [branch] = net.active_connections[cid].branches
+        assert branch.in_wavelength == 1  # pinned to the source wavelength
+
+
+class TestGuaranteeHolds:
+    @pytest.mark.parametrize("policy", ThreeStageNetwork.WAVELENGTH_POLICIES)
+    def test_no_blocking_at_bound_under_every_policy(self, policy):
+        n, r, k = 2, 3, 2
+        model = MulticastModel.MAW
+        bound = CorrectedBound.compute(
+            n, r, k, Construction.MAW_DOMINANT, model
+        )
+        net = ThreeStageNetwork(
+            n, r, bound.m_min, k,
+            construction=Construction.MAW_DOMINANT,
+            model=model,
+            x=bound.best_x,
+            wavelength_policy=policy,
+        )
+        live = {}
+        for event in dynamic_traffic(model, n * r, k, steps=250, seed=6):
+            if event.kind == "setup":
+                live[event.connection_id] = net.connect(event.connection)
+            else:
+                net.disconnect(live.pop(event.connection_id))
+        assert net.blocks == 0
+        net.check_invariants()

@@ -1,0 +1,65 @@
+"""Tests for multicast demands and batch generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scheduling.demands import Demand, random_demand_batch, video_fanout_batch
+
+
+class TestDemand:
+    def test_basic(self):
+        demand = Demand(0, [1, 2, 3])
+        assert demand.fanout == 3
+        assert demand.destinations == frozenset({1, 2, 3})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Demand(-1, [0])
+        with pytest.raises(ValueError):
+            Demand(0, [])
+        with pytest.raises(ValueError):
+            Demand(0, [-2])
+
+    def test_conflicts_shared_source(self):
+        assert Demand(0, [1]).conflicts_with(Demand(0, [2]))
+
+    def test_conflicts_shared_destination(self):
+        assert Demand(0, [3]).conflicts_with(Demand(1, [3, 4]))
+
+    def test_no_conflict(self):
+        assert not Demand(0, [1]).conflicts_with(Demand(2, [3]))
+
+    def test_conflict_symmetric(self):
+        a, b = Demand(0, [1, 2]), Demand(3, [2])
+        assert a.conflicts_with(b) == b.conflicts_with(a) is True
+
+
+class TestGenerators:
+    def test_random_batch_deterministic(self):
+        assert random_demand_batch(8, 10, seed=3) == random_demand_batch(
+            8, 10, seed=3
+        )
+
+    def test_random_batch_legal(self):
+        for demand in random_demand_batch(8, 30, seed=1):
+            assert 0 <= demand.source < 8
+            assert demand.source not in demand.destinations
+            assert all(0 <= d < 8 for d in demand.destinations)
+
+    def test_max_fanout_respected(self):
+        for demand in random_demand_batch(10, 20, seed=2, max_fanout=2):
+            assert demand.fanout <= 2
+
+    def test_video_batch_has_hot_sources(self):
+        batch = video_fanout_batch(16, 12, seed=5)
+        sources = {demand.source for demand in batch}
+        assert len(sources) <= 4  # the server pool
+        # Channel 0 is the most popular.
+        assert batch[0].fanout >= batch[-1].fanout
+
+    def test_generators_validate_sizes(self):
+        with pytest.raises(ValueError):
+            random_demand_batch(1, 5, seed=0)
+        with pytest.raises(ValueError):
+            video_fanout_batch(2, 5, seed=0)

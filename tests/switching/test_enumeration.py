@@ -1,0 +1,71 @@
+"""Tests for the exhaustive assignment enumeration oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import MulticastModel
+from repro.switching.enumeration import (
+    count_assignments,
+    iter_assignments,
+    iter_mappings,
+)
+from repro.switching.validity import is_valid_assignment
+
+
+class TestCountsAgainstFirstPrinciples:
+    def test_msw_counts_by_hand(self):
+        # N=2, k=1: each of 2 outputs picks one of 2 inputs -> 4 full.
+        assert count_assignments(MulticastModel.MSW, 2, 1, full=True) == 4
+        # ... or idles -> 3^2 = 9 any.
+        assert count_assignments(MulticastModel.MSW, 2, 1, full=False) == 9
+
+    def test_maw_counts_by_hand(self):
+        # N=1, k=2: outputs (0,w0), (0,w1) must take distinct inputs of 2:
+        # P(2,2) = 2 full assignments.
+        assert count_assignments(MulticastModel.MAW, 1, 2, full=True) == 2
+        # any: P(2,2) + 2*P(2,1)*C(2,1)... = 2 + 4 + 1 = 7? From Lemma 2:
+        # sum_j P(2, 2-j) C(2,j) = P(2,2) + P(2,1)*2 + P(2,0) = 2+4+1 = 7.
+        assert count_assignments(MulticastModel.MAW, 1, 2, full=False) == 7
+
+    def test_msdw_counts_by_hand(self):
+        # N=1, k=2: destinations of a connection live on one port, so both
+        # outputs are separate connections with distinct sources: P(2,2)=2,
+        # same as MAW for N=1.
+        assert count_assignments(MulticastModel.MSDW, 1, 2, full=True) == 2
+
+
+class TestEnumerationProperties:
+    @pytest.mark.parametrize("n_ports,k", [(2, 1), (2, 2), (3, 1)])
+    def test_all_yielded_assignments_valid(self, model, n_ports, k):
+        for assignment in iter_assignments(model, n_ports, k, full=False):
+            assert is_valid_assignment(assignment, model, n_ports, k)
+
+    @pytest.mark.parametrize("n_ports,k", [(2, 1), (2, 2), (3, 1)])
+    def test_full_assignments_are_full(self, model, n_ports, k):
+        for assignment in iter_assignments(model, n_ports, k, full=True):
+            assert assignment.is_full(n_ports, k)
+
+    @pytest.mark.parametrize("n_ports,k", [(2, 2), (3, 1)])
+    def test_no_duplicates(self, model, n_ports, k):
+        seen = set()
+        for assignment in iter_assignments(model, n_ports, k, full=False):
+            assert assignment not in seen
+            seen.add(assignment)
+
+    @pytest.mark.parametrize("n_ports,k", [(2, 2), (2, 3)])
+    def test_model_containment(self, n_ports, k):
+        """Every MSW assignment is an MSDW one; every MSDW one a MAW one."""
+        msw = set(iter_assignments(MulticastModel.MSW, n_ports, k, full=False))
+        msdw = set(iter_assignments(MulticastModel.MSDW, n_ports, k, full=False))
+        maw = set(iter_assignments(MulticastModel.MAW, n_ports, k, full=False))
+        assert msw < msdw < maw
+
+    def test_full_subset_of_any(self, model):
+        full = set(iter_assignments(model, 2, 2, full=True))
+        any_ = set(iter_assignments(model, 2, 2, full=False))
+        assert full < any_
+
+    def test_invalid_dimensions_rejected(self, model):
+        with pytest.raises(ValueError):
+            list(iter_mappings(model, 0, 1, full=True))

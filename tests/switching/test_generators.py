@@ -1,0 +1,111 @@
+"""Tests for the random assignment and dynamic traffic generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import MulticastModel
+from repro.switching.generators import AssignmentGenerator, dynamic_traffic
+from repro.switching.requests import Endpoint, MulticastAssignment
+from repro.switching.validity import is_valid_assignment, is_valid_connection
+
+
+class TestAssignmentGenerator:
+    def test_deterministic_given_seed(self, model):
+        a = AssignmentGenerator(model, 4, 2, rng=123).random_assignment()
+        b = AssignmentGenerator(model, 4, 2, rng=123).random_assignment()
+        assert a == b
+
+    def test_different_seeds_differ(self, model):
+        a = AssignmentGenerator(model, 4, 2, rng=1).random_assignment(0.0)
+        b = AssignmentGenerator(model, 4, 2, rng=2).random_assignment(0.0)
+        assert a != b  # overwhelmingly likely; fixed seeds make it certain
+
+    @pytest.mark.parametrize("idle", [0.0, 0.3, 0.9])
+    def test_outputs_always_valid(self, model, idle):
+        generator = AssignmentGenerator(model, 4, 3, rng=7)
+        for _ in range(20):
+            assignment = generator.random_assignment(idle)
+            assert is_valid_assignment(assignment, model, 4, 3)
+
+    def test_full_assignment_is_full(self, model):
+        generator = AssignmentGenerator(model, 3, 2, rng=5)
+        for _ in range(10):
+            assert generator.random_full_assignment().is_full(3, 2)
+
+    def test_invalid_dimensions_rejected(self, model):
+        with pytest.raises(ValueError):
+            AssignmentGenerator(model, 0, 1)
+
+
+class TestDynamicTraffic:
+    def test_deterministic_given_seed(self, model):
+        a = list(dynamic_traffic(model, 4, 2, steps=50, seed=9))
+        b = list(dynamic_traffic(model, 4, 2, steps=50, seed=9))
+        assert a == b
+
+    def test_every_prefix_is_a_legal_assignment(self, model):
+        live = {}
+        for event in dynamic_traffic(model, 4, 2, steps=200, seed=3):
+            if event.kind == "setup":
+                assert event.connection_id not in live
+                live[event.connection_id] = event.connection
+            else:
+                assert live.pop(event.connection_id) == event.connection
+            # The live set must always be a valid assignment.
+            assignment = MulticastAssignment(live.values())
+            assert is_valid_assignment(assignment, model, 4, 2)
+
+    def test_connections_respect_model(self, model):
+        for event in dynamic_traffic(model, 5, 3, steps=150, seed=11):
+            if event.kind == "setup":
+                assert is_valid_connection(event.connection, model, 5, 3)
+
+    def test_max_fanout_respected(self, model):
+        for event in dynamic_traffic(
+            model, 6, 2, steps=100, seed=2, max_fanout=2
+        ):
+            if event.kind == "setup":
+                assert event.connection.fanout <= 2
+
+    def test_teardowns_reference_live_connections(self, model):
+        live = set()
+        for event in dynamic_traffic(model, 3, 2, steps=150, seed=4):
+            if event.kind == "setup":
+                live.add(event.connection_id)
+            else:
+                assert event.connection_id in live
+                live.discard(event.connection_id)
+
+    def test_bad_fanout_cap_rejected(self, model):
+        with pytest.raises(ValueError):
+            list(dynamic_traffic(model, 3, 1, steps=1, seed=0, max_fanout=0))
+
+    def test_msw_connections_single_wavelength(self):
+        for event in dynamic_traffic(
+            MulticastModel.MSW, 4, 3, steps=80, seed=6
+        ):
+            if event.kind == "setup":
+                wavelengths = {
+                    d.wavelength for d in event.connection.destinations
+                }
+                assert wavelengths == {event.connection.source.wavelength}
+
+    def test_msdw_destinations_uniform(self):
+        for event in dynamic_traffic(
+            MulticastModel.MSDW, 4, 3, steps=80, seed=6
+        ):
+            if event.kind == "setup":
+                wavelengths = {
+                    d.wavelength for d in event.connection.destinations
+                }
+                assert len(wavelengths) == 1
+
+    def test_source_endpoint_exclusive_while_live(self, model):
+        live_sources: dict[int, Endpoint] = {}
+        for event in dynamic_traffic(model, 4, 2, steps=200, seed=8):
+            if event.kind == "setup":
+                assert event.connection.source not in live_sources.values()
+                live_sources[event.connection_id] = event.connection.source
+            else:
+                del live_sources[event.connection_id]

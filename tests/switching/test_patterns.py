@@ -1,0 +1,117 @@
+"""Tests for the canonical traffic patterns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.corrected import CorrectedBound
+from repro.core.models import Construction, MulticastModel
+from repro.multistage.network import ThreeStageNetwork
+from repro.switching.patterns import (
+    bit_reversal,
+    broadcast,
+    identity,
+    perfect_shuffle,
+    ring_multicast,
+    saturating_multicast,
+)
+from repro.switching.validity import is_valid_assignment
+
+ALL_PATTERNS = [
+    ("identity", lambda n, k: identity(n, k)),
+    ("shuffle", lambda n, k: perfect_shuffle(n, k)),
+    ("broadcast", lambda n, k: broadcast(n, k)),
+    ("ring", lambda n, k: ring_multicast(n, k)),
+    ("saturating", lambda n, k: saturating_multicast(n, k)),
+]
+
+
+class TestValidity:
+    @pytest.mark.parametrize("name,factory", ALL_PATTERNS)
+    @pytest.mark.parametrize("n_ports,k", [(4, 1), (6, 2), (8, 3)])
+    def test_patterns_are_legal_msw_assignments(self, name, factory, n_ports, k):
+        assignment = factory(n_ports, k)
+        assert is_valid_assignment(assignment, MulticastModel.MSW, n_ports, k)
+
+    def test_bit_reversal_power_of_two(self):
+        assignment = bit_reversal(8, 2)
+        assert is_valid_assignment(assignment, MulticastModel.MSW, 8, 2)
+        with pytest.raises(ValueError, match="power of two"):
+            bit_reversal(6, 1)
+
+
+class TestStructure:
+    def test_identity_unicast(self):
+        assignment = identity(4, 2)
+        assert all(c.is_unicast() for c in assignment)
+        assert assignment.is_full(4, 2)
+
+    def test_shuffle_is_permutation(self):
+        assignment = perfect_shuffle(8, 1)
+        targets = sorted(
+            next(iter(c.destinations)).port for c in assignment
+        )
+        assert targets == list(range(8))
+
+    def test_bit_reversal_involution(self):
+        assignment = bit_reversal(8, 1)
+        mapping = {
+            c.source.port: next(iter(c.destinations)).port for c in assignment
+        }
+        for source, target in mapping.items():
+            assert mapping[target] == source
+
+    def test_broadcast_saturates_outputs(self):
+        assignment = broadcast(5, 3)
+        assert assignment.is_full(5, 3)
+        assert all(c.fanout == 5 for c in assignment)
+        assert len(assignment) == 3
+
+    def test_ring_windows(self):
+        assignment = ring_multicast(6, 1, window=3)
+        assert assignment.is_full(6, 1)
+        assert all(c.fanout == 3 for c in assignment)
+
+    def test_ring_window_validation(self):
+        with pytest.raises(ValueError):
+            ring_multicast(4, 1, window=0)
+
+    def test_saturating_balances_fanout(self):
+        assignment = saturating_multicast(10, 1, sources=3)
+        fanouts = sorted(c.fanout for c in assignment)
+        assert sum(fanouts) == 10
+        assert fanouts[-1] - fanouts[0] <= 1
+
+    def test_saturating_source_validation(self):
+        with pytest.raises(ValueError):
+            saturating_multicast(4, 1, sources=9)
+
+
+class TestRoutability:
+    @pytest.mark.parametrize("name,factory", ALL_PATTERNS)
+    def test_every_pattern_routes_at_the_bound(self, name, factory):
+        """Structured worst cases must route on a bound-sized network, in
+        arrival order, without backtracking."""
+        n, r, k = 2, 3, 2
+        bound = CorrectedBound.compute(
+            n, r, k, Construction.MSW_DOMINANT, MulticastModel.MSW
+        )
+        net = ThreeStageNetwork(
+            n, r, bound.m_min, k, x=bound.best_x
+        )
+        assignment = factory(n * r, k)
+        for connection in assignment:
+            net.connect(connection)
+        assert net.blocks == 0
+        net.check_invariants()
+
+    def test_broadcast_through_single_middle_per_wavelength(self):
+        """A broadcast tree fits through x middles (here min(n-1, r))."""
+        n, r, k = 3, 3, 2
+        bound = CorrectedBound.compute(
+            n, r, k, Construction.MSW_DOMINANT, MulticastModel.MSW
+        )
+        net = ThreeStageNetwork(n, r, bound.m_min, k, x=bound.best_x)
+        for connection in broadcast(n * r, k):
+            cid = net.connect(connection)
+            assert len(net.active_connections[cid].branches) <= net.x

@@ -1,0 +1,143 @@
+"""Tests for endpoints, connections and assignments."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.switching.requests import Endpoint, MulticastAssignment, MulticastConnection
+
+
+class TestEndpoint:
+    def test_ordering_and_equality(self):
+        assert Endpoint(0, 1) < Endpoint(1, 0)
+        assert Endpoint(2, 1) == Endpoint(2, 1)
+        assert hash(Endpoint(2, 1)) == hash(Endpoint(2, 1))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Endpoint(-1, 0)
+        with pytest.raises(ValueError):
+            Endpoint(0, -2)
+
+    def test_str(self):
+        assert "lambda_3" in str(Endpoint(1, 3))
+
+
+class TestMulticastConnection:
+    def test_basic_construction(self):
+        connection = MulticastConnection(
+            Endpoint(0, 0), [Endpoint(1, 0), Endpoint(2, 1)]
+        )
+        assert connection.fanout == 2
+        assert connection.destination_ports == {1, 2}
+
+    def test_empty_destinations_rejected(self):
+        with pytest.raises(ValueError):
+            MulticastConnection(Endpoint(0, 0), [])
+
+    def test_duplicate_output_port_rejected(self):
+        """Section 2.1: at most one wavelength per output port per connection."""
+        with pytest.raises(ValueError):
+            MulticastConnection(
+                Endpoint(0, 0), [Endpoint(1, 0), Endpoint(1, 1)]
+            )
+
+    def test_duplicate_endpoint_collapses(self):
+        connection = MulticastConnection(
+            Endpoint(0, 0), [Endpoint(1, 0), Endpoint(1, 0)]
+        )
+        assert connection.fanout == 1
+
+    def test_unicast(self):
+        assert MulticastConnection(Endpoint(0, 0), [Endpoint(1, 0)]).is_unicast()
+
+    def test_destination_wavelengths_sorted_by_port(self):
+        connection = MulticastConnection(
+            Endpoint(0, 0), [Endpoint(2, 1), Endpoint(1, 0)]
+        )
+        assert connection.destination_wavelengths == (0, 1)
+
+    def test_loopback_allowed(self):
+        """A node may send to its own port number (input/output sides differ)."""
+        connection = MulticastConnection(Endpoint(3, 0), [Endpoint(3, 0)])
+        assert connection.fanout == 1
+
+
+class TestMulticastAssignment:
+    def test_empty(self):
+        assignment = MulticastAssignment.empty()
+        assert len(assignment) == 0
+        assert assignment.total_fanout() == 0
+        assert not assignment.is_full(2, 2)
+
+    def test_shared_source_rejected(self):
+        a = MulticastConnection(Endpoint(0, 0), [Endpoint(1, 0)])
+        b = MulticastConnection(Endpoint(0, 0), [Endpoint(2, 0)])
+        with pytest.raises(ValueError):
+            MulticastAssignment([a, b])
+
+    def test_shared_output_endpoint_rejected(self):
+        a = MulticastConnection(Endpoint(0, 0), [Endpoint(1, 0)])
+        b = MulticastConnection(Endpoint(1, 0), [Endpoint(1, 0)])
+        with pytest.raises(ValueError):
+            MulticastAssignment([a, b])
+
+    def test_same_port_different_wavelength_across_connections_ok(self):
+        """The WDM feature: a destination node can receive several messages."""
+        a = MulticastConnection(Endpoint(0, 0), [Endpoint(1, 0)])
+        b = MulticastConnection(Endpoint(2, 1), [Endpoint(1, 1)])
+        assignment = MulticastAssignment([a, b])
+        assert len(assignment) == 2
+
+    def test_mapping_roundtrip(self):
+        mapping = {
+            Endpoint(0, 0): Endpoint(1, 0),
+            Endpoint(1, 0): Endpoint(1, 0),
+            Endpoint(2, 1): Endpoint(0, 1),
+        }
+        assignment = MulticastAssignment.from_mapping(mapping)
+        assert assignment.to_mapping() == mapping
+        # Outputs sharing a source form a single multicast connection.
+        assert len(assignment) == 2
+
+    def test_is_full(self):
+        mapping = {
+            Endpoint(p, w): Endpoint(0, w) for p in range(2) for w in range(2)
+        }
+        assignment = MulticastAssignment.from_mapping(mapping)
+        assert assignment.is_full(2, 2)
+        assert not assignment.is_full(3, 2)
+
+    def test_used_endpoints(self):
+        a = MulticastConnection(Endpoint(0, 0), [Endpoint(1, 0), Endpoint(2, 0)])
+        assignment = MulticastAssignment([a])
+        assert assignment.used_input_endpoints() == {Endpoint(0, 0)}
+        assert assignment.used_output_endpoints() == {Endpoint(1, 0), Endpoint(2, 0)}
+
+    def test_equality_and_hash(self):
+        a = MulticastAssignment([MulticastConnection(Endpoint(0, 0), [Endpoint(1, 0)])])
+        b = MulticastAssignment([MulticastConnection(Endpoint(0, 0), [Endpoint(1, 0)])])
+        assert a == b and hash(a) == hash(b)
+
+    @given(
+        st.dictionaries(
+            st.builds(Endpoint, st.integers(0, 3), st.integers(0, 2)),
+            st.builds(Endpoint, st.integers(0, 3), st.integers(0, 2)),
+            max_size=10,
+        )
+    )
+    def test_from_mapping_roundtrip_property(self, mapping):
+        from hypothesis import assume
+
+        # Skip structurally invalid mappings: one connection may not use
+        # two wavelengths at the same output port.
+        groups: dict[Endpoint, set[int]] = {}
+        for output_endpoint, input_endpoint in mapping.items():
+            ports = groups.setdefault(input_endpoint, set())
+            assume(output_endpoint.port not in ports)
+            ports.add(output_endpoint.port)
+        assignment = MulticastAssignment.from_mapping(mapping)
+        assert assignment.to_mapping() == mapping
+        assert assignment.total_fanout() == len(mapping)

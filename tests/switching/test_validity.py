@@ -1,0 +1,86 @@
+"""Tests for the model-specific validity rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import MulticastModel
+from repro.switching.requests import Endpoint, MulticastAssignment, MulticastConnection
+from repro.switching.validity import (
+    ValidityError,
+    check_assignment,
+    check_connection,
+    is_valid_assignment,
+    is_valid_connection,
+)
+
+
+def conn(source, *destinations):
+    return MulticastConnection(Endpoint(*source), [Endpoint(*d) for d in destinations])
+
+
+class TestEndpointRanges:
+    def test_port_out_of_range(self, model):
+        with pytest.raises(ValidityError, match="port"):
+            check_connection(conn((5, 0), (0, 0)), model, 4, 2)
+        with pytest.raises(ValidityError, match="port"):
+            check_connection(conn((0, 0), (4, 0)), model, 4, 2)
+
+    def test_wavelength_out_of_range(self, model):
+        with pytest.raises(ValidityError, match="wavelength"):
+            check_connection(conn((0, 2), (1, 0)), model, 4, 2)
+        with pytest.raises(ValidityError, match="wavelength"):
+            check_connection(conn((0, 0), (1, 3)), model, 4, 2)
+
+
+class TestModelRules:
+    def test_msw_same_wavelength_everywhere(self):
+        ok = conn((0, 1), (1, 1), (2, 1))
+        bad_dest = conn((0, 1), (1, 0))
+        bad_mixed = conn((0, 0), (1, 0), (2, 1))
+        assert is_valid_connection(ok, MulticastModel.MSW, 4, 2)
+        assert not is_valid_connection(bad_dest, MulticastModel.MSW, 4, 2)
+        assert not is_valid_connection(bad_mixed, MulticastModel.MSW, 4, 2)
+
+    def test_msdw_source_free_destinations_uniform(self):
+        ok = conn((0, 0), (1, 1), (2, 1))
+        bad = conn((0, 0), (1, 0), (2, 1))
+        assert is_valid_connection(ok, MulticastModel.MSDW, 4, 2)
+        assert not is_valid_connection(bad, MulticastModel.MSDW, 4, 2)
+
+    def test_maw_anything_goes(self):
+        mixed = conn((0, 1), (1, 0), (2, 1), (3, 0))
+        assert is_valid_connection(mixed, MulticastModel.MAW, 4, 2)
+
+    def test_model_strength_containment(self):
+        """Valid under a model => valid under every stronger model."""
+        connections = [
+            conn((0, 0), (1, 0)),
+            conn((0, 0), (1, 1), (2, 1)),
+            conn((0, 1), (1, 0), (2, 1)),
+        ]
+        ordered = [MulticastModel.MSW, MulticastModel.MSDW, MulticastModel.MAW]
+        for connection in connections:
+            for weaker_index, weaker in enumerate(ordered):
+                if is_valid_connection(connection, weaker, 4, 2):
+                    for stronger in ordered[weaker_index:]:
+                        assert is_valid_connection(connection, stronger, 4, 2)
+
+
+class TestAssignmentChecks:
+    def test_valid_assignment_passes(self):
+        assignment = MulticastAssignment(
+            [conn((0, 0), (1, 0)), conn((1, 0), (2, 0), (3, 0))]
+        )
+        check_assignment(assignment, MulticastModel.MSW, 4, 1)
+
+    def test_invalid_member_connection_caught(self):
+        assignment = MulticastAssignment([conn((0, 0), (1, 1))])
+        assert not is_valid_assignment(assignment, MulticastModel.MSW, 4, 2)
+        assert is_valid_assignment(assignment, MulticastModel.MSDW, 4, 2)
+
+    def test_boolean_wrappers(self, model):
+        good = MulticastAssignment([conn((0, 0), (1, 0))])
+        assert is_valid_assignment(good, model, 4, 2)
+        bad = MulticastAssignment([conn((9, 0), (1, 0))])
+        assert not is_valid_assignment(bad, model, 4, 2)

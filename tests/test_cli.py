@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    assert code == 0
+    return captured.out
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        out = run_cli(capsys, "table1", "--n-ports", "4", "--k", "2")
+        assert "Table 1" in out and "MAW" in out
+
+    def test_table2(self, capsys):
+        out = run_cli(capsys, "table2", "--n-ports", "64", "--k", "2")
+        assert "MSW/MS" in out
+
+    def test_table2_maw_dominant(self, capsys):
+        out = run_cli(
+            capsys,
+            "table2",
+            "--n-ports",
+            "64",
+            "--k",
+            "2",
+            "--construction",
+            "maw-dominant",
+        )
+        assert "MAW-dominant" in out
+
+    def test_bounds(self, capsys):
+        out = run_cli(capsys, "bounds", "--n", "4", "--r", "4", "--k", "2")
+        assert "minimal m" in out
+
+    def test_crossover(self, capsys):
+        out = run_cli(capsys, "crossover", "--k", "2")
+        assert "multistage beats crossbar" in out
+
+    def test_capacity(self, capsys):
+        out = run_cli(capsys, "capacity", "--n-ports", "4", "--k-max", "3")
+        assert "log10" in out
+
+    def test_blocking(self, capsys):
+        out = run_cli(
+            capsys, "blocking", "--n", "2", "--r", "2", "--k", "1", "--m-max", "4"
+        )
+        assert "P(block)" in out
+
+    def test_fig10(self, capsys):
+        out = run_cli(capsys, "fig10")
+        assert "BLOCKED" in out and "routed" in out
+
+    def test_design(self, capsys):
+        out = run_cli(capsys, "design", "--n-ports", "64", "--k", "2")
+        assert "crosspoints" in out and "recursive" in out.lower()
+
+    def test_design_with_model(self, capsys):
+        out = run_cli(
+            capsys, "design", "--n-ports", "64", "--k", "2", "--model", "maw"
+        )
+        assert "MAW" in out
+
+
+class TestParser:
+    def test_unknown_model_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["design", "--model", "bogus"])
+
+    def test_unknown_construction_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["table2", "--construction", "bogus"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestNewCommands:
+    def test_gap(self, capsys):
+        out = run_cli(capsys, "gap")
+        assert "BLOCKED" in out and "corrected" in out
+
+    def test_exact(self, capsys):
+        out = run_cli(capsys, "exact", "--n", "2", "--r", "2", "--k", "1")
+        assert "exact strict-sense threshold: m = 3" in out
+
+    def test_exact_rearrangeable(self, capsys):
+        out = run_cli(
+            capsys, "exact", "--n", "2", "--r", "2", "--k", "1", "--rearrangeable"
+        )
+        assert "rearrangeable threshold" in out
+
+    def test_load(self, capsys):
+        out = run_cli(
+            capsys, "load", "--n", "2", "--r", "2", "--m", "3", "--k", "1",
+            "--loads", "1,4", "--arrivals", "200", "--model", "msw",
+        )
+        assert "P(fabric loss)" in out
+
+    def test_report_fast(self, capsys, tmp_path):
+        target = tmp_path / "report.md"
+        out = run_cli(
+            capsys, "report", "--fast", "--n-ports", "64", "--k", "2",
+            "--output", str(target),
+        )
+        assert "report written" in out
+        assert "# WDM multicast reproduction report" in target.read_text()

@@ -1,0 +1,77 @@
+"""Smoke tests: every example script must run to completion.
+
+Each example asserts its own headline property internally (e.g. the VoD
+scenario asserts zero switch-fabric blocking), so a clean exit is a
+meaningful check, not just an import test.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(path: pathlib.Path, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        check=False,
+    )
+    assert result.returncode == 0, (
+        f"{path.name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    return result.stdout
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 4
+
+
+def test_quickstart():
+    out = run_example(EXAMPLES_DIR / "quickstart.py")
+    assert "Step 4" in out
+    assert "every requested endpoint lit up" in out
+
+
+def test_video_on_demand():
+    out = run_example(EXAMPLES_DIR / "video_on_demand.py")
+    assert "joins refused by the switch fabric: 0" in out
+    assert "most-watched channels" in out
+
+
+def test_datacenter_interconnect():
+    out = run_example(
+        EXAMPLES_DIR / "datacenter_interconnect.py",
+        "--ports", "64", "--wavelengths", "2",
+    )
+    assert "recommendations:" in out
+    assert "skip MSDW" in out
+
+
+def test_photonic_testbench():
+    out = run_example(EXAMPLES_DIR / "photonic_testbench.py")
+    assert "all figure constructions verified" in out
+    assert "BLOCKED" in out  # the Fig. 10 MSW-dominant outcome
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_examples_have_docstrings(path):
+    source = path.read_text()
+    assert source.lstrip().startswith(('"""', '#!')), path.name
+    assert '"""' in source
+
+
+def test_bounds_explorer():
+    out = run_example(EXAMPLES_DIR / "bounds_explorer.py")
+    assert "exact strict threshold  : m = 3" in out
+    assert "corrected MSW-dominant" in out

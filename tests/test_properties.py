@@ -1,0 +1,144 @@
+"""Cross-module property tests: theory and simulation must agree.
+
+These hypothesis tests tie the layers together on randomly drawn
+configurations: the bounds modules size a network, the traffic
+generator drives it, the simulator routes it, and the properties the
+paper proves (plus the reproduction's corrected bound) must hold on
+every drawn instance.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.capacity import any_multicast_capacity, full_multicast_capacity
+from repro.core.corrected import CorrectedBound, min_middle_switches_corrected
+from repro.core.models import Construction, MulticastModel
+from repro.core.multistage import multistage_cost
+from repro.multistage.network import ThreeStageNetwork
+from repro.switching.generators import dynamic_traffic
+
+small_topologies = st.tuples(
+    st.integers(2, 3),  # n
+    st.integers(2, 3),  # r
+    st.integers(1, 3),  # k
+)
+constructions = st.sampled_from(list(Construction))
+models = st.sampled_from(list(MulticastModel))
+
+
+class TestSimulatorVsTheory:
+    @given(
+        nrk=small_topologies,
+        construction=constructions,
+        model=models,
+        seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=25)
+    def test_never_blocks_at_corrected_bound(self, nrk, construction, model, seed):
+        """The reproduction's central invariant, on random instances."""
+        n, r, k = nrk
+        bound = CorrectedBound.compute(n, r, k, construction, model)
+        net = ThreeStageNetwork(
+            n, r, bound.m_min, k,
+            construction=construction, model=model, x=bound.best_x,
+        )
+        live = {}
+        for event in dynamic_traffic(model, n * r, k, steps=60, seed=seed):
+            if event.kind == "setup":
+                live[event.connection_id] = net.connect(event.connection)
+            else:
+                net.disconnect(live.pop(event.connection_id))
+        assert net.blocks == 0
+        net.check_invariants()
+
+    @given(
+        nrk=small_topologies,
+        construction=constructions,
+        model=models,
+        seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=15)
+    def test_teardown_everything_restores_idle(self, nrk, construction, model, seed):
+        n, r, k = nrk
+        bound = CorrectedBound.compute(n, r, k, construction, model)
+        net = ThreeStageNetwork(
+            n, r, bound.m_min, k, construction=construction, model=model
+        )
+        live = {}
+        for event in dynamic_traffic(model, n * r, k, steps=40, seed=seed):
+            if event.kind == "setup":
+                live[event.connection_id] = net.connect(event.connection)
+            else:
+                net.disconnect(live.pop(event.connection_id))
+        net.disconnect_all()
+        utilization = net.link_utilization()
+        assert utilization["input_to_middle"] == 0.0
+        assert utilization["middle_to_output"] == 0.0
+        assert net.total_conversions() == 0
+
+    @given(
+        nrk=small_topologies,
+        construction=constructions,
+        model=models,
+        seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=15)
+    def test_routes_respect_x_and_fanout(self, nrk, construction, model, seed):
+        """Every routed connection uses <= x middles and reaches exactly
+        the requested output modules."""
+        n, r, k = nrk
+        bound = CorrectedBound.compute(n, r, k, construction, model)
+        net = ThreeStageNetwork(
+            n, r, bound.m_min, k,
+            construction=construction, model=model, x=bound.best_x,
+        )
+        live = {}
+        for event in dynamic_traffic(model, n * r, k, steps=50, seed=seed):
+            if event.kind == "setup":
+                cid = net.connect(event.connection)
+                live[event.connection_id] = cid
+                routed = net.active_connections[cid]
+                assert len(routed.branches) <= net.x
+                reached = sorted(
+                    p for b in routed.branches for p, _ in b.deliveries
+                )
+                wanted = sorted(
+                    {
+                        net.topology.output_module_of(d.port)
+                        for d in event.connection.destinations
+                    }
+                )
+                assert reached == wanted
+            else:
+                net.disconnect(live.pop(event.connection_id))
+
+
+class TestBoundsAndCosts:
+    @given(
+        nrk=st.tuples(st.integers(2, 12), st.integers(2, 24), st.integers(1, 6)),
+        construction=constructions,
+        model=models,
+    )
+    @settings(max_examples=40)
+    def test_corrected_cost_positive_and_model_ordering(self, nrk, construction, model):
+        n, r, k = nrk
+        m = min_middle_switches_corrected(n, r, k, construction, model)
+        cost = multistage_cost(n, r, m, k, construction, model)
+        assert cost.crosspoints > 0
+        if model is MulticastModel.MSW and construction is Construction.MSW_DOMINANT:
+            assert cost.converters == 0
+        if model is not MulticastModel.MSW:
+            assert cost.converters > 0
+
+    @given(
+        n_ports=st.integers(1, 6),
+        k=st.integers(1, 4),
+    )
+    @settings(max_examples=40)
+    def test_capacity_model_order_everywhere(self, n_ports, k):
+        full = [full_multicast_capacity(m, n_ports, k) for m in MulticastModel]
+        any_ = [any_multicast_capacity(m, n_ports, k) for m in MulticastModel]
+        assert full == sorted(full)
+        assert any_ == sorted(any_)
