@@ -1,0 +1,304 @@
+"""Performance benchmark for the routing kernel and the sweep engine.
+
+Four sections, each asserting that the fast path computes *exactly*
+what the slow path computes before reporting any speedup:
+
+* ``cover_kernel`` -- the bitmask cover search
+  (:func:`repro.multistage.routing.find_cover_bits`) against the
+  frozenset reference on randomized cover instances;
+* ``routing_replay`` -- a pregenerated traffic trace replayed through
+  :class:`repro.multistage.network.ThreeStageNetwork` under each
+  routing kernel, isolating the connect/disconnect hot path from the
+  (kernel-independent) traffic generator;
+* ``end_to_end`` -- :func:`repro.analysis.montecarlo.blocking_vs_m` on
+  the n=4, r=4, k=2 grid under each kernel, traffic generation
+  included;
+* ``parallel`` -- the same sweep at ``jobs=1`` vs ``jobs=N`` through
+  :class:`repro.perf.ParallelSweeper`.  The speedup is bounded by the
+  host's effective CPU count (recorded in the output); the
+  bit-identity of the merged results is asserted regardless.
+
+Run as a script (``python benchmarks/bench_perf.py [--quick]``); writes
+``BENCH_perf.json`` and exits nonzero if any fast path diverges from
+its reference.  ``--quick`` shrinks the workloads for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.montecarlo import blocking_vs_m
+from repro.core.models import Construction, MulticastModel
+from repro.multistage.network import ThreeStageNetwork
+from repro.multistage.routing import (
+    find_cover_bits,
+    find_cover_reference,
+    mask_of,
+    routing_kernel,
+)
+from repro.perf.sweeper import resolve_jobs
+from repro.switching.generators import dynamic_traffic
+
+
+def _best(fn, reps: int) -> tuple[float, object]:
+    """Best-of-``reps`` wall time of ``fn()`` plus its (stable) result."""
+    value = fn()
+    times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        again = fn()
+        times.append(time.perf_counter() - start)
+        if again != value:
+            raise AssertionError("benchmark workload is not deterministic")
+    return min(times), value
+
+
+# -- section 1: cover-search kernel -----------------------------------------
+
+
+def _cover_instances(count: int, labels: int, middles: int, seed: int):
+    rng = random.Random(seed)
+    instances = []
+    for _ in range(count):
+        destinations = frozenset(rng.sample(range(labels), rng.randint(4, labels)))
+        coverable = {
+            j: frozenset(p for p in destinations if rng.random() < 0.55)
+            for j in range(middles)
+        }
+        instances.append((destinations, coverable, rng.randint(2, 4)))
+    return instances
+
+
+def bench_cover_kernel(quick: bool, reps: int) -> dict:
+    instances = _cover_instances(
+        count=100 if quick else 400, labels=24, middles=14, seed=7
+    )
+    masked = [
+        (mask_of(destinations), {j: mask_of(s) for j, s in coverable.items()}, x)
+        for destinations, coverable, x in instances
+    ]
+
+    def decode(cover_bits):
+        if cover_bits is None:
+            return None
+        out = {}
+        for j, bits in cover_bits.items():
+            modules = []
+            while bits:
+                low = bits & -bits
+                modules.append(low.bit_length() - 1)
+                bits ^= low
+            out[j] = modules
+        return out
+
+    def run_bits():
+        return [
+            decode(find_cover_bits(dest_mask, coverable, x))
+            for dest_mask, coverable, x in masked
+        ]
+
+    def run_reference():
+        return [
+            find_cover_reference(destinations, coverable, x)
+            for destinations, coverable, x in instances
+        ]
+
+    bitmask_s, bits_out = _best(run_bits, reps)
+    reference_s, reference_out = _best(run_reference, reps)
+    return {
+        "instances": len(instances),
+        "reference_s": reference_s,
+        "bitmask_s": bitmask_s,
+        "speedup": reference_s / bitmask_s,
+        "identical": bits_out == reference_out,
+    }
+
+
+# -- section 2: routing replay ----------------------------------------------
+
+
+def _replay(events, n, r, m, k, x) -> int:
+    net = ThreeStageNetwork(
+        n,
+        r,
+        m,
+        k,
+        construction=Construction.MSW_DOMINANT,
+        model=MulticastModel.MSW,
+        x=x,
+    )
+    live: dict[int, int] = {}
+    dropped: set[int] = set()
+    blocked = 0
+    for event in events:
+        if event.kind == "setup":
+            connection_id = net.try_connect(event.connection)
+            if connection_id is None:
+                blocked += 1
+                dropped.add(event.connection_id)
+            else:
+                live[event.connection_id] = connection_id
+        else:
+            if event.connection_id in dropped:
+                dropped.discard(event.connection_id)
+                continue
+            net.disconnect(live.pop(event.connection_id))
+    return blocked
+
+
+def bench_routing_replay(quick: bool, reps: int) -> dict:
+    n, r, k, x = 4, 4, 2, 2
+    steps = 1000 if quick else 4000
+    events = list(
+        dynamic_traffic(MulticastModel.MSW, n * r, k, steps=steps, seed=0)
+    )
+    m_values = [2, 4, 6]
+    cells = []
+    reference_total = 0.0
+    bitmask_total = 0.0
+    identical = True
+    for m in m_values:
+        with routing_kernel("reference"):
+            reference_s, reference_blocked = _best(
+                lambda: _replay(events, n, r, m, k, x), reps
+            )
+        with routing_kernel("bitmask"):
+            bitmask_s, bitmask_blocked = _best(
+                lambda: _replay(events, n, r, m, k, x), reps
+            )
+        identical = identical and reference_blocked == bitmask_blocked
+        reference_total += reference_s
+        bitmask_total += bitmask_s
+        cells.append(
+            {
+                "m": m,
+                "reference_s": reference_s,
+                "bitmask_s": bitmask_s,
+                "speedup": reference_s / bitmask_s,
+                "blocked": bitmask_blocked,
+            }
+        )
+    return {
+        "config": {"n": n, "r": r, "k": k, "x": x, "steps": steps},
+        "cells": cells,
+        "reference_s": reference_total,
+        "bitmask_s": bitmask_total,
+        "speedup": reference_total / bitmask_total,
+        "identical": identical,
+    }
+
+
+# -- sections 3 and 4: end-to-end sweep, serial vs parallel ------------------
+
+
+def _grid_kwargs(quick: bool) -> dict:
+    return dict(
+        steps=400 if quick else 1500,
+        seeds=(0, 1) if quick else (0, 1, 2),
+    )
+
+
+def _estimate_key(estimates) -> list[tuple[int, int, int]]:
+    return [(e.m, e.attempts, e.blocked) for e in estimates]
+
+
+def bench_end_to_end(quick: bool, reps: int) -> dict:
+    m_values = [2, 5, 8, 11, 14]
+    kwargs = _grid_kwargs(quick)
+
+    def run(kernel):
+        with routing_kernel(kernel):
+            return _estimate_key(blocking_vs_m(4, 4, 2, m_values, **kwargs))
+
+    reference_s, reference_out = _best(lambda: run("reference"), reps)
+    bitmask_s, bitmask_out = _best(lambda: run("bitmask"), reps)
+    return {
+        "config": {"n": 4, "r": 4, "k": 2, "m_values": m_values, **kwargs},
+        "reference_s": reference_s,
+        "bitmask_s": bitmask_s,
+        "speedup": reference_s / bitmask_s,
+        "identical": reference_out == bitmask_out,
+    }
+
+
+def bench_parallel(quick: bool, reps: int, jobs: int) -> dict:
+    m_values = [2, 5, 8, 11, 14]
+    kwargs = _grid_kwargs(quick)
+
+    def run(n_jobs):
+        return _estimate_key(
+            blocking_vs_m(4, 4, 2, m_values, jobs=n_jobs, **kwargs)
+        )
+
+    serial_s, serial_out = _best(lambda: run(1), reps)
+    parallel_s, parallel_out = _best(lambda: run(jobs), reps)
+    return {
+        "config": {"n": 4, "r": 4, "k": 2, "m_values": m_values, **kwargs},
+        "jobs": jobs,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s,
+        "identical": serial_out == parallel_out,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small workloads (CI smoke run)"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4, help="workers for the parallel section"
+    )
+    parser.add_argument(
+        "--reps", type=int, default=None, help="timing repetitions per section"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_perf.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    reps = args.reps if args.reps is not None else (1 if args.quick else 5)
+
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "effective_cpus": resolve_jobs(0),
+            "quick": args.quick,
+            "reps": reps,
+        }
+    }
+    sections = [
+        ("cover_kernel", lambda: bench_cover_kernel(args.quick, reps)),
+        ("routing_replay", lambda: bench_routing_replay(args.quick, reps)),
+        ("end_to_end", lambda: bench_end_to_end(args.quick, reps)),
+        ("parallel", lambda: bench_parallel(args.quick, reps, args.jobs)),
+    ]
+    failures = []
+    for name, section in sections:
+        result = section()
+        report[name] = result
+        flag = "ok" if result["identical"] else "DIVERGED"
+        print(f"{name:15s} speedup {result['speedup']:5.2f}x  [{flag}]")
+        if not result["identical"]:
+            failures.append(name)
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if failures:
+        print(f"FAIL: fast path diverged from reference in: {', '.join(failures)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,16 @@ theorem bound.
 
 Blocked requests are dropped (the optical-domain behaviour the paper
 motivates: no optical RAM to buffer them) and the simulation proceeds.
+
+Determinism and parallelism
+---------------------------
+
+Each replication owns one :class:`random.Random` stream created from
+its seed and threaded end-to-end through the traffic generator, so a
+(seed, m, config) cell is a pure function of its arguments.  Cells are
+fanned out through :class:`repro.perf.ParallelSweeper` and merged in
+seed order, which makes every :class:`BlockingEstimate` bit-identical
+for any ``jobs`` value -- pooled seeds are summed, never interleaved.
 """
 
 from __future__ import annotations
@@ -20,6 +30,7 @@ from dataclasses import dataclass
 from repro.core.models import Construction, MulticastModel
 from repro.multistage.adversary import search_blocking_state
 from repro.multistage.network import ThreeStageNetwork
+from repro.perf.sweeper import ParallelSweeper, WorkUnit
 from repro.switching.generators import dynamic_traffic
 
 __all__ = ["BlockingEstimate", "blocking_probability", "blocking_vs_m"]
@@ -45,6 +56,57 @@ class BlockingEstimate:
         return self.blocked / self.attempts if self.attempts else 0.0
 
 
+def _traffic_cell(
+    n: int,
+    r: int,
+    m: int,
+    k: int,
+    construction: Construction,
+    model: MulticastModel,
+    x: int,
+    steps: int,
+    seed: int,
+    max_fanout: int | None,
+) -> tuple[int, int]:
+    """One replication: ``(attempts, blocked)`` for one traffic seed.
+
+    The seed's single ``random.Random`` stream drives the traffic
+    generator end-to-end; nothing else in the cell draws randomness, so
+    the result depends only on the arguments (the parallel-safety
+    contract of the sweep engine).
+    """
+    rng = random.Random(seed)
+    net = ThreeStageNetwork(
+        n, r, m, k, construction=construction, model=model, x=x
+    )
+    attempts = 0
+    blocked = 0
+    live: dict[int, int] = {}
+    dropped: set[int] = set()
+    for event in dynamic_traffic(
+        model,
+        n * r,
+        k,
+        steps=steps,
+        seed=rng,
+        max_fanout=max_fanout,
+    ):
+        if event.kind == "setup":
+            attempts += 1
+            connection_id = net.try_connect(event.connection)
+            if connection_id is None:
+                blocked += 1
+                dropped.add(event.connection_id)
+            else:
+                live[event.connection_id] = connection_id
+        else:
+            if event.connection_id in dropped:
+                dropped.discard(event.connection_id)
+                continue
+            net.disconnect(live.pop(event.connection_id))
+    return attempts, blocked
+
+
 def blocking_probability(
     n: int,
     r: int,
@@ -57,6 +119,7 @@ def blocking_probability(
     steps: int = 2000,
     seeds: tuple[int, ...] = (0, 1, 2),
     max_fanout: int | None = None,
+    jobs: int = 1,
 ) -> BlockingEstimate:
     """Estimate blocking probability under random dynamic traffic.
 
@@ -68,38 +131,23 @@ def blocking_probability(
         n, r, m, k: topology.
         construction, model, x: network configuration.
         steps: traffic events per seed.
-        seeds: independent replications (results are pooled).
+        seeds: independent replications (results are pooled).  Each seed
+            owns one RNG stream end-to-end and runs a fresh network, so
+            the pooled estimate is deterministic for any ``jobs``.
         max_fanout: cap on destinations per request.
+        jobs: worker processes for the per-seed sweep (1 = in-process).
     """
-    attempts = 0
-    blocked = 0
-    for seed in seeds:
-        net = ThreeStageNetwork(
-            n, r, m, k, construction=construction, model=model, x=x
+    sweeper = ParallelSweeper(jobs)
+    results = sweeper.run(
+        WorkUnit(
+            unit_id=seed,
+            fn=_traffic_cell,
+            args=(n, r, m, k, construction, model, x, steps, seed, max_fanout),
         )
-        live: dict[int, int] = {}
-        dropped: set[int] = set()
-        for event in dynamic_traffic(
-            model,
-            n * r,
-            k,
-            steps=steps,
-            seed=seed,
-            max_fanout=max_fanout,
-        ):
-            if event.kind == "setup":
-                attempts += 1
-                connection_id = net.try_connect(event.connection)
-                if connection_id is None:
-                    blocked += 1
-                    dropped.add(event.connection_id)
-                else:
-                    live[event.connection_id] = connection_id
-            else:
-                if event.connection_id in dropped:
-                    dropped.discard(event.connection_id)
-                    continue
-                net.disconnect(live.pop(event.connection_id))
+        for seed in seeds
+    )
+    attempts = sum(result.value[0] for result in results)
+    blocked = sum(result.value[1] for result in results)
     return BlockingEstimate(
         n=n,
         r=r,
@@ -111,6 +159,12 @@ def blocking_probability(
         attempts=attempts,
         blocked=blocked,
     )
+
+
+def _adversary_seeds(m: int, count: int) -> list[int]:
+    """The deterministic adversary-seed schedule for one ``m`` point."""
+    rng = random.Random(m)
+    return [rng.randrange(10**9) for _ in range(count)]
 
 
 def blocking_vs_m(
@@ -126,6 +180,7 @@ def blocking_vs_m(
     seeds: tuple[int, ...] = (0, 1, 2),
     adversarial: bool = False,
     adversary_seeds: int = 20,
+    jobs: int = 1,
 ) -> list[BlockingEstimate]:
     """The blocking-probability-vs-``m`` curve (implied figure X3).
 
@@ -135,45 +190,103 @@ def blocking_vs_m(
     adversary finds a witness at an ``m`` where random traffic saw no
     blocking, one synthetic blocked attempt is recorded so the curve
     reflects *worst-case* rather than average-case behaviour.
+
+    All (m, seed) traffic cells -- and, in adversarial mode, all
+    (m, adversary-seed) cells -- are independent work units fanned out
+    through the sweep engine; with ``jobs > 1`` they run concurrently
+    and merge by cell id, so the curve is bit-identical to ``jobs=1``
+    (serial short-circuits skip redundant adversary cells but pick the
+    same first witness).
     """
+    sweeper = ParallelSweeper(jobs)
+    cells = sweeper.run(
+        WorkUnit(
+            unit_id=(m, seed),
+            fn=_traffic_cell,
+            args=(n, r, m, k, construction, model, x, steps, seed, None),
+        )
+        for m in m_values
+        for seed in seeds
+    )
+    by_cell = {result.unit_id: result.value for result in cells}
     estimates = []
     for m in m_values:
-        estimate = blocking_probability(
-            n,
-            r,
-            m,
-            k,
-            construction=construction,
-            model=model,
-            x=x,
-            steps=steps,
-            seeds=seeds,
+        attempts = sum(by_cell[(m, seed)][0] for seed in seeds)
+        blocked = sum(by_cell[(m, seed)][1] for seed in seeds)
+        estimates.append(
+            BlockingEstimate(
+                n=n,
+                r=r,
+                m=m,
+                k=k,
+                construction=construction,
+                model=model,
+                x=x,
+                attempts=attempts,
+                blocked=blocked,
+            )
         )
-        if adversarial and estimate.blocked == 0:
-            rng = random.Random(m)
-            for _ in range(adversary_seeds):
+    if not adversarial:
+        return estimates
+
+    needs_adversary = [
+        (index, estimate)
+        for index, estimate in enumerate(estimates)
+        if estimate.blocked == 0
+    ]
+    witnessed: set[int] = set()
+    if jobs == 1:
+        # Serial short-circuit: stop at the first witness per m, exactly
+        # like the pre-sweeper implementation.
+        for index, estimate in needs_adversary:
+            for seed in _adversary_seeds(estimate.m, adversary_seeds):
                 witness = search_blocking_state(
                     n,
                     r,
-                    m,
+                    estimate.m,
                     k,
                     construction=construction,
                     model=model,
                     x=x,
-                    seed=rng.randrange(10**9),
+                    seed=seed,
                 )
                 if witness is not None:
-                    estimate = BlockingEstimate(
-                        n=n,
-                        r=r,
-                        m=m,
-                        k=k,
-                        construction=construction,
-                        model=model,
-                        x=x,
-                        attempts=estimate.attempts + 1,
-                        blocked=1,
-                    )
+                    witnessed.add(index)
                     break
-        estimates.append(estimate)
+    else:
+        units = [
+            WorkUnit(
+                unit_id=(index, attempt),
+                fn=search_blocking_state,
+                args=(n, r, estimate.m, k),
+                kwargs=dict(
+                    construction=construction, model=model, x=x, seed=seed
+                ),
+            )
+            for index, estimate in needs_adversary
+            for attempt, seed in enumerate(
+                _adversary_seeds(estimate.m, adversary_seeds)
+            )
+        ]
+        found = sweeper.run_keyed(units)
+        for index, estimate in needs_adversary:
+            # First witness in schedule order == the serial short-circuit's.
+            if any(
+                found[(index, attempt)].value is not None
+                for attempt in range(adversary_seeds)
+            ):
+                witnessed.add(index)
+    for index in witnessed:
+        estimate = estimates[index]
+        estimates[index] = BlockingEstimate(
+            n=n,
+            r=r,
+            m=estimate.m,
+            k=k,
+            construction=construction,
+            model=model,
+            x=x,
+            attempts=estimate.attempts + 1,
+            blocked=1,
+        )
     return estimates

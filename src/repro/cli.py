@@ -109,6 +109,7 @@ def _cmd_blocking(args: argparse.Namespace) -> str:
         construction=args.construction,
         x=args.x,
         adversarial=args.adversarial,
+        jobs=args.jobs,
     )
     rows = [
         [e.m, e.attempts, e.blocked, f"{e.probability:.4f}"] for e in estimates
@@ -195,7 +196,7 @@ def _cmd_exact(args: argparse.Namespace) -> str:
     result = exact_minimal_m(
         args.n, args.r, args.k,
         model=args.model, construction=args.construction, x=args.x,
-        state_budget=args.budget,
+        state_budget=args.budget, jobs=args.jobs,
     )
     lines = [
         f"exact thresholds for v(n={args.n}, r={args.r}, m, k={args.k}), "
@@ -309,6 +310,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", type=_model, default=MulticastModel.MSW)
     p.add_argument("--construction", type=_construction, default=Construction.MSW_DOMINANT)
     p.add_argument("--adversarial", action="store_true")
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (0 = all CPUs); results are "
+        "identical for any value",
+    )
     p.set_defaults(func=_cmd_blocking)
 
     p = sub.add_parser("fig10", help="the Fig. 10 blocking scenario")
@@ -325,6 +333,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--construction", type=_construction, default=Construction.MSW_DOMINANT)
     p.add_argument("--budget", type=int, default=200_000)
     p.add_argument("--rearrangeable", action="store_true")
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the m-candidate scan (0 = all CPUs)",
+    )
     p.set_defaults(func=_cmd_exact)
 
     p = sub.add_parser("load", help="loss vs offered Erlang load")

@@ -41,7 +41,17 @@ from repro.multistage.offline import (
     route_assignment,
 )
 from repro.multistage.recursive import RecursiveDesign, best_recursive_design
-from repro.multistage.routing import CoverSearch, find_cover
+from repro.multistage.routing import (
+    CoverSearch,
+    find_cover,
+    find_cover_bits,
+    find_cover_reference,
+    get_routing_kernel,
+    iter_bits,
+    mask_of,
+    routing_kernel,
+    set_routing_kernel,
+)
 from repro.multistage.serialization import dumps as artifact_dumps
 from repro.multistage.serialization import loads as artifact_loads
 from repro.multistage.topology import ThreeStageTopology
@@ -67,7 +77,14 @@ __all__ = [
     "exact_minimal_m",
     "fig10_scenario",
     "find_cover",
+    "find_cover_bits",
+    "find_cover_reference",
+    "get_routing_kernel",
     "is_blockable",
+    "iter_bits",
+    "mask_of",
     "minimal_rearrangeable_m",
     "route_assignment",
+    "routing_kernel",
+    "set_routing_kernel",
 ]

@@ -32,7 +32,8 @@ from itertools import combinations, product
 
 from repro.core.models import Construction, MulticastModel
 from repro.multistage.network import ThreeStageNetwork
-from repro.multistage.routing import find_cover
+from repro.multistage.routing import get_routing_kernel, mask_of
+from repro.perf.sweeper import ParallelSweeper, WorkUnit
 from repro.switching.requests import Endpoint, MulticastConnection
 
 __all__ = ["BlockableResult", "ExactMinimal", "exact_minimal_m", "is_blockable"]
@@ -155,15 +156,27 @@ def _all_covers(
     module_destinations = net._module_destinations(request)
     destinations = sorted(module_destinations)
     required = net._required_out_wavelength(module_destinations)
-    coverable = net._coverable_sets(
-        g, request.source.wavelength, frozenset(destinations), required
-    )
-    options = []
-    for p in destinations:
-        admissible = [j for j, reach in coverable.items() if p in reach]
-        if not admissible:
-            return []
-        options.append(admissible)
+    if get_routing_kernel() == "reference":
+        coverable: dict[int, frozenset[int]] = net._coverable_sets(
+            g, request.source.wavelength, frozenset(destinations), required
+        )
+        options = []
+        for p in destinations:
+            admissible = [j for j, reach in coverable.items() if p in reach]
+            if not admissible:
+                return []
+            options.append(admissible)
+    else:
+        coverable_bits = net._coverable_bits(
+            g, request.source.wavelength, mask_of(destinations), required
+        )
+        options = []
+        for p in destinations:
+            bit = 1 << p
+            admissible = [j for j, reach in coverable_bits.items() if reach & bit]
+            if not admissible:
+                return []
+            options.append(admissible)
     covers: set[tuple[tuple[int, tuple[int, ...]], ...]] = set()
     results = []
     for assignment in product(*options):
@@ -224,14 +237,7 @@ def is_blockable(
 
     def blocked_request() -> MulticastConnection | None:
         for request in _legal_requests(net, unicast_only=unicast_only):
-            g = net.topology.input_module_of(request.source.port)
-            module_destinations = net._module_destinations(request)
-            destinations = frozenset(module_destinations)
-            required = net._required_out_wavelength(module_destinations)
-            coverable = net._coverable_sets(
-                g, request.source.wavelength, destinations, required
-            )
-            if find_cover(destinations, coverable, net.x) is None:
+            if net.probe_cover(request) is None:
                 return request
         return None
 
@@ -315,6 +321,7 @@ def exact_minimal_m(
     m_max: int | None = None,
     state_budget: int = 100_000,
     unicast_only: bool = False,
+    jobs: int = 1,
 ) -> ExactMinimal:
     """Scan ``m`` upward for the true nonblocking threshold.
 
@@ -322,24 +329,52 @@ def exact_minimal_m(
     blocking state (``m_exact``), along with the per-``m`` results.  If
     any check hits the budget before a nonblocking ``m`` is found, the
     scan is inconclusive and ``m_exact`` is None.
+
+    With ``jobs > 1`` every ``m`` candidate is model-checked as an
+    independent work unit; the merge walks the candidates in ascending
+    order and truncates exactly where the serial scan would have
+    stopped, so the result is bit-identical to ``jobs=1`` (the parallel
+    scan trades some redundant work above the threshold for wall time).
     """
     if m_max is None:
         from repro.core.corrected import min_middle_switches_corrected
 
         m_max = min_middle_switches_corrected(n, r, k, construction, model, x=x)
-    results = []
-    for m in range(1, m_max + 1):
-        result = is_blockable(
-            n, r, m, k,
+    candidates = list(range(1, m_max + 1))
+    if jobs == 1:
+        per_m = _serial_m_scan(
+            n, r, k, candidates,
             construction=construction, model=model, x=x,
             state_budget=state_budget, unicast_only=unicast_only,
         )
+    else:
+        sweeper = ParallelSweeper(jobs, chunk_size=1)
+        keyed = sweeper.run_keyed(
+            WorkUnit(
+                unit_id=m,
+                fn=is_blockable,
+                args=(n, r, m, k),
+                kwargs=dict(
+                    construction=construction, model=model, x=x,
+                    state_budget=state_budget, unicast_only=unicast_only,
+                ),
+            )
+            for m in candidates
+        )
+        per_m = []
+        for m in candidates:
+            result = keyed[m].value
+            per_m.append(result)
+            if result.blockable is not True:
+                break
+    results = []
+    for result in per_m:
         results.append(result)
         if result.blockable is False:
             return ExactMinimal(
                 n=n, r=r, k=k,
                 construction=construction, model=model, x=x,
-                m_exact=m, per_m=tuple(results),
+                m_exact=result.m, per_m=tuple(results),
             )
         if result.blockable is None:
             break
@@ -348,3 +383,20 @@ def exact_minimal_m(
         construction=construction, model=model, x=x,
         m_exact=None, per_m=tuple(results),
     )
+
+
+def _serial_m_scan(
+    n: int,
+    r: int,
+    k: int,
+    candidates: list[int],
+    **kwargs,
+) -> list[BlockableResult]:
+    """Ascending in-process scan with the serial early stop."""
+    per_m: list[BlockableResult] = []
+    for m in candidates:
+        result = is_blockable(n, r, m, k, **kwargs)
+        per_m.append(result)
+        if result.blockable is not True:
+            break
+    return per_m

@@ -47,7 +47,14 @@ import numpy as np
 from repro.combinatorics.multiset import DestinationMultiset
 from repro.core.models import Construction, MulticastModel
 from repro.core.multistage import is_nonblocking, valid_x_range
-from repro.multistage.routing import CoverSearch, find_cover
+from repro.multistage.routing import (
+    CoverSearch,
+    find_cover,
+    find_cover_bits,
+    get_routing_kernel,
+    iter_bits,
+    mask_of,
+)
 from repro.multistage.topology import ThreeStageTopology
 from repro.switching.requests import Endpoint, MulticastConnection
 from repro.switching.validity import ValidityError, check_connection
@@ -169,6 +176,22 @@ class ThreeStageNetwork:
         self._mid_out = np.zeros((m, r, k), dtype=bool)
         self._input_used = np.zeros((self.topology.n_ports, k), dtype=bool)
         self._output_used = np.zeros((self.topology.n_ports, k), dtype=bool)
+        # Coverability cache: bitmask mirrors of the occupancy arrays,
+        # maintained incrementally by connect/disconnect instead of being
+        # rebuilt from numpy on every request.  The numpy arrays stay the
+        # ground truth; check_invariants() cross-checks the two.
+        self._in_mid_busy = [[0] * k for _ in range(r)]  # [g][w] -> mask over j
+        self._in_mid_count = [[0] * m for _ in range(r)]  # [g][j] -> busy count
+        self._in_mid_full = [0] * r  # [g] -> mask over j with count == k
+        self._mid_out_busy = [[0] * k for _ in range(m)]  # [j][w] -> mask over p
+        self._mid_out_count = [[0] * r for _ in range(m)]  # [j][p] -> busy count
+        self._mid_out_full = [0] * m  # [j] -> mask over p with count == k
+        self._failed_mask = 0
+        self._all_middles_mask = (1 << m) - 1
+        # Endpoint-usage masks (bit = port * k + wavelength): the bitmask
+        # kernel's admission fast path reads these instead of numpy cells.
+        self._input_used_mask = 0
+        self._output_used_mask = 0
         self._active: dict[int, RoutedConnection] = {}
         self._failed_middles: set[int] = set()
         self._next_id = 0
@@ -230,8 +253,11 @@ class ThreeStageNetwork:
 
     def destination_set(self, middle: int, wavelength: int) -> frozenset[int]:
         """MSW-dominant per-wavelength destination set of a middle switch."""
-        busy = self._mid_out[middle, :, wavelength]
-        return frozenset(int(p) for p in np.nonzero(busy)[0])
+        return frozenset(iter_bits(self._mid_out_busy[middle][wavelength]))
+
+    def destination_mask(self, middle: int, wavelength: int) -> int:
+        """Bitmask form of :meth:`destination_set` (bit ``p`` = busy fiber)."""
+        return self._mid_out_busy[middle][wavelength]
 
     def conversions_of(self, connection_id: int) -> int:
         """Wavelength conversions a live connection undergoes end to end.
@@ -278,18 +304,62 @@ class ThreeStageNetwork:
         """Middle switches reachable from ``source``'s input module now."""
         g = self.topology.input_module_of(source.port)
         if self.construction is Construction.MSW_DOMINANT:
-            free = ~self._in_mid[g, :, source.wavelength]
+            blocked = self._in_mid_busy[g][source.wavelength]
         else:
-            free = ~self._in_mid[g].all(axis=1)
-        return [
-            int(j)
-            for j in np.nonzero(free)[0]
-            if int(j) not in self._failed_middles
-        ]
+            blocked = self._in_mid_full[g]
+        free = self._all_middles_mask & ~(blocked | self._failed_mask)
+        return list(iter_bits(free))
 
     # -- request admission --------------------------------------------------
 
+    def _fast_validate(self, request: MulticastConnection) -> bool:
+        """True iff ``request`` is a legal addition, checked via the masks.
+
+        Exact (never accepts what :meth:`_validate_request`'s slow path
+        rejects), so a False return only means "take the slow path to
+        raise the properly worded error".  Touches no numpy cells -- the
+        bitmask kernel's admission check on the Monte-Carlo hot path.
+        """
+        topology = self.topology
+        k = topology.k
+        n_ports = topology.n_ports
+        source = request.source
+        source_wavelength = source.wavelength
+        if not (0 <= source.port < n_ports and 0 <= source_wavelength < k):
+            return False
+        if self._input_used_mask >> (source.port * k + source_wavelength) & 1:
+            return False
+        destinations = request.destinations
+        if not destinations:
+            return False
+        model = self.model
+        output_used = self._output_used_mask
+        ports_seen = 0
+        first_wavelength = -1
+        for destination in destinations:
+            port = destination.port
+            wavelength = destination.wavelength
+            if not (0 <= port < n_ports and 0 <= wavelength < k):
+                return False
+            bit = 1 << port
+            if ports_seen & bit:
+                return False
+            ports_seen |= bit
+            if output_used >> (port * k + wavelength) & 1:
+                return False
+            if first_wavelength < 0:
+                first_wavelength = wavelength
+            elif wavelength != first_wavelength and model is not MulticastModel.MAW:
+                return False
+        if model is MulticastModel.MSW and first_wavelength != source_wavelength:
+            return False
+        return True
+
     def _validate_request(self, request: MulticastConnection) -> None:
+        if get_routing_kernel() != "reference" and self._fast_validate(request):
+            return
+        # Slow path: reference kernel, or a request the fast path refused
+        # (re-checked here so the error text matches the legacy one).
         try:
             check_connection(
                 request, self.model, self.topology.n_ports, self.topology.k
@@ -373,6 +443,176 @@ class ThreeStageNetwork:
                 coverable[j] = frozenset(reach)
         return coverable
 
+    def _coverable_bits(
+        self,
+        input_module: int,
+        source_wavelength: int,
+        dest_mask: int,
+        required: dict[int, int | None],
+    ) -> dict[int, int]:
+        """Bitmask form of :meth:`_coverable_sets`, served from the cache.
+
+        Keys iterate in ascending middle index, matching the sorted
+        candidate order of the reference path; values are bitmasks over
+        output modules.
+        """
+        g = input_module
+        if self.construction is Construction.MSW_DOMINANT:
+            blocked = self._in_mid_busy[g][source_wavelength]
+            available = self._all_middles_mask & ~(blocked | self._failed_mask)
+            mid_out_busy = self._mid_out_busy
+            coverable: dict[int, int] = {}
+            for j in iter_bits(available):
+                reach = dest_mask & ~mid_out_busy[j][source_wavelength]
+                if reach:
+                    coverable[j] = reach
+            return coverable
+        blocked = self._in_mid_full[g]
+        available = self._all_middles_mask & ~(blocked | self._failed_mask)
+        pinned_masks: dict[int, int] = {}
+        unpinned = 0
+        for p, wavelength in required.items():
+            if wavelength is None:
+                unpinned |= 1 << p
+            else:
+                pinned_masks[wavelength] = pinned_masks.get(wavelength, 0) | (1 << p)
+        coverable = {}
+        for j in iter_bits(available):
+            busy = self._mid_out_busy[j]
+            reach = unpinned & ~self._mid_out_full[j]
+            for wavelength, mask in pinned_masks.items():
+                reach |= mask & ~busy[wavelength]
+            if reach:
+                coverable[j] = reach
+        return coverable
+
+    def _cover_for(
+        self,
+        request: MulticastConnection,
+        *,
+        stats: CoverSearch | None = None,
+        force_middles: dict[int, list[int]] | None = None,
+    ) -> tuple[int, dict[int, list[Endpoint]], dict[int, int | None], dict[int, list[int]] | None]:
+        """Run the cover search for ``request`` against the current state.
+
+        Returns ``(input_module, module_destinations, required, cover)``
+        without mutating any state; ``cover`` is None when the request
+        has no <= x-middle cover.  Dispatches to the active routing
+        kernel (bitmask cache by default, the numpy + frozenset
+        reference path under ``routing_kernel("reference")``).
+        """
+        if get_routing_kernel() == "reference":
+            g = self.topology.input_module_of(request.source.port)
+            module_destinations = self._module_destinations(request)
+            required = self._required_out_wavelength(module_destinations)
+            destinations = frozenset(module_destinations)
+            coverable = self._coverable_sets(
+                g, request.source.wavelength, destinations, required
+            )
+            if force_middles is not None:
+                cover = self._validated_forced_cover(
+                    force_middles, destinations, coverable
+                )
+            else:
+                cover = find_cover(
+                    destinations,
+                    coverable,
+                    self.x,
+                    stats=stats,
+                    preference=self._middle_preference(),
+                )
+            return g, module_destinations, required, cover
+        # Bitmask kernel: ports were range-checked at admission, so the
+        # module mapping inlines the ``port // n`` arithmetic instead of
+        # going through the re-validating topology accessors.
+        n = self.topology.n
+        g = request.source.port // n
+        module_destinations = {}
+        for destination in request.destinations:
+            module_destinations.setdefault(destination.port // n, []).append(
+                destination
+            )
+        pin = self.model is MulticastModel.MSW
+        required = {
+            module: destinations[0].wavelength if pin else None
+            for module, destinations in module_destinations.items()
+        }
+        dest_mask = mask_of(module_destinations)
+        coverable_bits = self._coverable_bits(
+            g, request.source.wavelength, dest_mask, required
+        )
+        if force_middles is not None:
+            cover = self._validated_forced_cover(
+                force_middles,
+                frozenset(module_destinations),
+                {j: frozenset(iter_bits(bits)) for j, bits in coverable_bits.items()},
+            )
+            return g, module_destinations, required, cover
+        cover_bits = find_cover_bits(
+            dest_mask,
+            coverable_bits,
+            self.x,
+            stats=stats,
+            preference=self._middle_preference(),
+        )
+        if cover_bits is None:
+            cover = None
+        else:
+            cover = {}
+            for j, bits in cover_bits.items():
+                modules = []
+                while bits:
+                    low = bits & -bits
+                    modules.append(low.bit_length() - 1)
+                    bits ^= low
+                cover[j] = modules
+        if stats is not None:
+            stats.cover = cover
+        return g, module_destinations, required, cover
+
+    def probe_cover(
+        self, request: MulticastConnection, *, stats: CoverSearch | None = None
+    ) -> dict[int, list[int]] | None:
+        """The cover :meth:`connect` would use for ``request`` right now.
+
+        Read-only: no resources are allocated.  Returns None when the
+        request would block -- the primitive the exhaustive model checker
+        probes reachable states with.
+        """
+        return self._cover_for(request, stats=stats)[3]
+
+    def _mark_in_mid(self, g: int, j: int, wavelength: int, busy: bool) -> None:
+        """Set one first-stage link wavelength and keep the cache in sync."""
+        self._in_mid[g, j, wavelength] = busy
+        bit = 1 << j
+        counts = self._in_mid_count[g]
+        if busy:
+            self._in_mid_busy[g][wavelength] |= bit
+            counts[j] += 1
+            if counts[j] == self.topology.k:
+                self._in_mid_full[g] |= bit
+        else:
+            self._in_mid_busy[g][wavelength] &= ~bit
+            if counts[j] == self.topology.k:
+                self._in_mid_full[g] &= ~bit
+            counts[j] -= 1
+
+    def _mark_mid_out(self, j: int, p: int, wavelength: int, busy: bool) -> None:
+        """Set one second-stage link wavelength and keep the cache in sync."""
+        self._mid_out[j, p, wavelength] = busy
+        bit = 1 << p
+        counts = self._mid_out_count[j]
+        if busy:
+            self._mid_out_busy[j][wavelength] |= bit
+            counts[p] += 1
+            if counts[p] == self.topology.k:
+                self._mid_out_full[j] |= bit
+        else:
+            self._mid_out_busy[j][wavelength] &= ~bit
+            if counts[p] == self.topology.k:
+                self._mid_out_full[j] &= ~bit
+            counts[p] -= 1
+
     def connect(
         self,
         request: MulticastConnection,
@@ -404,30 +644,14 @@ class ThreeStageNetwork:
                 infeasible.
         """
         self._validate_request(request)
-        g = self.topology.input_module_of(request.source.port)
-        module_destinations = self._module_destinations(request)
-        destinations = frozenset(module_destinations)
-        required = self._required_out_wavelength(module_destinations)
-        coverable = self._coverable_sets(
-            g, request.source.wavelength, destinations, required
+        g, module_destinations, required, cover = self._cover_for(
+            request, stats=stats, force_middles=force_middles
         )
-        if force_middles is not None:
-            cover = self._validated_forced_cover(
-                force_middles, destinations, coverable
-            )
-        else:
-            cover = find_cover(
-                destinations,
-                coverable,
-                self.x,
-                stats=stats,
-                preference=self._middle_preference(),
-            )
         if cover is None:
             self.blocks += 1
             raise BlockedError(
                 f"request {request} blocked: no <= {self.x}-middle cover "
-                f"among {len(coverable)} available middles"
+                "among the available middles"
             )
 
         branches = []
@@ -439,7 +663,7 @@ class ThreeStageNetwork:
                 in_wavelength = self._pick_wavelength(
                     np.nonzero(~self._in_mid[g, j])[0]
                 )
-            self._in_mid[g, j, in_wavelength] = True
+            self._mark_in_mid(g, j, in_wavelength, True)
             deliveries = []
             for p in modules:
                 pinned = required[p]
@@ -451,7 +675,7 @@ class ThreeStageNetwork:
                     out_wavelength = self._pick_wavelength(
                         np.nonzero(~self._mid_out[j, p])[0]
                     )
-                self._mid_out[j, p, out_wavelength] = True
+                self._mark_mid_out(j, p, out_wavelength, True)
                 deliveries.append((p, out_wavelength))
             branches.append(
                 RoutedBranch(
@@ -461,9 +685,16 @@ class ThreeStageNetwork:
                 )
             )
 
+        k = self.topology.k
         self._input_used[request.source.port, request.source.wavelength] = True
+        self._input_used_mask |= 1 << (
+            request.source.port * k + request.source.wavelength
+        )
         for destination in request.destinations:
             self._output_used[destination.port, destination.wavelength] = True
+            self._output_used_mask |= 1 << (
+                destination.port * k + destination.wavelength
+            )
 
         connection_id = self._next_id
         self._next_id += 1
@@ -525,11 +756,13 @@ class ThreeStageNetwork:
             drained.append(self._active[cid].request)
             self.disconnect(cid)
         self._failed_middles.add(middle)
+        self._failed_mask |= 1 << middle
         return drained
 
     def repair_middle(self, middle: int) -> None:
         """Return a failed middle switch to service."""
         self._failed_middles.discard(middle)
+        self._failed_mask &= ~(1 << middle)
 
     def wavelength_usage(self) -> list[int]:
         """Busy internal channels per wavelength index, network-wide."""
@@ -611,14 +844,19 @@ class ThreeStageNetwork:
         g = routed.input_module
         for branch in routed.branches:
             assert self._in_mid[g, branch.middle, branch.in_wavelength]
-            self._in_mid[g, branch.middle, branch.in_wavelength] = False
+            self._mark_in_mid(g, branch.middle, branch.in_wavelength, False)
             for p, out_wavelength in branch.deliveries:
                 assert self._mid_out[branch.middle, p, out_wavelength]
-                self._mid_out[branch.middle, p, out_wavelength] = False
+                self._mark_mid_out(branch.middle, p, out_wavelength, False)
+        k = self.topology.k
         source = routed.request.source
         self._input_used[source.port, source.wavelength] = False
+        self._input_used_mask &= ~(1 << (source.port * k + source.wavelength))
         for destination in routed.request.destinations:
             self._output_used[destination.port, destination.wavelength] = False
+            self._output_used_mask &= ~(
+                1 << (destination.port * k + destination.wavelength)
+            )
         self.teardowns += 1
 
     def disconnect_all(self) -> None:
@@ -660,3 +898,55 @@ class ThreeStageNetwork:
         assert (mid_out == self._mid_out).all(), "second-stage link state leak"
         assert (input_used == self._input_used).all(), "input endpoint leak"
         assert (output_used == self._output_used).all(), "output endpoint leak"
+
+        # The incremental coverability cache must mirror the numpy arrays.
+        r, m, k = self.topology.r, self.topology.m, self.topology.k
+        for g in range(r):
+            for w in range(k):
+                expected = mask_of(
+                    int(j) for j in np.nonzero(self._in_mid[g, :, w])[0]
+                )
+                assert self._in_mid_busy[g][w] == expected, (
+                    "in_mid busy-mask cache out of sync"
+                )
+            counts = self._in_mid[g].sum(axis=1)
+            assert self._in_mid_count[g] == [int(c) for c in counts], (
+                "in_mid count cache out of sync"
+            )
+            expected_full = mask_of(j for j in range(m) if int(counts[j]) == k)
+            assert self._in_mid_full[g] == expected_full, (
+                "in_mid full-mask cache out of sync"
+            )
+        for j in range(m):
+            for w in range(k):
+                expected = mask_of(
+                    int(p) for p in np.nonzero(self._mid_out[j, :, w])[0]
+                )
+                assert self._mid_out_busy[j][w] == expected, (
+                    "mid_out busy-mask cache out of sync"
+                )
+            counts = self._mid_out[j].sum(axis=1)
+            assert self._mid_out_count[j] == [int(c) for c in counts], (
+                "mid_out count cache out of sync"
+            )
+            expected_full = mask_of(p for p in range(r) if int(counts[p]) == k)
+            assert self._mid_out_full[j] == expected_full, (
+                "mid_out full-mask cache out of sync"
+            )
+        assert self._failed_mask == mask_of(self._failed_middles), (
+            "failed-middle mask out of sync"
+        )
+        expected_inputs = mask_of(
+            int(port) * k + int(w)
+            for port, w in zip(*np.nonzero(self._input_used))
+        )
+        assert self._input_used_mask == expected_inputs, (
+            "input endpoint-usage mask out of sync"
+        )
+        expected_outputs = mask_of(
+            int(port) * k + int(w)
+            for port, w in zip(*np.nonzero(self._output_used))
+        )
+        assert self._output_used_mask == expected_outputs, (
+            "output endpoint-usage mask out of sync"
+        )

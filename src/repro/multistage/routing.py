@@ -17,14 +17,85 @@ exactly:
    search fails is the request declared blocked, which is what makes
    the simulator a faithful test of the theorems: they promise a cover
    *exists*, not that greedy finds it.
+
+Two interchangeable kernels implement the search:
+
+* the **bitmask kernel** (:func:`find_cover_bits`, the default) encodes
+  destination sets as int bitmasks (``1 << p`` per output module) and
+  runs set algebra as single-word ``&``/``|``/``bit_count`` operations;
+* the **frozenset reference** (:func:`find_cover_reference`) is the
+  original pure-``frozenset`` implementation, kept verbatim as the
+  correctness oracle for the kernel-equivalence tests and the
+  ``bench_perf`` baseline.
+
+Both kernels produce *bit-identical* covers: candidate ordering, greedy
+tie-breaking, DFS expansion order and the final destination->switch
+assignment are defined identically.  :func:`set_routing_kernel` /
+:func:`routing_kernel` switch the active kernel process-wide (used by
+benchmarks; tests pin one explicitly).
 """
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-__all__ = ["CoverSearch", "find_cover"]
+__all__ = [
+    "CoverSearch",
+    "find_cover",
+    "find_cover_bits",
+    "find_cover_reference",
+    "get_routing_kernel",
+    "iter_bits",
+    "mask_of",
+    "routing_kernel",
+    "set_routing_kernel",
+]
+
+#: the process-wide active kernel: ``"bitmask"`` or ``"reference"``
+_ACTIVE_KERNEL = "bitmask"
+_KERNELS = ("bitmask", "reference")
+
+
+def get_routing_kernel() -> str:
+    """Name of the active cover-search kernel."""
+    return _ACTIVE_KERNEL
+
+
+def set_routing_kernel(name: str) -> None:
+    """Select the cover-search kernel (``"bitmask"`` or ``"reference"``)."""
+    global _ACTIVE_KERNEL
+    if name not in _KERNELS:
+        raise ValueError(f"unknown kernel {name!r}; choose from {_KERNELS}")
+    _ACTIVE_KERNEL = name
+
+
+@contextmanager
+def routing_kernel(name: str) -> Iterator[None]:
+    """Context manager pinning the cover-search kernel."""
+    previous = _ACTIVE_KERNEL
+    set_routing_kernel(name)
+    try:
+        yield
+    finally:
+        set_routing_kernel(previous)
+
+
+def mask_of(items: Iterable[int]) -> int:
+    """Bitmask with bit ``i`` set for each ``i`` in ``items``."""
+    mask = 0
+    for item in items:
+        mask |= 1 << item
+    return mask
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Indices of the set bits of ``mask``, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
 
 
 @dataclass
@@ -36,12 +107,143 @@ class CoverSearch:
     cover: dict[int, list[int]] | None = field(default=None)
 
 
-def _greedy(
-    destinations: frozenset[int],
-    coverable: Mapping[int, frozenset[int]],
+# -- bitmask kernel ---------------------------------------------------------
+
+
+def _greedy_bits(
+    dest_mask: int,
+    coverable: Mapping[int, int],
     candidates: Sequence[int],
     max_switches: int,
-) -> dict[int, list[int]] | None:
+) -> dict[int, int] | None:
+    """Max-coverage greedy on bitmasks; ties broken by candidate order."""
+    uncovered = dest_mask
+    chosen: dict[int, int] = {}
+    while uncovered and len(chosen) < max_switches:
+        best = None
+        best_gain = 0
+        best_count = 0
+        for j in candidates:
+            if j in chosen:
+                continue
+            gain = coverable[j] & uncovered
+            count = gain.bit_count()
+            if count > best_count:
+                best, best_gain, best_count = j, gain, count
+        if best is None:
+            return None
+        chosen[best] = best_gain
+        uncovered &= ~best_gain
+    return chosen if not uncovered else None
+
+
+def _exact_bits(
+    dest_mask: int,
+    coverable: Mapping[int, int],
+    candidates: Sequence[int],
+    max_switches: int,
+    stats: CoverSearch,
+) -> dict[int, int] | None:
+    # Keep only useful candidates, largest coverage first (helps pruning).
+    useful = [j for j in candidates if coverable[j] & dest_mask]
+    useful.sort(key=lambda j: -(coverable[j] & dest_mask).bit_count())
+
+    def recurse(uncovered: int, start: int, picked: list[int]) -> list[int] | None:
+        stats.exact_nodes += 1
+        if not uncovered:
+            return picked
+        if len(picked) == max_switches:
+            return None
+        remaining_slots = max_switches - len(picked)
+        # Bound: even taking the largest remaining coverages can't finish.
+        best_possible = sum(
+            sorted(
+                ((coverable[j] & uncovered).bit_count() for j in useful[start:]),
+                reverse=True,
+            )[:remaining_slots]
+        )
+        if best_possible < uncovered.bit_count():
+            return None
+        for index in range(start, len(useful)):
+            j = useful[index]
+            gain = coverable[j] & uncovered
+            if not gain:
+                continue
+            result = recurse(uncovered & ~gain, index + 1, [*picked, j])
+            if result is not None:
+                return result
+        return None
+
+    picked = recurse(dest_mask, 0, [])
+    if picked is None:
+        return None
+    # Assign each destination to the first picked switch that covers it.
+    cover: dict[int, int] = {j: 0 for j in picked}
+    for p in iter_bits(dest_mask):
+        bit = 1 << p
+        for j in picked:
+            if coverable[j] & bit:
+                cover[j] |= bit
+                break
+    return {j: bits for j, bits in cover.items() if bits}
+
+
+def find_cover_bits(
+    dest_mask: int,
+    coverable: Mapping[int, int],
+    max_switches: int,
+    *,
+    stats: CoverSearch | None = None,
+    preference: Sequence[int] | None = None,
+) -> dict[int, int] | None:
+    """Bitmask core of :func:`find_cover`.
+
+    Args:
+        dest_mask: bitmask of the output modules the request must reach.
+        coverable: per available middle switch, the bitmask of output
+            modules reachable through it right now (extra bits outside
+            ``dest_mask`` are ignored).
+        max_switches: the routing parameter ``x``.
+        stats: optional search-statistics accumulator (``stats.cover``
+            is left untouched here; the wrappers fill it).
+        preference: candidate order for greedy tie-breaking.
+
+    Returns:
+        ``{middle_switch: assigned destination bitmask}`` or None when no
+        cover of size <= ``max_switches`` exists.
+    """
+    if not dest_mask:
+        return {}
+    if max_switches < 1:
+        raise ValueError(f"max_switches must be >= 1, got {max_switches}")
+    candidates = sorted(coverable)
+    if preference is not None:
+        in_preference = [j for j in preference if j in coverable]
+        rest = [j for j in candidates if j not in set(in_preference)]
+        candidates = in_preference + rest
+    greedy = _greedy_bits(dest_mask, coverable, candidates, max_switches)
+    if greedy is not None:
+        if stats is not None:
+            stats.greedy_hit = True
+        return greedy
+    return _exact_bits(
+        dest_mask,
+        coverable,
+        sorted(coverable),
+        max_switches,
+        stats if stats is not None else CoverSearch(),
+    )
+
+
+# -- frozenset reference kernel ---------------------------------------------
+
+
+def _greedy(
+    destinations: frozenset,
+    coverable: Mapping[int, frozenset],
+    candidates: Sequence[int],
+    max_switches: int,
+) -> dict[int, list] | None:
     """Max-coverage greedy; ties broken by position in ``candidates``.
 
     The caller controls the candidate order, which is how the selection
@@ -49,10 +251,10 @@ def _greedy(
     without touching the correctness-critical search.
     """
     uncovered = set(destinations)
-    chosen: dict[int, list[int]] = {}
+    chosen: dict[int, list] = {}
     while uncovered and len(chosen) < max_switches:
         best = None
-        best_gain: frozenset[int] = frozenset()
+        best_gain: frozenset = frozenset()
         for j in candidates:
             if j in chosen:
                 continue
@@ -67,18 +269,18 @@ def _greedy(
 
 
 def _exact(
-    destinations: frozenset[int],
-    coverable: Mapping[int, frozenset[int]],
+    destinations: frozenset,
+    coverable: Mapping[int, frozenset],
     candidates: Sequence[int],
     max_switches: int,
     stats: CoverSearch,
-) -> dict[int, list[int]] | None:
+) -> dict[int, list] | None:
     # Keep only useful candidates, largest coverage first (helps pruning).
     useful = [j for j in candidates if coverable[j] & destinations]
     useful.sort(key=lambda j: -len(coverable[j] & destinations))
 
     def recurse(
-        uncovered: frozenset[int], start: int, picked: list[int]
+        uncovered: frozenset, start: int, picked: list[int]
     ) -> list[int] | None:
         stats.exact_nodes += 1
         if not uncovered:
@@ -109,7 +311,7 @@ def _exact(
     if picked is None:
         return None
     # Assign each destination to the first picked switch that covers it.
-    cover: dict[int, list[int]] = {j: [] for j in picked}
+    cover: dict[int, list] = {j: [] for j in picked}
     for p in sorted(destinations):
         for j in picked:
             if p in coverable[j]:
@@ -118,31 +320,19 @@ def _exact(
     return {j: ps for j, ps in cover.items() if ps}
 
 
-def find_cover(
-    destinations: frozenset[int] | set[int],
-    coverable: Mapping[int, frozenset[int]],
+def find_cover_reference(
+    destinations: frozenset | set,
+    coverable: Mapping[int, frozenset],
     max_switches: int,
     *,
     stats: CoverSearch | None = None,
     preference: Sequence[int] | None = None,
-) -> dict[int, list[int]] | None:
-    """Find <= ``max_switches`` middle switches covering ``destinations``.
+) -> dict[int, list] | None:
+    """The original frozenset cover search (correctness oracle).
 
-    Args:
-        destinations: output modules the request must reach.
-        coverable: for each *available* middle switch, the set of output
-            modules reachable through it right now (``D``-restricted or
-            not -- extra elements are ignored).
-        max_switches: the routing parameter ``x``.
-        stats: optional search-statistics accumulator.
-        preference: candidate order used for greedy tie-breaking (the
-            selection strategy); defaults to ascending index.  Middles
-            missing from ``preference`` are appended in index order; the
-            exact fallback ignores preference (correctness first).
-
-    Returns:
-        ``{middle_switch: [assigned destinations]}`` or None if no cover
-        of size <= ``max_switches`` exists (the request is blocked).
+    Same contract as :func:`find_cover`; kept as an independent
+    reference implementation that the bitmask kernel is tested against
+    and that ``benchmarks/bench_perf.py`` uses as its baseline.
     """
     destinations = frozenset(destinations)
     if not destinations:
@@ -163,3 +353,74 @@ def find_cover(
     exact = _exact(destinations, coverable, sorted(coverable), max_switches, stats)
     stats.cover = exact
     return exact
+
+
+# -- public entry point ------------------------------------------------------
+
+
+def find_cover(
+    destinations: frozenset | set,
+    coverable: Mapping[int, frozenset],
+    max_switches: int,
+    *,
+    stats: CoverSearch | None = None,
+    preference: Sequence[int] | None = None,
+) -> dict[int, list] | None:
+    """Find <= ``max_switches`` middle switches covering ``destinations``.
+
+    Args:
+        destinations: output modules the request must reach (any sortable
+            hashable labels).
+        coverable: for each *available* middle switch, the set of output
+            modules reachable through it right now (``D``-restricted or
+            not -- extra elements are ignored).
+        max_switches: the routing parameter ``x``.
+        stats: optional search-statistics accumulator.
+        preference: candidate order used for greedy tie-breaking (the
+            selection strategy); defaults to ascending index.  Middles
+            missing from ``preference`` are appended in index order; the
+            exact fallback ignores preference (correctness first).
+
+    Returns:
+        ``{middle_switch: [assigned destinations]}`` or None if no cover
+        of size <= ``max_switches`` exists (the request is blocked).
+
+    Dispatches to the active kernel (bitmask by default); both kernels
+    return bit-identical covers.
+    """
+    if _ACTIVE_KERNEL == "reference":
+        return find_cover_reference(
+            destinations,
+            coverable,
+            max_switches,
+            stats=stats,
+            preference=preference,
+        )
+    destinations = frozenset(destinations)
+    if not destinations:
+        return {}
+    # Map labels to bits in sorted order, so ascending-bit iteration in
+    # the kernel equals sorted-label iteration in the reference.
+    labels = sorted(destinations)
+    index = {label: i for i, label in enumerate(labels)}
+    dest_mask = (1 << len(labels)) - 1
+    coverable_bits = {
+        j: mask_of(index[p] for p in reach if p in index)
+        for j, reach in coverable.items()
+    }
+    stats = stats if stats is not None else CoverSearch()
+    cover_bits = find_cover_bits(
+        dest_mask,
+        coverable_bits,
+        max_switches,
+        stats=stats,
+        preference=preference,
+    )
+    if cover_bits is None:
+        stats.cover = None
+        return None
+    cover = {
+        j: [labels[i] for i in iter_bits(bits)] for j, bits in cover_bits.items()
+    }
+    stats.cover = cover
+    return cover

@@ -1,0 +1,41 @@
+"""Performance layer: parallel sweep engine and routing-kernel tools.
+
+Every expensive computation in the reproduction decomposes into
+independent work units -- (seed, m, config) cells of the Monte-Carlo
+sweeps, adversary seeds, m-candidates of the exact model checker,
+benchmark grid points.  :class:`ParallelSweeper` fans those units out
+across worker processes with chunking and merges the results
+deterministically (keyed by work-unit id), so parallel output is
+bit-identical to serial output; ``jobs=1`` bypasses process spawn
+entirely.
+
+The second half of the layer is the bitmask routing kernel of
+:mod:`repro.multistage.routing`; :func:`routing_kernel` /
+:func:`set_routing_kernel` select between it and the frozenset
+reference implementation (used by ``benchmarks/bench_perf.py`` to track
+the speedup and by the equivalence tests).
+"""
+
+from repro.multistage.routing import (
+    get_routing_kernel,
+    routing_kernel,
+    set_routing_kernel,
+)
+from repro.perf.sweeper import (
+    ParallelSweeper,
+    SweepResult,
+    WorkUnit,
+    resolve_jobs,
+    sweep,
+)
+
+__all__ = [
+    "ParallelSweeper",
+    "SweepResult",
+    "WorkUnit",
+    "get_routing_kernel",
+    "resolve_jobs",
+    "routing_kernel",
+    "set_routing_kernel",
+    "sweep",
+]

@@ -112,7 +112,7 @@ def dynamic_traffic(
     k: int,
     *,
     steps: int,
-    seed: int,
+    seed: int | random.Random,
     max_fanout: int | None = None,
     teardown_probability: float = 0.35,
 ) -> Iterator[TrafficEvent]:
@@ -122,46 +122,56 @@ def dynamic_traffic(
     connections a legal multicast assignment under ``model``; a
     nonblocking network must therefore accept every setup event.
 
+    Endpoints are tracked internally as int codes ``port * k +
+    wavelength`` (whose numeric order equals ``Endpoint`` order), so the
+    per-event bookkeeping sorts machine ints instead of dataclasses --
+    the generator sits on the hot path of every Monte-Carlo sweep.
+
     Args:
         model: multicast model the connections must obey.
         n_ports: network size ``N``.
         k: wavelengths per fiber.
         steps: number of events to generate (fewer if the traffic space
             is exhausted, which only happens for degenerate sizes).
-        seed: RNG seed; identical seeds give identical sequences.
+        seed: RNG seed; identical seeds give identical sequences.  A
+            ``random.Random`` instance is used directly, letting a caller
+            thread one stream per replication end-to-end.
         max_fanout: cap on destinations per connection (default ``N``).
         teardown_probability: chance a step tears down an active
             connection instead of setting up a new one.
     """
-    rng = random.Random(seed)
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     cap = n_ports if max_fanout is None else min(max_fanout, n_ports)
     if cap < 1:
         raise ValueError(f"max_fanout must allow at least one destination, got {cap}")
 
-    free_inputs: set[Endpoint] = {
-        Endpoint(p, w) for p in range(n_ports) for w in range(k)
+    free_inputs: set[int] = {
+        port * k + wavelength
+        for port in range(n_ports)
+        for wavelength in range(k)
     }
-    free_outputs: set[Endpoint] = set(free_inputs)
+    free_outputs: set[int] = set(free_inputs)
     active: dict[int, MulticastConnection] = {}
     next_id = 0
 
     def try_setup() -> MulticastConnection | None:
         if not free_inputs:
             return None
-        source = rng.choice(sorted(free_inputs))
+        source_code = rng.choice(sorted(free_inputs))
+        source = Endpoint(*divmod(source_code, k))
         if model is MulticastModel.MSW:
-            dest_wavelengths = [source.wavelength]
+            allowed: int | None = source.wavelength
         elif model is MulticastModel.MSDW:
-            dest_wavelengths = [rng.randrange(k)]
+            allowed = rng.randrange(k)
         else:
-            dest_wavelengths = list(range(k))
-        # Ports that offer a free endpoint on an allowed wavelength.
+            allowed = None  # MAW: every wavelength admissible
+        # Ports that offer a free endpoint on an allowed wavelength; codes
+        # iterate in sorted order so per-port wavelength lists ascend.
         port_options: dict[int, list[int]] = {}
-        for endpoint in free_outputs:
-            if endpoint.wavelength in dest_wavelengths:
-                port_options.setdefault(endpoint.port, []).append(endpoint.wavelength)
-        if model is not MulticastModel.MAW and len(dest_wavelengths) == 1:
-            pass  # port_options already restricted to the single wavelength
+        for code in sorted(free_outputs):
+            port, wavelength = divmod(code, k)
+            if allowed is None or wavelength == allowed:
+                port_options.setdefault(port, []).append(wavelength)
         if not port_options:
             return None
         fanout = rng.randint(1, min(cap, len(port_options)))
@@ -171,6 +181,12 @@ def dynamic_traffic(
         ]
         return MulticastConnection(source, destinations)
 
+    def release(connection: MulticastConnection) -> None:
+        free_inputs.add(connection.source.port * k + connection.source.wavelength)
+        free_outputs.update(
+            d.port * k + d.wavelength for d in connection.destinations
+        )
+
     for _ in range(steps):
         do_teardown = active and (
             rng.random() < teardown_probability or not free_inputs
@@ -178,8 +194,7 @@ def dynamic_traffic(
         if do_teardown:
             connection_id = rng.choice(sorted(active))
             connection = active.pop(connection_id)
-            free_inputs.add(connection.source)
-            free_outputs.update(connection.destinations)
+            release(connection)
             yield TrafficEvent("teardown", connection, connection_id)
             continue
         connection = try_setup()
@@ -188,12 +203,15 @@ def dynamic_traffic(
                 return  # nothing to do in either direction
             connection_id = rng.choice(sorted(active))
             connection = active.pop(connection_id)
-            free_inputs.add(connection.source)
-            free_outputs.update(connection.destinations)
+            release(connection)
             yield TrafficEvent("teardown", connection, connection_id)
             continue
-        free_inputs.discard(connection.source)
-        free_outputs.difference_update(connection.destinations)
+        free_inputs.discard(
+            connection.source.port * k + connection.source.wavelength
+        )
+        free_outputs.difference_update(
+            d.port * k + d.wavelength for d in connection.destinations
+        )
         active[next_id] = connection
         yield TrafficEvent("setup", connection, next_id)
         next_id += 1

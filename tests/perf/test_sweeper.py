@@ -1,0 +1,91 @@
+"""Tests for the deterministic parallel sweep engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.sweeper import ParallelSweeper, SweepResult, WorkUnit, resolve_jobs, sweep
+
+
+def square(value: int) -> int:
+    return value * value
+
+
+def combine(a: int, b: int, *, offset: int = 0) -> int:
+    return a * 100 + b + offset
+
+
+class TestResolveJobs:
+    def test_positive_passthrough(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    def test_none_and_nonpositive_mean_all_cpus(self):
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) == resolve_jobs(None)
+        assert resolve_jobs(-3) == resolve_jobs(None)
+
+
+class TestSerialRun:
+    def test_results_in_input_order(self):
+        units = [WorkUnit(unit_id=i, fn=square, args=(i,)) for i in (3, 1, 2)]
+        results = ParallelSweeper(1).run(units)
+        assert [r.unit_id for r in results] == [3, 1, 2]
+        assert [r.value for r in results] == [9, 1, 4]
+
+    def test_timing_captured(self):
+        [result] = ParallelSweeper(1).run([WorkUnit(unit_id=0, fn=square, args=(4,))])
+        assert isinstance(result, SweepResult)
+        assert result.seconds >= 0.0
+
+    def test_duplicate_ids_rejected(self):
+        units = [
+            WorkUnit(unit_id=0, fn=square, args=(1,)),
+            WorkUnit(unit_id=0, fn=square, args=(2,)),
+        ]
+        with pytest.raises(ValueError, match="unique"):
+            ParallelSweeper(1).run(units)
+
+    def test_kwargs_forwarded(self):
+        [result] = ParallelSweeper(1).run(
+            [WorkUnit(unit_id="c", fn=combine, args=(2, 3), kwargs={"offset": 7})]
+        )
+        assert result.value == 210
+
+    def test_run_keyed(self):
+        units = [WorkUnit(unit_id=f"u{i}", fn=square, args=(i,)) for i in range(4)]
+        keyed = ParallelSweeper(1).run_keyed(units)
+        assert keyed["u3"].value == 9
+        assert set(keyed) == {"u0", "u1", "u2", "u3"}
+
+
+class TestParallelRun:
+    def test_parallel_matches_serial(self):
+        units = [WorkUnit(unit_id=i, fn=square, args=(i,)) for i in range(20)]
+        serial = ParallelSweeper(1).run(units)
+        parallel = ParallelSweeper(2).run(units)
+        assert [r.unit_id for r in parallel] == [r.unit_id for r in serial]
+        assert [r.value for r in parallel] == [r.value for r in serial]
+
+    def test_explicit_chunk_size(self):
+        units = [WorkUnit(unit_id=i, fn=square, args=(i,)) for i in range(10)]
+        results = ParallelSweeper(2, chunk_size=3).run(units)
+        assert [r.value for r in results] == [i * i for i in range(10)]
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            ParallelSweeper(2, chunk_size=0)
+
+    def test_single_unit_runs_inline(self):
+        [result] = ParallelSweeper(4).run([WorkUnit(unit_id=0, fn=square, args=(5,))])
+        assert result.value == 25
+
+
+class TestConvenience:
+    def test_map_preserves_order(self):
+        values = ParallelSweeper(1).map(combine, [(1, 2), (3, 4)], offset=1)
+        assert values == [103, 305]
+
+    def test_sweep_serial_and_parallel_agree(self):
+        argtuples = [(i,) for i in range(12)]
+        assert sweep(square, argtuples, jobs=1) == sweep(square, argtuples, jobs=2)
