@@ -20,12 +20,21 @@ its seed and threaded end-to-end through the traffic generator, so a
 fanned out through :class:`repro.perf.ParallelSweeper` and merged in
 seed order, which makes every :class:`BlockingEstimate` bit-identical
 for any ``jobs`` value -- pooled seeds are summed, never interleaved.
+
+Because every cell is a pure function of its arguments, cells are also
+*cacheable*: pass a :class:`repro.perf.cache.ResultCache` and each
+(seed, m, config) replication -- and, in adversarial mode, each
+(m, adversary-seed) search -- is looked up before being computed and
+stored afterwards.  A re-run of an interrupted or repeated sweep then
+recomputes only the missing cells, with results bit-identical to a
+cold run.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.models import Construction, MulticastModel
 from repro.multistage.adversary import search_blocking_state
@@ -33,7 +42,52 @@ from repro.multistage.network import ThreeStageNetwork
 from repro.perf.sweeper import ParallelSweeper, WorkUnit
 from repro.switching.generators import dynamic_traffic
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.perf.cache import ResultCache
+
 __all__ = ["BlockingEstimate", "blocking_probability", "blocking_vs_m"]
+
+
+def _traffic_key(
+    cache: "ResultCache",
+    n: int,
+    r: int,
+    m: int,
+    k: int,
+    construction: Construction,
+    model: MulticastModel,
+    x: int,
+    steps: int,
+    seed: int,
+    max_fanout: int | None,
+) -> str:
+    return cache.key(
+        "traffic_cell",
+        dict(
+            n=n, r=r, m=m, k=k, construction=construction, model=model,
+            x=x, steps=steps, seed=seed, max_fanout=max_fanout,
+        ),
+    )
+
+
+def _adversary_key(
+    cache: "ResultCache",
+    n: int,
+    r: int,
+    m: int,
+    k: int,
+    construction: Construction,
+    model: MulticastModel,
+    x: int,
+    seed: int,
+) -> str:
+    return cache.key(
+        "adversary_cell",
+        dict(
+            n=n, r=r, m=m, k=k, construction=construction, model=model,
+            x=x, seed=seed,
+        ),
+    )
 
 
 @dataclass(frozen=True)
@@ -119,7 +173,8 @@ def blocking_probability(
     steps: int = 2000,
     seeds: tuple[int, ...] = (0, 1, 2),
     max_fanout: int | None = None,
-    jobs: int = 1,
+    jobs: int | str = 1,
+    cache: "ResultCache | None" = None,
 ) -> BlockingEstimate:
     """Estimate blocking probability under random dynamic traffic.
 
@@ -135,17 +190,33 @@ def blocking_probability(
             owns one RNG stream end-to-end and runs a fresh network, so
             the pooled estimate is deterministic for any ``jobs``.
         max_fanout: cap on destinations per request.
-        jobs: worker processes for the per-seed sweep (1 = in-process).
+        jobs: worker processes for the per-seed sweep (1 = in-process,
+            ``"auto"`` = adapt to the host).
+        cache: optional per-cell result cache (incremental re-runs).
     """
-    sweeper = ParallelSweeper(jobs)
-    results = sweeper.run(
-        WorkUnit(
-            unit_id=seed,
-            fn=_traffic_cell,
-            args=(n, r, m, k, construction, model, x, steps, seed, max_fanout),
+    with ParallelSweeper(jobs) as sweeper:
+        results = sweeper.run(
+            (
+                WorkUnit(
+                    unit_id=seed,
+                    fn=_traffic_cell,
+                    args=(
+                        n, r, m, k, construction, model, x, steps, seed,
+                        max_fanout,
+                    ),
+                    cache_key=(
+                        None
+                        if cache is None
+                        else _traffic_key(
+                            cache, n, r, m, k, construction, model, x,
+                            steps, seed, max_fanout,
+                        )
+                    ),
+                )
+                for seed in seeds
+            ),
+            cache=cache,
         )
-        for seed in seeds
-    )
     attempts = sum(result.value[0] for result in results)
     blocked = sum(result.value[1] for result in results)
     return BlockingEstimate(
@@ -180,7 +251,8 @@ def blocking_vs_m(
     seeds: tuple[int, ...] = (0, 1, 2),
     adversarial: bool = False,
     adversary_seeds: int = 20,
-    jobs: int = 1,
+    jobs: int | str = 1,
+    cache: "ResultCache | None" = None,
 ) -> list[BlockingEstimate]:
     """The blocking-probability-vs-``m`` curve (implied figure X3).
 
@@ -193,89 +265,125 @@ def blocking_vs_m(
 
     All (m, seed) traffic cells -- and, in adversarial mode, all
     (m, adversary-seed) cells -- are independent work units fanned out
-    through the sweep engine; with ``jobs > 1`` they run concurrently
-    and merge by cell id, so the curve is bit-identical to ``jobs=1``
-    (serial short-circuits skip redundant adversary cells but pick the
-    same first witness).
+    through the sweep engine; with ``jobs > 1`` (or ``"auto"``) they
+    run concurrently and merge by cell id, so the curve is
+    bit-identical to ``jobs=1`` (serial short-circuits skip redundant
+    adversary cells but pick the same first witness).  Both sweep
+    stages share one sweeper, so a parallel run pays the pool spawn
+    cost once.  With ``cache``, every cell is content-addressed in the
+    given :class:`~repro.perf.cache.ResultCache`, so re-runs only
+    compute cells missing from the cache.
     """
-    sweeper = ParallelSweeper(jobs)
-    cells = sweeper.run(
-        WorkUnit(
-            unit_id=(m, seed),
-            fn=_traffic_cell,
-            args=(n, r, m, k, construction, model, x, steps, seed, None),
+    with ParallelSweeper(jobs) as sweeper:
+        cells = sweeper.run(
+            (
+                WorkUnit(
+                    unit_id=(m, seed),
+                    fn=_traffic_cell,
+                    args=(n, r, m, k, construction, model, x, steps, seed, None),
+                    cache_key=(
+                        None
+                        if cache is None
+                        else _traffic_key(
+                            cache, n, r, m, k, construction, model, x,
+                            steps, seed, None,
+                        )
+                    ),
+                )
+                for m in m_values
+                for seed in seeds
+            ),
+            cache=cache,
         )
-        for m in m_values
-        for seed in seeds
-    )
-    by_cell = {result.unit_id: result.value for result in cells}
-    estimates = []
-    for m in m_values:
-        attempts = sum(by_cell[(m, seed)][0] for seed in seeds)
-        blocked = sum(by_cell[(m, seed)][1] for seed in seeds)
-        estimates.append(
-            BlockingEstimate(
-                n=n,
-                r=r,
-                m=m,
-                k=k,
-                construction=construction,
-                model=model,
-                x=x,
-                attempts=attempts,
-                blocked=blocked,
-            )
-        )
-    if not adversarial:
-        return estimates
-
-    needs_adversary = [
-        (index, estimate)
-        for index, estimate in enumerate(estimates)
-        if estimate.blocked == 0
-    ]
-    witnessed: set[int] = set()
-    if jobs == 1:
-        # Serial short-circuit: stop at the first witness per m, exactly
-        # like the pre-sweeper implementation.
-        for index, estimate in needs_adversary:
-            for seed in _adversary_seeds(estimate.m, adversary_seeds):
-                witness = search_blocking_state(
-                    n,
-                    r,
-                    estimate.m,
-                    k,
+        by_cell = {result.unit_id: result.value for result in cells}
+        estimates = []
+        for m in m_values:
+            attempts = sum(by_cell[(m, seed)][0] for seed in seeds)
+            blocked = sum(by_cell[(m, seed)][1] for seed in seeds)
+            estimates.append(
+                BlockingEstimate(
+                    n=n,
+                    r=r,
+                    m=m,
+                    k=k,
                     construction=construction,
                     model=model,
                     x=x,
-                    seed=seed,
+                    attempts=attempts,
+                    blocked=blocked,
                 )
-                if witness is not None:
-                    witnessed.add(index)
-                    break
-    else:
-        units = [
-            WorkUnit(
-                unit_id=(index, attempt),
-                fn=search_blocking_state,
-                args=(n, r, estimate.m, k),
-                kwargs=dict(
-                    construction=construction, model=model, x=x, seed=seed
-                ),
             )
-            for index, estimate in needs_adversary
-            for attempt, seed in enumerate(
-                _adversary_seeds(estimate.m, adversary_seeds)
-            )
+        if not adversarial:
+            return estimates
+
+        needs_adversary = [
+            (index, estimate)
+            for index, estimate in enumerate(estimates)
+            if estimate.blocked == 0
         ]
-        found = sweeper.run_keyed(units)
-        for index, estimate in needs_adversary:
-            # First witness in schedule order == the serial short-circuit's.
-            if any(
-                found[(index, attempt)].value is not None
-                for attempt in range(adversary_seeds)
-            ):
-                witnessed.add(index)
+        witnessed: set[int] = set()
+        if jobs == 1:
+            # Serial short-circuit: stop at the first witness per m, exactly
+            # like the pre-sweeper implementation.
+            for index, estimate in needs_adversary:
+                for seed in _adversary_seeds(estimate.m, adversary_seeds):
+                    key = (
+                        None
+                        if cache is None
+                        else _adversary_key(
+                            cache, n, r, estimate.m, k, construction,
+                            model, x, seed,
+                        )
+                    )
+                    if key is not None:
+                        hit, witness = cache.lookup(key)
+                        if not hit:
+                            witness = search_blocking_state(
+                                n, r, estimate.m, k,
+                                construction=construction, model=model,
+                                x=x, seed=seed,
+                            )
+                            cache.put(key, witness)
+                    else:
+                        witness = search_blocking_state(
+                            n, r, estimate.m, k,
+                            construction=construction, model=model,
+                            x=x, seed=seed,
+                        )
+                    if witness is not None:
+                        witnessed.add(index)
+                        break
+        else:
+            units = [
+                WorkUnit(
+                    unit_id=(index, attempt),
+                    fn=search_blocking_state,
+                    args=(n, r, estimate.m, k),
+                    kwargs=dict(
+                        construction=construction, model=model, x=x, seed=seed
+                    ),
+                    cache_key=(
+                        None
+                        if cache is None
+                        else _adversary_key(
+                            cache, n, r, estimate.m, k, construction,
+                            model, x, seed,
+                        )
+                    ),
+                )
+                for index, estimate in needs_adversary
+                for attempt, seed in enumerate(
+                    _adversary_seeds(estimate.m, adversary_seeds)
+                )
+            ]
+            found = sweeper.run_keyed(units, cache=cache)
+            for index, estimate in needs_adversary:
+                # First witness in schedule order == the serial short-circuit's.
+                if any(
+                    found[(index, attempt)].value is not None
+                    for attempt in range(adversary_seeds)
+                ):
+                    witnessed.add(index)
     for index in witnessed:
         estimate = estimates[index]
         estimates[index] = BlockingEstimate(

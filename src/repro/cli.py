@@ -50,6 +50,53 @@ def _construction(value: str) -> Construction:
     )
 
 
+def _jobs(value: str) -> int | str:
+    if value.lower() == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be an integer or 'auto', got {value!r}"
+        ) from exc
+
+
+def _cache_of(args: argparse.Namespace):
+    """The ResultCache the flags ask for, or None."""
+    if not args.cache:
+        return None
+    from repro.perf.cache import ResultCache
+
+    return ResultCache(args.cache_dir)
+
+
+def _cache_summary(cache) -> list[str]:
+    if cache is None:
+        return []
+    stats = cache.stats
+    return [
+        f"cache: {stats.hits} hits, {stats.misses} misses, "
+        f"{stats.stores} stored ({cache.directory})"
+    ]
+
+
+def _add_cache_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="persist per-cell results so repeated/interrupted runs are "
+        "incremental (content-addressed by config, seed, kernel and "
+        "code version)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        type=str,
+        default=".wdm-repro-cache",
+        help="directory for --cache entries",
+    )
+
+
 def _cmd_table1(args: argparse.Namespace) -> str:
     return render_table1(args.n_ports, args.k)
 
@@ -100,6 +147,9 @@ def _cmd_capacity(args: argparse.Namespace) -> str:
 
 
 def _cmd_blocking(args: argparse.Namespace) -> str:
+    from repro.perf.sweeper import last_plan
+
+    cache = _cache_of(args)
     estimates = blocking_vs_m(
         args.n,
         args.r,
@@ -110,11 +160,12 @@ def _cmd_blocking(args: argparse.Namespace) -> str:
         x=args.x,
         adversarial=args.adversarial,
         jobs=args.jobs,
+        cache=cache,
     )
     rows = [
         [e.m, e.attempts, e.blocked, f"{e.probability:.4f}"] for e in estimates
     ]
-    return render_table(
+    table = render_table(
         ["m", "attempts", "blocked", "P(block)"],
         rows,
         title=(
@@ -122,6 +173,15 @@ def _cmd_blocking(args: argparse.Namespace) -> str:
             f"x={args.x}, {args.model.value}, {args.construction.value}"
         ),
     )
+    footer = []
+    plan = last_plan()
+    if plan is not None and args.jobs != 1:
+        note = f" ({plan.reason})" if plan.reason else ""
+        footer.append(
+            f"executor: {plan.executor}, jobs={plan.resolved_jobs}{note}"
+        )
+    footer.extend(_cache_summary(cache))
+    return "\n".join([table, *footer])
 
 
 def _cmd_fig10(args: argparse.Namespace) -> str:
@@ -193,10 +253,12 @@ def _cmd_exact(args: argparse.Namespace) -> str:
     from repro.multistage.exhaustive import exact_minimal_m
     from repro.multistage.offline import minimal_rearrangeable_m
 
+    cache = _cache_of(args)
     result = exact_minimal_m(
         args.n, args.r, args.k,
         model=args.model, construction=args.construction, x=args.x,
         state_budget=args.budget, jobs=args.jobs,
+        canonicalize=not args.no_canonicalize, cache=cache,
     )
     lines = [
         f"exact thresholds for v(n={args.n}, r={args.r}, m, k={args.k}), "
@@ -223,6 +285,7 @@ def _cmd_exact(args: argparse.Namespace) -> str:
             lines.append(f"  exact rearrangeable threshold: m = {m_rearr}")
     else:
         lines.append("  exact threshold: inconclusive within the state budget")
+    lines.extend(_cache_summary(cache))
     return "\n".join(lines)
 
 
@@ -312,11 +375,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--adversarial", action="store_true")
     p.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs,
         default=1,
-        help="worker processes for the sweep (0 = all CPUs); results are "
-        "identical for any value",
+        help="worker processes for the sweep ('auto' or 0 = adapt to the "
+        "host); results are identical for any value",
     )
+    _add_cache_flags(p)
     p.set_defaults(func=_cmd_blocking)
 
     p = sub.add_parser("fig10", help="the Fig. 10 blocking scenario")
@@ -335,10 +399,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rearrangeable", action="store_true")
     p.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs,
         default=1,
-        help="worker processes for the m-candidate scan (0 = all CPUs)",
+        help="worker processes for the m-candidate scan ('auto' or 0 = "
+        "adapt to the host)",
     )
+    p.add_argument(
+        "--no-canonicalize",
+        action="store_true",
+        help="disable symmetry canonicalization (the slow reference "
+        "search; verdicts are identical either way)",
+    )
+    _add_cache_flags(p)
     p.set_defaults(func=_cmd_exact)
 
     p = sub.add_parser("load", help="loss vs offered Erlang load")

@@ -23,14 +23,38 @@ first blocking witness; :func:`exact_minimal_m` binary-scans ``m`` to
 find the true threshold, which the benchmarks compare against the
 sufficient bounds.  Exponential, of course -- intended for ``N k <= 8``
 and small ``m``.
+
+Symmetry canonicalization (the default, ``canonicalize=True``) attacks
+the exponent on two fronts, neither of which can change the verdict:
+
+* the DFS transposition table keys on
+  :meth:`~repro.multistage.network.ThreeStageNetwork.canonical_signature`
+  -- states identical up to a middle-switch permutation (and, for the
+  MSW model, a global wavelength relabeling) share one entry, because
+  such permutations map reachable states to reachable states and
+  blocked requests to blocked requests.  The symmetry factor is up to
+  ``m! * k!`` per state.
+* the per-state victim probe exploits the coverability bound's
+  monotonicity: for a fixed source endpoint and wavelength choice, a
+  cover of a destination-module set restricts to a cover of any subset,
+  so probing the *maximal* legal request per source decides every
+  request at once (per-module singleton probes decide the unicast
+  case).  The reference probe enumerates all ``O(2^ports)`` requests.
+
+``canonicalize=False`` keeps the uncanonicalized reference search,
+which the property tests compare verdicts against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations, product
+from typing import TYPE_CHECKING
 
 from repro.core.models import Construction, MulticastModel
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.perf.cache import ResultCache
 from repro.multistage.network import ThreeStageNetwork
 from repro.multistage.routing import get_routing_kernel, mask_of
 from repro.perf.sweeper import ParallelSweeper, WorkUnit
@@ -194,12 +218,67 @@ def _all_covers(
 
 
 def _signature(net: ThreeStageNetwork) -> bytes:
-    return (
-        net._in_mid.tobytes()
-        + net._mid_out.tobytes()
-        + net._input_used.tobytes()
-        + net._output_used.tobytes()
-    )
+    return net.state_signature()
+
+
+def _first_blocked_request(
+    net: ThreeStageNetwork, *, unicast_only: bool = False
+) -> MulticastConnection | None:
+    """A blocked legal request in the current state, or None.
+
+    The fast victim probe: coverability depends only on the
+    destination-module set (plus source endpoint and, for the MSW
+    model, the shared wavelength), and a cover of a module set
+    restricts to a cover of any subset.  So per (source endpoint,
+    wavelength choice) it suffices to probe the *maximal* legal request
+    -- it is blocked iff any request from that source is.  In unicast
+    mode a singleton is blocked iff its module is coverable by no
+    middle, so one probe per module decides all ports in it.
+    """
+    topo = net.topology
+    n_ports, k, n = topo.n_ports, topo.k, topo.n
+    input_used = net._input_used
+    output_used = net._output_used
+    for port in range(n_ports):
+        for w in range(k):
+            if input_used[port, w]:
+                continue
+            source = Endpoint(port, w)
+            if net.model is MulticastModel.MSW:
+                wavelength_choices = [[w]]
+            elif net.model is MulticastModel.MSDW:
+                wavelength_choices = [[v] for v in range(k)]
+            else:
+                wavelength_choices = [list(range(k))]
+            for allowed in wavelength_choices:
+                per_port: dict[int, Endpoint] = {}
+                for dest_port in range(n_ports):
+                    for v in allowed:
+                        if not output_used[dest_port, v]:
+                            per_port[dest_port] = Endpoint(dest_port, v)
+                            break
+                if not per_port:
+                    continue
+                if unicast_only:
+                    probed_modules: set[int] = set()
+                    for dest_port in sorted(per_port):
+                        module = dest_port // n
+                        if module in probed_modules:
+                            continue
+                        probed_modules.add(module)
+                        request = MulticastConnection(
+                            source, (per_port[dest_port],)
+                        )
+                        if net.probe_cover(request) is None:
+                            return request
+                else:
+                    request = MulticastConnection(
+                        source,
+                        tuple(per_port[p] for p in sorted(per_port)),
+                    )
+                    if net.probe_cover(request) is None:
+                        return request
+    return None
 
 
 def is_blockable(
@@ -213,6 +292,7 @@ def is_blockable(
     x: int = 1,
     state_budget: int = 100_000,
     unicast_only: bool = False,
+    canonicalize: bool = True,
 ) -> BlockableResult:
     """Decide by exhaustive search whether any reachable state blocks.
 
@@ -223,6 +303,13 @@ def is_blockable(
             this many distinct states.
         unicast_only: restrict both the adversary's connections and the
             probed requests to fanout 1 (the classical Clos setting).
+        canonicalize: dedup states by canonical signature under
+            middle-switch permutation (plus wavelength permutation for
+            the MSW model) and use the monotone fast victim probe; the
+            verdict is identical to ``canonicalize=False`` (the
+            uncanonicalized reference search), but ``states_explored``
+            counts symmetry classes instead of raw states and the
+            witness may differ.
 
     Returns:
         The decision, with a witness when blockable.
@@ -230,12 +317,15 @@ def is_blockable(
     net = ThreeStageNetwork(
         n, r, m, k, construction=construction, model=model, x=x
     )
+    wavelength_symmetry = canonicalize and model is MulticastModel.MSW
     seen: set[bytes] = set()
     explored = 0
     Route = tuple[tuple[int, tuple[int, ...]], ...]
     live: list[tuple[int, MulticastConnection, Route]] = []
 
     def blocked_request() -> MulticastConnection | None:
+        if canonicalize:
+            return _first_blocked_request(net, unicast_only=unicast_only)
         for request in _legal_requests(net, unicast_only=unicast_only):
             if net.probe_cover(request) is None:
                 return request
@@ -250,7 +340,12 @@ def is_blockable(
         | None
     ):
         nonlocal explored
-        signature = _signature(net)
+        if canonicalize:
+            signature = net.canonical_signature(
+                wavelength_symmetry=wavelength_symmetry
+            )
+        else:
+            signature = _signature(net)
         if signature in seen:
             return None
         seen.add(signature)
@@ -321,7 +416,9 @@ def exact_minimal_m(
     m_max: int | None = None,
     state_budget: int = 100_000,
     unicast_only: bool = False,
-    jobs: int = 1,
+    canonicalize: bool = True,
+    jobs: int | str = 1,
+    cache: "ResultCache | None" = None,
 ) -> ExactMinimal:
     """Scan ``m`` upward for the true nonblocking threshold.
 
@@ -330,37 +427,65 @@ def exact_minimal_m(
     any check hits the budget before a nonblocking ``m`` is found, the
     scan is inconclusive and ``m_exact`` is None.
 
-    With ``jobs > 1`` every ``m`` candidate is model-checked as an
-    independent work unit; the merge walks the candidates in ascending
-    order and truncates exactly where the serial scan would have
-    stopped, so the result is bit-identical to ``jobs=1`` (the parallel
-    scan trades some redundant work above the threshold for wall time).
+    With ``jobs > 1`` (or ``"auto"``) every ``m`` candidate is
+    model-checked as an independent work unit; the merge walks the
+    candidates in ascending order and truncates exactly where the
+    serial scan would have stopped, so the result is bit-identical to
+    ``jobs=1`` (the parallel scan trades some redundant work above the
+    threshold for wall time).
+
+    With a :class:`repro.perf.cache.ResultCache`, each ``m`` cell is
+    looked up before being model-checked and stored afterwards, making
+    repeated and interrupted scans incremental.
     """
     if m_max is None:
         from repro.core.corrected import min_middle_switches_corrected
 
         m_max = min_middle_switches_corrected(n, r, k, construction, model, x=x)
     candidates = list(range(1, m_max + 1))
-    if jobs == 1:
-        per_m = _serial_m_scan(
-            n, r, k, candidates,
-            construction=construction, model=model, x=x,
-            state_budget=state_budget, unicast_only=unicast_only,
+    cell_kwargs = dict(
+        construction=construction, model=model, x=x,
+        state_budget=state_budget, unicast_only=unicast_only,
+        canonicalize=canonicalize,
+    )
+
+    def cell_key(m: int) -> str | None:
+        if cache is None:
+            return None
+        return cache.key(
+            "is_blockable", dict(n=n, r=r, m=m, k=k, **cell_kwargs)
         )
+
+    if jobs == 1:
+        per_m = []
+        for m in candidates:
+            key = cell_key(m)
+            result = cache.get(key) if key is not None else None
+            if result is None:
+                result = is_blockable(n, r, m, k, **cell_kwargs)
+                if key is not None:
+                    cache.put(key, result)
+            per_m.append(result)
+            if result.blockable is not True:
+                break
     else:
         sweeper = ParallelSweeper(jobs, chunk_size=1)
-        keyed = sweeper.run_keyed(
-            WorkUnit(
-                unit_id=m,
-                fn=is_blockable,
-                args=(n, r, m, k),
-                kwargs=dict(
-                    construction=construction, model=model, x=x,
-                    state_budget=state_budget, unicast_only=unicast_only,
+        try:
+            keyed = sweeper.run_keyed(
+                (
+                    WorkUnit(
+                        unit_id=m,
+                        fn=is_blockable,
+                        args=(n, r, m, k),
+                        kwargs=cell_kwargs,
+                        cache_key=cell_key(m),
+                    )
+                    for m in candidates
                 ),
+                cache=cache,
             )
-            for m in candidates
-        )
+        finally:
+            sweeper.close()
         per_m = []
         for m in candidates:
             result = keyed[m].value
@@ -383,20 +508,3 @@ def exact_minimal_m(
         construction=construction, model=model, x=x,
         m_exact=None, per_m=tuple(results),
     )
-
-
-def _serial_m_scan(
-    n: int,
-    r: int,
-    k: int,
-    candidates: list[int],
-    **kwargs,
-) -> list[BlockableResult]:
-    """Ascending in-process scan with the serial early stop."""
-    per_m: list[BlockableResult] = []
-    for m in candidates:
-        result = is_blockable(n, r, m, k, **kwargs)
-        per_m.append(result)
-        if result.blockable is not True:
-            break
-    return per_m

@@ -39,8 +39,11 @@ sized by Theorem 1/2 must never raise under legal traffic.
 
 from __future__ import annotations
 
+import os
 from collections import defaultdict
+from collections.abc import Iterable
 from dataclasses import dataclass
+from itertools import permutations
 
 import numpy as np
 
@@ -64,6 +67,17 @@ __all__ = ["BlockedError", "RoutedBranch", "RoutedConnection", "ThreeStageNetwor
 
 class BlockedError(RuntimeError):
     """No admissible set of middle switches can realize the request."""
+
+
+#: environment variable that turns on per-event invariant cross-checks
+DEBUG_CHECKS_ENV = "WDM_REPRO_DEBUG_CHECKS"
+
+
+def _debug_checks_default() -> bool:
+    """Resolve the debug-checks default from the environment."""
+    return os.environ.get(DEBUG_CHECKS_ENV, "").strip().lower() in (
+        "1", "true", "yes", "on"
+    )
 
 
 @dataclass(frozen=True)
@@ -118,6 +132,7 @@ class ThreeStageNetwork:
         selection: str = "greedy",
         selection_seed: int = 0,
         wavelength_policy: str = "first_fit",
+        debug_checks: bool | None = None,
     ):
         """Build an idle network.
 
@@ -146,6 +161,14 @@ class ThreeStageNetwork:
                 wavelengths), ``least_used`` (spread), or ``random``
                 (seeded by ``selection_seed``).  Ignored by the
                 MSW-dominant construction, whose carriers are pinned.
+            debug_checks: opt-in per-event self-verification -- when
+                True, :meth:`check_invariants` runs after every
+                ``connect``/``disconnect``, so any cache leak surfaces at
+                the exact event that caused it.  The scan is O(state), so
+                hot paths leave it off; None (the default) reads the
+                ``WDM_REPRO_DEBUG_CHECKS`` environment variable
+                (``1``/``true``/``yes``/``on`` enable it).  Explicit
+                :meth:`check_invariants` calls always run regardless.
         """
         self.topology = ThreeStageTopology(n, r, m, k)
         self.construction = construction
@@ -169,6 +192,9 @@ class ThreeStageNetwork:
                 f"choose from {self.WAVELENGTH_POLICIES}"
             )
         self.wavelength_policy = wavelength_policy
+        self.debug_checks = (
+            _debug_checks_default() if debug_checks is None else debug_checks
+        )
         import random as _random
 
         self._selection_rng = _random.Random(selection_seed)
@@ -309,6 +335,73 @@ class ThreeStageNetwork:
             blocked = self._in_mid_full[g]
         free = self._all_middles_mask & ~(blocked | self._failed_mask)
         return list(iter_bits(free))
+
+    # -- state signatures ---------------------------------------------------
+
+    def state_signature(self) -> bytes:
+        """Raw byte signature of the routed resource state.
+
+        Two networks with identical topology compare equal exactly when
+        every fiber wavelength and endpoint channel has the same busy
+        status -- the reference dedup key of the exhaustive checker.
+        """
+        return (
+            self._in_mid.tobytes()
+            + self._mid_out.tobytes()
+            + self._input_used.tobytes()
+            + self._output_used.tobytes()
+        )
+
+    def canonical_signature(self, *, wavelength_symmetry: bool = False) -> bytes:
+        """Signature invariant under middle-switch permutation.
+
+        Middle switches are interchangeable resources: permuting their
+        indices (together with their first- and second-stage fibers)
+        maps reachable states to reachable states and blocked requests
+        to blocked requests.  The canonical form therefore serializes
+        each middle switch's column -- failure flag, incoming fibers,
+        outgoing fibers -- and sorts the per-middle keys, collapsing the
+        up-to-``m!`` symmetric images of a state onto one key.  Failed
+        middles get a distinct flag byte, so only like-status middles
+        ever trade places.
+
+        With ``wavelength_symmetry`` the signature is additionally
+        minimized over the ``k!`` global wavelength relabelings (sound
+        when the request distribution is wavelength-symmetric, e.g. the
+        MSW model where source and destination wavelengths coincide);
+        the lexicographically smallest candidate wins.
+        """
+        topo = self.topology
+        m, k = topo.m, topo.k
+        if wavelength_symmetry and k > 1:
+            perms: Iterable[tuple[int, ...]] = permutations(range(k))
+        else:
+            perms = (tuple(range(k)),)
+        identity = tuple(range(k))
+        best: bytes | None = None
+        for perm in perms:
+            if perm == identity:
+                in_mid, mid_out = self._in_mid, self._mid_out
+                input_used, output_used = self._input_used, self._output_used
+            else:
+                order = list(perm)
+                in_mid = self._in_mid[:, :, order]
+                mid_out = self._mid_out[:, :, order]
+                input_used = self._input_used[:, order]
+                output_used = self._output_used[:, order]
+            keys = sorted(
+                bytes([1 if j in self._failed_middles else 0])
+                + in_mid[:, j, :].tobytes()
+                + mid_out[j].tobytes()
+                for j in range(m)
+            )
+            candidate = (
+                b"".join(keys) + input_used.tobytes() + output_used.tobytes()
+            )
+            if best is None or candidate < best:
+                best = candidate
+        assert best is not None
+        return best
 
     # -- request admission --------------------------------------------------
 
@@ -705,6 +798,8 @@ class ThreeStageNetwork:
             branches=tuple(branches),
         )
         self.setups += 1
+        if self.debug_checks:
+            self.check_invariants()
         return connection_id
 
     # -- failure injection -------------------------------------------------
@@ -858,6 +953,8 @@ class ThreeStageNetwork:
                 1 << (destination.port * k + destination.wavelength)
             )
         self.teardowns += 1
+        if self.debug_checks:
+            self.check_invariants()
 
     def disconnect_all(self) -> None:
         """Tear everything down (returns the network to idle)."""

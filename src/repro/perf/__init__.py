@@ -1,15 +1,22 @@
-"""Performance layer: parallel sweep engine and routing-kernel tools.
+"""Performance layer: sweep engine, result cache and routing-kernel tools.
 
 Every expensive computation in the reproduction decomposes into
 independent work units -- (seed, m, config) cells of the Monte-Carlo
 sweeps, adversary seeds, m-candidates of the exact model checker,
 benchmark grid points.  :class:`ParallelSweeper` fans those units out
-across worker processes with chunking and merges the results
-deterministically (keyed by work-unit id), so parallel output is
-bit-identical to serial output; ``jobs=1`` bypasses process spawn
-entirely.
+across worker processes (or threads) with chunking and merges the
+results deterministically (keyed by work-unit id), so parallel output
+is bit-identical to serial output; ``jobs="auto"`` adapts the worker
+count to the host and falls back to inline serial execution whenever a
+pool cannot win (the resolved :class:`ExecutionPlan` is recorded for
+results metadata).
 
-The second half of the layer is the bitmask routing kernel of
+:class:`ResultCache` persists per-cell results content-addressed by
+``(config hash, seed, kernel id, code version)`` with atomic writes and
+corrupted-entry recovery, making repeated and interrupted sweeps
+incremental and resumable (``--cache`` on the CLI).
+
+The third piece is the bitmask routing kernel of
 :mod:`repro.multistage.routing`; :func:`routing_kernel` /
 :func:`set_routing_kernel` select between it and the frozenset
 reference implementation (used by ``benchmarks/bench_perf.py`` to track
@@ -21,19 +28,27 @@ from repro.multistage.routing import (
     routing_kernel,
     set_routing_kernel,
 )
+from repro.perf.cache import CODE_VERSION, CacheStats, ResultCache
 from repro.perf.sweeper import (
+    ExecutionPlan,
     ParallelSweeper,
     SweepResult,
     WorkUnit,
+    last_plan,
     resolve_jobs,
     sweep,
 )
 
 __all__ = [
+    "CODE_VERSION",
+    "CacheStats",
+    "ExecutionPlan",
     "ParallelSweeper",
+    "ResultCache",
     "SweepResult",
     "WorkUnit",
     "get_routing_kernel",
+    "last_plan",
     "resolve_jobs",
     "routing_kernel",
     "set_routing_kernel",

@@ -1,23 +1,38 @@
-"""Deterministic parallel sweep engine.
+"""Deterministic parallel sweep engine with an adaptive executor.
 
 The engine runs a list of :class:`WorkUnit`\\ s -- top-level callables
-plus arguments -- either inline (``jobs=1``, no process spawn, no
-pickling) or across a ``ProcessPoolExecutor``.  Three properties make
-it safe to drop under every sweep in the repo:
+plus arguments -- inline, across a ``ProcessPoolExecutor``, or across a
+``ThreadPoolExecutor``.  Four properties make it safe to drop under
+every sweep in the repo:
 
 * **deterministic merging** -- results are returned in work-unit order
   regardless of which worker finished first, so a parallel sweep is
   bit-identical to the serial one (each unit must itself be a pure
   function of its arguments, which all sweeps here guarantee by seeding
   their own RNG streams per unit);
-* **chunking** -- units are dispatched in contiguous chunks to amortize
-  inter-process overhead over many small cells;
-* **timing capture** -- every unit's wall time is recorded in its
-  :class:`SweepResult`, so benchmarks get per-cell timings for free.
+* **adaptive execution** -- ``jobs="auto"`` resolves to
+  ``min(effective CPUs, work units)``, and any plan that a pool cannot
+  win (a single effective CPU, one pending unit, or an explicit jobs
+  request exceeding the unit count, where spawn overhead dominates)
+  falls back to inline serial execution.  The resolved plan is recorded
+  in :attr:`ParallelSweeper.last_plan` so benchmarks and sweeps can put
+  the executor that actually ran into their results metadata;
+* **persistent pools** -- a sweeper reuses its pool across ``run``
+  calls (multi-stage sweeps pay the spawn cost once); ``close()`` or
+  the context-manager form shuts it down;
+* **chunking and timing capture** -- units are dispatched in contiguous
+  chunks to amortize inter-process overhead, and every unit's wall time
+  is recorded in its :class:`SweepResult`.
 
-Worker functions must be module-level (picklable); if the platform
-refuses to give us a process pool (restricted containers), the engine
-degrades to serial execution rather than failing the sweep.
+``run(units, cache=...)`` additionally consults a
+:class:`repro.perf.cache.ResultCache`: units carrying a ``cache_key``
+are looked up first and only the misses are dispatched (results are
+stored back), which makes repeated and interrupted sweeps incremental.
+
+Worker functions must be module-level (picklable) for the process
+executor; if the platform refuses to give us a pool (restricted
+containers), the engine degrades to serial execution rather than
+failing the sweep.
 """
 
 from __future__ import annotations
@@ -26,18 +41,40 @@ import os
 import time
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
-__all__ = ["ParallelSweeper", "SweepResult", "WorkUnit", "resolve_jobs", "sweep"]
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from concurrent.futures import Executor
+
+    from repro.perf.cache import ResultCache
+
+__all__ = [
+    "ExecutionPlan",
+    "ParallelSweeper",
+    "SweepResult",
+    "WorkUnit",
+    "last_plan",
+    "resolve_jobs",
+    "sweep",
+]
 
 
-def resolve_jobs(jobs: int | None) -> int:
-    """Normalize a ``jobs`` request: None or <= 0 means all CPUs."""
-    if jobs is None or jobs <= 0:
-        try:
-            return len(os.sched_getaffinity(0))
-        except AttributeError:  # pragma: no cover - non-Linux
-            return os.cpu_count() or 1
+def _effective_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: int | str | None) -> int:
+    """Normalize a ``jobs`` request: None, ``"auto"`` or <= 0 mean all CPUs."""
+    if jobs is None or jobs == "auto":
+        return _effective_cpus()
+    if isinstance(jobs, str):
+        raise ValueError(f"jobs must be an int, None or 'auto', got {jobs!r}")
+    if jobs <= 0:
+        return _effective_cpus()
     return jobs
 
 
@@ -47,22 +84,75 @@ class WorkUnit:
 
     ``fn`` must be a module-level callable so worker processes can
     unpickle it.  ``unit_id`` keys the deterministic merge; ids must be
-    unique within one sweep.
+    unique within one sweep.  ``cache_key`` (optional) is the unit's
+    content address in a :class:`~repro.perf.cache.ResultCache`; units
+    without one are always executed.
     """
 
     unit_id: Any
     fn: Callable[..., Any]
     args: tuple = ()
     kwargs: dict[str, Any] = field(default_factory=dict)
+    cache_key: str | None = None
 
 
 @dataclass(frozen=True)
 class SweepResult:
-    """Outcome of one work unit: its value plus wall time in seconds."""
+    """Outcome of one work unit: its value plus wall time in seconds.
+
+    ``cached`` marks results served from a :class:`ResultCache` instead
+    of executed (their ``seconds`` is 0.0 -- no work was done).
+    """
 
     unit_id: Any
     value: Any
     seconds: float
+    cached: bool = False
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """The executor resolution of one ``run`` call (results metadata).
+
+    Attributes:
+        requested_jobs: the caller's ``jobs`` argument, verbatim.
+        resolved_jobs: worker count after ``auto``/CPU/unit clamping.
+        executor: ``"serial"``, ``"process"`` or ``"thread"`` -- what
+            actually ran.
+        units: total work units in the sweep.
+        dispatched: units actually executed (the rest were cache hits).
+        cache_hits: units served from the result cache.
+        reason: one-line explanation of a serial fallback ("" when the
+            requested parallel plan ran as asked).
+    """
+
+    requested_jobs: int | str | None
+    resolved_jobs: int
+    executor: str
+    units: int
+    dispatched: int
+    cache_hits: int
+    reason: str = ""
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "requested_jobs": self.requested_jobs,
+            "resolved_jobs": self.resolved_jobs,
+            "executor": self.executor,
+            "units": self.units,
+            "dispatched": self.dispatched,
+            "cache_hits": self.cache_hits,
+            "reason": self.reason,
+        }
+
+
+#: the most recent plan resolved by any sweeper in this process
+_LAST_PLAN: ExecutionPlan | None = None
+
+
+def last_plan() -> ExecutionPlan | None:
+    """The :class:`ExecutionPlan` of the most recent ``run`` in this process."""
+    return _LAST_PLAN
 
 
 def _run_unit(unit: WorkUnit) -> SweepResult:
@@ -76,53 +166,209 @@ def _run_chunk(units: list[WorkUnit]) -> list[SweepResult]:
 
 
 class ParallelSweeper:
-    """Fans independent work units across processes; merges deterministically.
+    """Fans independent work units across workers; merges deterministically.
 
     Args:
-        jobs: worker processes.  ``1`` (default) runs inline in this
-            process with zero spawn/pickle overhead; None or <= 0 uses
-            every available CPU.
+        jobs: worker count.  ``1`` (default) runs inline in this process
+            with zero spawn/pickle overhead; ``"auto"``, None or <= 0
+            resolve to the effective CPU count (clamped to the unit
+            count at run time).
         chunk_size: units per dispatched task.  Default: enough chunks
             for ~4 tasks per worker, so stragglers rebalance.
+        executor: ``"process"`` (default; true parallelism, arguments
+            and results cross a pickle boundary) or ``"thread"``
+            (shared-memory workers for workloads that release the GIL
+            or block on I/O -- e.g. replay-dominated sweeps reading
+            memory-mapped traces).  Serial fallback applies to both.
+
+    The sweeper keeps its pool alive across ``run`` calls; use
+    ``close()`` (or the context-manager form) to shut it down.
     """
 
-    def __init__(self, jobs: int | None = 1, *, chunk_size: int | None = None):
+    def __init__(
+        self,
+        jobs: int | str | None = 1,
+        *,
+        chunk_size: int | None = None,
+        executor: str = "process",
+    ):
+        self.requested_jobs = jobs
         self.jobs = resolve_jobs(jobs)
+        #: was the jobs request adaptive (auto/all-CPUs) rather than explicit?
+        self._auto_jobs = jobs is None or jobs == "auto" or (
+            isinstance(jobs, int) and jobs <= 0
+        )
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.chunk_size = chunk_size
+        if executor not in ("process", "thread"):
+            raise ValueError(
+                f"unknown executor {executor!r}; choose 'process' or 'thread'"
+            )
+        self.executor = executor
+        self.last_plan: ExecutionPlan | None = None
+        self._pool: Executor | None = None
+        self._pool_workers = 0
 
-    def run(self, units: Iterable[WorkUnit]) -> list[SweepResult]:
+    # -- pool lifecycle -----------------------------------------------------
+
+    def _acquire_pool(self, workers: int) -> "Executor":
+        """The persistent pool, (re)created when more workers are needed."""
+        if self._pool is not None and self._pool_workers >= workers:
+            return self._pool
+        self.close()
+        if self.executor == "thread":
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(max_workers=workers)
+        else:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+        self._pool_workers = workers
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_workers = 0
+
+    def __enter__(self) -> "ParallelSweeper":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown ordering
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- execution ----------------------------------------------------------
+
+    def _resolve_plan(self, pending: int) -> tuple[int, str, str]:
+        """``(workers, executor, reason)`` for ``pending`` executable units."""
+        workers = min(self.jobs, pending) if pending else 1
+        cpus = _effective_cpus()
+        if workers <= 1 or pending <= 1:
+            if self.jobs == 1 and not self._auto_jobs:
+                reason = ""  # serial was asked for, not fallen back to
+            elif pending <= 1:
+                reason = (
+                    "single pending unit"
+                    if pending
+                    else "all units served from cache"
+                )
+            elif cpus == 1:
+                reason = "single effective CPU; a pool cannot win"
+            else:
+                reason = ""
+            return 1, "serial", reason
+        if cpus == 1:
+            return 1, "serial", "single effective CPU; a pool cannot win"
+        if not self._auto_jobs and self.jobs > pending:
+            return 1, "serial", (
+                f"jobs={self.jobs} exceeds {pending} work units; "
+                "spawn overhead would dominate"
+            )
+        return workers, self.executor, ""
+
+    def run(
+        self,
+        units: Iterable[WorkUnit],
+        *,
+        cache: "ResultCache | None" = None,
+    ) -> list[SweepResult]:
         """Execute all units; results come back in input order.
 
         The unit ids additionally key the results (see
         :meth:`run_keyed`), so callers can merge by id instead of
-        position when that reads better.
+        position when that reads better.  With ``cache``, units whose
+        ``cache_key`` resolves to a stored entry are served from disk
+        (marked ``cached=True``) and only the misses are dispatched;
+        executed results carrying a key are stored back.
         """
+        global _LAST_PLAN
         units = list(units)
         ids = [unit.unit_id for unit in units]
         if len(set(ids)) != len(ids):
             raise ValueError("work-unit ids must be unique within a sweep")
-        if self.jobs == 1 or len(units) <= 1:
-            return [_run_unit(unit) for unit in units]
-        chunk = self.chunk_size or max(1, -(-len(units) // (self.jobs * 4)))
+
+        merged: dict[int, SweepResult] = {}
+        if cache is not None:
+            for index, unit in enumerate(units):
+                if unit.cache_key is None:
+                    continue
+                hit, value = cache.lookup(unit.cache_key)
+                if hit:
+                    merged[index] = SweepResult(
+                        unit.unit_id, value, 0.0, cached=True
+                    )
+        pending = [
+            (index, unit)
+            for index, unit in enumerate(units)
+            if index not in merged
+        ]
+
+        workers, executor, reason = self._resolve_plan(len(pending))
+        self.last_plan = _LAST_PLAN = ExecutionPlan(
+            requested_jobs=self.requested_jobs,
+            resolved_jobs=workers,
+            executor=executor,
+            units=len(units),
+            dispatched=len(pending),
+            cache_hits=len(merged),
+            reason=reason,
+        )
+
+        if executor == "serial":
+            executed = [_run_unit(unit) for _, unit in pending]
+        else:
+            executed = self._run_pooled(
+                [unit for _, unit in pending], workers, executor
+            )
+        for (index, unit), result in zip(pending, executed):
+            merged[index] = result
+            if cache is not None and unit.cache_key is not None:
+                cache.put(unit.cache_key, result.value)
+        return [merged[index] for index in range(len(units))]
+
+    def _run_pooled(
+        self, units: list[WorkUnit], workers: int, executor: str
+    ) -> list[SweepResult]:
+        chunk = self.chunk_size or max(1, -(-len(units) // (workers * 4)))
         chunks = [units[i : i + chunk] for i in range(0, len(units), chunk)]
         try:
-            from concurrent.futures import ProcessPoolExecutor
-
-            with ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(chunks))
-            ) as executor:
-                futures = [executor.submit(_run_chunk, c) for c in chunks]
-                # Collect in submission order: the merge is positional,
-                # never completion-ordered.
-                return [result for future in futures for result in future.result()]
+            pool = self._acquire_pool(workers)
+            futures = [pool.submit(_run_chunk, c) for c in chunks]
+            # Collect in submission order: the merge is positional,
+            # never completion-ordered.
+            return [result for future in futures for result in future.result()]
         except (OSError, PermissionError):  # pragma: no cover - sandboxed hosts
+            self.last_plan = ExecutionPlan(
+                requested_jobs=self.requested_jobs,
+                resolved_jobs=1,
+                executor="serial",
+                units=self.last_plan.units if self.last_plan else len(units),
+                dispatched=len(units),
+                cache_hits=self.last_plan.cache_hits if self.last_plan else 0,
+                reason="platform refused a worker pool",
+            )
+            global _LAST_PLAN
+            _LAST_PLAN = self.last_plan
             return [_run_unit(unit) for unit in units]
 
-    def run_keyed(self, units: Iterable[WorkUnit]) -> dict[Any, SweepResult]:
+    def run_keyed(
+        self,
+        units: Iterable[WorkUnit],
+        *,
+        cache: "ResultCache | None" = None,
+    ) -> dict[Any, SweepResult]:
         """Like :meth:`run` but keyed by unit id."""
-        return {result.unit_id: result for result in self.run(units)}
+        return {result.unit_id: result for result in self.run(units, cache=cache)}
 
     def map(
         self,
@@ -142,9 +388,10 @@ def sweep(
     fn: Callable[..., Any],
     argtuples: Sequence[tuple],
     *,
-    jobs: int | None = 1,
+    jobs: int | str | None = 1,
     chunk_size: int | None = None,
     **kwargs: Any,
 ) -> list[Any]:
     """One-shot convenience wrapper around :class:`ParallelSweeper.map`."""
-    return ParallelSweeper(jobs, chunk_size=chunk_size).map(fn, argtuples, **kwargs)
+    with ParallelSweeper(jobs, chunk_size=chunk_size) as sweeper:
+        return sweeper.map(fn, argtuples, **kwargs)

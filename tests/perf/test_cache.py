@@ -1,0 +1,180 @@
+"""Tests for the content-addressed sweep-result cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.montecarlo import blocking_probability, blocking_vs_m
+from repro.core.models import Construction, MulticastModel
+from repro.multistage.exhaustive import exact_minimal_m
+from repro.multistage.routing import routing_kernel
+from repro.perf.cache import CODE_VERSION, ResultCache
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestKeys:
+    def test_deterministic(self, cache):
+        params = dict(n=2, r=2, m=3, k=1, seed=0)
+        assert cache.key("cell", params) == cache.key("cell", params)
+
+    def test_sensitive_to_namespace_and_params(self, cache):
+        params = dict(n=2, r=2, m=3, k=1, seed=0)
+        assert cache.key("cell", params) != cache.key("other", params)
+        assert cache.key("cell", params) != cache.key(
+            "cell", dict(params, seed=1)
+        )
+
+    def test_enums_are_stable_key_material(self, cache):
+        a = cache.key("cell", dict(model=MulticastModel.MSW))
+        b = cache.key("cell", dict(model=MulticastModel.MAW))
+        c = cache.key(
+            "cell", dict(model=MulticastModel.MSW, extra=Construction.MSW_DOMINANT)
+        )
+        assert len({a, b, c}) == 3
+
+    def test_unstable_key_material_rejected(self, cache):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError, match="stable"):
+            cache.key("cell", dict(thing=Opaque()))
+
+    def test_code_version_bump_invalidates(self, tmp_path):
+        old = ResultCache(tmp_path, code_version=CODE_VERSION)
+        new = ResultCache(tmp_path, code_version=CODE_VERSION + ".bumped")
+        params = dict(n=2, r=2, m=3, k=1)
+        key_old = old.key("cell", params)
+        old.put(key_old, "stale")
+        key_new = new.key("cell", params)
+        assert key_new != key_old
+        hit, _ = new.lookup(key_new)
+        assert not hit  # the bumped version cannot see the old entry
+
+    def test_kernel_id_separates_entries(self, cache):
+        params = dict(n=2, r=2, m=3, k=1)
+        assert cache.key("cell", params, kernel="bitmask") != cache.key(
+            "cell", params, kernel="reference"
+        )
+
+    def test_kernel_defaults_to_active_kernel(self, cache):
+        params = dict(n=2, r=2, m=3, k=1)
+        with routing_kernel("bitmask"):
+            under_bitmask = cache.key("cell", params)
+        with routing_kernel("reference"):
+            under_reference = cache.key("cell", params)
+        assert under_bitmask != under_reference
+        with routing_kernel("bitmask"):
+            assert cache.key("cell", params, kernel="bitmask") == under_bitmask
+
+
+class TestStorage:
+    def test_roundtrip(self, cache):
+        key = cache.key("cell", dict(seed=0))
+        cache.put(key, (12, [3, 4], {"a": 1}))
+        assert cache.get(key) == (12, [3, 4], {"a": 1})
+        assert key in cache
+        assert len(cache) == 1
+
+    def test_cached_none_is_a_hit(self, cache):
+        """A stored None (e.g. 'adversary found no witness') is not a miss."""
+        key = cache.key("adversary", dict(seed=7))
+        cache.put(key, None)
+        hit, value = cache.lookup(key)
+        assert hit and value is None
+
+    def test_miss(self, cache):
+        hit, value = cache.lookup(cache.key("cell", dict(seed=99)))
+        assert not hit and value is None
+        assert cache.stats.misses == 1
+
+    def test_corrupted_entry_recovered(self, cache):
+        key = cache.key("cell", dict(seed=0))
+        cache.put(key, "good")
+        path = cache._path(key)
+        path.write_bytes(b"\x80garbage that will not unpickle")
+        hit, _ = cache.lookup(key)
+        assert not hit
+        assert cache.stats.corrupt == 1
+        assert not path.exists()  # discarded, ready for a clean rewrite
+        cache.put(key, "rewritten")
+        assert cache.get(key) == "rewritten"
+
+    def test_truncated_entry_recovered(self, cache):
+        key = cache.key("cell", dict(seed=0))
+        cache.put(key, list(range(1000)))
+        path = cache._path(key)
+        path.write_bytes(path.read_bytes()[:10])
+        hit, _ = cache.lookup(key)
+        assert not hit and cache.stats.corrupt == 1
+
+    def test_atomic_writes_leave_no_temp_files(self, cache):
+        for seed in range(5):
+            cache.put(cache.key("cell", dict(seed=seed)), seed)
+        leftovers = [
+            p for p in cache.directory.iterdir() if p.name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+        assert len(cache) == 5
+
+    def test_clear(self, cache):
+        for seed in range(3):
+            cache.put(cache.key("cell", dict(seed=seed)), seed)
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+
+class TestSweepIntegration:
+    CONFIG = dict(steps=120, seeds=(0, 1))
+
+    def test_blocking_probability_warm_equals_cold(self, cache):
+        cold = blocking_probability(2, 2, 2, 1, cache=cache, **self.CONFIG)
+        stored = cache.stats.stores
+        warm = blocking_probability(2, 2, 2, 1, cache=cache, **self.CONFIG)
+        nocache = blocking_probability(2, 2, 2, 1, **self.CONFIG)
+        assert warm == cold == nocache
+        assert stored == len(self.CONFIG["seeds"])
+        assert cache.stats.hits == len(self.CONFIG["seeds"])
+
+    def test_blocking_vs_m_resumed_sweep(self, cache):
+        m_values = [1, 2, 3]
+        full = blocking_vs_m(2, 2, 1, m_values, cache=cache, **self.CONFIG)
+        # Simulate an interrupted sweep: drop a third of the entries.
+        entries = sorted(cache.directory.glob("*.pkl"))
+        for path in entries[:: 3]:
+            path.unlink()
+        resumed = blocking_vs_m(2, 2, 1, m_values, cache=cache, **self.CONFIG)
+        nocache = blocking_vs_m(2, 2, 1, m_values, **self.CONFIG)
+        assert resumed == full == nocache
+
+    def test_adversarial_curve_cached(self, cache):
+        m_values = [3, 4]
+        kwargs = dict(adversarial=True, adversary_seeds=3, **self.CONFIG)
+        cold = blocking_vs_m(2, 2, 1, m_values, cache=cache, **kwargs)
+        warm = blocking_vs_m(2, 2, 1, m_values, cache=cache, **kwargs)
+        assert warm == cold
+
+    def test_exact_minimal_m_cached(self, cache):
+        cold = exact_minimal_m(2, 2, 1, x=1, m_max=6, cache=cache)
+        stored = cache.stats.stores
+        warm = exact_minimal_m(2, 2, 1, x=1, m_max=6, cache=cache)
+        assert stored == 3  # m = 1, 2, 3 -- the scan stops at the threshold
+        assert warm.m_exact == cold.m_exact == 3
+        assert [p.blockable for p in warm.per_m] == [
+            p.blockable for p in cold.per_m
+        ]
+
+    def test_parallel_sweep_shares_the_cache(self, cache):
+        serial = blocking_vs_m(
+            2, 2, 1, [1, 2], jobs=1, cache=cache, **self.CONFIG
+        )
+        hits_before = cache.stats.hits
+        parallel = blocking_vs_m(
+            2, 2, 1, [1, 2], jobs=2, cache=cache, **self.CONFIG
+        )
+        assert parallel == serial
+        # Every cell of the second run came from the cache.
+        assert cache.stats.hits - hits_before == 2 * len(self.CONFIG["seeds"])

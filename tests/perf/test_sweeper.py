@@ -4,7 +4,16 @@ from __future__ import annotations
 
 import pytest
 
-from repro.perf.sweeper import ParallelSweeper, SweepResult, WorkUnit, resolve_jobs, sweep
+import repro.perf.sweeper as sweeper_module
+from repro.perf.cache import ResultCache
+from repro.perf.sweeper import (
+    ParallelSweeper,
+    SweepResult,
+    WorkUnit,
+    last_plan,
+    resolve_jobs,
+    sweep,
+)
 
 
 def square(value: int) -> int:
@@ -24,6 +33,13 @@ class TestResolveJobs:
         assert resolve_jobs(None) >= 1
         assert resolve_jobs(0) == resolve_jobs(None)
         assert resolve_jobs(-3) == resolve_jobs(None)
+
+    def test_auto_means_all_cpus(self):
+        assert resolve_jobs("auto") == resolve_jobs(None)
+
+    def test_other_strings_rejected(self):
+        with pytest.raises(ValueError, match="auto"):
+            resolve_jobs("fast")
 
 
 class TestSerialRun:
@@ -79,6 +95,120 @@ class TestParallelRun:
     def test_single_unit_runs_inline(self):
         [result] = ParallelSweeper(4).run([WorkUnit(unit_id=0, fn=square, args=(5,))])
         assert result.value == 25
+
+
+class TestAdaptiveExecutor:
+    UNITS = [WorkUnit(unit_id=i, fn=square, args=(i,)) for i in range(6)]
+
+    def test_plan_recorded_for_parallel_run(self, monkeypatch):
+        monkeypatch.setattr(sweeper_module, "_effective_cpus", lambda: 8)
+        with ParallelSweeper(2, executor="thread") as sweeper:
+            sweeper.run(self.UNITS)
+            plan = sweeper.last_plan
+        assert plan.requested_jobs == 2
+        assert plan.resolved_jobs == 2
+        assert plan.executor == "thread"
+        assert plan.units == plan.dispatched == len(self.UNITS)
+        assert plan.reason == ""
+        assert last_plan() == plan
+
+    def test_single_cpu_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setattr(sweeper_module, "_effective_cpus", lambda: 1)
+        with ParallelSweeper(4) as sweeper:
+            results = sweeper.run(self.UNITS)
+            plan = sweeper.last_plan
+        assert plan.executor == "serial"
+        assert "single effective CPU" in plan.reason
+        assert [r.value for r in results] == [i * i for i in range(6)]
+
+    def test_auto_on_single_cpu_reports_the_fallback(self, monkeypatch):
+        monkeypatch.setattr(sweeper_module, "_effective_cpus", lambda: 1)
+        with ParallelSweeper("auto") as sweeper:
+            sweeper.run(self.UNITS)
+            plan = sweeper.last_plan
+        assert plan.requested_jobs == "auto"
+        assert plan.executor == "serial"
+        assert "single effective CPU" in plan.reason
+
+    def test_explicit_jobs_exceeding_units_falls_back(self, monkeypatch):
+        monkeypatch.setattr(sweeper_module, "_effective_cpus", lambda: 16)
+        with ParallelSweeper(12) as sweeper:
+            sweeper.run(self.UNITS)
+            plan = sweeper.last_plan
+        assert plan.executor == "serial"
+        assert "exceeds" in plan.reason
+
+    def test_auto_jobs_clamp_to_units_without_fallback(self, monkeypatch):
+        monkeypatch.setattr(sweeper_module, "_effective_cpus", lambda: 16)
+        with ParallelSweeper("auto", executor="thread") as sweeper:
+            sweeper.run(self.UNITS)
+            plan = sweeper.last_plan
+        assert plan.executor == "thread"
+        assert plan.resolved_jobs == len(self.UNITS)
+
+    def test_thread_executor_matches_serial(self, monkeypatch):
+        monkeypatch.setattr(sweeper_module, "_effective_cpus", lambda: 8)
+        serial = ParallelSweeper(1).run(self.UNITS)
+        with ParallelSweeper(3, executor="thread") as sweeper:
+            threaded = sweeper.run(self.UNITS)
+        assert [r.value for r in threaded] == [r.value for r in serial]
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            ParallelSweeper(2, executor="fiber")
+
+    def test_pool_persists_across_runs(self, monkeypatch):
+        monkeypatch.setattr(sweeper_module, "_effective_cpus", lambda: 8)
+        with ParallelSweeper(2, executor="thread") as sweeper:
+            sweeper.run(self.UNITS)
+            first_pool = sweeper._pool
+            sweeper.run(self.UNITS)
+            assert sweeper._pool is first_pool
+        assert sweeper._pool is None  # context exit closed it
+
+
+class TestCacheAwareRun:
+    def units(self, cache):
+        return [
+            WorkUnit(
+                unit_id=i,
+                fn=square,
+                args=(i,),
+                cache_key=cache.key("square", dict(i=i)),
+            )
+            for i in range(5)
+        ]
+
+    def test_hits_are_marked_and_not_dispatched(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with ParallelSweeper(1) as sweeper:
+            cold = sweeper.run(self.units(cache), cache=cache)
+            assert all(not r.cached for r in cold)
+            assert sweeper.last_plan.dispatched == 5
+            warm = sweeper.run(self.units(cache), cache=cache)
+        assert all(r.cached for r in warm)
+        assert all(r.seconds == 0.0 for r in warm)
+        assert [r.value for r in warm] == [r.value for r in cold]
+        assert sweeper.last_plan.dispatched == 0
+        assert sweeper.last_plan.cache_hits == 5
+
+    def test_partial_hits_dispatch_only_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        units = self.units(cache)
+        with ParallelSweeper(1) as sweeper:
+            sweeper.run(units[:2], cache=cache)
+            results = sweeper.run(units, cache=cache)
+        assert [r.cached for r in results] == [True, True, False, False, False]
+        assert sweeper.last_plan.cache_hits == 2
+        assert sweeper.last_plan.dispatched == 3
+
+    def test_units_without_keys_always_execute(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        unkeyed = [WorkUnit(unit_id=i, fn=square, args=(i,)) for i in range(3)]
+        with ParallelSweeper(1) as sweeper:
+            sweeper.run(unkeyed, cache=cache)
+            again = sweeper.run(unkeyed, cache=cache)
+        assert all(not r.cached for r in again)
 
 
 class TestConvenience:
