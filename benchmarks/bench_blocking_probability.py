@@ -7,7 +7,7 @@ blocking probability; it must start positive and reach exactly zero.
 
 from __future__ import annotations
 
-from repro.analysis.montecarlo import blocking_vs_m
+from repro import api
 from repro.core.multistage import min_middle_switches_msw_dominant
 
 
@@ -16,14 +16,13 @@ def test_blocking_curve(benchmark):
     bound = min_middle_switches_msw_dominant(n, r, k, x=x)
 
     estimates = benchmark(
-        blocking_vs_m,
+        api.sweep,
         n,
         r,
         k,
         list(range(1, bound + 1)),
         x=x,
-        steps=800,
-        seeds=(0, 1),
+        traffic=api.TrafficConfig(steps=800, seeds=(0, 1)),
     )
     probabilities = [estimate.probability for estimate in estimates]
     assert probabilities[0] > 0.0
@@ -44,16 +43,15 @@ def test_adversarial_curve(benchmark):
     bound = min_middle_switches_msw_dominant(n, r, k, x=x)
 
     estimates = benchmark(
-        blocking_vs_m,
+        api.sweep,
         n,
         r,
         k,
         [1, 2, 3, 4, bound],
         x=x,
-        steps=300,
-        seeds=(0,),
-        adversarial=True,
-        adversary_seeds=25,
+        traffic=api.TrafficConfig(
+            steps=300, seeds=(0,), adversarial=True, adversary_seeds=25
+        ),
     )
     # Blocking found at the starved points; never at the bound itself.
     assert estimates[0].blocked > 0

@@ -1,6 +1,6 @@
 """Performance benchmark for the routing kernel, search and sweep engine.
 
-Six sections, each asserting that the fast path computes *exactly*
+Seven sections, each asserting that the fast path computes *exactly*
 what the slow path computes before reporting any speedup:
 
 * ``cover_kernel`` -- the bitmask cover search
@@ -10,13 +10,11 @@ what the slow path computes before reporting any speedup:
   :class:`repro.multistage.network.ThreeStageNetwork` under each
   routing kernel, isolating the connect/disconnect hot path from the
   (kernel-independent) traffic generator;
-* ``end_to_end`` -- :func:`repro.analysis.montecarlo.blocking_vs_m` on
-  the n=4, r=4, k=2 grid under each kernel, traffic generation
-  included;
+* ``end_to_end`` -- :func:`repro.api.sweep` on the n=4, r=4, k=2 grid
+  under each kernel, traffic generation included;
 * ``exact_search`` -- the symmetry-canonicalized exhaustive model
-  checker (:func:`repro.multistage.exhaustive.exact_minimal_m`)
-  against the uncanonicalized reference search, asserting identical
-  per-m verdicts and thresholds;
+  checker (:func:`repro.api.exact_m`) against the uncanonicalized
+  reference search, asserting identical per-m verdicts and thresholds;
 * ``cache`` -- a cold :class:`repro.perf.cache.ResultCache` sweep vs
   the warm re-run of the same sweep (and a cache-free reference),
   asserting all three produce identical estimates -- the warm-vs-cold
@@ -26,7 +24,12 @@ what the slow path computes before reporting any speedup:
   falls back to serial whenever a pool cannot win (single effective
   CPU, more workers than units), so the section never reports a pool
   slowdown; the resolved :class:`repro.perf.ExecutionPlan` is recorded
-  and the bit-identity of the merged results asserted regardless.
+  and the bit-identity of the merged results asserted regardless;
+* ``obs`` -- the routing replay and end-to-end sweep with the
+  :mod:`repro.obs` layer off (the default) and on, asserting
+  bit-identical blocking counts either way and that the *disabled*
+  hooks cost <= 2% of the replay (bounded by the measured per-guard
+  cost times the hook-site count, and by the off-vs-off re-run).
 
 Run as a script (``python benchmarks/bench_perf.py [--quick]``); writes
 ``BENCH_perf.json`` and exits nonzero if any fast path diverges from
@@ -44,9 +47,8 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro.analysis.montecarlo import blocking_vs_m
+from repro import api, obs
 from repro.core.models import Construction, MulticastModel
-from repro.multistage.exhaustive import exact_minimal_m
 from repro.multistage.network import ThreeStageNetwork
 from repro.multistage.routing import (
     find_cover_bits,
@@ -54,7 +56,6 @@ from repro.multistage.routing import (
     mask_of,
     routing_kernel,
 )
-from repro.perf.cache import ResultCache
 from repro.perf.sweeper import last_plan, resolve_jobs
 from repro.switching.generators import dynamic_traffic
 
@@ -243,13 +244,21 @@ def bench_exact_search(quick: bool, reps: int) -> dict:
         scan_reps = max(1, min(reps, 3))
         canonical_s, canonical_out = _best(
             lambda scan=scan: _exact_key(
-                exact_minimal_m(*scan["args"], canonicalize=True, **scan["kwargs"])
+                api.exact_m(
+                    *scan["args"],
+                    search=api.SearchConfig(canonicalize=True),
+                    **scan["kwargs"],
+                )
             ),
             scan_reps,
         )
         reference_s, reference_out = _best(
             lambda scan=scan: _exact_key(
-                exact_minimal_m(*scan["args"], canonicalize=False, **scan["kwargs"])
+                api.exact_m(
+                    *scan["args"],
+                    search=api.SearchConfig(canonicalize=False),
+                    **scan["kwargs"],
+                )
             ),
             scan_reps,
         )
@@ -280,27 +289,36 @@ def bench_exact_search(quick: bool, reps: int) -> dict:
 
 def bench_cache(quick: bool, reps: int) -> dict:
     m_values = [2, 4, 6]
-    kwargs = dict(steps=200 if quick else 800, seeds=(0, 1))
+    traffic = api.TrafficConfig(steps=200 if quick else 800, seeds=(0, 1))
 
-    def run(cache):
+    def run(cache_dir):
         return _estimate_key(
-            blocking_vs_m(3, 3, 2, m_values, cache=cache, **kwargs)
+            api.sweep(
+                3, 3, 2, m_values,
+                traffic=traffic,
+                execution=api.ExecConfig(cache_dir=cache_dir),
+            )
         )
 
     nocache_out = run(None)
     with tempfile.TemporaryDirectory(prefix="wdm-bench-cache-") as tmp:
-        cache = ResultCache(tmp)
         # Cold: every cell computed and stored (timed once -- a second
-        # cold run would be warm).
-        start = time.perf_counter()
-        cold_out = run(cache)
-        cold_s = time.perf_counter() - start
-        stored = cache.stats.stores
+        # cold run would be warm).  Cache traffic is read from the obs
+        # counters the cache increments.
+        with obs.capture() as watch:
+            start = time.perf_counter()
+            cold_out = run(tmp)
+            cold_s = time.perf_counter() - start
+        stored = watch.metrics.snapshot()["counters"].get("cache.stores", 0)
         # Warm: every cell served from disk.
-        warm_s, warm_out = _best(lambda: run(cache), reps)
-        hits = cache.stats.hits
+        with obs.capture() as watch:
+            warm_s, warm_out = _best(lambda: run(tmp), reps)
+        hits = watch.metrics.snapshot()["counters"].get("cache.hits", 0)
     return {
-        "config": {"n": 3, "r": 3, "k": 2, "m_values": m_values, **kwargs},
+        "config": {
+            "n": 3, "r": 3, "k": 2, "m_values": m_values,
+            "steps": traffic.steps, "seeds": traffic.seeds,
+        },
         "cells_stored": stored,
         "warm_hits": hits,
         "cold_s": cold_s,
@@ -310,11 +328,90 @@ def bench_cache(quick: bool, reps: int) -> dict:
     }
 
 
+# -- section: observability overhead ------------------------------------------
+
+
+def bench_obs(quick: bool, reps: int) -> dict:
+    """Obs-off must cost nothing; obs-on must not change results.
+
+    Three measurements on the routing-replay workload plus one on the
+    end-to-end sweep:
+
+    * the replay with obs off, run twice -- the second timing bounds
+      run-to-run noise, so a real obs-off regression is separable from
+      jitter;
+    * the replay and the sweep with obs on (metrics), asserting blocked
+      counts and estimates are bit-identical to obs-off;
+    * the disabled guard measured directly (a million ``obs.inc`` calls
+      while off), scaled by the replay's hook executions to bound the
+      obs-off overhead fraction -- asserted <= 2%.
+    """
+    n, r, m, k, x = 4, 4, 4, 2, 2
+    steps = 1000 if quick else 4000
+    events = list(
+        dynamic_traffic(MulticastModel.MSW, n * r, k, steps=steps, seed=0)
+    )
+
+    def replay():
+        return _replay(events, n, r, m, k, x)
+
+    assert not obs.enabled()
+    off_s, off_blocked = _best(replay, reps)
+    off2_s, _ = _best(replay, reps)
+    with obs.capture():
+        on_s, on_blocked = _best(replay, reps)
+
+    traffic = api.TrafficConfig(steps=200 if quick else 600, seeds=(0, 1))
+
+    def sweep():
+        return _estimate_key(api.sweep(4, 4, 2, [2, 5, 8], traffic=traffic))
+
+    sweep_off_s, sweep_off = _best(sweep, reps)
+    with obs.capture():
+        sweep_on_s, sweep_on = _best(sweep, reps)
+
+    # Direct guard cost: every hook site the disabled replay touches is
+    # one boolean read; bound their total share of the replay time.
+    # Timing noise only inflates a measurement, so take the best of
+    # several runs -- the same convention ``_best`` applies everywhere
+    # else in this file.
+    guard_calls = 200_000
+    obs.reset()
+    per_call = []
+    for _ in range(max(reps, 5)):
+        start = time.perf_counter()
+        for _ in range(guard_calls):
+            obs.inc("bench.noop")
+        per_call.append((time.perf_counter() - start) / guard_calls)
+    guard_per_call = min(per_call)
+    assert not obs.enabled() and obs.REGISTRY.snapshot()["counters"] == {}
+    hook_executions = 2 * len(events)  # <= 2 guarded sites per event
+    off_overhead = guard_per_call * hook_executions / off_s
+    return {
+        "config": {"n": n, "r": r, "m": m, "k": k, "x": x, "steps": steps},
+        "replay_off_s": off_s,
+        "replay_off_rerun_s": off2_s,
+        "replay_on_s": on_s,
+        "on_overhead": on_s / off_s - 1.0,
+        "sweep_off_s": sweep_off_s,
+        "sweep_on_s": sweep_on_s,
+        "sweep_on_overhead": sweep_on_s / sweep_off_s - 1.0,
+        "guard_ns": guard_per_call * 1e9,
+        "off_overhead_bound": off_overhead,
+        "speedup": 1.0 / (1.0 + off_overhead),
+        "identical": (
+            off_blocked == on_blocked
+            and sweep_off == sweep_on
+            and off_overhead <= 0.02
+        ),
+    }
+
+
 # -- sections: end-to-end sweep, serial vs parallel --------------------------
 
 
-def _grid_kwargs(quick: bool) -> dict:
-    return dict(
+def _grid_traffic(quick: bool) -> api.TrafficConfig:
+    return api.TrafficConfig(
         steps=400 if quick else 1500,
         seeds=(0, 1) if quick else (0, 1, 2),
     )
@@ -326,16 +423,24 @@ def _estimate_key(estimates) -> list[tuple[int, int, int]]:
 
 def bench_end_to_end(quick: bool, reps: int) -> dict:
     m_values = [2, 5, 8, 11, 14]
-    kwargs = _grid_kwargs(quick)
+    traffic = _grid_traffic(quick)
 
     def run(kernel):
-        with routing_kernel(kernel):
-            return _estimate_key(blocking_vs_m(4, 4, 2, m_values, **kwargs))
+        return _estimate_key(
+            api.sweep(
+                4, 4, 2, m_values,
+                traffic=traffic,
+                search=api.SearchConfig(kernel=kernel),
+            )
+        )
 
     reference_s, reference_out = _best(lambda: run("reference"), reps)
     bitmask_s, bitmask_out = _best(lambda: run("bitmask"), reps)
     return {
-        "config": {"n": 4, "r": 4, "k": 2, "m_values": m_values, **kwargs},
+        "config": {
+            "n": 4, "r": 4, "k": 2, "m_values": m_values,
+            "steps": traffic.steps, "seeds": traffic.seeds,
+        },
         "reference_s": reference_s,
         "bitmask_s": bitmask_s,
         "speedup": reference_s / bitmask_s,
@@ -345,11 +450,15 @@ def bench_end_to_end(quick: bool, reps: int) -> dict:
 
 def bench_parallel(quick: bool, reps: int, jobs: int | str) -> dict:
     m_values = [2, 5, 8, 11, 14]
-    kwargs = _grid_kwargs(quick)
+    traffic = _grid_traffic(quick)
 
     def run(n_jobs):
         return _estimate_key(
-            blocking_vs_m(4, 4, 2, m_values, jobs=n_jobs, **kwargs)
+            api.sweep(
+                4, 4, 2, m_values,
+                traffic=traffic,
+                execution=api.ExecConfig(jobs=n_jobs),
+            )
         )
 
     serial_s, serial_out = _best(lambda: run(1), reps)
@@ -363,7 +472,10 @@ def bench_parallel(quick: bool, reps: int, jobs: int | str) -> dict:
     # measured times and the fallback reason kept alongside.
     speedup = 1.0 if fallback_serial else serial_s / parallel_s
     return {
-        "config": {"n": 4, "r": 4, "k": 2, "m_values": m_values, **kwargs},
+        "config": {
+            "n": 4, "r": 4, "k": 2, "m_values": m_values,
+            "steps": traffic.steps, "seeds": traffic.seeds,
+        },
         "jobs": jobs,
         "plan": plan.as_dict() if plan is not None else None,
         "fallback_serial": fallback_serial,
@@ -413,6 +525,7 @@ def main(argv: list[str] | None = None) -> int:
         ("exact_search", lambda: bench_exact_search(args.quick, reps)),
         ("cache", lambda: bench_cache(args.quick, reps)),
         ("parallel", lambda: bench_parallel(args.quick, reps, args.jobs)),
+        ("obs", lambda: bench_obs(args.quick, reps)),
     ]
     failures = []
     for name, section in sections:

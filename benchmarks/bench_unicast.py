@@ -9,14 +9,14 @@ blocking states exist at ``2n - 2``).
 
 from __future__ import annotations
 
+from repro import api
 from repro.core.models import Construction, MulticastModel
 from repro.core.unicast import clos_unicast_minimum
-from repro.multistage.exhaustive import exact_minimal_m
 
 
 def test_clos_threshold_model_checked(benchmark):
     def decide():
-        return exact_minimal_m(
+        return api.exact_m(
             2, 3, 1, x=1, m_max=6, state_budget=300_000, unicast_only=True
         )
 

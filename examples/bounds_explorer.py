@@ -20,12 +20,11 @@ Run with::
 
 from __future__ import annotations
 
-from repro.analysis.montecarlo import blocking_vs_m
+from repro import api
 from repro.core.corrected import CorrectedBound, min_middle_switches_corrected
 from repro.core.models import Construction, MulticastModel
 from repro.core.multistage import NonblockingBound, min_middle_switches_msw_dominant
 from repro.multistage.adversary import demonstrate_theorem1_gap
-from repro.multistage.exhaustive import exact_minimal_m
 from repro.multistage.offline import minimal_rearrangeable_m
 
 
@@ -71,8 +70,9 @@ def corrected_bounds() -> None:
 def monte_carlo() -> None:
     banner("3. Blocking probability below the bound (n = r = 3, k = 1, x = 1)")
     bound = min_middle_switches_msw_dominant(3, 3, 1, x=1)
-    estimates = blocking_vs_m(
-        3, 3, 1, list(range(1, bound + 1)), x=1, steps=600, seeds=(0, 1)
+    estimates = api.sweep(
+        3, 3, 1, list(range(1, bound + 1)), x=1,
+        traffic=api.TrafficConfig(steps=600, seeds=(0, 1)),
     )
     for estimate in estimates:
         bar = "#" * int(estimate.probability * 50)
@@ -82,7 +82,7 @@ def monte_carlo() -> None:
 
 def exact_thresholds() -> None:
     banner("4. Exact thresholds by model checking -- v(2, 2, m, 1), x = 1")
-    result = exact_minimal_m(2, 2, 1, x=1, m_max=6)
+    result = api.exact_m(2, 2, 1, x=1, m_max=6)
     for per_m in result.per_m:
         verdict = "blockable" if per_m.blockable else "nonblocking"
         print(f"  m={per_m.m}: {verdict:12s} "

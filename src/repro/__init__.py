@@ -10,7 +10,11 @@ Yang, Wang, Qiao (ICPP 2000 / IEEE TPDS).  The package provides:
   ``x``-middle-switch routing strategy, plus the nonblocking conditions
   of Theorems 1-2 as exact integer predicates (Section 3 / Table 2);
 * analysis and regeneration harnesses for every table and figure
-  (:mod:`repro.analysis`).
+  (:mod:`repro.analysis`);
+* a typed public facade over the analysis entry points
+  (:mod:`repro.api`) and a zero-cost-when-off observability layer
+  (:mod:`repro.obs`) -- both reachable as lazy attributes
+  (``from repro import api, obs``).
 
 Quickstart::
 
@@ -61,3 +65,18 @@ __all__ = [
     "multistage_cost",
     "optimal_design",
 ]
+
+#: subpackages loaded on first attribute access -- ``repro.api`` pulls
+#: in the analysis stack and ``repro.obs`` is imported by the hot-path
+#: modules themselves, so neither belongs in the eager import graph
+_LAZY_MODULES = ("api", "obs")
+
+
+def __getattr__(name: str):
+    if name in _LAZY_MODULES:
+        import importlib
+
+        module = importlib.import_module(f"repro.{name}")
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -32,13 +32,17 @@ cold run.
 
 from __future__ import annotations
 
+import json
 import random
-from dataclasses import dataclass
-from typing import TYPE_CHECKING
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any
 
+from repro import obs as _obs
 from repro.core.models import Construction, MulticastModel
 from repro.multistage.adversary import search_blocking_state
 from repro.multistage.network import ThreeStageNetwork
+from repro.obs.meta import ResultMeta
 from repro.perf.sweeper import ParallelSweeper, WorkUnit
 from repro.switching.generators import dynamic_traffic
 
@@ -92,7 +96,14 @@ def _adversary_key(
 
 @dataclass(frozen=True)
 class BlockingEstimate:
-    """Blocking statistics of one configuration under random traffic."""
+    """Blocking statistics of one configuration under random traffic.
+
+    ``meta`` is the shared :class:`repro.obs.meta.ResultMeta` provenance
+    envelope (code version, routing kernel, execution plan, obs
+    summary).  It is excluded from equality/hashing -- two estimates
+    with identical numbers compare equal even if one ran serial and the
+    other parallel, preserving the bit-identity contracts.
+    """
 
     n: int
     r: int
@@ -103,11 +114,43 @@ class BlockingEstimate:
     x: int
     attempts: int
     blocked: int
+    meta: ResultMeta | None = field(default=None, compare=False, repr=False)
 
     @property
     def probability(self) -> float:
         """Fraction of setup attempts refused."""
         return self.blocked / self.attempts if self.attempts else 0.0
+
+    def to_json(self) -> str:
+        """Canonical JSON; inverse of :meth:`from_json`."""
+        return json.dumps(
+            {
+                "n": self.n, "r": self.r, "m": self.m, "k": self.k,
+                "construction": self.construction.name,
+                "model": self.model.name,
+                "x": self.x,
+                "attempts": self.attempts,
+                "blocked": self.blocked,
+                "meta": self.meta.to_json() if self.meta is not None else None,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "BlockingEstimate":
+        """Rebuild an estimate (meta included) from :meth:`to_json` output."""
+        data = json.loads(payload)
+        meta = data.get("meta")
+        return cls(
+            n=data["n"], r=data["r"], m=data["m"], k=data["k"],
+            construction=Construction[data["construction"]],
+            model=MulticastModel[data["model"]],
+            x=data["x"],
+            attempts=data["attempts"],
+            blocked=data["blocked"],
+            meta=ResultMeta.from_json(meta) if meta is not None else None,
+        )
 
 
 def _traffic_cell(
@@ -121,17 +164,22 @@ def _traffic_cell(
     steps: int,
     seed: int,
     max_fanout: int | None,
+    debug_checks: bool | None = None,
 ) -> tuple[int, int]:
     """One replication: ``(attempts, blocked)`` for one traffic seed.
 
     The seed's single ``random.Random`` stream drives the traffic
     generator end-to-end; nothing else in the cell draws randomness, so
     the result depends only on the arguments (the parallel-safety
-    contract of the sweep engine).
+    contract of the sweep engine).  ``debug_checks`` re-verifies the
+    network invariants after every event; it cannot change the result,
+    so it is deliberately absent from the cell's cache key.
     """
+    _obs.inc("mc.cells")
     rng = random.Random(seed)
     net = ThreeStageNetwork(
-        n, r, m, k, construction=construction, model=model, x=x
+        n, r, m, k, construction=construction, model=model, x=x,
+        debug_checks=debug_checks,
     )
     attempts = 0
     blocked = 0
@@ -161,7 +209,7 @@ def _traffic_cell(
     return attempts, blocked
 
 
-def blocking_probability(
+def _blocking_probability_impl(
     n: int,
     r: int,
     m: int,
@@ -175,6 +223,8 @@ def blocking_probability(
     max_fanout: int | None = None,
     jobs: int | str = 1,
     cache: "ResultCache | None" = None,
+    executor: str = "process",
+    debug_checks: bool | None = None,
 ) -> BlockingEstimate:
     """Estimate blocking probability under random dynamic traffic.
 
@@ -193,8 +243,11 @@ def blocking_probability(
         jobs: worker processes for the per-seed sweep (1 = in-process,
             ``"auto"`` = adapt to the host).
         cache: optional per-cell result cache (incremental re-runs).
+        executor: worker pool kind, ``"process"`` or ``"thread"``.
+        debug_checks: per-event invariant checking inside each cell
+            (slow; result-identical, so cache keys ignore it).
     """
-    with ParallelSweeper(jobs) as sweeper:
+    with ParallelSweeper(jobs, executor=executor) as sweeper:
         results = sweeper.run(
             (
                 WorkUnit(
@@ -202,7 +255,7 @@ def blocking_probability(
                     fn=_traffic_cell,
                     args=(
                         n, r, m, k, construction, model, x, steps, seed,
-                        max_fanout,
+                        max_fanout, debug_checks,
                     ),
                     cache_key=(
                         None
@@ -217,6 +270,7 @@ def blocking_probability(
             ),
             cache=cache,
         )
+        plan = sweeper.last_plan
     attempts = sum(result.value[0] for result in results)
     blocked = sum(result.value[1] for result in results)
     return BlockingEstimate(
@@ -229,16 +283,65 @@ def blocking_probability(
         x=x,
         attempts=attempts,
         blocked=blocked,
+        meta=ResultMeta.capture(plan),
     )
 
 
-def _adversary_seeds(m: int, count: int) -> list[int]:
-    """The deterministic adversary-seed schedule for one ``m`` point."""
-    rng = random.Random(m)
+def blocking_probability(
+    n: int, r: int, m: int, k: int, **kwargs: Any
+) -> BlockingEstimate:
+    """Deprecated kwargs entry point; use :func:`repro.api.blocking`.
+
+    Behaves exactly like the pre-``repro.api`` function (same kwargs,
+    same pooled numbers), so existing callers and golden values are
+    unaffected; it just warns.
+    """
+    warnings.warn(
+        "blocking_probability(**kwargs) is deprecated; use repro.api."
+        "blocking(n, r, m, k, traffic=TrafficConfig(...), "
+        "execution=ExecConfig(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _blocking_probability_impl(n, r, m, k, **kwargs)
+
+
+def _adversary_seeds(
+    m: int, count: int, traffic_key: str | None = None
+) -> list[int]:
+    """The deterministic adversary-seed schedule for one ``m`` point.
+
+    With a ``traffic_key`` (the new default through :mod:`repro.api`),
+    the schedule is derived from the *whole* configuration, so two
+    sweeps with equal ``m`` but different topology/model/traffic get
+    independent adversary streams.  ``traffic_key=None`` reproduces the
+    legacy ``m``-only derivation (kept for the deprecated
+    :func:`blocking_vs_m` shim so golden adversarial values never
+    shift).
+    """
+    if traffic_key is None:
+        rng = random.Random(m)
+    else:
+        rng = random.Random(f"{traffic_key}|m={m}")
     return [rng.randrange(10**9) for _ in range(count)]
 
 
-def blocking_vs_m(
+def _adversary_traffic_key(
+    n: int,
+    r: int,
+    k: int,
+    construction: Construction,
+    model: MulticastModel,
+    x: int,
+) -> str:
+    """Configuration fingerprint mixed into the adversary-seed schedule."""
+    return (
+        f"n={n}|r={r}|k={k}|construction={construction.name}"
+        f"|model={model.name}|x={x}"
+    )
+
+
+def _blocking_vs_m_impl(
     n: int,
     r: int,
     k: int,
@@ -249,10 +352,14 @@ def blocking_vs_m(
     x: int = 1,
     steps: int = 1500,
     seeds: tuple[int, ...] = (0, 1, 2),
+    max_fanout: int | None = None,
     adversarial: bool = False,
     adversary_seeds: int = 20,
     jobs: int | str = 1,
     cache: "ResultCache | None" = None,
+    executor: str = "process",
+    debug_checks: bool | None = None,
+    legacy_adversary_seeds: bool = False,
 ) -> list[BlockingEstimate]:
     """The blocking-probability-vs-``m`` curve (implied figure X3).
 
@@ -274,19 +381,27 @@ def blocking_vs_m(
     given :class:`~repro.perf.cache.ResultCache`, so re-runs only
     compute cells missing from the cache.
     """
-    with ParallelSweeper(jobs) as sweeper:
+    traffic_key = (
+        None
+        if legacy_adversary_seeds
+        else _adversary_traffic_key(n, r, k, construction, model, x)
+    )
+    with ParallelSweeper(jobs, executor=executor) as sweeper:
         cells = sweeper.run(
             (
                 WorkUnit(
                     unit_id=(m, seed),
                     fn=_traffic_cell,
-                    args=(n, r, m, k, construction, model, x, steps, seed, None),
+                    args=(
+                        n, r, m, k, construction, model, x, steps, seed,
+                        max_fanout, debug_checks,
+                    ),
                     cache_key=(
                         None
                         if cache is None
                         else _traffic_key(
                             cache, n, r, m, k, construction, model, x,
-                            steps, seed, None,
+                            steps, seed, max_fanout,
                         )
                     ),
                 )
@@ -314,7 +429,8 @@ def blocking_vs_m(
                 )
             )
         if not adversarial:
-            return estimates
+            meta = ResultMeta.capture(sweeper.last_plan)
+            return [replace(estimate, meta=meta) for estimate in estimates]
 
         needs_adversary = [
             (index, estimate)
@@ -326,7 +442,9 @@ def blocking_vs_m(
             # Serial short-circuit: stop at the first witness per m, exactly
             # like the pre-sweeper implementation.
             for index, estimate in needs_adversary:
-                for seed in _adversary_seeds(estimate.m, adversary_seeds):
+                for seed in _adversary_seeds(
+                    estimate.m, adversary_seeds, traffic_key
+                ):
                     key = (
                         None
                         if cache is None
@@ -373,7 +491,7 @@ def blocking_vs_m(
                 )
                 for index, estimate in needs_adversary
                 for attempt, seed in enumerate(
-                    _adversary_seeds(estimate.m, adversary_seeds)
+                    _adversary_seeds(estimate.m, adversary_seeds, traffic_key)
                 )
             ]
             found = sweeper.run_keyed(units, cache=cache)
@@ -397,4 +515,28 @@ def blocking_vs_m(
             attempts=estimate.attempts + 1,
             blocked=1,
         )
-    return estimates
+    meta = ResultMeta.capture(sweeper.last_plan)
+    return [replace(estimate, meta=meta) for estimate in estimates]
+
+
+def blocking_vs_m(
+    n: int, r: int, k: int, m_values: list[int], **kwargs: Any
+) -> list[BlockingEstimate]:
+    """Deprecated kwargs entry point; use :func:`repro.api.sweep`.
+
+    Behaves exactly like the pre-``repro.api`` function -- including
+    the legacy ``m``-only adversary-seed schedule, so golden
+    adversarial curves stay reproducible; it just warns.  The typed
+    facade derives adversary seeds from the whole configuration (the
+    fixed behavior) -- see :func:`repro.api.sweep`.
+    """
+    warnings.warn(
+        "blocking_vs_m(**kwargs) is deprecated; use repro.api.sweep"
+        "(n, r, k, m_values, traffic=TrafficConfig(...), "
+        "execution=ExecConfig(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _blocking_vs_m_impl(
+        n, r, k, m_values, legacy_adversary_seeds=True, **kwargs
+    )

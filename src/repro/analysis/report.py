@@ -12,7 +12,7 @@ from __future__ import annotations
 import io
 
 from repro.analysis.figures import bound_vs_x, capacity_growth, find_crossover
-from repro.analysis.montecarlo import blocking_vs_m
+from repro import api
 from repro.analysis.tables import render_table1, render_table2
 from repro.core.corrected import min_middle_switches_corrected
 from repro.core.models import Construction, MulticastModel
@@ -85,8 +85,9 @@ def generate_report(
     w("## Blocking probability vs m (n = r = 3, k = 1, x = 1)\n\n")
     bound = min_middle_switches_msw_dominant(3, 3, 1, x=1)
     steps = 200 if fast else 800
-    estimates = blocking_vs_m(
-        3, 3, 1, list(range(1, bound + 1)), x=1, steps=steps, seeds=(0,)
+    estimates = api.sweep(
+        3, 3, 1, list(range(1, bound + 1)), x=1,
+        traffic=api.TrafficConfig(steps=steps, seeds=(0,)),
     )
     for estimate in estimates:
         w(f"- m={estimate.m}: P(block) = {estimate.probability:.4f}\n")

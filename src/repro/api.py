@@ -1,0 +1,254 @@
+"""Typed public facade over the analysis entry points.
+
+The entry points grown by the perf work --
+``blocking_probability``, ``blocking_vs_m``, ``exact_minimal_m`` --
+each sprouted their own kwargs (``jobs``, ``cache``, ``kernel``,
+``canonicalize``, ``debug_checks``).  This module replaces that kwarg
+sprawl with three frozen config dataclasses grouped by concern:
+
+* :class:`TrafficConfig` -- what traffic to offer (steps, seeds,
+  fanout cap, adversarial probing);
+* :class:`ExecConfig` -- how to run it (worker count, pool kind,
+  result-cache directory);
+* :class:`SearchConfig` -- how to search (routing kernel,
+  canonicalized exhaustive search, per-event invariant checks);
+
+and three verbs that consume them:
+
+* :func:`blocking` -- blocking probability of one configuration;
+* :func:`sweep` -- the blocking-vs-``m`` curve;
+* :func:`exact_m` -- the exhaustive exact nonblocking threshold.
+
+Every result carries the shared :class:`repro.obs.meta.ResultMeta`
+provenance envelope.  The legacy kwargs signatures still work but emit
+``DeprecationWarning``; one behavioral fix ships only here: adversary
+seeds derive from the whole configuration, not just ``m`` (the legacy
+shims keep the old ``m``-only schedule so golden values never shift).
+
+Typical use::
+
+    from repro import api
+
+    estimate = api.blocking(3, 3, 4, 1, x=1)
+    curve = api.sweep(
+        3, 3, 1, [1, 2, 3, 4],
+        traffic=api.TrafficConfig(steps=500, seeds=(0, 1)),
+        execution=api.ExecConfig(jobs="auto"),
+    )
+    exact = api.exact_m(2, 2, 1, x=1, m_max=5)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.montecarlo import (
+    BlockingEstimate,
+    _blocking_probability_impl,
+    _blocking_vs_m_impl,
+)
+from repro.core.models import Construction, MulticastModel
+from repro.multistage.exhaustive import ExactMinimal, _exact_minimal_m_impl
+from repro.multistage.routing import routing_kernel
+from repro.perf.cache import ResultCache
+
+__all__ = [
+    "BlockingEstimate",
+    "ExactMinimal",
+    "ExecConfig",
+    "SearchConfig",
+    "TrafficConfig",
+    "blocking",
+    "exact_m",
+    "sweep",
+]
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """What traffic to offer in a Monte-Carlo run.
+
+    Attributes:
+        steps: traffic events per seed; None keeps the engine default
+            (2000 for :func:`blocking`, 1500 per curve point for
+            :func:`sweep` -- the legacy defaults).
+        seeds: independent replications; pooled deterministically.
+        max_fanout: cap on destinations per request (None = unlimited).
+        adversarial: in :func:`sweep`, also run the randomized
+            adversary at every ``m`` where random traffic saw no
+            blocking, recording one synthetic blocked attempt when a
+            witness exists (worst-case rather than average-case curve).
+        adversary_seeds: adversary restarts per ``m`` point.
+    """
+
+    steps: int | None = None
+    seeds: tuple[int, ...] = (0, 1, 2)
+    max_fanout: int | None = None
+    adversarial: bool = False
+    adversary_seeds: int = 20
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """How to execute a run.
+
+    Attributes:
+        jobs: worker count -- 1 (inline, default), an explicit count,
+            or ``"auto"`` for the effective CPU count.
+        executor: ``"process"`` (default) or ``"thread"`` pools; the
+            engine still falls back to serial whenever a pool cannot
+            win.
+        cache_dir: directory of a content-addressed
+            :class:`repro.perf.cache.ResultCache`; None disables
+            caching.
+    """
+
+    jobs: int | str = 1
+    executor: str = "process"
+    cache_dir: str | None = None
+
+    def cache(self) -> ResultCache | None:
+        """The configured result cache, or None."""
+        return ResultCache(self.cache_dir) if self.cache_dir is not None else None
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """How to search: kernel choice and self-verification.
+
+    Attributes:
+        kernel: cover-search kernel, ``"bitmask"`` or ``"reference"``;
+            None (default) keeps the process's active kernel.
+        canonicalize: dedup exhaustive-search states by canonical
+            signature (identical verdicts, far fewer states).
+        debug_checks: re-verify network invariants after every
+            connect/disconnect inside Monte-Carlo cells (slow;
+            result-identical).  None defers to the
+            ``WDM_REPRO_DEBUG_CHECKS`` environment variable.
+    """
+
+    kernel: str | None = None
+    canonicalize: bool = True
+    debug_checks: bool | None = None
+
+    @contextmanager
+    def applied(self) -> Iterator[None]:
+        """Pin the configured kernel for a ``with`` block (no-op if None)."""
+        if self.kernel is None:
+            yield
+        else:
+            with routing_kernel(self.kernel):
+                yield
+
+
+def blocking(
+    n: int,
+    r: int,
+    m: int,
+    k: int,
+    *,
+    construction: Construction = Construction.MSW_DOMINANT,
+    model: MulticastModel = MulticastModel.MSW,
+    x: int = 1,
+    traffic: TrafficConfig = TrafficConfig(),
+    execution: ExecConfig = ExecConfig(),
+    search: SearchConfig = SearchConfig(),
+) -> BlockingEstimate:
+    """Blocking probability of ``v(n, r, m, k)`` under random traffic.
+
+    The typed replacement for ``blocking_probability``; numbers are
+    bit-identical to the legacy call with the same parameters.  The
+    returned estimate carries a :class:`repro.obs.meta.ResultMeta`
+    envelope (kernel, execution plan, obs summary when enabled).
+    """
+    with search.applied():
+        return _blocking_probability_impl(
+            n, r, m, k,
+            construction=construction,
+            model=model,
+            x=x,
+            steps=traffic.steps if traffic.steps is not None else 2000,
+            seeds=traffic.seeds,
+            max_fanout=traffic.max_fanout,
+            jobs=execution.jobs,
+            cache=execution.cache(),
+            executor=execution.executor,
+            debug_checks=search.debug_checks,
+        )
+
+
+def sweep(
+    n: int,
+    r: int,
+    k: int,
+    m_values: list[int],
+    *,
+    construction: Construction = Construction.MSW_DOMINANT,
+    model: MulticastModel = MulticastModel.MSW,
+    x: int = 1,
+    traffic: TrafficConfig = TrafficConfig(),
+    execution: ExecConfig = ExecConfig(),
+    search: SearchConfig = SearchConfig(),
+) -> list[BlockingEstimate]:
+    """The blocking-probability-vs-``m`` curve (implied figure X3).
+
+    The typed replacement for ``blocking_vs_m``.  One behavioral fix
+    over the legacy call: with ``traffic.adversarial``, the
+    adversary-seed schedule is derived from the whole configuration
+    (topology, construction, model, x) instead of from ``m`` alone, so
+    two sweeps sharing an ``m`` value no longer reuse identical
+    adversary streams.  The deprecated ``blocking_vs_m`` keeps the old
+    schedule for reproducibility of golden values.
+    """
+    with search.applied():
+        return _blocking_vs_m_impl(
+            n, r, k, m_values,
+            construction=construction,
+            model=model,
+            x=x,
+            steps=traffic.steps if traffic.steps is not None else 1500,
+            seeds=traffic.seeds,
+            max_fanout=traffic.max_fanout,
+            adversarial=traffic.adversarial,
+            adversary_seeds=traffic.adversary_seeds,
+            jobs=execution.jobs,
+            cache=execution.cache(),
+            executor=execution.executor,
+            debug_checks=search.debug_checks,
+        )
+
+
+def exact_m(
+    n: int,
+    r: int,
+    k: int,
+    *,
+    construction: Construction = Construction.MSW_DOMINANT,
+    model: MulticastModel = MulticastModel.MSW,
+    x: int = 1,
+    m_max: int | None = None,
+    state_budget: int = 100_000,
+    unicast_only: bool = False,
+    execution: ExecConfig = ExecConfig(),
+    search: SearchConfig = SearchConfig(),
+) -> ExactMinimal:
+    """The exact minimal nonblocking ``m`` by exhaustive model checking.
+
+    The typed replacement for ``exact_minimal_m``; verdicts are
+    identical to the legacy call with the same parameters.
+    """
+    with search.applied():
+        return _exact_minimal_m_impl(
+            n, r, k,
+            construction=construction,
+            model=model,
+            x=x,
+            m_max=m_max,
+            state_budget=state_budget,
+            unicast_only=unicast_only,
+            canonicalize=search.canonicalize,
+            jobs=execution.jobs,
+            cache=execution.cache(),
+        )

@@ -9,6 +9,7 @@ Usage (installed as ``wdm-repro``, or ``python -m repro``)::
     wdm-repro capacity --n-ports 8 --k-max 6
     wdm-repro blocking --n 3 --r 3 --k 2 --m-max 10
     wdm-repro fig10
+    wdm-repro trace fig10 --trace-out -
     wdm-repro design --n-ports 1024 --k 4 --model MAW
 """
 
@@ -18,8 +19,8 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro import api, obs
 from repro.analysis.figures import bound_vs_x, capacity_growth, find_crossover
-from repro.analysis.montecarlo import blocking_vs_m
 from repro.analysis.rendering import render_table
 from repro.analysis.tables import render_table1, render_table2
 from repro.core.models import Construction, MulticastModel
@@ -61,22 +62,22 @@ def _jobs(value: str) -> int | str:
         ) from exc
 
 
-def _cache_of(args: argparse.Namespace):
-    """The ResultCache the flags ask for, or None."""
+def _exec_config(args: argparse.Namespace) -> api.ExecConfig:
+    """The execution config the flags ask for."""
+    return api.ExecConfig(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir if args.cache else None,
+    )
+
+
+def _cache_summary(args: argparse.Namespace, counters: dict) -> list[str]:
+    """Cache-traffic footer, read from the run's obs counters."""
     if not args.cache:
-        return None
-    from repro.perf.cache import ResultCache
-
-    return ResultCache(args.cache_dir)
-
-
-def _cache_summary(cache) -> list[str]:
-    if cache is None:
         return []
-    stats = cache.stats
     return [
-        f"cache: {stats.hits} hits, {stats.misses} misses, "
-        f"{stats.stores} stored ({cache.directory})"
+        f"cache: {counters.get('cache.hits', 0)} hits, "
+        f"{counters.get('cache.misses', 0)} misses, "
+        f"{counters.get('cache.stores', 0)} stored ({args.cache_dir})"
     ]
 
 
@@ -147,21 +148,18 @@ def _cmd_capacity(args: argparse.Namespace) -> str:
 
 
 def _cmd_blocking(args: argparse.Namespace) -> str:
-    from repro.perf.sweeper import last_plan
-
-    cache = _cache_of(args)
-    estimates = blocking_vs_m(
-        args.n,
-        args.r,
-        args.k,
-        list(range(1, args.m_max + 1)),
-        model=args.model,
-        construction=args.construction,
-        x=args.x,
-        adversarial=args.adversarial,
-        jobs=args.jobs,
-        cache=cache,
-    )
+    with obs.capture() as run:
+        estimates = api.sweep(
+            args.n,
+            args.r,
+            args.k,
+            list(range(1, args.m_max + 1)),
+            model=args.model,
+            construction=args.construction,
+            x=args.x,
+            traffic=api.TrafficConfig(adversarial=args.adversarial),
+            execution=_exec_config(args),
+        )
     rows = [
         [e.m, e.attempts, e.blocked, f"{e.probability:.4f}"] for e in estimates
     ]
@@ -174,13 +172,13 @@ def _cmd_blocking(args: argparse.Namespace) -> str:
         ),
     )
     footer = []
-    plan = last_plan()
+    plan = estimates[0].meta.plan if estimates and estimates[0].meta else None
     if plan is not None and args.jobs != 1:
-        note = f" ({plan.reason})" if plan.reason else ""
+        note = f" ({plan['reason']})" if plan["reason"] else ""
         footer.append(
-            f"executor: {plan.executor}, jobs={plan.resolved_jobs}{note}"
+            f"executor: {plan['executor']}, jobs={plan['resolved_jobs']}{note}"
         )
-    footer.extend(_cache_summary(cache))
+    footer.extend(_cache_summary(args, run.metrics.snapshot()["counters"]))
     return "\n".join([table, *footer])
 
 
@@ -197,6 +195,42 @@ def _cmd_fig10(args: argparse.Namespace) -> str:
         f"{'BLOCKED' if outcome.maw_dominant_blocked else 'routed'}",
     ]
     return "\n".join(lines)
+
+
+def _cmd_trace(args: argparse.Namespace) -> str:
+    import io
+    import json
+
+    sink = io.StringIO()
+    tracer = obs.Tracer(sink)
+    with obs.capture(tracer=tracer):
+        if args.scenario == "fig10":
+            fig10_scenario()
+        else:
+            api.blocking(
+                args.n, args.r, args.m, args.k,
+                model=args.model,
+                construction=args.construction,
+                x=args.x,
+                traffic=api.TrafficConfig(
+                    steps=args.steps,
+                    seeds=tuple(int(s) for s in args.seeds.split(",")),
+                ),
+            )
+    tracer.close()
+    payload = sink.getvalue()
+    records = [json.loads(line) for line in payload.splitlines()]
+    for record in records:
+        obs.validate_record(record)
+    if args.trace_out == "-":
+        return payload.rstrip("\n")
+    with open(args.trace_out, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    summary = records[-1]
+    return (
+        f"trace written to {args.trace_out} ({len(records)} records; "
+        f"{summary['admitted']} admitted, {summary['blocked']} blocked)"
+    )
 
 
 def _cmd_gap(args: argparse.Namespace) -> str:
@@ -250,16 +284,16 @@ def _cmd_design(args: argparse.Namespace) -> str:
 
 def _cmd_exact(args: argparse.Namespace) -> str:
     from repro.core.corrected import min_middle_switches_corrected
-    from repro.multistage.exhaustive import exact_minimal_m
     from repro.multistage.offline import minimal_rearrangeable_m
 
-    cache = _cache_of(args)
-    result = exact_minimal_m(
-        args.n, args.r, args.k,
-        model=args.model, construction=args.construction, x=args.x,
-        state_budget=args.budget, jobs=args.jobs,
-        canonicalize=not args.no_canonicalize, cache=cache,
-    )
+    with obs.capture() as run:
+        result = api.exact_m(
+            args.n, args.r, args.k,
+            model=args.model, construction=args.construction, x=args.x,
+            state_budget=args.budget,
+            execution=_exec_config(args),
+            search=api.SearchConfig(canonicalize=not args.no_canonicalize),
+        )
     lines = [
         f"exact thresholds for v(n={args.n}, r={args.r}, m, k={args.k}), "
         f"{args.model.value}, {args.construction.value}, x={args.x}:",
@@ -285,7 +319,7 @@ def _cmd_exact(args: argparse.Namespace) -> str:
             lines.append(f"  exact rearrangeable threshold: m = {m_rearr}")
     else:
         lines.append("  exact threshold: inconclusive within the state budget")
-    lines.extend(_cache_summary(cache))
+    lines.extend(_cache_summary(args, run.metrics.snapshot()["counters"]))
     return "\n".join(lines)
 
 
@@ -385,6 +419,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fig10", help="the Fig. 10 blocking scenario")
     p.set_defaults(func=_cmd_fig10)
+
+    p = sub.add_parser(
+        "trace",
+        help="JSONL event trace (admit/block/release + blocking cause)",
+    )
+    p.add_argument(
+        "scenario",
+        choices=("fig10", "blocking"),
+        help="'fig10' replays the Fig. 10 contested request; 'blocking' "
+        "traces a Monte-Carlo run of v(n,r,m,k)",
+    )
+    p.add_argument("--n", type=int, default=2)
+    p.add_argument("--r", type=int, default=2)
+    p.add_argument("--m", type=int, default=2)
+    p.add_argument("--k", type=int, default=1)
+    p.add_argument("--x", type=int, default=1)
+    p.add_argument("--steps", type=int, default=300)
+    p.add_argument("--seeds", type=str, default="0")
+    p.add_argument("--model", type=_model, default=MulticastModel.MSW)
+    p.add_argument("--construction", type=_construction, default=Construction.MSW_DOMINANT)
+    p.add_argument(
+        "--trace-out",
+        type=str,
+        default="-",
+        help="output path for the JSONL trace, '-' for stdout",
+    )
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(
         "exact", help="model-check the exact nonblocking threshold (tiny nets)"

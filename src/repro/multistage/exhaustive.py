@@ -49,8 +49,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations, product
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
+from repro import obs as _obs
 from repro.core.models import Construction, MulticastModel
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
@@ -350,6 +351,7 @@ def is_blockable(
             return None
         seen.add(signature)
         explored += 1
+        _obs.inc("exhaustive.states")
         if explored > state_budget:
             raise _BudgetExceeded
         victim = blocked_request()
@@ -405,7 +407,7 @@ class _BudgetExceeded(Exception):
     pass
 
 
-def exact_minimal_m(
+def _exact_minimal_m_impl(
     n: int,
     r: int,
     k: int,
@@ -508,3 +510,22 @@ def exact_minimal_m(
         construction=construction, model=model, x=x,
         m_exact=None, per_m=tuple(results),
     )
+
+
+def exact_minimal_m(n: int, r: int, k: int, **kwargs: Any) -> ExactMinimal:
+    """Deprecated kwargs entry point; use :func:`repro.api.exact_m`.
+
+    Behaves exactly like the pre-``repro.api`` function (same kwargs,
+    same results), so existing callers and golden values are
+    unaffected; it just warns.  See :func:`repro.api.exact_m` for the
+    typed-config replacement.
+    """
+    import warnings
+
+    warnings.warn(
+        "exact_minimal_m(**kwargs) is deprecated; use repro.api.exact_m"
+        "(n, r, k, search=SearchConfig(...), execution=ExecConfig(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _exact_minimal_m_impl(n, r, k, **kwargs)

@@ -47,6 +47,7 @@ from itertools import permutations
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.combinatorics.multiset import DestinationMultiset
 from repro.core.models import Construction, MulticastModel
 from repro.core.multistage import is_nonblocking, valid_x_range
@@ -674,6 +675,80 @@ class ThreeStageNetwork:
         """
         return self._cover_for(request, stats=stats)[3]
 
+    def explain_block(self, request: MulticastConnection) -> dict:
+        """Reconstruct *why* ``request`` blocks, from the bitmask caches.
+
+        Read-only.  Classifies the failure into one of four kinds -- the
+        contention modes the paper's constructions trade off:
+
+        * ``saturated_wavelength`` -- MSW-dominant: the source wavelength
+          is busy on every non-failed first-stage fiber out of the input
+          module (the MSW input module cannot convert around it);
+        * ``converter_exhaustion`` -- MAW-dominant: every wavelength on
+          every non-failed first-stage fiber is busy, so no converter
+          assignment at the input module can reach any middle switch;
+        * ``full_middles`` -- some requested output module is unreachable
+          through *every* available middle switch (its second-stage
+          fibers are saturated on the needed wavelength);
+        * ``no_cover`` -- every output module is individually reachable,
+          but no set of at most ``x`` available middle switches covers
+          them all: the Lemma-4 routing budget is what binds.
+
+        The returned dict matches ``repro.obs.trace.CAUSE_SCHEMA``:
+        alongside ``kind`` it carries the raw evidence masks
+        (``first_stage_blocked_mask``, ``available_middles_mask``,
+        ``failed_middles_mask``), the requested ``destination_modules``,
+        the ``unreachable_modules`` subset, and ``per_destination``
+        pairs ``[module, middles_mask]`` giving the middle switches able
+        to reach each module.  Callers should only invoke this on a
+        request that actually blocks; on a routable request the kind
+        degenerates to ``no_cover`` with full reachability evidence.
+        """
+        g = self.topology.input_module_of(request.source.port)
+        source_wavelength = request.source.wavelength
+        module_destinations = self._module_destinations(request)
+        required = self._required_out_wavelength(module_destinations)
+        msw_dominant = self.construction is Construction.MSW_DOMINANT
+        if msw_dominant:
+            blocked = self._in_mid_busy[g][source_wavelength]
+        else:
+            blocked = self._in_mid_full[g]
+        available = self._all_middles_mask & ~(blocked | self._failed_mask)
+        dest_mask = mask_of(module_destinations)
+        coverable = self._coverable_bits(
+            g, source_wavelength, dest_mask, required
+        )
+        per_destination = []
+        reachable_union = 0
+        for p in sorted(module_destinations):
+            middles = mask_of(
+                j for j, reach in coverable.items() if reach >> p & 1
+            )
+            per_destination.append([p, middles])
+            if middles:
+                reachable_union |= 1 << p
+        unreachable = dest_mask & ~reachable_union
+        if available == 0:
+            kind = (
+                "saturated_wavelength" if msw_dominant else "converter_exhaustion"
+            )
+        elif unreachable:
+            kind = "full_middles"
+        else:
+            kind = "no_cover"
+        return {
+            "kind": kind,
+            "x": self.x,
+            "input_module": g,
+            "source_wavelength": source_wavelength,
+            "failed_middles_mask": self._failed_mask,
+            "first_stage_blocked_mask": blocked,
+            "available_middles_mask": available,
+            "destination_modules": sorted(module_destinations),
+            "unreachable_modules": list(iter_bits(unreachable)),
+            "per_destination": per_destination,
+        }
+
     def _mark_in_mid(self, g: int, j: int, wavelength: int, busy: bool) -> None:
         """Set one first-stage link wavelength and keep the cache in sync."""
         self._in_mid[g, j, wavelength] = busy
@@ -742,6 +817,8 @@ class ThreeStageNetwork:
         )
         if cover is None:
             self.blocks += 1
+            if _obs.enabled():
+                _obs.on_block(self, request, self.explain_block(request), stats)
             raise BlockedError(
                 f"request {request} blocked: no <= {self.x}-middle cover "
                 "among the available middles"
@@ -791,13 +868,16 @@ class ThreeStageNetwork:
 
         connection_id = self._next_id
         self._next_id += 1
-        self._active[connection_id] = RoutedConnection(
+        routed = RoutedConnection(
             connection_id=connection_id,
             request=request,
             input_module=g,
             branches=tuple(branches),
         )
+        self._active[connection_id] = routed
         self.setups += 1
+        if _obs.enabled():
+            _obs.on_admit(self, routed, stats)
         if self.debug_checks:
             self.check_invariants()
         return connection_id
@@ -953,6 +1033,8 @@ class ThreeStageNetwork:
                 1 << (destination.port * k + destination.wavelength)
             )
         self.teardowns += 1
+        if _obs.enabled():
+            _obs.on_release(self, connection_id)
         if self.debug_checks:
             self.check_invariants()
 

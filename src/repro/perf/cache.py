@@ -42,6 +42,7 @@ from enum import Enum
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro import obs as _obs
 from repro.multistage.routing import get_routing_kernel
 
 __all__ = ["CODE_VERSION", "CacheStats", "ResultCache"]
@@ -146,18 +147,22 @@ class ResultCache:
                 value = pickle.load(handle)
         except FileNotFoundError:
             self.stats.misses += 1
+            _obs.inc("cache.misses")
             return False, None
         except Exception:
             # Torn write survivor, truncation, or pickle-format skew:
             # recover by discarding the entry.
             self.stats.corrupt += 1
             self.stats.misses += 1
+            _obs.inc("cache.corrupt")
+            _obs.inc("cache.misses")
             try:
                 path.unlink()
             except OSError:  # pragma: no cover - already gone / perms
                 pass
             return False, None
         self.stats.hits += 1
+        _obs.inc("cache.hits")
         return True, value
 
     def get(self, key: str, default: Any = None) -> Any:
@@ -182,6 +187,7 @@ class ResultCache:
                 pass
             raise
         self.stats.stores += 1
+        _obs.inc("cache.stores")
 
     # -- maintenance --------------------------------------------------------
 

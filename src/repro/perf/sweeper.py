@@ -37,11 +37,14 @@ failing the sweep.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
+
+from repro import obs as _obs
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from concurrent.futures import Executor
@@ -145,6 +148,15 @@ class ExecutionPlan:
             "reason": self.reason,
         }
 
+    def to_json(self) -> str:
+        """Canonical JSON; inverse of :meth:`from_json`."""
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ExecutionPlan":
+        """Rebuild a plan from :meth:`to_json` output."""
+        return cls(**json.loads(payload))
+
 
 #: the most recent plan resolved by any sweeper in this process
 _LAST_PLAN: ExecutionPlan | None = None
@@ -163,6 +175,28 @@ def _run_unit(unit: WorkUnit) -> SweepResult:
 
 def _run_chunk(units: list[WorkUnit]) -> list[SweepResult]:
     return [_run_unit(unit) for unit in units]
+
+
+def _run_chunk_obs(units: list[WorkUnit]) -> tuple[list[SweepResult], dict[str, Any]]:
+    """Chunk runner for worker processes while observability is on.
+
+    A worker process has its own (empty, disabled) obs state, so
+    metrics recorded by the units' hook points would be lost.  This
+    wrapper enables metrics-only observation around the chunk (tracers
+    do not cross the pickle boundary) and ships a registry snapshot
+    back for the parent to merge -- each chunk starts from a reset
+    registry, so snapshots are per-chunk deltas even on a persistent
+    pool worker.
+    """
+    _obs.REGISTRY.reset()
+    was_enabled = _obs.enabled()
+    _obs.enable()
+    try:
+        results = _run_chunk(units)
+    finally:
+        if not was_enabled:
+            _obs.disable()
+    return results, _obs.REGISTRY.snapshot()
 
 
 class ParallelSweeper:
@@ -323,6 +357,10 @@ class ParallelSweeper:
             cache_hits=len(merged),
             reason=reason,
         )
+        if _obs.enabled():
+            _obs.inc("sweep.units", len(units))
+            _obs.inc("sweep.dispatched", len(pending))
+            _obs.inc("sweep.cache_hits", len(merged))
 
         if executor == "serial":
             executed = [_run_unit(unit) for _, unit in pending]
@@ -330,6 +368,9 @@ class ParallelSweeper:
             executed = self._run_pooled(
                 [unit for _, unit in pending], workers, executor
             )
+        if _obs.enabled():
+            for result in executed:
+                _obs.observe("sweep.unit_seconds", result.seconds)
         for (index, unit), result in zip(pending, executed):
             merged[index] = result
             if cache is not None and unit.cache_key is not None:
@@ -341,12 +382,33 @@ class ParallelSweeper:
     ) -> list[SweepResult]:
         chunk = self.chunk_size or max(1, -(-len(units) // (workers * 4)))
         chunks = [units[i : i + chunk] for i in range(0, len(units), chunk)]
+        observing = _obs.enabled()
+        # Process workers have their own obs state, so their chunks run
+        # under the snapshot-returning wrapper; thread workers share the
+        # parent's registry and need no merging.
+        ship_snapshots = observing and executor == "process"
+        runner = _run_chunk_obs if ship_snapshots else _run_chunk
         try:
             pool = self._acquire_pool(workers)
-            futures = [pool.submit(_run_chunk, c) for c in chunks]
+            submitted = time.perf_counter()
+            futures = [pool.submit(runner, c) for c in chunks]
             # Collect in submission order: the merge is positional,
             # never completion-ordered.
-            return [result for future in futures for result in future.result()]
+            results: list[SweepResult] = []
+            for future in futures:
+                payload = future.result()
+                if ship_snapshots:
+                    chunk_results, snapshot = payload
+                    _obs.REGISTRY.merge(snapshot)
+                else:
+                    chunk_results = payload
+                if observing:
+                    queued = (time.perf_counter() - submitted) - sum(
+                        r.seconds for r in chunk_results
+                    )
+                    _obs.observe("sweep.pool.queue_seconds", max(0.0, queued))
+                results.extend(chunk_results)
+            return results
         except (OSError, PermissionError):  # pragma: no cover - sandboxed hosts
             self.last_plan = ExecutionPlan(
                 requested_jobs=self.requested_jobs,

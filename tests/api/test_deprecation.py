@@ -1,0 +1,73 @@
+"""Deprecation shims: the old kwargs signatures warn but keep working,
+and nothing reached through the new facade calls them."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import api
+from repro.analysis.montecarlo import blocking_probability, blocking_vs_m
+from repro.multistage.exhaustive import exact_minimal_m
+
+
+class TestShimsWarn:
+    def test_blocking_probability_warns_and_works(self):
+        with pytest.warns(DeprecationWarning, match="repro.api.blocking"):
+            estimate = blocking_probability(2, 2, 2, 1, x=1, steps=50, seeds=(0,))
+        assert estimate.attempts > 0
+
+    def test_blocking_vs_m_warns_and_works(self):
+        with pytest.warns(DeprecationWarning, match="repro.api.sweep"):
+            estimates = blocking_vs_m(2, 2, 1, [1, 2], x=1, steps=50, seeds=(0,))
+        assert [e.m for e in estimates] == [1, 2]
+
+    def test_exact_minimal_m_warns_and_works(self):
+        with pytest.warns(DeprecationWarning, match="repro.api.exact_m"):
+            result = exact_minimal_m(2, 2, 1, x=1, m_max=5)
+        assert result.m_exact == 3
+
+    def test_warning_points_at_the_caller(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            blocking_probability(2, 2, 2, 1, x=1, steps=20, seeds=(0,))
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert deprecations and deprecations[0].filename == __file__
+
+
+class TestFacadeIsClean:
+    """The new entry points never route through the deprecated shims."""
+
+    @pytest.mark.parametrize("call", [
+        lambda: api.blocking(2, 2, 2, 1, x=1,
+                             traffic=api.TrafficConfig(steps=30, seeds=(0,))),
+        lambda: api.sweep(2, 2, 1, [1, 2], x=1,
+                          traffic=api.TrafficConfig(steps=30, seeds=(0,))),
+        lambda: api.sweep(2, 2, 1, [1, 2], x=1,
+                          traffic=api.TrafficConfig(
+                              steps=30, seeds=(0,), adversarial=True,
+                              adversary_seeds=3)),
+        lambda: api.exact_m(2, 2, 1, x=1, m_max=4),
+    ])
+    def test_no_deprecation_warning_escapes(self, call):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            call()
+
+    def test_cli_blocking_is_clean(self, capsys):
+        from repro.cli import main
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert main(["blocking", "--n", "2", "--r", "2", "--k", "1",
+                         "--m-max", "2"]) == 0
+        assert "Blocking probability" in capsys.readouterr().out
+
+    def test_cli_exact_is_clean(self, capsys):
+        from repro.cli import main
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert main(["exact", "--n", "2", "--r", "2", "--k", "1"]) == 0
+        assert "exact" in capsys.readouterr().out

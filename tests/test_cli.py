@@ -58,6 +58,64 @@ class TestCommands:
         out = run_cli(capsys, "fig10")
         assert "BLOCKED" in out and "routed" in out
 
+    def test_blocking_cache_footer(self, capsys, tmp_path):
+        out = run_cli(
+            capsys, "blocking", "--n", "2", "--r", "2", "--k", "1",
+            "--m-max", "2", "--cache", "--cache-dir", str(tmp_path),
+        )
+        assert "cache: 0 hits" in out and "6 stored" in out
+        out = run_cli(
+            capsys, "blocking", "--n", "2", "--r", "2", "--k", "1",
+            "--m-max", "2", "--cache", "--cache-dir", str(tmp_path),
+        )
+        assert "cache: 6 hits" in out
+
+
+class TestTraceCommand:
+    def _records(self, out):
+        import json
+
+        return [json.loads(line) for line in out.strip().splitlines()]
+
+    def test_trace_fig10_emits_schema_valid_jsonl(self, capsys):
+        from repro.obs.trace import validate_record
+
+        records = self._records(run_cli(capsys, "trace", "fig10"))
+        for record in records:
+            validate_record(record)
+        summary = records[-1]
+        assert summary["event"] == "summary"
+        assert sum(summary["causes"].values()) == summary["blocked"] == 1
+        kinds = [r["cause"]["kind"] for r in records if r["event"] == "block"]
+        assert kinds == ["full_middles"]
+
+    def test_trace_blocking_sums_to_numerator(self, capsys):
+        from repro.obs.trace import validate_record
+
+        records = self._records(run_cli(
+            capsys, "trace", "blocking", "--n", "2", "--r", "2", "--m", "2",
+            "--k", "1", "--steps", "150", "--seeds", "0,1",
+        ))
+        for record in records:
+            validate_record(record)
+        summary = records[-1]
+        blocks = [r for r in records if r["event"] == "block"]
+        assert summary["blocked"] == len(blocks) > 0
+        assert sum(summary["causes"].values()) == summary["blocked"]
+        # The trace numerator is the estimate's numerator.
+        from repro import api
+
+        estimate = api.blocking(
+            2, 2, 2, 1, x=1, traffic=api.TrafficConfig(steps=150, seeds=(0, 1)))
+        assert summary["blocked"] == estimate.blocked
+        assert summary["attempts"] == estimate.attempts
+
+    def test_trace_out_writes_file(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        out = run_cli(capsys, "trace", "fig10", "--trace-out", str(path))
+        assert "trace written to" in out
+        assert len(path.read_text().splitlines()) >= 2
+
     def test_design(self, capsys):
         out = run_cli(capsys, "design", "--n-ports", "64", "--k", "2")
         assert "crosspoints" in out and "recursive" in out.lower()

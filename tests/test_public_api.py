@@ -30,11 +30,13 @@ class TestTopLevel:
 
 SUBPACKAGES = [
     "repro.analysis",
+    "repro.api",
     "repro.scheduling",
     "repro.combinatorics",
     "repro.core",
     "repro.fabric",
     "repro.multistage",
+    "repro.obs",
     "repro.switching",
 ]
 

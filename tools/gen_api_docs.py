@@ -24,6 +24,8 @@ PACKAGES = [
     "repro.analysis",
     "repro.scheduling",
     "repro.perf",
+    "repro.api",
+    "repro.obs",
 ]
 
 #: hand-written notes appended after a package's export table (markdown)
@@ -79,6 +81,53 @@ interrupted or repeated sweeps recompute only missing cells. Writes
 are atomic (temp file + `os.replace`); entries that fail to unpickle
 are deleted and recomputed. The CLI flags are `--cache` / `--no-cache`
 and `--cache-dir DIR` on `blocking` and `exact`.
+""",
+    "repro.api": """\
+### Typed configs over kwargs sprawl
+
+The three verbs take frozen config dataclasses grouped by concern:
+`TrafficConfig` (steps, seeds, fanout cap, adversarial probing),
+`ExecConfig` (jobs, executor kind, cache directory) and `SearchConfig`
+(routing kernel, canonicalization, debug checks). Results are
+bit-identical to the legacy entry points with the same parameters and
+carry a `repro.obs.meta.ResultMeta` provenance envelope (code version,
+kernel id, execution plan, obs summary) on `.meta`; the envelope and
+`BlockingEstimate` both round-trip through `to_json()`/`from_json()`.
+
+The legacy kwargs signatures (`blocking_probability`, `blocking_vs_m`,
+`exact_minimal_m`) keep working but emit `DeprecationWarning`. One
+behavioral fix ships only in the facade: `sweep` derives adversary
+seeds from the whole traffic configuration instead of from `m` alone,
+so two sweeps sharing an `m` value no longer replay identical
+adversary streams; the deprecated `blocking_vs_m` keeps the old
+`m`-only schedule so golden values stay reproducible.
+""",
+    "repro.obs": """\
+### Zero cost when off
+
+Every hot-path hook guards on `obs.enabled()` -- one module-level
+boolean read -- and the disabled hooks return before allocating
+anything (`tests/obs/test_overhead.py` asserts zero allocations;
+`benchmarks/bench_perf.py` bounds the obs-off overhead at <= 2% of the
+routing replay). Enable for a block with `obs.capture()`, which yields
+the metrics registry and optional `Tracer`.
+
+### Tracing blocking causes
+
+With a tracer active, every `connect`/`disconnect` emits one JSONL
+record; blocked requests carry a cause reconstructed from the
+network's bitmask caches by `ThreeStageNetwork.explain_block`:
+`saturated_wavelength`, `converter_exhaustion`, `full_middles` or
+`no_cover`, plus the evidence masks. The `summary` record's per-cause
+counts always sum to the blocked total -- the blocking-probability
+numerator. CLI: `wdm-repro trace fig10 --trace-out -` and
+`wdm-repro trace blocking ...`.
+
+### Cross-process metrics
+
+`ParallelSweeper` worker processes run chunks under a reset,
+metrics-only registry and ship snapshots back for the parent to merge,
+so counters from `jobs=N` process pools equal the serial run's.
 """,
 }
 
