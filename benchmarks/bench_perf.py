@@ -1,6 +1,6 @@
 """Performance benchmark for the routing kernel, search and sweep engine.
 
-Seven sections, each asserting that the fast path computes *exactly*
+Eight sections, each asserting that the fast path computes *exactly*
 what the slow path computes before reporting any speedup:
 
 * ``cover_kernel`` -- the bitmask cover search
@@ -12,6 +12,12 @@ what the slow path computes before reporting any speedup:
   (kernel-independent) traffic generator;
 * ``end_to_end`` -- :func:`repro.api.sweep` on the n=4, r=4, k=2 grid
   under each kernel, traffic generation included;
+* ``batched`` -- the lockstep batch engine
+  (:mod:`repro.perf.batch`, the ``"batched"`` kernel) against the
+  serial bitmask sweep on a B=64 replication grid, end to end through
+  :func:`repro.api.sweep`, with bit-identity asserted *per
+  replication*: every ``(m, seed)`` cell from every available state
+  backend is compared against the serial simulator's cell;
 * ``exact_search`` -- the symmetry-canonicalized exhaustive model
   checker (:func:`repro.api.exact_m`) against the uncanonicalized
   reference search, asserting identical per-m verdicts and thresholds;
@@ -48,6 +54,7 @@ import time
 from pathlib import Path
 
 from repro import api, obs
+from repro.analysis.montecarlo import _traffic_cell
 from repro.core.models import Construction, MulticastModel
 from repro.multistage.network import ThreeStageNetwork
 from repro.multistage.routing import (
@@ -56,6 +63,7 @@ from repro.multistage.routing import (
     mask_of,
     routing_kernel,
 )
+from repro.perf.batch import available_backends, resolve_backend, simulate_batch
 from repro.perf.sweeper import last_plan, resolve_jobs
 from repro.switching.generators import dynamic_traffic
 
@@ -448,6 +456,76 @@ def bench_end_to_end(quick: bool, reps: int) -> dict:
     }
 
 
+# -- section: lockstep batched Monte Carlo ------------------------------------
+
+
+def bench_batched(quick: bool, reps: int) -> dict:
+    """The batched kernel vs the serial bitmask sweep at B = 64.
+
+    Timed end to end through :func:`repro.api.sweep` (same traffic, same
+    estimates, only the kernel differs).  ``identical`` is the
+    conjunction of the pooled estimates matching *and* per-replication
+    bit-identity: every ``(m, seed)`` cell from every available lockstep
+    backend must equal the serial simulator's ``(attempts, blocked)``
+    for that cell, so a single diverging replication fails the bench.
+    """
+    n, r, k, x = 3, 3, 2, 1
+    m_values = list(range(1, 17))
+    seeds = (0, 1, 2, 3)
+    batch_size = len(m_values) * len(seeds)  # 64 lockstep replications
+    traffic = api.TrafficConfig(steps=500 if quick else 2000, seeds=seeds)
+
+    def run(kernel):
+        return _estimate_key(
+            api.sweep(
+                n, r, k, m_values,
+                traffic=traffic,
+                search=api.SearchConfig(kernel=kernel),
+            )
+        )
+
+    bitmask_s, bitmask_out = _best(lambda: run("bitmask"), reps)
+    batched_s, batched_out = _best(lambda: run("batched"), reps)
+
+    construction = Construction.MSW_DOMINANT
+    model = MulticastModel.MSW
+    serial_cells = {
+        (m, seed): _traffic_cell(
+            n, r, m, k, construction, model, x, traffic.steps, seed, None
+        )
+        for m in m_values
+        for seed in seeds
+    }
+    backends = list(available_backends())
+    diverged: list[dict] = []
+    for backend in backends:
+        for seed in seeds:
+            batch = simulate_batch(
+                n, r, k, construction, model, x, traffic.steps, None, seed,
+                m_values, backend,
+            )
+            for m, value in batch:
+                if value != serial_cells[(m, seed)]:
+                    diverged.append(
+                        {"backend": backend, "m": m, "seed": seed}
+                    )
+    return {
+        "config": {
+            "n": n, "r": r, "k": k, "x": x, "m_values": m_values,
+            "steps": traffic.steps, "seeds": seeds,
+        },
+        "batch_size": batch_size,
+        "backend": resolve_backend("auto", m_max=max(m_values), r=r, k=k),
+        "backends_checked": backends,
+        "replications_checked": batch_size * len(backends),
+        "diverged_cells": diverged,
+        "bitmask_s": bitmask_s,
+        "batched_s": batched_s,
+        "speedup": bitmask_s / batched_s,
+        "identical": bitmask_out == batched_out and not diverged,
+    }
+
+
 def bench_parallel(quick: bool, reps: int, jobs: int | str) -> dict:
     m_values = [2, 5, 8, 11, 14]
     traffic = _grid_traffic(quick)
@@ -522,6 +600,7 @@ def main(argv: list[str] | None = None) -> int:
         ("cover_kernel", lambda: bench_cover_kernel(args.quick, reps)),
         ("routing_replay", lambda: bench_routing_replay(args.quick, reps)),
         ("end_to_end", lambda: bench_end_to_end(args.quick, reps)),
+        ("batched", lambda: bench_batched(args.quick, reps)),
         ("exact_search", lambda: bench_exact_search(args.quick, reps)),
         ("cache", lambda: bench_cache(args.quick, reps)),
         ("parallel", lambda: bench_parallel(args.quick, reps, args.jobs)),

@@ -42,7 +42,9 @@ from repro import obs as _obs
 from repro.core.models import Construction, MulticastModel
 from repro.multistage.adversary import search_blocking_state
 from repro.multistage.network import ThreeStageNetwork
+from repro.multistage.routing import get_routing_kernel
 from repro.obs.meta import ResultMeta
+from repro.perf.batch import simulate_batch
 from repro.perf.sweeper import ParallelSweeper, WorkUnit
 from repro.switching.generators import dynamic_traffic
 
@@ -209,6 +211,77 @@ def _traffic_cell(
     return attempts, blocked
 
 
+def _run_batched_cells(
+    sweeper: ParallelSweeper,
+    cache: "ResultCache | None",
+    cells: list[tuple[int, int]],
+    n: int,
+    r: int,
+    k: int,
+    construction: Construction,
+    model: MulticastModel,
+    x: int,
+    steps: int,
+    max_fanout: int | None,
+    batch: int | None,
+) -> dict[tuple[int, int], tuple[int, int]]:
+    """All ``(m, seed)`` traffic cells through the lockstep batch engine.
+
+    The ``batched`` kernel's replacement for the cell-per-work-unit
+    sweep: cells sharing a seed share one compiled traffic stream and
+    one :func:`repro.perf.batch.simulate_batch` work unit (so the
+    sweeper fans out batch-per-process), and each cell's result still
+    lands in ``cache`` under the same per-cell traffic key -- a batched
+    sweep warms the cache for cell-granular re-runs and vice versa
+    (kernel-tagged keys keep the two pipelines' entries separate).
+    ``batch`` caps replications per work unit; None packs each seed's
+    whole ``m`` column into one unit.
+    """
+    results: dict[tuple[int, int], tuple[int, int]] = {}
+    keys: dict[tuple[int, int], str] = {}
+    pending: list[tuple[int, int]] = []
+    for cell in cells:
+        m, seed = cell
+        if cache is not None:
+            key = _traffic_key(
+                cache, n, r, m, k, construction, model, x, steps, seed,
+                max_fanout,
+            )
+            keys[cell] = key
+            hit, value = cache.lookup(key)
+            if hit:
+                results[cell] = tuple(value)
+                continue
+        pending.append(cell)
+    by_seed: dict[int, list[int]] = {}
+    for m, seed in pending:
+        by_seed.setdefault(seed, []).append(m)
+    chunk = None if batch is None else max(1, batch)
+    units = []
+    for seed in sorted(by_seed):
+        ms = by_seed[seed]
+        size = len(ms) if chunk is None else chunk
+        for start in range(0, len(ms), size):
+            units.append(
+                WorkUnit(
+                    unit_id=(seed, start),
+                    fn=simulate_batch,
+                    args=(
+                        n, r, k, construction, model, x, steps, max_fanout,
+                        seed, tuple(ms[start : start + size]),
+                    ),
+                )
+            )
+    for unit_result in sweeper.run(units):
+        seed = unit_result.unit_id[0]
+        for m, value in unit_result.value:
+            cell = (m, seed)
+            results[cell] = value
+            if cache is not None:
+                cache.put(keys[cell], value)
+    return results
+
+
 def _blocking_probability_impl(
     n: int,
     r: int,
@@ -225,6 +298,7 @@ def _blocking_probability_impl(
     cache: "ResultCache | None" = None,
     executor: str = "process",
     debug_checks: bool | None = None,
+    batch: int | None = None,
 ) -> BlockingEstimate:
     """Estimate blocking probability under random dynamic traffic.
 
@@ -246,33 +320,44 @@ def _blocking_probability_impl(
         executor: worker pool kind, ``"process"`` or ``"thread"``.
         debug_checks: per-event invariant checking inside each cell
             (slow; result-identical, so cache keys ignore it).
+        batch: under ``routing_kernel("batched")``, the cap on lockstep
+            replications per work unit (None = one unit per seed);
+            ignored by the other kernels, never affects results.
     """
     with ParallelSweeper(jobs, executor=executor) as sweeper:
-        results = sweeper.run(
-            (
-                WorkUnit(
-                    unit_id=seed,
-                    fn=_traffic_cell,
-                    args=(
-                        n, r, m, k, construction, model, x, steps, seed,
-                        max_fanout, debug_checks,
-                    ),
-                    cache_key=(
-                        None
-                        if cache is None
-                        else _traffic_key(
-                            cache, n, r, m, k, construction, model, x,
-                            steps, seed, max_fanout,
-                        )
-                    ),
-                )
-                for seed in seeds
-            ),
-            cache=cache,
-        )
+        if get_routing_kernel() == "batched":
+            by_cell = _run_batched_cells(
+                sweeper, cache, [(m, seed) for seed in seeds],
+                n, r, k, construction, model, x, steps, max_fanout, batch,
+            )
+            values = [by_cell[(m, seed)] for seed in seeds]
+        else:
+            results = sweeper.run(
+                (
+                    WorkUnit(
+                        unit_id=seed,
+                        fn=_traffic_cell,
+                        args=(
+                            n, r, m, k, construction, model, x, steps, seed,
+                            max_fanout, debug_checks,
+                        ),
+                        cache_key=(
+                            None
+                            if cache is None
+                            else _traffic_key(
+                                cache, n, r, m, k, construction, model, x,
+                                steps, seed, max_fanout,
+                            )
+                        ),
+                    )
+                    for seed in seeds
+                ),
+                cache=cache,
+            )
+            values = [result.value for result in results]
         plan = sweeper.last_plan
-    attempts = sum(result.value[0] for result in results)
-    blocked = sum(result.value[1] for result in results)
+    attempts = sum(value[0] for value in values)
+    blocked = sum(value[1] for value in values)
     return BlockingEstimate(
         n=n,
         r=r,
@@ -360,6 +445,7 @@ def _blocking_vs_m_impl(
     executor: str = "process",
     debug_checks: bool | None = None,
     legacy_adversary_seeds: bool = False,
+    batch: int | None = None,
 ) -> list[BlockingEstimate]:
     """The blocking-probability-vs-``m`` curve (implied figure X3).
 
@@ -380,6 +466,12 @@ def _blocking_vs_m_impl(
     cost once.  With ``cache``, every cell is content-addressed in the
     given :class:`~repro.perf.cache.ResultCache`, so re-runs only
     compute cells missing from the cache.
+
+    Under ``routing_kernel("batched")`` the traffic stage instead runs
+    each seed's whole ``m`` column in lockstep through
+    :mod:`repro.perf.batch` (``batch`` caps replications per work
+    unit) -- per-cell results, cache entries and the adversarial stage
+    are bit-identical to the bitmask kernel's either way.
     """
     traffic_key = (
         None
@@ -387,30 +479,37 @@ def _blocking_vs_m_impl(
         else _adversary_traffic_key(n, r, k, construction, model, x)
     )
     with ParallelSweeper(jobs, executor=executor) as sweeper:
-        cells = sweeper.run(
-            (
-                WorkUnit(
-                    unit_id=(m, seed),
-                    fn=_traffic_cell,
-                    args=(
-                        n, r, m, k, construction, model, x, steps, seed,
-                        max_fanout, debug_checks,
-                    ),
-                    cache_key=(
-                        None
-                        if cache is None
-                        else _traffic_key(
-                            cache, n, r, m, k, construction, model, x,
-                            steps, seed, max_fanout,
-                        )
-                    ),
-                )
-                for m in m_values
-                for seed in seeds
-            ),
-            cache=cache,
-        )
-        by_cell = {result.unit_id: result.value for result in cells}
+        if get_routing_kernel() == "batched":
+            by_cell = _run_batched_cells(
+                sweeper, cache,
+                [(m, seed) for m in m_values for seed in seeds],
+                n, r, k, construction, model, x, steps, max_fanout, batch,
+            )
+        else:
+            cells = sweeper.run(
+                (
+                    WorkUnit(
+                        unit_id=(m, seed),
+                        fn=_traffic_cell,
+                        args=(
+                            n, r, m, k, construction, model, x, steps, seed,
+                            max_fanout, debug_checks,
+                        ),
+                        cache_key=(
+                            None
+                            if cache is None
+                            else _traffic_key(
+                                cache, n, r, m, k, construction, model, x,
+                                steps, seed, max_fanout,
+                            )
+                        ),
+                    )
+                    for m in m_values
+                    for seed in seeds
+                ),
+                cache=cache,
+            )
+            by_cell = {result.unit_id: result.value for result in cells}
         estimates = []
         for m in m_values:
             attempts = sum(by_cell[(m, seed)][0] for seed in seeds)

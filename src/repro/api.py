@@ -103,11 +103,16 @@ class ExecConfig:
         cache_dir: directory of a content-addressed
             :class:`repro.perf.cache.ResultCache`; None disables
             caching.
+        batch: under ``kernel="batched"``, cap on lockstep replications
+            per work unit (None packs each seed's whole ``m`` column
+            into one unit).  Ignored by the other kernels; never
+            affects results, only how work is sliced across workers.
     """
 
     jobs: int | str = 1
     executor: str = "process"
     cache_dir: str | None = None
+    batch: int | None = None
 
     def cache(self) -> ResultCache | None:
         """The configured result cache, or None."""
@@ -119,8 +124,10 @@ class SearchConfig:
     """How to search: kernel choice and self-verification.
 
     Attributes:
-        kernel: cover-search kernel, ``"bitmask"`` or ``"reference"``;
-            None (default) keeps the process's active kernel.
+        kernel: cover-search kernel -- ``"bitmask"``, ``"batched"``
+            (bitmask routing plus the lockstep Monte-Carlo engine of
+            :mod:`repro.perf.batch`) or ``"reference"``; None (default)
+            keeps the process's active kernel.
         canonicalize: dedup exhaustive-search states by canonical
             signature (identical verdicts, far fewer states).
         debug_checks: re-verify network invariants after every
@@ -176,6 +183,7 @@ def blocking(
             cache=execution.cache(),
             executor=execution.executor,
             debug_checks=search.debug_checks,
+            batch=execution.batch,
         )
 
 
@@ -217,6 +225,7 @@ def sweep(
             cache=execution.cache(),
             executor=execution.executor,
             debug_checks=search.debug_checks,
+            batch=execution.batch,
         )
 
 

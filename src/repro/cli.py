@@ -8,6 +8,7 @@ Usage (installed as ``wdm-repro``, or ``python -m repro``)::
     wdm-repro crossover --k 4
     wdm-repro capacity --n-ports 8 --k-max 6
     wdm-repro blocking --n 3 --r 3 --k 2 --m-max 10
+    wdm-repro blocking --n 3 --r 3 --k 2 --m-max 10 --kernel batched
     wdm-repro fig10
     wdm-repro trace fig10 --trace-out -
     wdm-repro design --n-ports 1024 --k 4 --model MAW
@@ -62,11 +63,24 @@ def _jobs(value: str) -> int | str:
         ) from exc
 
 
+def _kernel(value: str) -> str:
+    from repro.multistage.routing import _KERNELS
+
+    lowered = value.lower()
+    if lowered not in _KERNELS:
+        raise argparse.ArgumentTypeError(
+            f"unknown kernel {value!r}; choose from "
+            + ", ".join(sorted(_KERNELS))
+        )
+    return lowered
+
+
 def _exec_config(args: argparse.Namespace) -> api.ExecConfig:
     """The execution config the flags ask for."""
     return api.ExecConfig(
         jobs=args.jobs,
         cache_dir=args.cache_dir if args.cache else None,
+        batch=getattr(args, "batch", None),
     )
 
 
@@ -159,6 +173,7 @@ def _cmd_blocking(args: argparse.Namespace) -> str:
             x=args.x,
             traffic=api.TrafficConfig(adversarial=args.adversarial),
             execution=_exec_config(args),
+            search=api.SearchConfig(kernel=args.kernel),
         )
     rows = [
         [e.m, e.attempts, e.blocked, f"{e.probability:.4f}"] for e in estimates
@@ -407,6 +422,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", type=_model, default=MulticastModel.MSW)
     p.add_argument("--construction", type=_construction, default=Construction.MSW_DOMINANT)
     p.add_argument("--adversarial", action="store_true")
+    p.add_argument(
+        "--kernel",
+        type=_kernel,
+        default=None,
+        metavar="{reference,bitmask,batched}",
+        help="simulation kernel: 'bitmask' (default) runs cells one at a "
+        "time on the int-mask cover search, 'batched' replays each "
+        "seed's traffic against every m in lockstep (same numbers, "
+        "fastest), 'reference' is the frozenset oracle; results are "
+        "bit-identical across all three",
+    )
+    p.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="B",
+        help="with --kernel batched: cap on lockstep replications per "
+        "work unit (default: one unit per seed); never affects results",
+    )
     p.add_argument(
         "--jobs",
         type=_jobs,

@@ -16,6 +16,13 @@ Modules themselves are multicast-capable nonblocking crossbars (the
 paper's assumption), so module-internal routing never blocks; all
 contention lives on the inter-stage fibers.
 
+The occupancy state is held as packed integer bitmasks -- one small int
+per fiber (bits = wavelengths) and one int per endpoint grid (bit =
+``port * k + wavelength``).  :class:`_WaveCube` and
+:class:`_EndpointGrid` give those masks the array-style ``[g, j, w]``
+indexing the tests and the exhaustive checker use, so the simulator has
+no third-party dependencies on its hot path.
+
 Wavelength discipline
 ---------------------
 
@@ -44,8 +51,6 @@ from collections import defaultdict
 from collections.abc import Iterable
 from dataclasses import dataclass
 from itertools import permutations
-
-import numpy as np
 
 from repro import obs as _obs
 from repro.combinatorics.multiset import DestinationMultiset
@@ -79,6 +84,100 @@ def _debug_checks_default() -> bool:
     return os.environ.get(DEBUG_CHECKS_ENV, "").strip().lower() in (
         "1", "true", "yes", "on"
     )
+
+
+def _permute_wavelengths(mask: int, perm: tuple[int, ...]) -> int:
+    """Relabel a wavelength mask: bit ``i`` of the result is old bit ``perm[i]``."""
+    out = 0
+    for i, w in enumerate(perm):
+        if mask >> w & 1:
+            out |= 1 << i
+    return out
+
+
+class _WaveRow:
+    """One fiber's wavelength occupancy, viewed through :class:`_WaveCube`.
+
+    Supports the slice API the tests and checkers use on a numpy row:
+    ``row[w]`` / ``row.sum()`` / ``row.all()`` / iteration.
+    """
+
+    __slots__ = ("_row", "_b", "_k")
+
+    def __init__(self, row: list[int], b: int, k: int):
+        self._row = row
+        self._b = b
+        self._k = k
+
+    def sum(self) -> int:
+        return self._row[self._b].bit_count()
+
+    def all(self) -> bool:
+        return self._row[self._b] == (1 << self._k) - 1
+
+    def __getitem__(self, w: int) -> bool:
+        return bool(self._row[self._b] >> w & 1)
+
+    def __iter__(self):
+        mask = self._row[self._b]
+        return iter([bool(mask >> w & 1) for w in range(self._k)])
+
+
+class _WaveCube:
+    """``(A, B, k)`` boolean occupancy cube backed by per-fiber masks.
+
+    ``wave[a][b]`` is an int whose bit ``w`` says wavelength ``w`` is
+    busy on fiber ``(a, b)`` -- the ground-truth state.  Tuple indexing
+    (``cube[a, b, w]`` -> bool, ``cube[a, b]`` -> :class:`_WaveRow`)
+    keeps the external API of the numpy array it replaces.
+    """
+
+    __slots__ = ("wave", "shape")
+
+    def __init__(self, a: int, b: int, k: int):
+        self.wave: list[list[int]] = [[0] * b for _ in range(a)]
+        self.shape = (a, b, k)
+
+    def __getitem__(self, index):
+        if len(index) == 3:
+            a, b, w = index
+            return bool(self.wave[a][b] >> w & 1)
+        a, b = index
+        return _WaveRow(self.wave[a], b, self.shape[2])
+
+    def __setitem__(self, index, value) -> None:
+        a, b, w = index
+        if value:
+            self.wave[a][b] |= 1 << w
+        else:
+            self.wave[a][b] &= ~(1 << w)
+
+
+class _EndpointGrid:
+    """``(n_ports, k)`` endpoint-usage grid backed by a single int mask.
+
+    Bit ``port * k + wavelength`` says the endpoint channel is in use;
+    ``grid[port, w]`` tuple indexing keeps the array-style reads the
+    traffic generators and exhaustive checker rely on.
+    """
+
+    __slots__ = ("mask", "k")
+
+    def __init__(self, n_ports: int, k: int):
+        self.mask = 0
+        self.k = k
+
+    def __getitem__(self, index) -> bool:
+        port, w = index
+        return bool(self.mask >> (port * self.k + w) & 1)
+
+    def __setitem__(self, index, value) -> None:
+        port, w = index
+        bit = 1 << (port * self.k + w)
+        if value:
+            self.mask |= bit
+        else:
+            self.mask &= ~bit
 
 
 @dataclass(frozen=True)
@@ -199,14 +298,16 @@ class ThreeStageNetwork:
         import random as _random
 
         self._selection_rng = _random.Random(selection_seed)
-        self._in_mid = np.zeros((r, m, k), dtype=bool)
-        self._mid_out = np.zeros((m, r, k), dtype=bool)
-        self._input_used = np.zeros((self.topology.n_ports, k), dtype=bool)
-        self._output_used = np.zeros((self.topology.n_ports, k), dtype=bool)
-        # Coverability cache: bitmask mirrors of the occupancy arrays,
-        # maintained incrementally by connect/disconnect instead of being
-        # rebuilt from numpy on every request.  The numpy arrays stay the
-        # ground truth; check_invariants() cross-checks the two.
+        # Ground-truth occupancy: per-fiber wavelength masks.
+        self._in_mid = _WaveCube(r, m, k)
+        self._mid_out = _WaveCube(m, r, k)
+        self._input_used = _EndpointGrid(self.topology.n_ports, k)
+        self._output_used = _EndpointGrid(self.topology.n_ports, k)
+        self._k_full = (1 << k) - 1
+        # Coverability cache: transposed/aggregated views of the wave
+        # masks, maintained incrementally by connect/disconnect so the
+        # cover search never rescans the cube.  check_invariants()
+        # cross-checks them against the ground truth.
         self._in_mid_busy = [[0] * k for _ in range(r)]  # [g][w] -> mask over j
         self._in_mid_count = [[0] * m for _ in range(r)]  # [g][j] -> busy count
         self._in_mid_full = [0] * r  # [g] -> mask over j with count == k
@@ -215,10 +316,6 @@ class ThreeStageNetwork:
         self._mid_out_full = [0] * m  # [j] -> mask over p with count == k
         self._failed_mask = 0
         self._all_middles_mask = (1 << m) - 1
-        # Endpoint-usage masks (bit = port * k + wavelength): the bitmask
-        # kernel's admission fast path reads these instead of numpy cells.
-        self._input_used_mask = 0
-        self._output_used_mask = 0
         self._active: dict[int, RoutedConnection] = {}
         self._failed_middles: set[int] = set()
         self._next_id = 0
@@ -273,9 +370,9 @@ class ThreeStageNetwork:
         Multiplicity of output module ``p`` = busy wavelengths on the
         fiber ``middle -> p``.
         """
-        counts = self._mid_out[middle].sum(axis=1)
         return DestinationMultiset(
-            (int(c) for c in counts), self.topology.k
+            (mask.bit_count() for mask in self._mid_out.wave[middle]),
+            self.topology.k,
         )
 
     def destination_set(self, middle: int, wavelength: int) -> frozenset[int]:
@@ -322,9 +419,17 @@ class ThreeStageNetwork:
 
     def link_utilization(self) -> dict[str, float]:
         """Fraction of busy wavelength channels per inter-stage gap."""
+        topo = self.topology
+        cells = topo.r * topo.m * topo.k
+        busy_in = sum(
+            mask.bit_count() for row in self._in_mid.wave for mask in row
+        )
+        busy_out = sum(
+            mask.bit_count() for row in self._mid_out.wave for mask in row
+        )
         return {
-            "input_to_middle": float(self._in_mid.mean()),
-            "middle_to_output": float(self._mid_out.mean()),
+            "input_to_middle": busy_in / cells,
+            "middle_to_output": busy_out / cells,
         }
 
     def available_middles(self, source: Endpoint) -> list[int]:
@@ -346,12 +451,29 @@ class ThreeStageNetwork:
         every fiber wavelength and endpoint channel has the same busy
         status -- the reference dedup key of the exhaustive checker.
         """
-        return (
-            self._in_mid.tobytes()
-            + self._mid_out.tobytes()
-            + self._input_used.tobytes()
-            + self._output_used.tobytes()
-        )
+        k = self.topology.k
+        nbytes = (k + 7) // 8
+        ep_bytes = (self.topology.n_ports * k + 7) // 8
+        parts = [
+            mask.to_bytes(nbytes, "little")
+            for cube in (self._in_mid, self._mid_out)
+            for row in cube.wave
+            for mask in row
+        ]
+        parts.append(self._input_used.mask.to_bytes(ep_bytes, "little"))
+        parts.append(self._output_used.mask.to_bytes(ep_bytes, "little"))
+        return b"".join(parts)
+
+    def _permute_endpoint_mask(self, mask: int, perm: tuple[int, ...]) -> int:
+        """Apply a wavelength relabeling to an endpoint-usage mask."""
+        k = self.topology.k
+        k_full = self._k_full
+        out = 0
+        for port in range(self.topology.n_ports):
+            sub = mask >> (port * k) & k_full
+            if sub:
+                out |= _permute_wavelengths(sub, perm) << (port * k)
+        return out
 
     def canonical_signature(self, *, wavelength_symmetry: bool = False) -> bytes:
         """Signature invariant under middle-switch permutation.
@@ -373,31 +495,50 @@ class ThreeStageNetwork:
         the lexicographically smallest candidate wins.
         """
         topo = self.topology
-        m, k = topo.m, topo.k
+        m, r, k = topo.m, topo.r, topo.k
+        nbytes = (k + 7) // 8
+        ep_bytes = (topo.n_ports * k + 7) // 8
+        identity = tuple(range(k))
         if wavelength_symmetry and k > 1:
             perms: Iterable[tuple[int, ...]] = permutations(range(k))
         else:
-            perms = (tuple(range(k)),)
-        identity = tuple(range(k))
+            perms = (identity,)
         best: bytes | None = None
         for perm in perms:
             if perm == identity:
-                in_mid, mid_out = self._in_mid, self._mid_out
-                input_used, output_used = self._input_used, self._output_used
+                in_wave = self._in_mid.wave
+                out_wave = self._mid_out.wave
+                in_used = self._input_used.mask
+                out_used = self._output_used.mask
             else:
-                order = list(perm)
-                in_mid = self._in_mid[:, :, order]
-                mid_out = self._mid_out[:, :, order]
-                input_used = self._input_used[:, order]
-                output_used = self._output_used[:, order]
+                in_wave = [
+                    [_permute_wavelengths(mask, perm) for mask in row]
+                    for row in self._in_mid.wave
+                ]
+                out_wave = [
+                    [_permute_wavelengths(mask, perm) for mask in row]
+                    for row in self._mid_out.wave
+                ]
+                in_used = self._permute_endpoint_mask(
+                    self._input_used.mask, perm
+                )
+                out_used = self._permute_endpoint_mask(
+                    self._output_used.mask, perm
+                )
             keys = sorted(
                 bytes([1 if j in self._failed_middles else 0])
-                + in_mid[:, j, :].tobytes()
-                + mid_out[j].tobytes()
+                + b"".join(
+                    in_wave[g][j].to_bytes(nbytes, "little") for g in range(r)
+                )
+                + b"".join(
+                    mask.to_bytes(nbytes, "little") for mask in out_wave[j]
+                )
                 for j in range(m)
             )
             candidate = (
-                b"".join(keys) + input_used.tobytes() + output_used.tobytes()
+                b"".join(keys)
+                + in_used.to_bytes(ep_bytes, "little")
+                + out_used.to_bytes(ep_bytes, "little")
             )
             if best is None or candidate < best:
                 best = candidate
@@ -411,8 +552,8 @@ class ThreeStageNetwork:
 
         Exact (never accepts what :meth:`_validate_request`'s slow path
         rejects), so a False return only means "take the slow path to
-        raise the properly worded error".  Touches no numpy cells -- the
-        bitmask kernel's admission check on the Monte-Carlo hot path.
+        raise the properly worded error".  The bitmask kernel's
+        admission check on the Monte-Carlo hot path.
         """
         topology = self.topology
         k = topology.k
@@ -421,13 +562,13 @@ class ThreeStageNetwork:
         source_wavelength = source.wavelength
         if not (0 <= source.port < n_ports and 0 <= source_wavelength < k):
             return False
-        if self._input_used_mask >> (source.port * k + source_wavelength) & 1:
+        if self._input_used.mask >> (source.port * k + source_wavelength) & 1:
             return False
         destinations = request.destinations
         if not destinations:
             return False
         model = self.model
-        output_used = self._output_used_mask
+        output_used = self._output_used.mask
         ports_seen = 0
         first_wavelength = -1
         for destination in destinations:
@@ -507,6 +648,8 @@ class ThreeStageNetwork:
     ) -> dict[int, frozenset[int]]:
         """For each available middle switch, the destination modules it can reach."""
         m = self.topology.m
+        k_full = self._k_full
+        in_wave = self._in_mid.wave[input_module]
         coverable: dict[int, frozenset[int]] = {}
         msw_dominant = self.construction is Construction.MSW_DOMINANT
         for j in range(m):
@@ -514,24 +657,25 @@ class ThreeStageNetwork:
                 continue
             # First-stage fiber availability.
             if msw_dominant:
-                if self._in_mid[input_module, j, source_wavelength]:
+                if in_wave[j] >> source_wavelength & 1:
                     continue
             else:
-                if self._in_mid[input_module, j].all():
+                if in_wave[j] == k_full:
                     continue
             reach = set()
+            out_wave = self._mid_out.wave[j]
             for p in destinations:
                 if msw_dominant:
                     # Middle module is MSW: the second-stage fiber carries
                     # the source wavelength, full stop.
-                    if not self._mid_out[j, p, source_wavelength]:
+                    if not out_wave[p] >> source_wavelength & 1:
                         reach.add(p)
                 else:
                     pinned = required[p]
                     if pinned is not None:
-                        if not self._mid_out[j, p, pinned]:
+                        if not out_wave[p] >> pinned & 1:
                             reach.add(p)
-                    elif not self._mid_out[j, p].all():
+                    elif out_wave[p] != k_full:
                         reach.add(p)
             if reach:
                 coverable[j] = frozenset(reach)
@@ -592,8 +736,8 @@ class ThreeStageNetwork:
         Returns ``(input_module, module_destinations, required, cover)``
         without mutating any state; ``cover`` is None when the request
         has no <= x-middle cover.  Dispatches to the active routing
-        kernel (bitmask cache by default, the numpy + frozenset
-        reference path under ``routing_kernel("reference")``).
+        kernel (bitmask cache by default, the frozenset reference path
+        under ``routing_kernel("reference")``).
         """
         if get_routing_kernel() == "reference":
             g = self.topology.input_module_of(request.source.port)
@@ -751,15 +895,17 @@ class ThreeStageNetwork:
 
     def _mark_in_mid(self, g: int, j: int, wavelength: int, busy: bool) -> None:
         """Set one first-stage link wavelength and keep the cache in sync."""
-        self._in_mid[g, j, wavelength] = busy
         bit = 1 << j
         counts = self._in_mid_count[g]
+        wave = self._in_mid.wave[g]
         if busy:
+            wave[j] |= 1 << wavelength
             self._in_mid_busy[g][wavelength] |= bit
             counts[j] += 1
             if counts[j] == self.topology.k:
                 self._in_mid_full[g] |= bit
         else:
+            wave[j] &= ~(1 << wavelength)
             self._in_mid_busy[g][wavelength] &= ~bit
             if counts[j] == self.topology.k:
                 self._in_mid_full[g] &= ~bit
@@ -767,15 +913,17 @@ class ThreeStageNetwork:
 
     def _mark_mid_out(self, j: int, p: int, wavelength: int, busy: bool) -> None:
         """Set one second-stage link wavelength and keep the cache in sync."""
-        self._mid_out[j, p, wavelength] = busy
         bit = 1 << p
         counts = self._mid_out_count[j]
+        wave = self._mid_out.wave[j]
         if busy:
+            wave[p] |= 1 << wavelength
             self._mid_out_busy[j][wavelength] |= bit
             counts[p] += 1
             if counts[p] == self.topology.k:
                 self._mid_out_full[j] |= bit
         else:
+            wave[p] &= ~(1 << wavelength)
             self._mid_out_busy[j][wavelength] &= ~bit
             if counts[p] == self.topology.k:
                 self._mid_out_full[j] &= ~bit
@@ -831,7 +979,7 @@ class ThreeStageNetwork:
                 in_wavelength = request.source.wavelength
             else:
                 in_wavelength = self._pick_wavelength(
-                    np.nonzero(~self._in_mid[g, j])[0]
+                    self._k_full & ~self._in_mid.wave[g][j]
                 )
             self._mark_in_mid(g, j, in_wavelength, True)
             deliveries = []
@@ -843,7 +991,7 @@ class ThreeStageNetwork:
                     out_wavelength = pinned
                 else:
                     out_wavelength = self._pick_wavelength(
-                        np.nonzero(~self._mid_out[j, p])[0]
+                        self._k_full & ~self._mid_out.wave[j][p]
                     )
                 self._mark_mid_out(j, p, out_wavelength, True)
                 deliveries.append((p, out_wavelength))
@@ -856,13 +1004,11 @@ class ThreeStageNetwork:
             )
 
         k = self.topology.k
-        self._input_used[request.source.port, request.source.wavelength] = True
-        self._input_used_mask |= 1 << (
+        self._input_used.mask |= 1 << (
             request.source.port * k + request.source.wavelength
         )
         for destination in request.destinations:
-            self._output_used[destination.port, destination.wavelength] = True
-            self._output_used_mask |= 1 << (
+            self._output_used.mask |= 1 << (
                 destination.port * k + destination.wavelength
             )
 
@@ -941,26 +1087,36 @@ class ThreeStageNetwork:
 
     def wavelength_usage(self) -> list[int]:
         """Busy internal channels per wavelength index, network-wide."""
-        usage = self._in_mid.sum(axis=(0, 1)) + self._mid_out.sum(axis=(0, 1))
-        return [int(v) for v in usage]
+        usage = [0] * self.topology.k
+        for cube in (self._in_mid, self._mid_out):
+            for row in cube.wave:
+                for mask in row:
+                    while mask:
+                        low = mask & -mask
+                        usage[low.bit_length() - 1] += 1
+                        mask ^= low
+        return usage
 
-    def _pick_wavelength(self, free: "np.ndarray") -> int:
-        """Choose a carrier among ``free`` per the wavelength policy."""
-        if self.wavelength_policy == "first_fit" or len(free) == 1:
-            return int(free[0])
+    def _pick_wavelength(self, free_mask: int) -> int:
+        """Choose a carrier among the ``free_mask`` wavelengths per policy."""
+        if self.wavelength_policy == "first_fit" or free_mask & (free_mask - 1) == 0:
+            return (free_mask & -free_mask).bit_length() - 1
+        free = list(iter_bits(free_mask))
         if self.wavelength_policy == "random":
-            return int(self._selection_rng.choice(list(free)))
+            return self._selection_rng.choice(free)
         usage = self.wavelength_usage()
         if self.wavelength_policy == "most_used":
-            return int(max(free, key=lambda w: (usage[int(w)], -int(w))))
+            return max(free, key=lambda w: (usage[w], -w))
         # least_used
-        return int(min(free, key=lambda w: (usage[int(w)], int(w))))
+        return min(free, key=lambda w: (usage[w], w))
 
     def middle_load(self, middle: int) -> int:
         """Busy wavelength channels on a middle switch's fibers (both sides)."""
-        return int(self._in_mid[:, middle, :].sum()) + int(
-            self._mid_out[middle].sum()
+        in_load = sum(
+            row[middle].bit_count() for row in self._in_mid.wave
         )
+        out_load = sum(mask.bit_count() for mask in self._mid_out.wave[middle])
+        return in_load + out_load
 
     def _middle_preference(self) -> list[int] | None:
         """Candidate order implementing the selection strategy."""
@@ -970,7 +1126,7 @@ class ThreeStageNetwork:
         if self.selection == "random":
             self._selection_rng.shuffle(middles)
             return middles
-        loads = self._in_mid.sum(axis=(0, 2)) + self._mid_out.sum(axis=(1, 2))
+        loads = [self.middle_load(j) for j in middles]
         if self.selection == "least_loaded":
             return sorted(middles, key=lambda j: (loads[j], j))
         # most_loaded (packing)
@@ -1018,18 +1174,18 @@ class ThreeStageNetwork:
             raise KeyError(f"no active connection with id {connection_id}")
         g = routed.input_module
         for branch in routed.branches:
-            assert self._in_mid[g, branch.middle, branch.in_wavelength]
+            assert self._in_mid.wave[g][branch.middle] >> branch.in_wavelength & 1
             self._mark_in_mid(g, branch.middle, branch.in_wavelength, False)
             for p, out_wavelength in branch.deliveries:
-                assert self._mid_out[branch.middle, p, out_wavelength]
+                assert self._mid_out.wave[branch.middle][p] >> out_wavelength & 1
                 self._mark_mid_out(branch.middle, p, out_wavelength, False)
         k = self.topology.k
         source = routed.request.source
-        self._input_used[source.port, source.wavelength] = False
-        self._input_used_mask &= ~(1 << (source.port * k + source.wavelength))
+        self._input_used.mask &= ~(
+            1 << (source.port * k + source.wavelength)
+        )
         for destination in routed.request.destinations:
-            self._output_used[destination.port, destination.wavelength] = False
-            self._output_used_mask &= ~(
+            self._output_used.mask &= ~(
                 1 << (destination.port * k + destination.wavelength)
             )
         self.teardowns += 1
@@ -1051,81 +1207,69 @@ class ThreeStageNetwork:
         Used by the fuzz tests after every event: any leak or
         double-booking in setup/teardown shows up immediately.
         """
-        in_mid = np.zeros_like(self._in_mid)
-        mid_out = np.zeros_like(self._mid_out)
-        input_used = np.zeros_like(self._input_used)
-        output_used = np.zeros_like(self._output_used)
+        topo = self.topology
+        r, m, k = topo.r, topo.m, topo.k
+        in_wave = [[0] * m for _ in range(r)]
+        out_wave = [[0] * r for _ in range(m)]
+        input_mask = 0
+        output_mask = 0
         for routed in self._active.values():
             g = routed.input_module
             source = routed.request.source
-            assert not input_used[source.port, source.wavelength]
-            input_used[source.port, source.wavelength] = True
+            bit = 1 << (source.port * k + source.wavelength)
+            assert not input_mask & bit
+            input_mask |= bit
             for destination in routed.request.destinations:
-                assert not output_used[destination.port, destination.wavelength]
-                output_used[destination.port, destination.wavelength] = True
+                bit = 1 << (destination.port * k + destination.wavelength)
+                assert not output_mask & bit
+                output_mask |= bit
             for branch in routed.branches:
-                assert not in_mid[g, branch.middle, branch.in_wavelength], (
+                wbit = 1 << branch.in_wavelength
+                assert not in_wave[g][branch.middle] & wbit, (
                     "two connections share a first-stage link wavelength"
                 )
-                in_mid[g, branch.middle, branch.in_wavelength] = True
+                in_wave[g][branch.middle] |= wbit
                 for p, w in branch.deliveries:
-                    assert not mid_out[branch.middle, p, w], (
+                    assert not out_wave[branch.middle][p] & (1 << w), (
                         "two connections share a second-stage link wavelength"
                     )
-                    mid_out[branch.middle, p, w] = True
-        assert (in_mid == self._in_mid).all(), "first-stage link state leak"
-        assert (mid_out == self._mid_out).all(), "second-stage link state leak"
-        assert (input_used == self._input_used).all(), "input endpoint leak"
-        assert (output_used == self._output_used).all(), "output endpoint leak"
+                    out_wave[branch.middle][p] |= 1 << w
+        assert in_wave == self._in_mid.wave, "first-stage link state leak"
+        assert out_wave == self._mid_out.wave, "second-stage link state leak"
+        assert input_mask == self._input_used.mask, "input endpoint leak"
+        assert output_mask == self._output_used.mask, "output endpoint leak"
 
-        # The incremental coverability cache must mirror the numpy arrays.
-        r, m, k = self.topology.r, self.topology.m, self.topology.k
+        # The incremental coverability cache must mirror the wave masks.
         for g in range(r):
+            row = self._in_mid.wave[g]
             for w in range(k):
-                expected = mask_of(
-                    int(j) for j in np.nonzero(self._in_mid[g, :, w])[0]
-                )
+                expected = mask_of(j for j in range(m) if row[j] >> w & 1)
                 assert self._in_mid_busy[g][w] == expected, (
                     "in_mid busy-mask cache out of sync"
                 )
-            counts = self._in_mid[g].sum(axis=1)
-            assert self._in_mid_count[g] == [int(c) for c in counts], (
+            counts = [row[j].bit_count() for j in range(m)]
+            assert self._in_mid_count[g] == counts, (
                 "in_mid count cache out of sync"
             )
-            expected_full = mask_of(j for j in range(m) if int(counts[j]) == k)
+            expected_full = mask_of(j for j in range(m) if counts[j] == k)
             assert self._in_mid_full[g] == expected_full, (
                 "in_mid full-mask cache out of sync"
             )
         for j in range(m):
+            row = self._mid_out.wave[j]
             for w in range(k):
-                expected = mask_of(
-                    int(p) for p in np.nonzero(self._mid_out[j, :, w])[0]
-                )
+                expected = mask_of(p for p in range(r) if row[p] >> w & 1)
                 assert self._mid_out_busy[j][w] == expected, (
                     "mid_out busy-mask cache out of sync"
                 )
-            counts = self._mid_out[j].sum(axis=1)
-            assert self._mid_out_count[j] == [int(c) for c in counts], (
+            counts = [row[p].bit_count() for p in range(r)]
+            assert self._mid_out_count[j] == counts, (
                 "mid_out count cache out of sync"
             )
-            expected_full = mask_of(p for p in range(r) if int(counts[p]) == k)
+            expected_full = mask_of(p for p in range(r) if counts[p] == k)
             assert self._mid_out_full[j] == expected_full, (
                 "mid_out full-mask cache out of sync"
             )
         assert self._failed_mask == mask_of(self._failed_middles), (
             "failed-middle mask out of sync"
-        )
-        expected_inputs = mask_of(
-            int(port) * k + int(w)
-            for port, w in zip(*np.nonzero(self._input_used))
-        )
-        assert self._input_used_mask == expected_inputs, (
-            "input endpoint-usage mask out of sync"
-        )
-        expected_outputs = mask_of(
-            int(port) * k + int(w)
-            for port, w in zip(*np.nonzero(self._output_used))
-        )
-        assert self._output_used_mask == expected_outputs, (
-            "output endpoint-usage mask out of sync"
         )

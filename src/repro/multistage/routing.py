@@ -53,9 +53,13 @@ __all__ = [
     "set_routing_kernel",
 ]
 
-#: the process-wide active kernel: ``"bitmask"`` or ``"reference"``
+#: the process-wide active kernel: ``"bitmask"``, ``"batched"`` or
+#: ``"reference"``.  ``"batched"`` routes single requests exactly like
+#: ``"bitmask"`` (same cover search, same covers); it additionally makes
+#: the Monte-Carlo estimators run all replications in lockstep through
+#: :mod:`repro.perf.batch` instead of one network at a time.
 _ACTIVE_KERNEL = "bitmask"
-_KERNELS = ("bitmask", "reference")
+_KERNELS = ("bitmask", "batched", "reference")
 
 
 def get_routing_kernel() -> str:
@@ -64,7 +68,7 @@ def get_routing_kernel() -> str:
 
 
 def set_routing_kernel(name: str) -> None:
-    """Select the cover-search kernel (``"bitmask"`` or ``"reference"``)."""
+    """Select the cover-search kernel (one of ``_KERNELS``)."""
     global _ACTIVE_KERNEL
     if name not in _KERNELS:
         raise ValueError(f"unknown kernel {name!r}; choose from {_KERNELS}")

@@ -16,17 +16,32 @@ results metadata).
 corrupted-entry recovery, making repeated and interrupted sweeps
 incremental and resumable (``--cache`` on the CLI).
 
-The third piece is the bitmask routing kernel of
-:mod:`repro.multistage.routing`; :func:`routing_kernel` /
-:func:`set_routing_kernel` select between it and the frozenset
-reference implementation (used by ``benchmarks/bench_perf.py`` to track
-the speedup and by the equivalence tests).
+The third piece is the routing/simulation kernel selection of
+:mod:`repro.multistage.routing`: :func:`routing_kernel` /
+:func:`set_routing_kernel` pick between the bitmask cover search (the
+default), the frozenset reference implementation (the correctness
+oracle of the equivalence tests and the ``bench_perf`` baseline), and
+``"batched"`` -- bitmask routing plus the lockstep
+structure-of-arrays Monte-Carlo engine of :mod:`repro.perf.batch`,
+which compiles each seed's traffic stream once and replays it against
+every ``m`` value of a sweep in a single pass (common random numbers,
+batch-per-process work units, per-replication bit-identity with the
+serial simulator).
 """
 
 from repro.multistage.routing import (
     get_routing_kernel,
     routing_kernel,
     set_routing_kernel,
+)
+from repro.perf.batch import (
+    BACKEND_ENV,
+    CellOutcome,
+    available_backends,
+    compile_stream,
+    replay_cell,
+    resolve_backend,
+    simulate_batch,
 )
 from repro.perf.cache import CODE_VERSION, CacheStats, ResultCache
 from repro.perf.sweeper import (
@@ -40,17 +55,24 @@ from repro.perf.sweeper import (
 )
 
 __all__ = [
+    "BACKEND_ENV",
     "CODE_VERSION",
     "CacheStats",
+    "CellOutcome",
     "ExecutionPlan",
     "ParallelSweeper",
     "ResultCache",
     "SweepResult",
     "WorkUnit",
+    "available_backends",
+    "compile_stream",
     "get_routing_kernel",
     "last_plan",
+    "replay_cell",
+    "resolve_backend",
     "resolve_jobs",
     "routing_kernel",
     "set_routing_kernel",
+    "simulate_batch",
     "sweep",
 ]

@@ -1,0 +1,774 @@
+"""Lockstep structure-of-arrays Monte-Carlo engine (``batched`` kernel).
+
+:func:`repro.analysis.montecarlo._traffic_cell` replays one traffic
+stream against one :class:`~repro.multistage.network.ThreeStageNetwork`;
+a sweep over ``m x seeds`` cells therefore pays the full per-event
+Python overhead (object construction, admission validation, cache
+bookkeeping) once per cell.  This module removes that multiplier two
+ways:
+
+* **common random numbers** -- the traffic stream depends only on
+  ``(model, n*r, k, steps, seed, max_fanout)``, never on ``m``, so
+  :func:`compile_stream` pre-generates each seed's stream *once* as a
+  flat list of integer ops and every ``m`` value replays the same
+  stream (which also shrinks the cross-``m`` variance of the curve);
+* **lockstep replay** -- :func:`simulate_batch` advances all B
+  replications of a seed through each event together, holding the
+  fabric state as packed integer bitplanes (middle-switch occupancy,
+  per-fiber wavelength masks, converter pools), so the per-event work
+  is a handful of mask operations per replication instead of a network
+  object call stack.
+
+The replay reproduces the serial simulator *bit for bit*: the traffic
+generator's RNG stream, the greedy/exact cover search of
+:func:`repro.multistage.routing.find_cover_bits`, first-fit wavelength
+assignment, ascending-middle allocation order and the
+``explain_block`` cause classification are all replicated exactly, and
+the property tests plus ``bench_perf.py`` assert per-replication
+equality of ``(attempts, blocked)`` and causes against the bitmask
+kernel.
+
+Two state backends share the event loop:
+
+* ``python`` -- nested lists of unbounded ints (bitplanes); no
+  dependencies, and the fastest backend on CPython for paper-scale
+  networks, so it is what ``auto`` resolves to;
+* ``numpy`` -- the same masks packed into ``int64`` structure-of-arrays
+  (one row per replication), which vectorizes the per-event
+  availability/reachability precomputation across the batch; it
+  requires ``m, r, k <= 62`` (one machine word) and NumPy installed.
+
+``WDM_REPRO_BATCH_BACKEND`` overrides ``auto`` resolution.  The engine
+is wired in as ``routing_kernel("batched")``: single-request routing is
+untouched (identical to ``bitmask``), but the Monte-Carlo estimators
+dispatch whole seed-batches here instead of one cell at a time.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+
+from repro import obs as _obs
+from repro.core.models import Construction, MulticastModel
+from repro.core.multistage import valid_x_range
+from repro.multistage.routing import find_cover_bits, iter_bits
+from repro.switching.generators import dynamic_traffic
+
+try:  # NumPy is optional everywhere in this repo.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKENDS",
+    "CellOutcome",
+    "available_backends",
+    "compile_stream",
+    "replay_cell",
+    "resolve_backend",
+    "simulate_batch",
+]
+
+#: environment override for ``backend="auto"`` resolution.
+BACKEND_ENV = "WDM_REPRO_BATCH_BACKEND"
+#: selectable state backends (``auto`` resolves to one of these).
+BACKENDS = ("python", "numpy")
+#: widest mask the numpy backend can pack into one signed int64 word.
+_WORD_BITS = 62
+
+_SETUP = 1
+_TEARDOWN = 0
+
+
+def available_backends() -> tuple[str, ...]:
+    """The state backends usable in this process."""
+    return BACKENDS if _np is not None else ("python",)
+
+
+def resolve_backend(backend: str = "auto", *, m_max: int, r: int, k: int) -> str:
+    """Resolve a backend request to a concrete backend name.
+
+    ``auto`` honours the ``WDM_REPRO_BATCH_BACKEND`` environment
+    variable, then defaults to ``python`` -- the int-bitplane replay
+    beats the int64 structure-of-arrays on CPython for paper-scale
+    networks (the numpy backend's per-replication cover search still
+    crosses the scalar boundary on every event).  Asking for ``numpy``
+    explicitly raises if NumPy is missing or the configuration does not
+    fit the 62-bit word gate.
+    """
+    if backend == "auto":
+        backend = os.environ.get(BACKEND_ENV, "").strip().lower() or "auto"
+    if backend == "auto":
+        if _np is not None and max(m_max, r, k) <= _WORD_BITS:
+            # Either backend is valid here; python wins on CPython (see
+            # EXPERIMENTS.md P4), so auto picks it even with numpy around.
+            return "python"
+        return "python"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown batch backend {backend!r}; choose from "
+            f"('auto', 'python', 'numpy')"
+        )
+    if backend == "numpy":
+        if _np is None:
+            raise ValueError(
+                "batch backend 'numpy' requested but numpy is not installed"
+            )
+        if max(m_max, r, k) > _WORD_BITS:
+            raise ValueError(
+                f"batch backend 'numpy' packs masks into int64 words and "
+                f"needs m, r, k <= {_WORD_BITS}; got m={m_max}, r={r}, k={k}"
+            )
+    return backend
+
+
+def compile_stream(
+    model: MulticastModel,
+    n: int,
+    r: int,
+    k: int,
+    steps: int,
+    seed: int,
+    max_fanout: int | None = None,
+) -> list[tuple[int, int, int, int, int]]:
+    """Pre-generate one seed's traffic stream as flat replay ops.
+
+    The generator's own endpoint bookkeeping is independent of the
+    fabric (blocked setups keep their endpoints busy until teardown),
+    so the stream -- and hence this compilation -- depends only on
+    ``(model, n*r, k, steps, seed, max_fanout)``: one compile serves
+    every ``m`` of a sweep.  Each op is
+    ``(tag, connection_id, input_module, source_wavelength, dest_mask)``
+    with ``tag`` 1 for setup and 0 for teardown (``dest_mask`` is a
+    bitmask over output modules; teardown ops carry the setup's module
+    and wavelength so releases need no lookup).  Every setup is a
+    *guaranteed-legal* addition for the same reason, so the replay can
+    skip admission validation entirely.
+    """
+    rng = random.Random(seed)
+    ops: list[tuple[int, int, int, int, int]] = []
+    for event in dynamic_traffic(
+        model, n * r, k, steps=steps, seed=rng, max_fanout=max_fanout
+    ):
+        source = event.connection.source
+        g = source.port // n
+        if event.kind == "setup":
+            dest_mask = 0
+            for destination in event.connection.destinations:
+                dest_mask |= 1 << (destination.port // n)
+            ops.append(
+                (_SETUP, event.connection_id, g, source.wavelength, dest_mask)
+            )
+        else:
+            ops.append(
+                (_TEARDOWN, event.connection_id, g, source.wavelength, 0)
+            )
+    return ops
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One replication's result, with optional blocking causes."""
+
+    m: int
+    attempts: int
+    blocked: int
+    #: per blocked request (in stream order) the ``explain_block``-shaped
+    #: cause dict; empty unless ``record_causes=True``.
+    causes: tuple[dict, ...] = ()
+
+
+class _Replication:
+    """Mutable per-replication accumulator for one lockstep replay."""
+
+    __slots__ = ("blocked", "releases", "kind_counts", "causes")
+
+    def __init__(self) -> None:
+        self.blocked = 0
+        self.releases = 0
+        self.kind_counts: dict[str, int] = {}
+        self.causes: list[dict] = []
+
+
+def _classify(avail: int, coverable: dict[int, int], dest_mask: int, msw_dominant: bool) -> str:
+    """The ``explain_block`` cause kind, from the replay's own masks."""
+    if avail == 0:
+        return "saturated_wavelength" if msw_dominant else "converter_exhaustion"
+    union = 0
+    for reach in coverable.values():
+        union |= reach
+    if dest_mask & ~union:
+        return "full_middles"
+    return "no_cover"
+
+
+def _cause_dict(
+    x: int,
+    g: int,
+    sw: int,
+    blocked_mask: int,
+    avail: int,
+    coverable: dict[int, int],
+    dest_mask: int,
+    msw_dominant: bool,
+) -> dict:
+    """The full ``explain_block`` evidence dict for one blocked setup."""
+    per_destination = []
+    reachable_union = 0
+    for p in iter_bits(dest_mask):
+        middles = 0
+        for j, reach in coverable.items():
+            if reach >> p & 1:
+                middles |= 1 << j
+        per_destination.append([p, middles])
+        if middles:
+            reachable_union |= 1 << p
+    unreachable = dest_mask & ~reachable_union
+    if avail == 0:
+        kind = "saturated_wavelength" if msw_dominant else "converter_exhaustion"
+    elif unreachable:
+        kind = "full_middles"
+    else:
+        kind = "no_cover"
+    return {
+        "kind": kind,
+        "x": x,
+        "input_module": g,
+        "source_wavelength": sw,
+        "failed_middles_mask": 0,
+        "first_stage_blocked_mask": blocked_mask,
+        "available_middles_mask": avail,
+        "destination_modules": list(iter_bits(dest_mask)),
+        "unreachable_modules": list(iter_bits(unreachable)),
+        "per_destination": per_destination,
+    }
+
+
+def _record_block(
+    rep: _Replication,
+    cid: int,
+    dropped: set[int],
+    want_kinds: bool,
+    want_causes: bool,
+    x: int,
+    g: int,
+    sw: int,
+    blocked_mask: int,
+    avail: int,
+    coverable: dict[int, int],
+    dest_mask: int,
+    msw_dominant: bool,
+) -> None:
+    rep.blocked += 1
+    dropped.add(cid)
+    if want_kinds:
+        if want_causes:
+            cause = _cause_dict(
+                x, g, sw, blocked_mask, avail, coverable, dest_mask, msw_dominant
+            )
+            rep.causes.append(cause)
+            kind = cause["kind"]
+        else:
+            kind = _classify(avail, coverable, dest_mask, msw_dominant)
+        rep.kind_counts[kind] = rep.kind_counts.get(kind, 0) + 1
+
+
+def _replay_msw_dominant_python(
+    ops: list[tuple[int, int, int, int, int]],
+    m_values: list[int],
+    r: int,
+    k: int,
+    x: int,
+    want_kinds: bool,
+    want_causes: bool,
+) -> tuple[int, list[_Replication]]:
+    """Lockstep replay, MSW-dominant fabric, int-bitplane state.
+
+    Per replication ``b`` the whole fabric is two bitplanes -- the
+    MSW-dominant construction pins every internal hop to the source
+    wavelength, so occupancy is fully described by
+    ``in_busy[b][g][w]`` (middle switches whose first-stage fiber from
+    input module ``g`` carries ``w``) and ``out_busy[b][j][w]`` (output
+    modules whose second-stage fiber from middle ``j`` carries ``w``).
+    These are exactly the network's ``_in_mid_busy``/``_mid_out_busy``
+    caches, so availability and reachability reads match the serial
+    simulator mask for mask.
+    """
+    batch = len(m_values)
+    replications = [_Replication() for _ in range(batch)]
+    all_masks = [(1 << m) - 1 for m in m_values]
+    in_busy = [[[0] * k for _ in range(r)] for _ in range(batch)]
+    out_busy = [[[0] * k for _ in range(m)] for m in m_values]
+    live: list[dict[int, tuple]] = [{} for _ in range(batch)]
+    dropped: list[set[int]] = [set() for _ in range(batch)]
+    attempts = 0
+    indices = range(batch)
+    for op in ops:
+        tag, cid, g, sw, dest_mask = op
+        if tag:
+            attempts += 1
+            for b in indices:
+                row = in_busy[b][g]
+                busy = row[sw]
+                avail = all_masks[b] & ~busy
+                out = out_busy[b]
+                cover = None
+                coverable: dict[int, int] = {}
+                if avail:
+                    scan = avail
+                    while scan:
+                        low = scan & -scan
+                        scan ^= low
+                        j = low.bit_length() - 1
+                        reach = dest_mask & ~out[j][sw]
+                        if reach == dest_mask:
+                            # One middle reaches everything: greedy picks
+                            # the lowest such j with the full gain --
+                            # identical to find_cover_bits, minus the call.
+                            cover = {j: dest_mask}
+                            break
+                        if reach:
+                            coverable[j] = reach
+                    else:
+                        if coverable:
+                            cover = find_cover_bits(dest_mask, coverable, x)
+                if cover is None:
+                    _record_block(
+                        replications[b], cid, dropped[b], want_kinds,
+                        want_causes, x, g, sw, busy, avail, coverable,
+                        dest_mask, True,
+                    )
+                else:
+                    branches = []
+                    for j in sorted(cover):
+                        assigned = cover[j]
+                        busy |= 1 << j
+                        out[j][sw] |= assigned
+                        branches.append((j, assigned))
+                    row[sw] = busy
+                    live[b][cid] = tuple(branches)
+        else:
+            for b in indices:
+                gone = dropped[b]
+                if cid in gone:
+                    gone.remove(cid)
+                    continue
+                branches = live[b].pop(cid)
+                row = in_busy[b][g]
+                out = out_busy[b]
+                busy = row[sw]
+                for j, assigned in branches:
+                    busy &= ~(1 << j)
+                    out[j][sw] &= ~assigned
+                row[sw] = busy
+                replications[b].releases += 1
+    return attempts, replications
+
+
+def _replay_maw_dominant_python(
+    ops: list[tuple[int, int, int, int, int]],
+    m_values: list[int],
+    r: int,
+    k: int,
+    x: int,
+    model: MulticastModel,
+    want_kinds: bool,
+    want_causes: bool,
+) -> tuple[int, list[_Replication]]:
+    """Lockstep replay, MAW-dominant fabric, int-bitplane state.
+
+    MAW-dominant middles convert freely, so a first-stage fiber blocks
+    only when *all* ``k`` wavelengths are busy; the state per
+    replication is the per-fiber wavelength masks ``in_wave[b][g][j]``
+    / ``out_wave[b][j][p]`` with their aggregated full-fiber bitplanes
+    (the network's ``_in_mid_full``/``_mid_out_full`` caches).  Under
+    the MSW endpoint model the delivery wavelength is pinned to the
+    source's, so ``out_busy[b][j][w]`` (the ``_mid_out_busy`` cache) is
+    maintained too and drives reachability; otherwise reachability is
+    just not-full.  Wavelength picks replicate first-fit (lowest free
+    bit), the Monte-Carlo networks' policy.
+    """
+    batch = len(m_values)
+    replications = [_Replication() for _ in range(batch)]
+    all_masks = [(1 << m) - 1 for m in m_values]
+    k_full = (1 << k) - 1
+    model_msw = model is MulticastModel.MSW
+    in_wave = [[[0] * m for _ in range(r)] for m in m_values]
+    in_full = [[0] * r for _ in range(batch)]
+    out_wave = [[[0] * r for _ in range(m)] for m in m_values]
+    out_full = [[0] * m for m in m_values]
+    out_busy = [[[0] * k for _ in range(m)] for m in m_values]
+    live: list[dict[int, tuple]] = [{} for _ in range(batch)]
+    dropped: list[set[int]] = [set() for _ in range(batch)]
+    attempts = 0
+    indices = range(batch)
+    for op in ops:
+        tag, cid, g, sw, dest_mask = op
+        if tag:
+            attempts += 1
+            for b in indices:
+                full_row = in_full[b]
+                blocked_mask = full_row[g]
+                avail = all_masks[b] & ~blocked_mask
+                cover = None
+                coverable: dict[int, int] = {}
+                if avail:
+                    busy_planes = out_busy[b]
+                    full_plane = out_full[b]
+                    scan = avail
+                    while scan:
+                        low = scan & -scan
+                        scan ^= low
+                        j = low.bit_length() - 1
+                        if model_msw:
+                            reach = dest_mask & ~busy_planes[j][sw]
+                        else:
+                            reach = dest_mask & ~full_plane[j]
+                        if reach == dest_mask:
+                            cover = {j: dest_mask}
+                            break
+                        if reach:
+                            coverable[j] = reach
+                    else:
+                        if coverable:
+                            cover = find_cover_bits(dest_mask, coverable, x)
+                if cover is None:
+                    _record_block(
+                        replications[b], cid, dropped[b], want_kinds,
+                        want_causes, x, g, sw, blocked_mask, avail,
+                        coverable, dest_mask, False,
+                    )
+                else:
+                    waves = in_wave[b][g]
+                    branches = []
+                    for j in sorted(cover):
+                        free = k_full & ~waves[j]
+                        in_w = (free & -free).bit_length() - 1
+                        waves[j] |= 1 << in_w
+                        if waves[j] == k_full:
+                            full_row[g] |= 1 << j
+                        fiber = out_wave[b][j]
+                        deliveries = []
+                        assigned = cover[j]
+                        while assigned:
+                            low = assigned & -assigned
+                            assigned ^= low
+                            p = low.bit_length() - 1
+                            if model_msw:
+                                out_w = sw
+                            else:
+                                free_out = k_full & ~fiber[p]
+                                out_w = (free_out & -free_out).bit_length() - 1
+                            fiber[p] |= 1 << out_w
+                            if fiber[p] == k_full:
+                                out_full[b][j] |= 1 << p
+                            out_busy[b][j][out_w] |= 1 << p
+                            deliveries.append((p, out_w))
+                        branches.append((j, in_w, tuple(deliveries)))
+                    live[b][cid] = tuple(branches)
+        else:
+            for b in indices:
+                gone = dropped[b]
+                if cid in gone:
+                    gone.remove(cid)
+                    continue
+                branches = live[b].pop(cid)
+                waves = in_wave[b][g]
+                full_row = in_full[b]
+                for j, in_w, deliveries in branches:
+                    if waves[j] == k_full:
+                        full_row[g] &= ~(1 << j)
+                    waves[j] &= ~(1 << in_w)
+                    fiber = out_wave[b][j]
+                    for p, out_w in deliveries:
+                        if fiber[p] == k_full:
+                            out_full[b][j] &= ~(1 << p)
+                        fiber[p] &= ~(1 << out_w)
+                        out_busy[b][j][out_w] &= ~(1 << p)
+                replications[b].releases += 1
+    return attempts, replications
+
+
+def _replay_numpy(
+    ops: list[tuple[int, int, int, int, int]],
+    m_values: list[int],
+    r: int,
+    k: int,
+    x: int,
+    construction: Construction,
+    model: MulticastModel,
+    want_kinds: bool,
+    want_causes: bool,
+) -> tuple[int, list[_Replication]]:
+    """Lockstep replay over int64 structure-of-arrays state.
+
+    Same event loop and bit-identical decisions as the python backend;
+    the batch dimension is the leading axis of every array, so the
+    per-event availability and reachability masks for *all*
+    replications come out of two vectorized expressions (then the cover
+    search itself runs per replication on plain ints via
+    ``.tolist()``).  Gated to ``m, r, k <= 62`` so every mask fits one
+    signed word.
+    """
+    np = _np
+    batch = len(m_values)
+    m_max = max(m_values)
+    replications = [_Replication() for _ in range(batch)]
+    msw_dominant = construction is Construction.MSW_DOMINANT
+    model_msw = model is MulticastModel.MSW
+    k_full = (1 << k) - 1
+    all_masks = [(1 << m) - 1 for m in m_values]
+    all_vec = np.array(all_masks, dtype=np.int64)
+    if msw_dominant:
+        in_busy = np.zeros((batch, r, k), dtype=np.int64)
+        out_busy = np.zeros((batch, m_max, k), dtype=np.int64)
+    else:
+        in_wave = np.zeros((batch, r, m_max), dtype=np.int64)
+        in_full = np.zeros((batch, r), dtype=np.int64)
+        out_wave = np.zeros((batch, m_max, r), dtype=np.int64)
+        out_full = np.zeros((batch, m_max), dtype=np.int64)
+        out_busy = np.zeros((batch, m_max, k), dtype=np.int64)
+    live: list[dict[int, tuple]] = [{} for _ in range(batch)]
+    dropped: list[set[int]] = [set() for _ in range(batch)]
+    attempts = 0
+    for op in ops:
+        tag, cid, g, sw, dest_mask = op
+        if tag:
+            attempts += 1
+            if msw_dominant:
+                blocked_vec = in_busy[:, g, sw]
+                reach_rows = (dest_mask & ~out_busy[:, :, sw]).tolist()
+            else:
+                blocked_vec = in_full[:, g]
+                if model_msw:
+                    reach_rows = (dest_mask & ~out_busy[:, :, sw]).tolist()
+                else:
+                    reach_rows = (dest_mask & ~out_full).tolist()
+            blocked_list = blocked_vec.tolist()
+            avail_list = (all_vec & ~blocked_vec).tolist()
+            for b in range(batch):
+                avail = avail_list[b]
+                row = reach_rows[b]
+                cover = None
+                coverable: dict[int, int] = {}
+                if avail:
+                    scan = avail
+                    while scan:
+                        low = scan & -scan
+                        scan ^= low
+                        j = low.bit_length() - 1
+                        reach = row[j]
+                        if reach == dest_mask:
+                            cover = {j: dest_mask}
+                            break
+                        if reach:
+                            coverable[j] = reach
+                    else:
+                        if coverable:
+                            cover = find_cover_bits(dest_mask, coverable, x)
+                if cover is None:
+                    _record_block(
+                        replications[b], cid, dropped[b], want_kinds,
+                        want_causes, x, g, sw, blocked_list[b], avail,
+                        coverable, dest_mask, msw_dominant,
+                    )
+                    continue
+                if msw_dominant:
+                    branches = []
+                    busy = blocked_list[b]
+                    for j in sorted(cover):
+                        assigned = cover[j]
+                        busy |= 1 << j
+                        out_busy[b, j, sw] |= assigned
+                        branches.append((j, assigned))
+                    in_busy[b, g, sw] = busy
+                    live[b][cid] = tuple(branches)
+                else:
+                    branches = []
+                    for j in sorted(cover):
+                        waves = int(in_wave[b, g, j])
+                        free = k_full & ~waves
+                        in_w = (free & -free).bit_length() - 1
+                        waves |= 1 << in_w
+                        in_wave[b, g, j] = waves
+                        if waves == k_full:
+                            in_full[b, g] |= 1 << j
+                        deliveries = []
+                        assigned = cover[j]
+                        while assigned:
+                            low = assigned & -assigned
+                            assigned ^= low
+                            p = low.bit_length() - 1
+                            fiber = int(out_wave[b, j, p])
+                            if model_msw:
+                                out_w = sw
+                            else:
+                                free_out = k_full & ~fiber
+                                out_w = (free_out & -free_out).bit_length() - 1
+                            fiber |= 1 << out_w
+                            out_wave[b, j, p] = fiber
+                            if fiber == k_full:
+                                out_full[b, j] |= 1 << p
+                            out_busy[b, j, out_w] |= 1 << p
+                            deliveries.append((p, out_w))
+                        branches.append((j, in_w, tuple(deliveries)))
+                    live[b][cid] = tuple(branches)
+        else:
+            for b in range(batch):
+                gone = dropped[b]
+                if cid in gone:
+                    gone.remove(cid)
+                    continue
+                branches = live[b].pop(cid)
+                if msw_dominant:
+                    busy = int(in_busy[b, g, sw])
+                    for j, assigned in branches:
+                        busy &= ~(1 << j)
+                        out_busy[b, j, sw] &= ~assigned
+                    in_busy[b, g, sw] = busy
+                else:
+                    for j, in_w, deliveries in branches:
+                        waves = int(in_wave[b, g, j])
+                        if waves == k_full:
+                            in_full[b, g] &= ~(1 << j)
+                        in_wave[b, g, j] = waves & ~(1 << in_w)
+                        for p, out_w in deliveries:
+                            fiber = int(out_wave[b, j, p])
+                            if fiber == k_full:
+                                out_full[b, j] &= ~(1 << p)
+                            out_wave[b, j, p] = fiber & ~(1 << out_w)
+                            out_busy[b, j, out_w] &= ~(1 << p)
+                replications[b].releases += 1
+    return attempts, replications
+
+
+def _simulate(
+    n: int,
+    r: int,
+    k: int,
+    construction: Construction,
+    model: MulticastModel,
+    x: int,
+    steps: int,
+    max_fanout: int | None,
+    seed: int,
+    m_values: list[int],
+    backend: str,
+    record_causes: bool,
+) -> tuple[int, list[_Replication]]:
+    """Compile seed ``seed`` once and replay it against every ``m``."""
+    legal_x = valid_x_range(n, r)
+    if x not in legal_x:
+        raise ValueError(
+            f"x={x} outside the legal range "
+            f"[{legal_x[0]}, {legal_x[-1]}] for n={n}, r={r}"
+        )
+    if not m_values:
+        return 0, []
+    for m in m_values:
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+    backend = resolve_backend(backend, m_max=max(m_values), r=r, k=k)
+    want_kinds = record_causes or _obs.enabled()
+    ops = compile_stream(model, n, r, k, steps, seed, max_fanout)
+    if backend == "numpy":
+        attempts, replications = _replay_numpy(
+            ops, m_values, r, k, x, construction, model,
+            want_kinds, record_causes,
+        )
+    elif construction is Construction.MSW_DOMINANT:
+        attempts, replications = _replay_msw_dominant_python(
+            ops, m_values, r, k, x, want_kinds, record_causes
+        )
+    else:
+        attempts, replications = _replay_maw_dominant_python(
+            ops, m_values, r, k, x, model, want_kinds, record_causes
+        )
+    if _obs.enabled():
+        # Aggregate increments, guarded on nonzero so the counter *set*
+        # (not just the totals) matches a serial run's -- serial counters
+        # only exist once incremented.
+        for rep in replications:
+            _obs.inc("mc.cells")
+            if attempts:
+                _obs.inc("net.admit.attempts", attempts)
+            admitted = attempts - rep.blocked
+            if admitted:
+                _obs.inc("net.admit.admitted", admitted)
+            if rep.blocked:
+                _obs.inc("net.admit.blocked", rep.blocked)
+            for kind in sorted(rep.kind_counts):
+                _obs.inc(f"net.block.cause.{kind}", rep.kind_counts[kind])
+            if rep.releases:
+                _obs.inc("net.release", rep.releases)
+    return attempts, replications
+
+
+def simulate_batch(
+    n: int,
+    r: int,
+    k: int,
+    construction: Construction,
+    model: MulticastModel,
+    x: int,
+    steps: int,
+    max_fanout: int | None,
+    seed: int,
+    m_values: tuple[int, ...] | list[int],
+    backend: str = "auto",
+) -> list[tuple[int, tuple[int, int]]]:
+    """All of one seed's ``(m, (attempts, blocked))`` cells, in lockstep.
+
+    This is the work-unit function the Monte-Carlo estimators hand to
+    :class:`repro.perf.ParallelSweeper` under the ``batched`` kernel
+    (batch-per-process instead of cell-per-process): module-level and
+    picklable, and every returned cell is bit-identical to
+    ``_traffic_cell`` run serially with the same arguments.
+    """
+    attempts, replications = _simulate(
+        n, r, k, construction, model, x, steps, max_fanout, seed,
+        list(m_values), backend, record_causes=False,
+    )
+    return [
+        (m, (attempts, rep.blocked))
+        for m, rep in zip(m_values, replications)
+    ]
+
+
+def replay_cell(
+    n: int,
+    r: int,
+    m: int,
+    k: int,
+    *,
+    construction: Construction = Construction.MSW_DOMINANT,
+    model: MulticastModel = MulticastModel.MSW,
+    x: int = 1,
+    steps: int,
+    seed: int,
+    max_fanout: int | None = None,
+    backend: str = "auto",
+    record_causes: bool = False,
+) -> CellOutcome:
+    """One ``(m, seed)`` replication through the batch engine.
+
+    With ``record_causes=True`` the outcome carries, for each blocked
+    setup in stream order, the same cause dict
+    :meth:`~repro.multistage.network.ThreeStageNetwork.explain_block`
+    would produce at that event -- the hook the equivalence property
+    tests compare against the serial simulator.
+    """
+    attempts, replications = _simulate(
+        n, r, k, construction, model, x, steps, max_fanout, seed, [m],
+        backend, record_causes=record_causes,
+    )
+    rep = replications[0]
+    return CellOutcome(
+        m=m,
+        attempts=attempts,
+        blocked=rep.blocked,
+        causes=tuple(rep.causes),
+    )

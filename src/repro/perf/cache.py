@@ -26,6 +26,10 @@ Robustness contract:
 * **corrupted-entry recovery** -- an entry that fails to unpickle (torn
   bytes, truncation, version skew) is deleted and treated as a miss,
   never propagated;
+* **bounded growth** -- with ``max_bytes`` set, every write prunes
+  least-recently-used entries (hits refresh recency) until the cache
+  fits; a pruned entry is simply a future miss, recomputed and stored
+  again on demand;
 * values are stored with :mod:`pickle`, so any picklable cell result
   round-trips exactly (the warm path returns bit-identical objects).
 """
@@ -63,6 +67,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     corrupt: int = 0
+    evictions: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -70,6 +75,7 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "corrupt": self.corrupt,
+            "evictions": self.evictions,
         }
 
 
@@ -97,12 +103,27 @@ class ResultCache:
             keep cells apart.
         code_version: override of :data:`CODE_VERSION` (tests use this
             to prove that a version bump invalidates old entries).
+        max_bytes: disk budget for the entry files; None (default)
+            keeps the cache unbounded.  Enforced on every
+            :meth:`put` by deleting least-recently-*used* entries
+            (mtime order; :meth:`lookup` hits refresh it) until the
+            cache fits, newest write always kept.  Pruned entries just
+            become future misses -- correctness is untouched.
     """
 
-    def __init__(self, directory: str | os.PathLike, *, code_version: str = CODE_VERSION):
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        code_version: str = CODE_VERSION,
+        max_bytes: int | None = None,
+    ):
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1 or None, got {max_bytes}")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.code_version = code_version
+        self.max_bytes = max_bytes
         self.stats = CacheStats()
 
     # -- keys ---------------------------------------------------------------
@@ -163,6 +184,12 @@ class ResultCache:
             return False, None
         self.stats.hits += 1
         _obs.inc("cache.hits")
+        if self.max_bytes is not None:
+            # Refresh recency so the LRU prune spares hot entries.
+            try:
+                os.utime(path)
+            except OSError:  # pragma: no cover - concurrent removal
+                pass
         return True, value
 
     def get(self, key: str, default: Any = None) -> Any:
@@ -188,8 +215,53 @@ class ResultCache:
             raise
         self.stats.stores += 1
         _obs.inc("cache.stores")
+        if self.max_bytes is not None:
+            self._prune(keep=path)
 
     # -- maintenance --------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        """Bytes currently occupied by entry files."""
+        total = 0
+        for path in self.directory.glob("*.pkl"):
+            try:
+                total += path.stat().st_size
+            except OSError:  # pragma: no cover - concurrent removal
+                pass
+        return total
+
+    def _prune(self, keep: Path) -> None:
+        """Delete LRU entries until the cache fits ``max_bytes``.
+
+        ``keep`` (the entry just written) survives even if it alone
+        exceeds the budget -- pruning the value the caller is about to
+        rely on would turn every over-budget store into a guaranteed
+        miss loop.
+        """
+        entries = []
+        total = 0
+        for path in self.directory.glob("*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - concurrent removal
+                continue
+            entries.append((stat.st_mtime_ns, stat.st_size, path))
+            total += stat.st_size
+        if total <= self.max_bytes:
+            return
+        entries.sort()
+        for _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            if path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent removal
+                continue
+            total -= size
+            self.stats.evictions += 1
+            _obs.inc("cache.evictions")
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()

@@ -127,6 +127,80 @@ class TestStorage:
         assert len(cache) == 0
 
 
+class TestBoundedGrowth:
+    @staticmethod
+    def _stamp(cache, key, age):
+        """Pin an entry's mtime so LRU order is deterministic."""
+        import os
+
+        os.utime(cache._path(key), ns=(age * 10**9, age * 10**9))
+
+    def test_unbounded_by_default(self, cache):
+        assert cache.max_bytes is None
+        for seed in range(20):
+            cache.put(cache.key("cell", dict(seed=seed)), bytes(4096))
+        assert len(cache) == 20
+        assert cache.stats.evictions == 0
+
+    def test_put_prunes_least_recently_used(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=1)
+        keys = [cache.key("cell", dict(seed=seed)) for seed in range(3)]
+        for age, key in enumerate(keys):
+            cache.put(key, "x")
+            self._stamp(cache, key, age + 1)
+        # Budget of one byte: each write keeps itself, evicting elders.
+        assert len(cache) == 1
+        assert keys[2] in cache
+        assert cache.stats.evictions == 2
+
+    def test_lookup_refreshes_recency(self, tmp_path):
+        entry = bytes(100)
+        cache = ResultCache(tmp_path, max_bytes=350)
+        keys = [cache.key("cell", dict(seed=seed)) for seed in range(3)]
+        for age, key in enumerate(keys):
+            cache.put(key, entry)
+            self._stamp(cache, key, age + 1)
+        hit, _ = cache.lookup(keys[0])  # oldest entry becomes hottest
+        assert hit
+        newest = cache.key("cell", dict(seed=99))
+        cache.put(newest, entry)  # over budget: one eviction needed
+        assert keys[0] in cache  # spared by the lookup
+        assert keys[1] not in cache  # now the least recently used
+        assert keys[2] in cache and newest in cache
+
+    def test_pruned_entry_recovers_as_miss(self, tmp_path):
+        """The prune-and-recover contract: eviction only costs a recompute."""
+        cache = ResultCache(tmp_path, max_bytes=1)
+        first = cache.key("cell", dict(seed=0))
+        second = cache.key("cell", dict(seed=1))
+        cache.put(first, "first")
+        self._stamp(cache, first, 1)
+        cache.put(second, "second")
+        hit, _ = cache.lookup(first)
+        assert not hit  # pruned -> plain miss, not an error
+        cache.put(first, "first again")  # recompute-and-store path
+        assert cache.get(first) == "first again"
+
+    def test_newest_write_survives_even_over_budget(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=1)
+        key = cache.key("cell", dict(seed=0))
+        cache.put(key, bytes(10_000))
+        assert cache.get(key) == bytes(10_000)
+
+    def test_bounded_sweep_stays_correct(self, tmp_path):
+        config = dict(steps=120, seeds=(0, 1))
+        cache = ResultCache(tmp_path, max_bytes=64)  # roughly one entry
+        bounded = blocking_vs_m(2, 2, 1, [1, 2, 3], cache=cache, **config)
+        nocache = blocking_vs_m(2, 2, 1, [1, 2, 3], **config)
+        assert bounded == nocache
+        assert cache.stats.evictions > 0
+        assert cache.total_bytes() <= 64
+
+    def test_rejects_nonpositive_budget(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(tmp_path, max_bytes=0)
+
+
 class TestSweepIntegration:
     CONFIG = dict(steps=120, seeds=(0, 1))
 

@@ -70,6 +70,32 @@ class TestCommands:
         )
         assert "cache: 6 hits" in out
 
+    BLOCKING = ("blocking", "--n", "2", "--r", "2", "--k", "1", "--m-max", "4")
+
+    def test_blocking_kernel_flag_same_numbers(self, capsys):
+        default = run_cli(capsys, *self.BLOCKING)
+        for kernel in ("reference", "bitmask", "batched"):
+            out = run_cli(capsys, *self.BLOCKING, "--kernel", kernel)
+            assert out == default
+
+    def test_blocking_batched_with_batch_cap(self, capsys):
+        default = run_cli(capsys, *self.BLOCKING)
+        out = run_cli(
+            capsys, *self.BLOCKING, "--kernel", "batched", "--batch", "2"
+        )
+        assert out == default
+
+    def test_blocking_batched_cache_footer(self, capsys, tmp_path):
+        """Batched cells land in the cache with per-cell granularity."""
+        args = (
+            "blocking", "--n", "2", "--r", "2", "--k", "1", "--m-max", "2",
+            "--kernel", "batched", "--cache", "--cache-dir", str(tmp_path),
+        )
+        out = run_cli(capsys, *args)
+        assert "cache: 0 hits" in out and "6 stored" in out
+        out = run_cli(capsys, *args)
+        assert "cache: 6 hits" in out
+
 
 class TestTraceCommand:
     def _records(self, out):
@@ -132,6 +158,15 @@ class TestParser:
         parser = build_parser()
         with pytest.raises(SystemExit):
             parser.parse_args(["design", "--model", "bogus"])
+
+    def test_unknown_kernel_rejected_listing_valid_ones(self, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["blocking", "--kernel", "bogus"])
+        message = capsys.readouterr().err
+        assert "unknown kernel 'bogus'" in message
+        for kernel in ("batched", "bitmask", "reference"):
+            assert kernel in message
 
     def test_unknown_construction_rejected(self):
         parser = build_parser()

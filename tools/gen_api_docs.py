@@ -81,6 +81,28 @@ interrupted or repeated sweeps recompute only missing cells. Writes
 are atomic (temp file + `os.replace`); entries that fail to unpickle
 are deleted and recomputed. The CLI flags are `--cache` / `--no-cache`
 and `--cache-dir DIR` on `blocking` and `exact`.
+
+`ResultCache(directory, max_bytes=N)` bounds on-disk growth: every
+`put` prunes least-recently-used entries (hits refresh recency) until
+the cache fits the budget, never evicting the entry just written. A
+pruned entry is a plain miss on the next lookup -- the cell is
+recomputed and re-stored -- so a bounded cache trades disk for
+recompute without ever changing results.
+
+### Lockstep batch Monte Carlo
+
+`repro.perf.batch` is the engine behind the `"batched"` routing
+kernel. A blocking-vs-m sweep replays the *same* traffic per `(m,
+seed)` cell, so `compile_stream` compiles each seed's stream once
+(traffic is m-independent -- common random numbers) and the engine
+replays it through B structure-of-arrays fabric states in lockstep.
+`simulate_batch` is the picklable sweeper work unit; `replay_cell`
+exposes one replication with `explain_block`-identical causes. Two
+state backends (`available_backends()` / `resolve_backend`): the
+pure-Python int-bitplane backend -- the `auto` choice -- and an
+optional numpy int64 backend gated at m, r, k <= 62; both are
+bit-identical to the serial simulator per replication. Override with
+the `WDM_REPRO_BATCH_BACKEND` environment variable.
 """,
     "repro.api": """\
 ### Typed configs over kwargs sprawl
@@ -93,6 +115,12 @@ bit-identical to the legacy entry points with the same parameters and
 carry a `repro.obs.meta.ResultMeta` provenance envelope (code version,
 kernel id, execution plan, obs summary) on `.meta`; the envelope and
 `BlockingEstimate` both round-trip through `to_json()`/`from_json()`.
+
+`SearchConfig(kernel="batched")` routes the Monte-Carlo estimators
+through the lockstep batch engine (`repro.perf.batch`) -- same numbers,
+one compiled-stream replay per seed instead of one per `(m, seed)`
+cell; `ExecConfig(batch=B)` caps replications per work unit without
+affecting results.
 
 The legacy kwargs signatures (`blocking_probability`, `blocking_vs_m`,
 `exact_minimal_m`) keep working but emit `DeprecationWarning`. One
