@@ -1,11 +1,15 @@
 """Performance benchmark for the routing kernel, search and sweep engine.
 
-Eight sections, each asserting that the fast path computes *exactly*
+Nine sections, each asserting that the fast path computes *exactly*
 what the slow path computes before reporting any speedup:
 
 * ``cover_kernel`` -- the bitmask cover search
   (:func:`repro.multistage.routing.find_cover_bits`) against the
   frozenset reference on randomized cover instances;
+* ``engine`` -- the shared admission kernel's per-setup hot path
+  (:func:`repro.engine.kernel.probe_cover`, with its greedy full-reach
+  short-circuit) against the unconditional reach-map + cover-search
+  composition, identical covers asserted per instance;
 * ``routing_replay`` -- a pregenerated traffic trace replayed through
   :class:`repro.multistage.network.ThreeStageNetwork` under each
   routing kernel, isolating the connect/disconnect hot path from the
@@ -139,6 +143,71 @@ def bench_cover_kernel(quick: bool, reps: int) -> dict:
         "bitmask_s": bitmask_s,
         "speedup": reference_s / bitmask_s,
         "identical": bits_out == reference_out,
+    }
+
+
+# -- section: shared admission-engine kernels ---------------------------------
+
+
+def _engine_instances(count: int, middles: int, modules: int, seed: int):
+    """Randomized one-setup admission states (masks + blocker rows)."""
+    rng = random.Random(seed)
+    instances = []
+    for _ in range(count):
+        blockers = [
+            mask_of(p for p in range(modules) if rng.random() < 0.35)
+            for _ in range(middles)
+        ]
+        available = mask_of(
+            j for j in range(middles) if rng.random() < 0.7
+        )
+        dest_mask = mask_of(
+            rng.sample(range(modules), rng.randint(1, 6))
+        )
+        instances.append((available, dest_mask, rng.randint(1, 3), blockers))
+    return instances
+
+
+def bench_engine(quick: bool, reps: int) -> dict:
+    """:func:`repro.engine.kernel.probe_cover` vs the two-step composition.
+
+    ``probe_cover`` is the per-setup hot path every consumer (serial
+    network, lockstep batch driver) runs: one ascending scan that
+    short-circuits on the first full-reach middle.  The reference
+    composition builds the complete reach map and runs the cover search
+    unconditionally -- same covers by construction (greedy picks exactly
+    that lowest full-reach middle), which this section asserts on every
+    instance before reporting the shortcut's win.
+    """
+    from repro.engine.kernel import probe_cover, reach_map
+
+    instances = _engine_instances(
+        count=1500 if quick else 6000, middles=14, modules=18, seed=11
+    )
+
+    def run_probe():
+        return [
+            probe_cover(available, dest_mask, x, blockers)[0]
+            for available, dest_mask, x, blockers in instances
+        ]
+
+    def run_split():
+        covers = []
+        for available, dest_mask, x, blockers in instances:
+            full = reach_map(available, dest_mask, blockers)
+            covers.append(
+                find_cover_bits(dest_mask, full, x) if full else None
+            )
+        return covers
+
+    probe_s, probe_out = _best(run_probe, reps)
+    split_s, split_out = _best(run_split, reps)
+    return {
+        "instances": len(instances),
+        "split_s": split_s,
+        "probe_s": probe_s,
+        "speedup": split_s / probe_s,
+        "identical": probe_out == split_out,
     }
 
 
@@ -598,6 +667,7 @@ def main(argv: list[str] | None = None) -> int:
     }
     sections = [
         ("cover_kernel", lambda: bench_cover_kernel(args.quick, reps)),
+        ("engine", lambda: bench_engine(args.quick, reps)),
         ("routing_replay", lambda: bench_routing_replay(args.quick, reps)),
         ("end_to_end", lambda: bench_end_to_end(args.quick, reps)),
         ("batched", lambda: bench_batched(args.quick, reps)),

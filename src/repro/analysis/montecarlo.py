@@ -235,7 +235,11 @@ def _run_batched_cells(
     sweep warms the cache for cell-granular re-runs and vice versa
     (kernel-tagged keys keep the two pipelines' entries separate).
     ``batch`` caps replications per work unit; None packs each seed's
-    whole ``m`` column into one unit.
+    whole ``m`` column into one unit.  Each unit's fabric state runs on
+    the backend :func:`repro.engine.backends.resolve_backend` picks
+    (``WDM_REPRO_BATCH_BACKEND`` overrides); every backend drives the
+    same :mod:`repro.engine` kernels, so results are bit-identical to
+    this serial loop.
     """
     results: dict[tuple[int, int], tuple[int, int]] = {}
     keys: dict[tuple[int, int], str] = {}

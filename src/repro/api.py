@@ -107,6 +107,10 @@ class ExecConfig:
             per work unit (None packs each seed's whole ``m`` column
             into one unit).  Ignored by the other kernels; never
             affects results, only how work is sliced across workers.
+            The fabric-state backend inside each unit resolves via
+            :func:`repro.engine.backends.resolve_backend` (overridable
+            through ``WDM_REPRO_BATCH_BACKEND``); all backends are
+            bit-identical, see ``wdm-repro kernels``.
     """
 
     jobs: int | str = 1

@@ -11,6 +11,7 @@ Usage (installed as ``wdm-repro``, or ``python -m repro``)::
     wdm-repro blocking --n 3 --r 3 --k 2 --m-max 10 --kernel batched
     wdm-repro fig10
     wdm-repro trace fig10 --trace-out -
+    wdm-repro kernels
     wdm-repro design --n-ports 1024 --k 4 --model MAW
 """
 
@@ -280,6 +281,51 @@ def _cmd_gap(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_kernels(args: argparse.Namespace) -> str:
+    import os
+
+    from repro.engine.backends import (
+        BACKEND_ENV,
+        BACKENDS,
+        NUMPY_WORD_BITS,
+        available_backends,
+        resolve_backend,
+    )
+    from repro.multistage.routing import _KERNELS, get_routing_kernel
+
+    available = set(available_backends())
+    backends = sorted({*BACKENDS, *available})
+    rows = []
+    for kernel in _KERNELS:
+        cells = []
+        for backend in backends:
+            if kernel != "batched":
+                # Serial single-request kernels never touch a state
+                # backend; only the lockstep replay is parameterized.
+                cells.append("n/a")
+            elif backend in available:
+                cells.append("yes")
+            else:
+                cells.append("not installed")
+        rows.append([kernel, *cells])
+    table = render_table(
+        ["kernel", *backends],
+        rows,
+        title="Routing kernels x batch state backends",
+    )
+    override = os.environ.get(BACKEND_ENV, "").strip()
+    lines = [
+        table,
+        f"active routing kernel: {get_routing_kernel()}",
+        f"auto backend resolves to: "
+        f"{resolve_backend('auto', m_max=1, r=1, k=1)}",
+        f"{BACKEND_ENV}={override}" if override else f"{BACKEND_ENV}: (unset)",
+        f"numpy backend gate: m, r, k <= {NUMPY_WORD_BITS} "
+        f"(masks packed into int64 words)",
+    ]
+    return "\n".join(lines)
+
+
 def _cmd_design(args: argparse.Namespace) -> str:
     design = optimal_design(args.n_ports, args.k, args.model, args.construction)
     recursive = best_recursive_design(args.n_ports, args.k, args.model)
@@ -535,6 +581,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=2)
     p.add_argument("--model", type=_model, default=MulticastModel.MAW)
     p.set_defaults(func=_cmd_gap)
+
+    p = sub.add_parser(
+        "kernels",
+        help="kernel x backend availability matrix (and active overrides)",
+    )
+    p.set_defaults(func=_cmd_kernels)
 
     p = sub.add_parser("design", help="optimal multistage + recursive design")
     p.add_argument("--n-ports", type=int, default=1024)

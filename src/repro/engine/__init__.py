@@ -1,0 +1,78 @@
+"""The admission engine -- per-model semantics stated exactly once.
+
+``repro.engine`` is the bottom layer of the simulator stack: a frozen
+:class:`~repro.engine.geometry.FabricGeometry`, a
+:class:`~repro.engine.state.FabricState` protocol with interchangeable
+bitplane backends (pure-Python ints, numpy int64, future numba/CUDA via
+:func:`~repro.engine.backends.register_backend`), the Lemma-4 cover
+search (:mod:`repro.engine.cover`), and the pure admission kernels of
+:mod:`repro.engine.kernel` (``avail``/``coverable``/``admit``/
+``release``/``classify_block`` plus their mask-level cores).
+
+The serial network, the lockstep batch engine, the exhaustive model
+checker and the adversary all route through this package, so the
+MSW/MSDW/MAW admission rules and the blocking-cause taxonomy cannot
+drift between layers.  See ``docs/ARCHITECTURE.md`` for the layer
+diagram.
+"""
+
+from repro.engine.backends import (
+    BACKEND_ENV,
+    BACKENDS,
+    NUMPY_WORD_BITS,
+    available_backends,
+    make_state,
+    numpy_gate_error,
+    register_backend,
+    resolve_backend,
+)
+from repro.engine.cover import CoverSearch, find_cover_bits, iter_bits, mask_of
+from repro.engine.geometry import FabricGeometry
+from repro.engine.kernel import (
+    BLOCK_KINDS,
+    AdmissionRequest,
+    EngineConnection,
+    admit,
+    avail,
+    block_cause,
+    classify_block,
+    classify_kind,
+    coverable,
+    free_middles,
+    probe_cover,
+    reach_map,
+    release,
+)
+from repro.engine.state import FabricState, NumpyState, PythonState
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKENDS",
+    "BLOCK_KINDS",
+    "NUMPY_WORD_BITS",
+    "AdmissionRequest",
+    "CoverSearch",
+    "EngineConnection",
+    "FabricGeometry",
+    "FabricState",
+    "NumpyState",
+    "PythonState",
+    "admit",
+    "avail",
+    "available_backends",
+    "block_cause",
+    "classify_block",
+    "classify_kind",
+    "coverable",
+    "find_cover_bits",
+    "free_middles",
+    "iter_bits",
+    "make_state",
+    "mask_of",
+    "numpy_gate_error",
+    "probe_cover",
+    "reach_map",
+    "register_backend",
+    "release",
+    "resolve_backend",
+]

@@ -1,0 +1,128 @@
+"""Fabric-state backend registry -- the numba/CUDA seam.
+
+One place decides which :class:`~repro.engine.state.FabricState`
+implementation a replay runs on: :func:`resolve_backend` maps a request
+(``"auto"``, a concrete name, or the ``WDM_REPRO_BATCH_BACKEND``
+environment override) to a registered backend, applying the numpy
+int64 word gate (:data:`NUMPY_WORD_BITS`) with one uniform error
+message; :func:`make_state` then instantiates it.  New backends (the
+ROADMAP's numba/CUDA kernel) plug in through :func:`register_backend`
+without touching any consumer.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable
+
+from repro.engine.geometry import FabricGeometry
+from repro.engine.state import FabricState, NumpyState, PythonState
+
+try:  # NumPy is optional everywhere in this repo.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None  # type: ignore[assignment]
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKENDS",
+    "NUMPY_WORD_BITS",
+    "available_backends",
+    "make_state",
+    "numpy_gate_error",
+    "register_backend",
+    "resolve_backend",
+]
+
+#: environment override for ``backend="auto"`` resolution.
+BACKEND_ENV = "WDM_REPRO_BATCH_BACKEND"
+#: selectable state backends (``auto`` resolves to one of these).
+BACKENDS = ("python", "numpy")
+#: widest mask the numpy backend can pack into one signed int64 word --
+#: the single source of truth for the ``m, r, k <= 62`` gate.
+NUMPY_WORD_BITS = 62
+
+_FACTORIES: dict[str, Callable[[tuple[FabricGeometry, ...]], FabricState]] = {
+    "python": PythonState,
+    "numpy": NumpyState,
+}
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[tuple[FabricGeometry, ...]], FabricState],
+) -> None:
+    """Register an additional fabric-state backend (the plug-in seam).
+
+    The factory takes a tuple of per-replication geometries and returns
+    a :class:`~repro.engine.state.FabricState`.  Registered names become
+    valid ``backend=`` arguments everywhere (batch engine, CLI); they
+    are never chosen by ``auto``.
+    """
+    if name in ("auto",) + BACKENDS:
+        raise ValueError(f"backend name {name!r} is reserved")
+    _FACTORIES[name] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """The state backends usable in this process."""
+    if _np is None:
+        return tuple(n for n in _FACTORIES if n != "numpy")
+    return tuple(_FACTORIES)
+
+
+def numpy_gate_error(m_max: int, r: int, k: int) -> str:
+    """The uniform error message for a failed int64 word gate."""
+    return (
+        f"batch backend 'numpy' packs masks into int64 words and "
+        f"needs m, r, k <= {NUMPY_WORD_BITS}; got m={m_max}, r={r}, k={k}"
+    )
+
+
+def resolve_backend(backend: str = "auto", *, m_max: int, r: int, k: int) -> str:
+    """Resolve a backend request to a concrete backend name.
+
+    ``auto`` honours the ``WDM_REPRO_BATCH_BACKEND`` environment
+    variable, then defaults to ``python`` -- the int-bitplane replay
+    beats the int64 structure-of-arrays on CPython for paper-scale
+    networks (the numpy backend's per-replication cover search still
+    crosses the scalar boundary on every event).  Asking for ``numpy``
+    explicitly -- directly or through the environment override -- raises
+    if NumPy is missing or the configuration does not fit the
+    :data:`NUMPY_WORD_BITS` word gate.
+    """
+    if backend == "auto":
+        backend = os.environ.get(BACKEND_ENV, "").strip().lower() or "auto"
+    if backend == "auto":
+        # Either installed backend is valid here; python wins on CPython
+        # (see EXPERIMENTS.md P4), so auto picks it even with numpy around.
+        return "python"
+    if backend not in _FACTORIES:
+        choices = ("auto",) + tuple(_FACTORIES)
+        raise ValueError(
+            f"unknown batch backend {backend!r}; choose from {choices}"
+        )
+    if backend == "numpy":
+        if _np is None:
+            raise ValueError(
+                "batch backend 'numpy' requested but numpy is not installed"
+            )
+        if max(m_max, r, k) > NUMPY_WORD_BITS:
+            raise ValueError(numpy_gate_error(m_max, r, k))
+    return backend
+
+
+def make_state(
+    geometries: Iterable[FabricGeometry], backend: str = "auto"
+) -> FabricState:
+    """Build a fabric state for ``geometries`` on a resolved backend."""
+    geos = tuple(geometries)
+    if not geos:
+        raise ValueError("need at least one FabricGeometry")
+    name = resolve_backend(
+        backend,
+        m_max=max(geo.m for geo in geos),
+        r=geos[0].r,
+        k=geos[0].k,
+    )
+    return _FACTORIES[name](geos)

@@ -1,0 +1,339 @@
+"""Interchangeable fabric-state backends behind one protocol.
+
+A :class:`FabricState` holds the occupancy bitplanes of ``B``
+replications of one fabric family (same ``n, r, k``, construction,
+model and ``x``; per-replication ``m``) and exposes exactly three
+operations to the admission kernels:
+
+* :meth:`~FabricState.setup_views` -- the per-replication first-stage
+  blocked masks and second-stage blocker rows for a setup at
+  ``(input module, source wavelength)``;
+* :meth:`~FabricState.allocate` -- commit one replication's cover,
+  returning the branch tuple needed to undo it;
+* :meth:`~FabricState.free` -- release a previously allocated branch
+  tuple.
+
+Two backends implement it bit-identically:
+
+* :class:`PythonState` -- nested lists of unbounded ints (bitplanes);
+  no dependencies, and the fastest backend on CPython for paper-scale
+  networks;
+* :class:`NumpyState` -- the same masks packed into ``int64``
+  structure-of-arrays (one row per replication), which vectorizes the
+  per-event view extraction across the batch; gated to
+  ``m, r, k <= 62`` so every mask fits one signed word.
+
+The storage layouts are chosen so :meth:`~FabricState.setup_views` is
+(near) allocation-free: the python backend keeps the batch axis
+innermost on the blocked planes and outermost on the blocker rows, so
+both views are plain sub-list references; the numpy backend slices and
+``.tolist()``-s, which is one vectorized pass.  A future numba/CUDA
+backend plugs in through :func:`repro.engine.backends.register_backend`
+by conforming to this protocol.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any, Protocol
+
+from repro.engine.geometry import FabricGeometry
+
+try:  # NumPy is optional everywhere in this repo.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None  # type: ignore[assignment]
+
+__all__ = ["FabricState", "NumpyState", "PythonState"]
+
+#: branch tuples -- ``(j, assigned_mask)`` per middle under the
+#: MSW-dominant construction, ``(j, in_wavelength, deliveries)`` with
+#: ``deliveries = ((p, out_wavelength), ...)`` under MAW-dominant.
+Branches = tuple[tuple[Any, ...], ...]
+
+
+class FabricState(Protocol):
+    """Protocol every fabric-state backend conforms to."""
+
+    geometries: tuple[FabricGeometry, ...]
+    batch: int
+    x: int
+    msw_dominant: bool
+    all_masks: list[int]
+    failed_mask: int
+
+    def setup_views(
+        self, g: int, sw: int
+    ) -> tuple[Sequence[int], Sequence[Sequence[int]]]:
+        """Per-replication ``(blocked masks, blocker rows)`` for a setup.
+
+        ``blocked[b]`` is the first-stage blocked-middles mask out of
+        input module ``g`` (source wavelength busy under MSW-dominant,
+        fiber full under MAW-dominant); ``blockers[b][j]`` is the
+        output-module mask middle ``j`` can *not* reach (second-stage
+        fiber busy on the needed wavelength, or full when the model
+        leaves the delivery wavelength free).
+        """
+        ...
+
+    def allocate(
+        self, b: int, g: int, sw: int, cover: Mapping[int, int]
+    ) -> Branches:
+        """Commit ``cover`` on replication ``b``; returns undo branches."""
+        ...
+
+    def free(self, b: int, g: int, sw: int, branches: Branches) -> None:
+        """Release branches previously returned by :meth:`allocate`."""
+        ...
+
+
+def _check_family(geometries: tuple[FabricGeometry, ...]) -> None:
+    if not geometries:
+        raise ValueError("need at least one FabricGeometry")
+    head = geometries[0]
+    for geo in geometries[1:]:
+        if geo.with_m(head.m) != head:
+            raise ValueError(
+                "batched state needs one fabric family (same n, r, k, "
+                f"construction, model, x); got {head} vs {geo}"
+            )
+
+
+class PythonState:
+    """Int-bitplane fabric state (the dependency-free backend).
+
+    Per replication ``b`` the whole fabric is a handful of bitplanes --
+    exactly the network's ``_in_mid_busy``/``_in_mid_full``/
+    ``_mid_out_busy``/``_mid_out_full`` caches, transposed so the
+    per-event views are sub-list references:
+
+    * MSW-dominant: ``in_busy[g][w][b]`` (middles whose first-stage
+      fiber from ``g`` carries ``w``) and ``out_busy[w][b][j]`` (output
+      modules whose second-stage fiber from ``j`` carries ``w``);
+    * MAW-dominant: per-fiber wavelength masks ``in_wave[g][b][j]`` /
+      ``out_wave[b][j][p]`` with their aggregated full-fiber planes
+      ``in_full[g][b]`` / ``out_full[b][j]``; ``out_busy[w][b][j]`` is
+      maintained too and drives reachability when the endpoint model is
+      MSW (delivery wavelength pinned to the source's).
+
+    Wavelength picks replicate first-fit (lowest free bit), the
+    Monte-Carlo networks' policy.
+    """
+
+    def __init__(self, geometries: Iterable[FabricGeometry]):
+        geos = tuple(geometries)
+        _check_family(geos)
+        head = geos[0]
+        self.geometries = geos
+        self.batch = len(geos)
+        self.x = head.x
+        self.msw_dominant = head.msw_dominant
+        self.all_masks = [geo.all_middles_mask for geo in geos]
+        self.failed_mask = 0
+        self._model_msw = head.model_msw
+        self._k_full = head.k_full
+        r, k, batch = head.r, head.k, self.batch
+        m_values = [geo.m for geo in geos]
+        self._out_busy = [
+            [[0] * m for m in m_values] for _ in range(k)
+        ]
+        if self.msw_dominant:
+            self._in_busy = [
+                [[0] * batch for _ in range(k)] for _ in range(r)
+            ]
+        else:
+            self._in_wave = [[[0] * m for m in m_values] for _ in range(r)]
+            self._in_full = [[0] * batch for _ in range(r)]
+            self._out_wave = [[[0] * r for _ in range(m)] for m in m_values]
+            self._out_full = [[0] * m for m in m_values]
+
+    def setup_views(
+        self, g: int, sw: int
+    ) -> tuple[Sequence[int], Sequence[Sequence[int]]]:
+        if self.msw_dominant:
+            return self._in_busy[g][sw], self._out_busy[sw]
+        if self._model_msw:
+            return self._in_full[g], self._out_busy[sw]
+        return self._in_full[g], self._out_full
+
+    def allocate(
+        self, b: int, g: int, sw: int, cover: Mapping[int, int]
+    ) -> Branches:
+        branches: list[tuple[Any, ...]] = []
+        if self.msw_dominant:
+            row = self._out_busy[sw][b]
+            busy_row = self._in_busy[g][sw]
+            busy = busy_row[b]
+            for j in sorted(cover):
+                assigned = cover[j]
+                busy |= 1 << j
+                row[j] |= assigned
+                branches.append((j, assigned))
+            busy_row[b] = busy
+            return tuple(branches)
+        k_full = self._k_full
+        waves = self._in_wave[g][b]
+        full_row = self._in_full[g]
+        for j in sorted(cover):
+            free = k_full & ~waves[j]
+            in_w = (free & -free).bit_length() - 1
+            waves[j] |= 1 << in_w
+            if waves[j] == k_full:
+                full_row[b] |= 1 << j
+            fiber = self._out_wave[b][j]
+            deliveries = []
+            assigned = cover[j]
+            while assigned:
+                low = assigned & -assigned
+                assigned ^= low
+                p = low.bit_length() - 1
+                if self._model_msw:
+                    out_w = sw
+                else:
+                    free_out = k_full & ~fiber[p]
+                    out_w = (free_out & -free_out).bit_length() - 1
+                fiber[p] |= 1 << out_w
+                if fiber[p] == k_full:
+                    self._out_full[b][j] |= 1 << p
+                self._out_busy[out_w][b][j] |= 1 << p
+                deliveries.append((p, out_w))
+            branches.append((j, in_w, tuple(deliveries)))
+        return tuple(branches)
+
+    def free(self, b: int, g: int, sw: int, branches: Branches) -> None:
+        if self.msw_dominant:
+            row = self._out_busy[sw][b]
+            busy_row = self._in_busy[g][sw]
+            busy = busy_row[b]
+            for j, assigned in branches:
+                busy &= ~(1 << j)
+                row[j] &= ~assigned
+            busy_row[b] = busy
+            return
+        k_full = self._k_full
+        waves = self._in_wave[g][b]
+        full_row = self._in_full[g]
+        for j, in_w, deliveries in branches:
+            if waves[j] == k_full:
+                full_row[b] &= ~(1 << j)
+            waves[j] &= ~(1 << in_w)
+            fiber = self._out_wave[b][j]
+            for p, out_w in deliveries:
+                if fiber[p] == k_full:
+                    self._out_full[b][j] &= ~(1 << p)
+                fiber[p] &= ~(1 << out_w)
+                self._out_busy[out_w][b][j] &= ~(1 << p)
+
+
+class NumpyState:
+    """Int64 structure-of-arrays fabric state (vectorized views).
+
+    Same event-level decisions as :class:`PythonState`, bit for bit;
+    the batch dimension is the leading axis of every array, so the
+    per-event views for *all* replications come out of one vectorized
+    slice + ``.tolist()`` (the cover search itself then runs per
+    replication on plain ints).  Gated by the backend registry to
+    ``m, r, k <= 62`` so every mask fits one signed word.
+    """
+
+    def __init__(self, geometries: Iterable[FabricGeometry]):
+        if _np is None:  # pragma: no cover - registry gates first
+            raise ValueError("NumpyState requires numpy")
+        geos = tuple(geometries)
+        _check_family(geos)
+        head = geos[0]
+        self.geometries = geos
+        self.batch = len(geos)
+        self.x = head.x
+        self.msw_dominant = head.msw_dominant
+        self.all_masks = [geo.all_middles_mask for geo in geos]
+        self.failed_mask = 0
+        self._model_msw = head.model_msw
+        self._k_full = head.k_full
+        r, k, batch = head.r, head.k, self.batch
+        m_max = max(geo.m for geo in geos)
+        self._out_busy = _np.zeros((batch, m_max, k), dtype=_np.int64)
+        if self.msw_dominant:
+            self._in_busy = _np.zeros((batch, r, k), dtype=_np.int64)
+        else:
+            self._in_wave = _np.zeros((batch, r, m_max), dtype=_np.int64)
+            self._in_full = _np.zeros((batch, r), dtype=_np.int64)
+            self._out_wave = _np.zeros((batch, m_max, r), dtype=_np.int64)
+            self._out_full = _np.zeros((batch, m_max), dtype=_np.int64)
+
+    def setup_views(
+        self, g: int, sw: int
+    ) -> tuple[Sequence[int], Sequence[Sequence[int]]]:
+        if self.msw_dominant:
+            blocked = self._in_busy[:, g, sw]
+            blockers = self._out_busy[:, :, sw]
+        else:
+            blocked = self._in_full[:, g]
+            blockers = (
+                self._out_busy[:, :, sw] if self._model_msw else self._out_full
+            )
+        return blocked.tolist(), blockers.tolist()
+
+    def allocate(
+        self, b: int, g: int, sw: int, cover: Mapping[int, int]
+    ) -> Branches:
+        branches: list[tuple[Any, ...]] = []
+        if self.msw_dominant:
+            busy = int(self._in_busy[b, g, sw])
+            for j in sorted(cover):
+                assigned = cover[j]
+                busy |= 1 << j
+                self._out_busy[b, j, sw] |= assigned
+                branches.append((j, assigned))
+            self._in_busy[b, g, sw] = busy
+            return tuple(branches)
+        k_full = self._k_full
+        for j in sorted(cover):
+            waves = int(self._in_wave[b, g, j])
+            free = k_full & ~waves
+            in_w = (free & -free).bit_length() - 1
+            waves |= 1 << in_w
+            self._in_wave[b, g, j] = waves
+            if waves == k_full:
+                self._in_full[b, g] |= 1 << j
+            deliveries = []
+            assigned = cover[j]
+            while assigned:
+                low = assigned & -assigned
+                assigned ^= low
+                p = low.bit_length() - 1
+                fiber = int(self._out_wave[b, j, p])
+                if self._model_msw:
+                    out_w = sw
+                else:
+                    free_out = k_full & ~fiber
+                    out_w = (free_out & -free_out).bit_length() - 1
+                fiber |= 1 << out_w
+                self._out_wave[b, j, p] = fiber
+                if fiber == k_full:
+                    self._out_full[b, j] |= 1 << p
+                self._out_busy[b, j, out_w] |= 1 << p
+                deliveries.append((p, out_w))
+            branches.append((j, in_w, tuple(deliveries)))
+        return tuple(branches)
+
+    def free(self, b: int, g: int, sw: int, branches: Branches) -> None:
+        if self.msw_dominant:
+            busy = int(self._in_busy[b, g, sw])
+            for j, assigned in branches:
+                busy &= ~(1 << j)
+                self._out_busy[b, j, sw] &= ~assigned
+            self._in_busy[b, g, sw] = busy
+            return
+        k_full = self._k_full
+        for j, in_w, deliveries in branches:
+            waves = int(self._in_wave[b, g, j])
+            if waves == k_full:
+                self._in_full[b, g] &= ~(1 << j)
+            self._in_wave[b, g, j] = waves & ~(1 << in_w)
+            for p, out_w in deliveries:
+                fiber = int(self._out_wave[b, j, p])
+                if fiber == k_full:
+                    self._out_full[b, j] &= ~(1 << p)
+                self._out_wave[b, j, p] = fiber & ~(1 << out_w)
+                self._out_busy[b, j, out_w] &= ~(1 << p)

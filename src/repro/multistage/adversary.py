@@ -75,6 +75,18 @@ class BlockingWitness:
             return net
         raise AssertionError("witness no longer blocks; routing changed?")
 
+    def explain(self) -> dict:
+        """Replay the witness and classify the block through the engine.
+
+        Returns the :func:`repro.engine.kernel.block_cause` dict (shape
+        :data:`repro.obs.trace.CAUSE_SCHEMA`) for the refused request --
+        the same classification the serial simulator and the lockstep
+        batch engine would report, since all three paths share
+        :mod:`repro.engine`.
+        """
+        net = self.replay()
+        return net.explain_block(self.blocked_request)
+
 
 @dataclass(frozen=True)
 class Fig10Outcome:

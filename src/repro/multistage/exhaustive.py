@@ -193,7 +193,7 @@ def _all_covers(
             options.append(admissible)
     else:
         coverable_bits = net._coverable_bits(
-            g, request.source.wavelength, mask_of(destinations), required
+            g, request.source.wavelength, mask_of(destinations)
         )
         options = []
         for p in destinations:

@@ -56,6 +56,8 @@ from repro import obs as _obs
 from repro.combinatorics.multiset import DestinationMultiset
 from repro.core.models import Construction, MulticastModel
 from repro.core.multistage import is_nonblocking, valid_x_range
+from repro.engine.geometry import FabricGeometry
+from repro.engine.kernel import block_cause, free_middles, reach_map
 from repro.multistage.routing import (
     CoverSearch,
     find_cover,
@@ -275,11 +277,12 @@ class ThreeStageNetwork:
         self.model = model
         legal_x = valid_x_range(n, r)
         self.x = legal_x[-1] if x is None else x
-        if self.x not in legal_x:
-            raise ValueError(
-                f"x={self.x} outside the legal range "
-                f"[{legal_x[0]}, {legal_x[-1]}] for n={n}, r={r}"
-            )
+        # The geometry validates x (same message as before) and is the
+        # engine-facing identity of this fabric.
+        self.geometry = FabricGeometry(
+            n=n, r=r, k=k, m=m,
+            construction=construction, model=model, x=self.x,
+        )
         if selection not in self.SELECTIONS:
             raise ValueError(
                 f"unknown selection strategy {selection!r}; "
@@ -311,7 +314,9 @@ class ThreeStageNetwork:
         self._in_mid_busy = [[0] * k for _ in range(r)]  # [g][w] -> mask over j
         self._in_mid_count = [[0] * m for _ in range(r)]  # [g][j] -> busy count
         self._in_mid_full = [0] * r  # [g] -> mask over j with count == k
-        self._mid_out_busy = [[0] * k for _ in range(m)]  # [j][w] -> mask over p
+        # Transposed [w][j] so one wavelength's blocker row is a flat
+        # list the engine kernels index per middle.
+        self._mid_out_busy = [[0] * m for _ in range(k)]  # [w][j] -> mask over p
         self._mid_out_count = [[0] * r for _ in range(m)]  # [j][p] -> busy count
         self._mid_out_full = [0] * m  # [j] -> mask over p with count == k
         self._failed_mask = 0
@@ -377,11 +382,11 @@ class ThreeStageNetwork:
 
     def destination_set(self, middle: int, wavelength: int) -> frozenset[int]:
         """MSW-dominant per-wavelength destination set of a middle switch."""
-        return frozenset(iter_bits(self._mid_out_busy[middle][wavelength]))
+        return frozenset(iter_bits(self._mid_out_busy[wavelength][middle]))
 
     def destination_mask(self, middle: int, wavelength: int) -> int:
         """Bitmask form of :meth:`destination_set` (bit ``p`` = busy fiber)."""
-        return self._mid_out_busy[middle][wavelength]
+        return self._mid_out_busy[wavelength][middle]
 
     def conversions_of(self, connection_id: int) -> int:
         """Wavelength conversions a live connection undergoes end to end.
@@ -439,7 +444,7 @@ class ThreeStageNetwork:
             blocked = self._in_mid_busy[g][source.wavelength]
         else:
             blocked = self._in_mid_full[g]
-        free = self._all_middles_mask & ~(blocked | self._failed_mask)
+        free = free_middles(self._all_middles_mask, blocked, self._failed_mask)
         return list(iter_bits(free))
 
     # -- state signatures ---------------------------------------------------
@@ -681,48 +686,53 @@ class ThreeStageNetwork:
                 coverable[j] = frozenset(reach)
         return coverable
 
+    def _admission_rows(
+        self, input_module: int, source_wavelength: int
+    ) -> tuple[int, list[int]]:
+        """The engine-kernel view of this state for one setup.
+
+        Returns ``(blocked, blockers)``: the first-stage blocked-middles
+        mask out of ``input_module`` and the per-middle second-stage
+        blocker row.  This pair is the *only* place the serial network
+        maps its incremental caches onto the per-model admission rule;
+        everything downstream (reachability, cover search, cause
+        classification) is :mod:`repro.engine.kernel`.
+
+        Under the MSW-dominant construction the source wavelength is
+        pinned end to end, so both rows are per-wavelength busy masks.
+        Under MAW-dominant the first stage blocks only on a *full*
+        fiber; the second stage pins the delivery wavelength to the
+        source's exactly when the endpoint model is MSW (validated
+        requests have all destination wavelengths equal to it), and
+        otherwise converts freely, blocking only on full fibers.
+        """
+        g = input_module
+        if self.construction is Construction.MSW_DOMINANT:
+            return (
+                self._in_mid_busy[g][source_wavelength],
+                self._mid_out_busy[source_wavelength],
+            )
+        if self.model is MulticastModel.MSW:
+            return self._in_mid_full[g], self._mid_out_busy[source_wavelength]
+        return self._in_mid_full[g], self._mid_out_full
+
     def _coverable_bits(
         self,
         input_module: int,
         source_wavelength: int,
         dest_mask: int,
-        required: dict[int, int | None],
     ) -> dict[int, int]:
         """Bitmask form of :meth:`_coverable_sets`, served from the cache.
 
-        Keys iterate in ascending middle index, matching the sorted
-        candidate order of the reference path; values are bitmasks over
-        output modules.
+        Delegates to the shared engine kernel: keys iterate in ascending
+        middle index, matching the sorted candidate order of the
+        reference path; values are bitmasks over output modules.
         """
-        g = input_module
-        if self.construction is Construction.MSW_DOMINANT:
-            blocked = self._in_mid_busy[g][source_wavelength]
-            available = self._all_middles_mask & ~(blocked | self._failed_mask)
-            mid_out_busy = self._mid_out_busy
-            coverable: dict[int, int] = {}
-            for j in iter_bits(available):
-                reach = dest_mask & ~mid_out_busy[j][source_wavelength]
-                if reach:
-                    coverable[j] = reach
-            return coverable
-        blocked = self._in_mid_full[g]
-        available = self._all_middles_mask & ~(blocked | self._failed_mask)
-        pinned_masks: dict[int, int] = {}
-        unpinned = 0
-        for p, wavelength in required.items():
-            if wavelength is None:
-                unpinned |= 1 << p
-            else:
-                pinned_masks[wavelength] = pinned_masks.get(wavelength, 0) | (1 << p)
-        coverable = {}
-        for j in iter_bits(available):
-            busy = self._mid_out_busy[j]
-            reach = unpinned & ~self._mid_out_full[j]
-            for wavelength, mask in pinned_masks.items():
-                reach |= mask & ~busy[wavelength]
-            if reach:
-                coverable[j] = reach
-        return coverable
+        blocked, blockers = self._admission_rows(input_module, source_wavelength)
+        available = free_middles(
+            self._all_middles_mask, blocked, self._failed_mask
+        )
+        return reach_map(available, dest_mask, blockers)
 
     def _cover_for(
         self,
@@ -777,7 +787,7 @@ class ThreeStageNetwork:
         }
         dest_mask = mask_of(module_destinations)
         coverable_bits = self._coverable_bits(
-            g, request.source.wavelength, dest_mask, required
+            g, request.source.wavelength, dest_mask
         )
         if force_middles is not None:
             cover = self._validated_forced_cover(
@@ -850,48 +860,23 @@ class ThreeStageNetwork:
         """
         g = self.topology.input_module_of(request.source.port)
         source_wavelength = request.source.wavelength
-        module_destinations = self._module_destinations(request)
-        required = self._required_out_wavelength(module_destinations)
-        msw_dominant = self.construction is Construction.MSW_DOMINANT
-        if msw_dominant:
-            blocked = self._in_mid_busy[g][source_wavelength]
-        else:
-            blocked = self._in_mid_full[g]
-        available = self._all_middles_mask & ~(blocked | self._failed_mask)
-        dest_mask = mask_of(module_destinations)
-        coverable = self._coverable_bits(
-            g, source_wavelength, dest_mask, required
+        dest_mask = mask_of(self._module_destinations(request))
+        blocked, blockers = self._admission_rows(g, source_wavelength)
+        available = free_middles(
+            self._all_middles_mask, blocked, self._failed_mask
         )
-        per_destination = []
-        reachable_union = 0
-        for p in sorted(module_destinations):
-            middles = mask_of(
-                j for j, reach in coverable.items() if reach >> p & 1
-            )
-            per_destination.append([p, middles])
-            if middles:
-                reachable_union |= 1 << p
-        unreachable = dest_mask & ~reachable_union
-        if available == 0:
-            kind = (
-                "saturated_wavelength" if msw_dominant else "converter_exhaustion"
-            )
-        elif unreachable:
-            kind = "full_middles"
-        else:
-            kind = "no_cover"
-        return {
-            "kind": kind,
-            "x": self.x,
-            "input_module": g,
-            "source_wavelength": source_wavelength,
-            "failed_middles_mask": self._failed_mask,
-            "first_stage_blocked_mask": blocked,
-            "available_middles_mask": available,
-            "destination_modules": sorted(module_destinations),
-            "unreachable_modules": list(iter_bits(unreachable)),
-            "per_destination": per_destination,
-        }
+        coverable = reach_map(available, dest_mask, blockers)
+        return block_cause(
+            x=self.x,
+            input_module=g,
+            source_wavelength=source_wavelength,
+            blocked_mask=blocked,
+            available=available,
+            coverable=coverable,
+            dest_mask=dest_mask,
+            msw_dominant=self.construction is Construction.MSW_DOMINANT,
+            failed_mask=self._failed_mask,
+        )
 
     def _mark_in_mid(self, g: int, j: int, wavelength: int, busy: bool) -> None:
         """Set one first-stage link wavelength and keep the cache in sync."""
@@ -918,13 +903,13 @@ class ThreeStageNetwork:
         wave = self._mid_out.wave[j]
         if busy:
             wave[p] |= 1 << wavelength
-            self._mid_out_busy[j][wavelength] |= bit
+            self._mid_out_busy[wavelength][j] |= bit
             counts[p] += 1
             if counts[p] == self.topology.k:
                 self._mid_out_full[j] |= bit
         else:
             wave[p] &= ~(1 << wavelength)
-            self._mid_out_busy[j][wavelength] &= ~bit
+            self._mid_out_busy[wavelength][j] &= ~bit
             if counts[p] == self.topology.k:
                 self._mid_out_full[j] &= ~bit
             counts[p] -= 1
@@ -1259,7 +1244,7 @@ class ThreeStageNetwork:
             row = self._mid_out.wave[j]
             for w in range(k):
                 expected = mask_of(p for p in range(r) if row[p] >> w & 1)
-                assert self._mid_out_busy[j][w] == expected, (
+                assert self._mid_out_busy[w][j] == expected, (
                     "mid_out busy-mask cache out of sync"
                 )
             counts = [row[p].bit_count() for p in range(r)]

@@ -29,14 +29,18 @@ per line (JSONL), so traces stream to disk or a pipe and are grep- and
 
 The schema is exported as :data:`TRACE_SCHEMA` and enforced by
 :func:`validate_record` (used by the tests and the ``repro trace``
-CLI).  Stdlib-only by design -- the hot paths import this module
-transitively via :mod:`repro.obs`.
+CLI).  Dependency-free by design -- the hot paths import this module
+transitively via :mod:`repro.obs`, so it pulls in nothing beyond the
+stdlib and the (equally dependency-free) :mod:`repro.engine.kernel`
+taxonomy.
 """
 
 from __future__ import annotations
 
 import json
 from typing import Any, IO
+
+from repro.engine.kernel import BLOCK_KINDS
 
 __all__ = ["TRACE_SCHEMA", "Tracer", "validate_record"]
 
@@ -89,13 +93,10 @@ CAUSE_SCHEMA: dict[str, type | tuple[type, ...]] = {
     "per_destination": list,
 }
 
-#: the closed set of blocking-cause classifications
-CAUSE_KINDS = (
-    "saturated_wavelength",
-    "converter_exhaustion",
-    "full_middles",
-    "no_cover",
-)
+#: the closed set of blocking-cause classifications, defined once by the
+#: admission engine (:data:`repro.engine.kernel.BLOCK_KINDS`) so the
+#: trace schema can never drift from what the kernels actually emit
+CAUSE_KINDS = BLOCK_KINDS
 
 
 def validate_record(record: Any) -> None:

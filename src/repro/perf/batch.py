@@ -19,47 +19,47 @@ ways:
   is a handful of mask operations per replication instead of a network
   object call stack.
 
-The replay reproduces the serial simulator *bit for bit*: the traffic
-generator's RNG stream, the greedy/exact cover search of
-:func:`repro.multistage.routing.find_cover_bits`, first-fit wavelength
-assignment, ascending-middle allocation order and the
-``explain_block`` cause classification are all replicated exactly, and
-the property tests plus ``bench_perf.py`` assert per-replication
-equality of ``(attempts, blocked)`` and causes against the bitmask
-kernel.
+The replay reproduces the serial simulator *bit for bit* because both
+run the same code: one backend-parameterized event loop
+(:func:`_replay`) drives the shared admission kernels of
+:mod:`repro.engine` (``probe_cover`` for routing, ``block_cause`` for
+``explain_block``-identical causes) against a
+:class:`~repro.engine.state.FabricState` -- the traffic generator's RNG
+stream, first-fit wavelength assignment and ascending-middle allocation
+order are all properties of those kernels, and the property tests plus
+``bench_perf.py`` assert per-replication equality of ``(attempts,
+blocked)`` and causes against the bitmask kernel.
 
-Two state backends share the event loop:
-
-* ``python`` -- nested lists of unbounded ints (bitplanes); no
-  dependencies, and the fastest backend on CPython for paper-scale
-  networks, so it is what ``auto`` resolves to;
-* ``numpy`` -- the same masks packed into ``int64`` structure-of-arrays
-  (one row per replication), which vectorizes the per-event
-  availability/reachability precomputation across the batch; it
-  requires ``m, r, k <= 62`` (one machine word) and NumPy installed.
-
-``WDM_REPRO_BATCH_BACKEND`` overrides ``auto`` resolution.  The engine
-is wired in as ``routing_kernel("batched")``: single-request routing is
-untouched (identical to ``bitmask``), but the Monte-Carlo estimators
-dispatch whole seed-batches here instead of one cell at a time.
+The state backends (``python`` int bitplanes, optional ``numpy`` int64
+structure-of-arrays gated at ``m, r, k <=``
+:data:`~repro.engine.backends.NUMPY_WORD_BITS`) live in
+:mod:`repro.engine.state` behind the :mod:`repro.engine.backends`
+registry; ``WDM_REPRO_BATCH_BACKEND`` overrides ``auto`` resolution.
+The engine is wired in as ``routing_kernel("batched")``: single-request
+routing is untouched (identical to ``bitmask``), but the Monte-Carlo
+estimators dispatch whole seed-batches here instead of one cell at a
+time.
 """
 
 from __future__ import annotations
 
-import os
 import random
 from dataclasses import dataclass
 
 from repro import obs as _obs
 from repro.core.models import Construction, MulticastModel
 from repro.core.multistage import valid_x_range
-from repro.multistage.routing import find_cover_bits, iter_bits
+from repro.engine.backends import (
+    BACKEND_ENV,
+    BACKENDS,
+    available_backends,
+    make_state,
+    resolve_backend,
+)
+from repro.engine.geometry import FabricGeometry
+from repro.engine.kernel import block_cause, classify_kind, probe_cover
+from repro.engine.state import FabricState
 from repro.switching.generators import dynamic_traffic
-
-try:  # NumPy is optional everywhere in this repo.
-    import numpy as _np
-except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
-    _np = None
 
 __all__ = [
     "BACKEND_ENV",
@@ -72,57 +72,8 @@ __all__ = [
     "simulate_batch",
 ]
 
-#: environment override for ``backend="auto"`` resolution.
-BACKEND_ENV = "WDM_REPRO_BATCH_BACKEND"
-#: selectable state backends (``auto`` resolves to one of these).
-BACKENDS = ("python", "numpy")
-#: widest mask the numpy backend can pack into one signed int64 word.
-_WORD_BITS = 62
-
 _SETUP = 1
 _TEARDOWN = 0
-
-
-def available_backends() -> tuple[str, ...]:
-    """The state backends usable in this process."""
-    return BACKENDS if _np is not None else ("python",)
-
-
-def resolve_backend(backend: str = "auto", *, m_max: int, r: int, k: int) -> str:
-    """Resolve a backend request to a concrete backend name.
-
-    ``auto`` honours the ``WDM_REPRO_BATCH_BACKEND`` environment
-    variable, then defaults to ``python`` -- the int-bitplane replay
-    beats the int64 structure-of-arrays on CPython for paper-scale
-    networks (the numpy backend's per-replication cover search still
-    crosses the scalar boundary on every event).  Asking for ``numpy``
-    explicitly raises if NumPy is missing or the configuration does not
-    fit the 62-bit word gate.
-    """
-    if backend == "auto":
-        backend = os.environ.get(BACKEND_ENV, "").strip().lower() or "auto"
-    if backend == "auto":
-        if _np is not None and max(m_max, r, k) <= _WORD_BITS:
-            # Either backend is valid here; python wins on CPython (see
-            # EXPERIMENTS.md P4), so auto picks it even with numpy around.
-            return "python"
-        return "python"
-    if backend not in BACKENDS:
-        raise ValueError(
-            f"unknown batch backend {backend!r}; choose from "
-            f"('auto', 'python', 'numpy')"
-        )
-    if backend == "numpy":
-        if _np is None:
-            raise ValueError(
-                "batch backend 'numpy' requested but numpy is not installed"
-            )
-        if max(m_max, r, k) > _WORD_BITS:
-            raise ValueError(
-                f"batch backend 'numpy' packs masks into int64 words and "
-                f"needs m, r, k <= {_WORD_BITS}; got m={m_max}, r={r}, k={k}"
-            )
-    return backend
 
 
 def compile_stream(
@@ -193,60 +144,6 @@ class _Replication:
         self.causes: list[dict] = []
 
 
-def _classify(avail: int, coverable: dict[int, int], dest_mask: int, msw_dominant: bool) -> str:
-    """The ``explain_block`` cause kind, from the replay's own masks."""
-    if avail == 0:
-        return "saturated_wavelength" if msw_dominant else "converter_exhaustion"
-    union = 0
-    for reach in coverable.values():
-        union |= reach
-    if dest_mask & ~union:
-        return "full_middles"
-    return "no_cover"
-
-
-def _cause_dict(
-    x: int,
-    g: int,
-    sw: int,
-    blocked_mask: int,
-    avail: int,
-    coverable: dict[int, int],
-    dest_mask: int,
-    msw_dominant: bool,
-) -> dict:
-    """The full ``explain_block`` evidence dict for one blocked setup."""
-    per_destination = []
-    reachable_union = 0
-    for p in iter_bits(dest_mask):
-        middles = 0
-        for j, reach in coverable.items():
-            if reach >> p & 1:
-                middles |= 1 << j
-        per_destination.append([p, middles])
-        if middles:
-            reachable_union |= 1 << p
-    unreachable = dest_mask & ~reachable_union
-    if avail == 0:
-        kind = "saturated_wavelength" if msw_dominant else "converter_exhaustion"
-    elif unreachable:
-        kind = "full_middles"
-    else:
-        kind = "no_cover"
-    return {
-        "kind": kind,
-        "x": x,
-        "input_module": g,
-        "source_wavelength": sw,
-        "failed_middles_mask": 0,
-        "first_stage_blocked_mask": blocked_mask,
-        "available_middles_mask": avail,
-        "destination_modules": list(iter_bits(dest_mask)),
-        "unreachable_modules": list(iter_bits(unreachable)),
-        "per_destination": per_destination,
-    }
-
-
 def _record_block(
     rep: _Replication,
     cid: int,
@@ -266,381 +163,75 @@ def _record_block(
     dropped.add(cid)
     if want_kinds:
         if want_causes:
-            cause = _cause_dict(
-                x, g, sw, blocked_mask, avail, coverable, dest_mask, msw_dominant
+            cause = block_cause(
+                x=x,
+                input_module=g,
+                source_wavelength=sw,
+                blocked_mask=blocked_mask,
+                available=avail,
+                coverable=coverable,
+                dest_mask=dest_mask,
+                msw_dominant=msw_dominant,
             )
             rep.causes.append(cause)
             kind = cause["kind"]
         else:
-            kind = _classify(avail, coverable, dest_mask, msw_dominant)
+            kind = classify_kind(avail, coverable, dest_mask, msw_dominant)
         rep.kind_counts[kind] = rep.kind_counts.get(kind, 0) + 1
 
 
-def _replay_msw_dominant_python(
+def _replay(
     ops: list[tuple[int, int, int, int, int]],
-    m_values: list[int],
-    r: int,
-    k: int,
-    x: int,
+    state: FabricState,
     want_kinds: bool,
     want_causes: bool,
 ) -> tuple[int, list[_Replication]]:
-    """Lockstep replay, MSW-dominant fabric, int-bitplane state.
+    """The single lockstep event loop, parameterized by the state backend.
 
-    Per replication ``b`` the whole fabric is two bitplanes -- the
-    MSW-dominant construction pins every internal hop to the source
-    wavelength, so occupancy is fully described by
-    ``in_busy[b][g][w]`` (middle switches whose first-stage fiber from
-    input module ``g`` carries ``w``) and ``out_busy[b][j][w]`` (output
-    modules whose second-stage fiber from middle ``j`` carries ``w``).
-    These are exactly the network's ``_in_mid_busy``/``_mid_out_busy``
-    caches, so availability and reachability reads match the serial
-    simulator mask for mask.
+    Every setup op drives one :func:`repro.engine.kernel.probe_cover`
+    per replication against the backend's ``setup_views`` -- the same
+    kernel the serial network and the exhaustive checker route through
+    -- so this loop owns no admission semantics of its own: MSW- vs
+    MAW-dominance, endpoint models and wavelength picks all live in the
+    engine.
     """
-    batch = len(m_values)
+    batch = state.batch
+    x = state.x
+    msw_dominant = state.msw_dominant
+    all_masks = state.all_masks
     replications = [_Replication() for _ in range(batch)]
-    all_masks = [(1 << m) - 1 for m in m_values]
-    in_busy = [[[0] * k for _ in range(r)] for _ in range(batch)]
-    out_busy = [[[0] * k for _ in range(m)] for m in m_values]
     live: list[dict[int, tuple]] = [{} for _ in range(batch)]
     dropped: list[set[int]] = [set() for _ in range(batch)]
     attempts = 0
     indices = range(batch)
+    views = state.setup_views
+    allocate = state.allocate
+    free = state.free
+    probe = probe_cover
     for op in ops:
         tag, cid, g, sw, dest_mask = op
         if tag:
             attempts += 1
+            blocked_row, blocker_rows = views(g, sw)
             for b in indices:
-                row = in_busy[b][g]
-                busy = row[sw]
-                avail = all_masks[b] & ~busy
-                out = out_busy[b]
-                cover = None
-                coverable: dict[int, int] = {}
-                if avail:
-                    scan = avail
-                    while scan:
-                        low = scan & -scan
-                        scan ^= low
-                        j = low.bit_length() - 1
-                        reach = dest_mask & ~out[j][sw]
-                        if reach == dest_mask:
-                            # One middle reaches everything: greedy picks
-                            # the lowest such j with the full gain --
-                            # identical to find_cover_bits, minus the call.
-                            cover = {j: dest_mask}
-                            break
-                        if reach:
-                            coverable[j] = reach
-                    else:
-                        if coverable:
-                            cover = find_cover_bits(dest_mask, coverable, x)
+                blocked = blocked_row[b]
+                avail = all_masks[b] & ~blocked
+                cover, coverable = probe(avail, dest_mask, x, blocker_rows[b])
                 if cover is None:
                     _record_block(
                         replications[b], cid, dropped[b], want_kinds,
-                        want_causes, x, g, sw, busy, avail, coverable,
-                        dest_mask, True,
+                        want_causes, x, g, sw, blocked, avail, coverable,
+                        dest_mask, msw_dominant,
                     )
                 else:
-                    branches = []
-                    for j in sorted(cover):
-                        assigned = cover[j]
-                        busy |= 1 << j
-                        out[j][sw] |= assigned
-                        branches.append((j, assigned))
-                    row[sw] = busy
-                    live[b][cid] = tuple(branches)
+                    live[b][cid] = allocate(b, g, sw, cover)
         else:
             for b in indices:
                 gone = dropped[b]
                 if cid in gone:
                     gone.remove(cid)
                     continue
-                branches = live[b].pop(cid)
-                row = in_busy[b][g]
-                out = out_busy[b]
-                busy = row[sw]
-                for j, assigned in branches:
-                    busy &= ~(1 << j)
-                    out[j][sw] &= ~assigned
-                row[sw] = busy
-                replications[b].releases += 1
-    return attempts, replications
-
-
-def _replay_maw_dominant_python(
-    ops: list[tuple[int, int, int, int, int]],
-    m_values: list[int],
-    r: int,
-    k: int,
-    x: int,
-    model: MulticastModel,
-    want_kinds: bool,
-    want_causes: bool,
-) -> tuple[int, list[_Replication]]:
-    """Lockstep replay, MAW-dominant fabric, int-bitplane state.
-
-    MAW-dominant middles convert freely, so a first-stage fiber blocks
-    only when *all* ``k`` wavelengths are busy; the state per
-    replication is the per-fiber wavelength masks ``in_wave[b][g][j]``
-    / ``out_wave[b][j][p]`` with their aggregated full-fiber bitplanes
-    (the network's ``_in_mid_full``/``_mid_out_full`` caches).  Under
-    the MSW endpoint model the delivery wavelength is pinned to the
-    source's, so ``out_busy[b][j][w]`` (the ``_mid_out_busy`` cache) is
-    maintained too and drives reachability; otherwise reachability is
-    just not-full.  Wavelength picks replicate first-fit (lowest free
-    bit), the Monte-Carlo networks' policy.
-    """
-    batch = len(m_values)
-    replications = [_Replication() for _ in range(batch)]
-    all_masks = [(1 << m) - 1 for m in m_values]
-    k_full = (1 << k) - 1
-    model_msw = model is MulticastModel.MSW
-    in_wave = [[[0] * m for _ in range(r)] for m in m_values]
-    in_full = [[0] * r for _ in range(batch)]
-    out_wave = [[[0] * r for _ in range(m)] for m in m_values]
-    out_full = [[0] * m for m in m_values]
-    out_busy = [[[0] * k for _ in range(m)] for m in m_values]
-    live: list[dict[int, tuple]] = [{} for _ in range(batch)]
-    dropped: list[set[int]] = [set() for _ in range(batch)]
-    attempts = 0
-    indices = range(batch)
-    for op in ops:
-        tag, cid, g, sw, dest_mask = op
-        if tag:
-            attempts += 1
-            for b in indices:
-                full_row = in_full[b]
-                blocked_mask = full_row[g]
-                avail = all_masks[b] & ~blocked_mask
-                cover = None
-                coverable: dict[int, int] = {}
-                if avail:
-                    busy_planes = out_busy[b]
-                    full_plane = out_full[b]
-                    scan = avail
-                    while scan:
-                        low = scan & -scan
-                        scan ^= low
-                        j = low.bit_length() - 1
-                        if model_msw:
-                            reach = dest_mask & ~busy_planes[j][sw]
-                        else:
-                            reach = dest_mask & ~full_plane[j]
-                        if reach == dest_mask:
-                            cover = {j: dest_mask}
-                            break
-                        if reach:
-                            coverable[j] = reach
-                    else:
-                        if coverable:
-                            cover = find_cover_bits(dest_mask, coverable, x)
-                if cover is None:
-                    _record_block(
-                        replications[b], cid, dropped[b], want_kinds,
-                        want_causes, x, g, sw, blocked_mask, avail,
-                        coverable, dest_mask, False,
-                    )
-                else:
-                    waves = in_wave[b][g]
-                    branches = []
-                    for j in sorted(cover):
-                        free = k_full & ~waves[j]
-                        in_w = (free & -free).bit_length() - 1
-                        waves[j] |= 1 << in_w
-                        if waves[j] == k_full:
-                            full_row[g] |= 1 << j
-                        fiber = out_wave[b][j]
-                        deliveries = []
-                        assigned = cover[j]
-                        while assigned:
-                            low = assigned & -assigned
-                            assigned ^= low
-                            p = low.bit_length() - 1
-                            if model_msw:
-                                out_w = sw
-                            else:
-                                free_out = k_full & ~fiber[p]
-                                out_w = (free_out & -free_out).bit_length() - 1
-                            fiber[p] |= 1 << out_w
-                            if fiber[p] == k_full:
-                                out_full[b][j] |= 1 << p
-                            out_busy[b][j][out_w] |= 1 << p
-                            deliveries.append((p, out_w))
-                        branches.append((j, in_w, tuple(deliveries)))
-                    live[b][cid] = tuple(branches)
-        else:
-            for b in indices:
-                gone = dropped[b]
-                if cid in gone:
-                    gone.remove(cid)
-                    continue
-                branches = live[b].pop(cid)
-                waves = in_wave[b][g]
-                full_row = in_full[b]
-                for j, in_w, deliveries in branches:
-                    if waves[j] == k_full:
-                        full_row[g] &= ~(1 << j)
-                    waves[j] &= ~(1 << in_w)
-                    fiber = out_wave[b][j]
-                    for p, out_w in deliveries:
-                        if fiber[p] == k_full:
-                            out_full[b][j] &= ~(1 << p)
-                        fiber[p] &= ~(1 << out_w)
-                        out_busy[b][j][out_w] &= ~(1 << p)
-                replications[b].releases += 1
-    return attempts, replications
-
-
-def _replay_numpy(
-    ops: list[tuple[int, int, int, int, int]],
-    m_values: list[int],
-    r: int,
-    k: int,
-    x: int,
-    construction: Construction,
-    model: MulticastModel,
-    want_kinds: bool,
-    want_causes: bool,
-) -> tuple[int, list[_Replication]]:
-    """Lockstep replay over int64 structure-of-arrays state.
-
-    Same event loop and bit-identical decisions as the python backend;
-    the batch dimension is the leading axis of every array, so the
-    per-event availability and reachability masks for *all*
-    replications come out of two vectorized expressions (then the cover
-    search itself runs per replication on plain ints via
-    ``.tolist()``).  Gated to ``m, r, k <= 62`` so every mask fits one
-    signed word.
-    """
-    np = _np
-    batch = len(m_values)
-    m_max = max(m_values)
-    replications = [_Replication() for _ in range(batch)]
-    msw_dominant = construction is Construction.MSW_DOMINANT
-    model_msw = model is MulticastModel.MSW
-    k_full = (1 << k) - 1
-    all_masks = [(1 << m) - 1 for m in m_values]
-    all_vec = np.array(all_masks, dtype=np.int64)
-    if msw_dominant:
-        in_busy = np.zeros((batch, r, k), dtype=np.int64)
-        out_busy = np.zeros((batch, m_max, k), dtype=np.int64)
-    else:
-        in_wave = np.zeros((batch, r, m_max), dtype=np.int64)
-        in_full = np.zeros((batch, r), dtype=np.int64)
-        out_wave = np.zeros((batch, m_max, r), dtype=np.int64)
-        out_full = np.zeros((batch, m_max), dtype=np.int64)
-        out_busy = np.zeros((batch, m_max, k), dtype=np.int64)
-    live: list[dict[int, tuple]] = [{} for _ in range(batch)]
-    dropped: list[set[int]] = [set() for _ in range(batch)]
-    attempts = 0
-    for op in ops:
-        tag, cid, g, sw, dest_mask = op
-        if tag:
-            attempts += 1
-            if msw_dominant:
-                blocked_vec = in_busy[:, g, sw]
-                reach_rows = (dest_mask & ~out_busy[:, :, sw]).tolist()
-            else:
-                blocked_vec = in_full[:, g]
-                if model_msw:
-                    reach_rows = (dest_mask & ~out_busy[:, :, sw]).tolist()
-                else:
-                    reach_rows = (dest_mask & ~out_full).tolist()
-            blocked_list = blocked_vec.tolist()
-            avail_list = (all_vec & ~blocked_vec).tolist()
-            for b in range(batch):
-                avail = avail_list[b]
-                row = reach_rows[b]
-                cover = None
-                coverable: dict[int, int] = {}
-                if avail:
-                    scan = avail
-                    while scan:
-                        low = scan & -scan
-                        scan ^= low
-                        j = low.bit_length() - 1
-                        reach = row[j]
-                        if reach == dest_mask:
-                            cover = {j: dest_mask}
-                            break
-                        if reach:
-                            coverable[j] = reach
-                    else:
-                        if coverable:
-                            cover = find_cover_bits(dest_mask, coverable, x)
-                if cover is None:
-                    _record_block(
-                        replications[b], cid, dropped[b], want_kinds,
-                        want_causes, x, g, sw, blocked_list[b], avail,
-                        coverable, dest_mask, msw_dominant,
-                    )
-                    continue
-                if msw_dominant:
-                    branches = []
-                    busy = blocked_list[b]
-                    for j in sorted(cover):
-                        assigned = cover[j]
-                        busy |= 1 << j
-                        out_busy[b, j, sw] |= assigned
-                        branches.append((j, assigned))
-                    in_busy[b, g, sw] = busy
-                    live[b][cid] = tuple(branches)
-                else:
-                    branches = []
-                    for j in sorted(cover):
-                        waves = int(in_wave[b, g, j])
-                        free = k_full & ~waves
-                        in_w = (free & -free).bit_length() - 1
-                        waves |= 1 << in_w
-                        in_wave[b, g, j] = waves
-                        if waves == k_full:
-                            in_full[b, g] |= 1 << j
-                        deliveries = []
-                        assigned = cover[j]
-                        while assigned:
-                            low = assigned & -assigned
-                            assigned ^= low
-                            p = low.bit_length() - 1
-                            fiber = int(out_wave[b, j, p])
-                            if model_msw:
-                                out_w = sw
-                            else:
-                                free_out = k_full & ~fiber
-                                out_w = (free_out & -free_out).bit_length() - 1
-                            fiber |= 1 << out_w
-                            out_wave[b, j, p] = fiber
-                            if fiber == k_full:
-                                out_full[b, j] |= 1 << p
-                            out_busy[b, j, out_w] |= 1 << p
-                            deliveries.append((p, out_w))
-                        branches.append((j, in_w, tuple(deliveries)))
-                    live[b][cid] = tuple(branches)
-        else:
-            for b in range(batch):
-                gone = dropped[b]
-                if cid in gone:
-                    gone.remove(cid)
-                    continue
-                branches = live[b].pop(cid)
-                if msw_dominant:
-                    busy = int(in_busy[b, g, sw])
-                    for j, assigned in branches:
-                        busy &= ~(1 << j)
-                        out_busy[b, j, sw] &= ~assigned
-                    in_busy[b, g, sw] = busy
-                else:
-                    for j, in_w, deliveries in branches:
-                        waves = int(in_wave[b, g, j])
-                        if waves == k_full:
-                            in_full[b, g] &= ~(1 << j)
-                        in_wave[b, g, j] = waves & ~(1 << in_w)
-                        for p, out_w in deliveries:
-                            fiber = int(out_wave[b, j, p])
-                            if fiber == k_full:
-                                out_full[b, j] &= ~(1 << p)
-                            out_wave[b, j, p] = fiber & ~(1 << out_w)
-                            out_busy[b, j, out_w] &= ~(1 << p)
+                free(b, g, sw, live[b].pop(cid))
                 replications[b].releases += 1
     return attempts, replications
 
@@ -671,22 +262,19 @@ def _simulate(
     for m in m_values:
         if m < 1:
             raise ValueError(f"m must be >= 1, got {m}")
-    backend = resolve_backend(backend, m_max=max(m_values), r=r, k=k)
+    state = make_state(
+        (
+            FabricGeometry(
+                n=n, r=r, k=k, m=m,
+                construction=construction, model=model, x=x,
+            )
+            for m in m_values
+        ),
+        backend,
+    )
     want_kinds = record_causes or _obs.enabled()
     ops = compile_stream(model, n, r, k, steps, seed, max_fanout)
-    if backend == "numpy":
-        attempts, replications = _replay_numpy(
-            ops, m_values, r, k, x, construction, model,
-            want_kinds, record_causes,
-        )
-    elif construction is Construction.MSW_DOMINANT:
-        attempts, replications = _replay_msw_dominant_python(
-            ops, m_values, r, k, x, want_kinds, record_causes
-        )
-    else:
-        attempts, replications = _replay_maw_dominant_python(
-            ops, m_values, r, k, x, model, want_kinds, record_causes
-        )
+    attempts, replications = _replay(ops, state, want_kinds, record_causes)
     if _obs.enabled():
         # Aggregate increments, guarded on nonzero so the counter *set*
         # (not just the totals) matches a serial run's -- serial counters

@@ -21,7 +21,6 @@ tests and ``bench_patterns.py`` verify.
 
 from __future__ import annotations
 
-from repro.core.models import MulticastModel
 from repro.switching.requests import Endpoint, MulticastAssignment, MulticastConnection
 
 __all__ = [

@@ -1,0 +1,111 @@
+"""Backend registry: the numpy word gate, overrides, and the plug-in seam."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import Construction, MulticastModel
+from repro.engine.backends import (
+    BACKEND_ENV,
+    BACKENDS,
+    NUMPY_WORD_BITS,
+    available_backends,
+    make_state,
+    numpy_gate_error,
+    register_backend,
+    resolve_backend,
+)
+from repro.engine.geometry import FabricGeometry
+from repro.engine.state import NumpyState, PythonState
+
+
+def geometries(m_values=(2, 3), k=1):
+    return tuple(
+        FabricGeometry(
+            n=2, r=2, k=k, m=m,
+            construction=Construction.MSW_DOMINANT,
+            model=MulticastModel.MSW,
+            x=1,
+        )
+        for m in m_values
+    )
+
+
+class TestGate:
+    def test_named_constant(self):
+        assert NUMPY_WORD_BITS == 62
+
+    def test_uniform_error_message(self):
+        message = numpy_gate_error(70, 2, 1)
+        assert f"m, r, k <= {NUMPY_WORD_BITS}" in message
+        assert "m=70, r=2, k=1" in message
+
+    def test_resolve_rejects_oversized_numpy(self):
+        pytest.importorskip("numpy")
+        with pytest.raises(ValueError) as err:
+            resolve_backend("numpy", m_max=NUMPY_WORD_BITS + 1, r=2, k=1)
+        assert str(err.value) == numpy_gate_error(NUMPY_WORD_BITS + 1, 2, 1)
+
+    def test_env_override_is_gated_too(self, monkeypatch):
+        pytest.importorskip("numpy")
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        with pytest.raises(ValueError) as err:
+            resolve_backend("auto", m_max=NUMPY_WORD_BITS + 1, r=2, k=1)
+        assert str(err.value) == numpy_gate_error(NUMPY_WORD_BITS + 1, 2, 1)
+
+
+class TestResolution:
+    def test_auto_defaults_to_python(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend("auto", m_max=4, r=2, k=1) == "python"
+
+    def test_env_override_honored(self, monkeypatch):
+        pytest.importorskip("numpy")
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert resolve_backend("auto", m_max=4, r=2, k=1) == "numpy"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown batch backend"):
+            resolve_backend("cuda", m_max=4, r=2, k=1)
+
+    def test_available_backends_cover_the_registry(self):
+        available = available_backends()
+        assert "python" in available
+        assert set(available) <= {*BACKENDS}.union(available)
+
+
+class TestMakeState:
+    def test_python_state(self):
+        state = make_state(geometries(), backend="python")
+        assert isinstance(state, PythonState)
+        assert state.batch == 2
+
+    def test_numpy_state(self):
+        pytest.importorskip("numpy")
+        state = make_state(geometries(), backend="numpy")
+        assert isinstance(state, NumpyState)
+        assert state.batch == 2
+
+    def test_empty_geometries_rejected(self):
+        with pytest.raises(ValueError, match="at least one FabricGeometry"):
+            make_state(())
+
+
+class TestRegistry:
+    def test_reserved_names_rejected(self):
+        for name in ("auto", "python", "numpy"):
+            with pytest.raises(ValueError, match="reserved"):
+                register_backend(name, PythonState)
+
+    def test_registered_backend_resolves_and_builds(self):
+        from repro.engine import backends as mod
+
+        name = "test-dummy"
+        register_backend(name, PythonState)
+        try:
+            assert resolve_backend(name, m_max=4, r=2, k=1) == name
+            state = make_state(geometries(), backend=name)
+            assert isinstance(state, PythonState)
+            assert name in available_backends()
+        finally:
+            del mod._FACTORIES[name]

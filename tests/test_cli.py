@@ -152,6 +152,27 @@ class TestTraceCommand:
         )
         assert "MAW" in out
 
+    def test_kernels_matrix(self, capsys, monkeypatch):
+        from repro.engine.backends import BACKEND_ENV, NUMPY_WORD_BITS
+
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        out = run_cli(capsys, "kernels")
+        for kernel in ("reference", "bitmask", "batched"):
+            assert kernel in out
+        for backend in ("python", "numpy"):
+            assert backend in out
+        assert f"m, r, k <= {NUMPY_WORD_BITS}" in out
+        assert "active routing kernel: bitmask" in out
+        assert f"{BACKEND_ENV}: (unset)" in out
+
+    def test_kernels_reports_env_override(self, capsys, monkeypatch):
+        from repro.engine.backends import BACKEND_ENV
+
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        out = run_cli(capsys, "kernels")
+        assert f"{BACKEND_ENV}=numpy" in out
+        assert "auto backend resolves to: numpy" in out
+
 
 class TestParser:
     def test_unknown_model_rejected(self):

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro",
     "repro.combinatorics",
     "repro.core",
+    "repro.engine",
     "repro.switching",
     "repro.fabric",
     "repro.multistage",
@@ -30,6 +31,32 @@ PACKAGES = [
 
 #: hand-written notes appended after a package's export table (markdown)
 NOTES = {
+    "repro.engine": """\
+### One admission kernel, many consumers
+
+`repro.engine` is the bottom layer of the simulator stack (see
+`docs/ARCHITECTURE.md`): the serial `ThreeStageNetwork`, the lockstep
+batch engine, the exhaustive model checker and the adversary all route
+their wavelength-availability, converter-budget and Lemma-4 cover
+decisions through these kernels, so MSW/MSDW/MAW semantics and the
+blocking-cause taxonomy are stated exactly once. The mask-level
+functions (`free_middles`, `reach_map`, `probe_cover`, `classify_kind`,
+`block_cause`) are what the hot paths call with their own caches; the
+state-level functions (`avail`, `coverable`, `admit`, `release`,
+`classify_block`) pair an `AdmissionRequest` with a `FabricState`.
+
+### The backend seam
+
+`FabricState` has two interchangeable bitplane backends -- pure-Python
+ints and numpy int64 structure-of-arrays (gated at
+`m, r, k <= NUMPY_WORD_BITS`) -- resolved by `resolve_backend`
+(`WDM_REPRO_BATCH_BACKEND` overrides `auto`) and instantiated by
+`make_state`. `register_backend` is the plug-in point for the planned
+numba/CUDA backend: registered names become valid `backend=` arguments
+everywhere without touching any consumer. `wdm-repro kernels` prints
+the kernel x backend availability matrix. The package ships `py.typed`
+and is kept fully typed (`mypy src/repro/engine` in CI).
+""",
     "repro.multistage": """\
 ### Debug checks
 
@@ -97,12 +124,15 @@ seed)` cell, so `compile_stream` compiles each seed's stream once
 (traffic is m-independent -- common random numbers) and the engine
 replays it through B structure-of-arrays fabric states in lockstep.
 `simulate_batch` is the picklable sweeper work unit; `replay_cell`
-exposes one replication with `explain_block`-identical causes. Two
-state backends (`available_backends()` / `resolve_backend`): the
+exposes one replication with `explain_block`-identical causes. The
+replay itself is one backend-parameterized event loop over the shared
+admission kernels of `repro.engine`; the fabric-state backends (the
 pure-Python int-bitplane backend -- the `auto` choice -- and an
-optional numpy int64 backend gated at m, r, k <= 62; both are
-bit-identical to the serial simulator per replication. Override with
-the `WDM_REPRO_BATCH_BACKEND` environment variable.
+optional numpy int64 backend gated at m, r, k <= `NUMPY_WORD_BITS`)
+live in `repro.engine.state` behind the `repro.engine.backends`
+registry and are bit-identical to the serial simulator per
+replication. Override with the `WDM_REPRO_BATCH_BACKEND` environment
+variable; `wdm-repro kernels` prints the availability matrix.
 """,
     "repro.api": """\
 ### Typed configs over kwargs sprawl
