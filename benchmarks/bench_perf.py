@@ -1,6 +1,6 @@
 """Performance benchmark for the routing kernel, search and sweep engine.
 
-Nine sections, each asserting that the fast path computes *exactly*
+Ten sections, each asserting that the fast path computes *exactly*
 what the slow path computes before reporting any speedup:
 
 * ``cover_kernel`` -- the bitmask cover search
@@ -22,6 +22,12 @@ what the slow path computes before reporting any speedup:
   :func:`repro.api.sweep`, with bit-identity asserted *per
   replication*: every ``(m, seed)`` cell from every available state
   backend is compared against the serial simulator's cell;
+* ``fused`` -- the fused whole-stream ``numba`` backend
+  (:mod:`repro.engine.fused`) against the python backend on the same
+  B=64 grid, per-replication counts, ``BLOCK_KINDS`` histograms and
+  cause-dict reprs compared across every construction x model pair;
+  without numba the identity half runs the interpreted kernel and the
+  timing is flagged ``guard_exempt``;
 * ``exact_search`` -- the symmetry-canonicalized exhaustive model
   checker (:func:`repro.api.exact_m`) against the uncanonicalized
   reference search, asserting identical per-m verdicts and thresholds;
@@ -595,6 +601,121 @@ def bench_batched(quick: bool, reps: int) -> dict:
     }
 
 
+def bench_fused(quick: bool, reps: int) -> dict:
+    """The fused whole-stream kernel vs the python backend at B = 64.
+
+    Identity first, speed second.  The identity half always runs: every
+    construction x model pair is replayed through both the python
+    backend and the fused ``numba`` backend (forced to its interpreted
+    mode when numba is not installed -- same array program, uncompiled)
+    and compared per replication on ``(attempts, blocked, releases)``,
+    the ``BLOCK_KINDS`` cause histograms *and* the full ``block_cause``
+    dict reprs; one diverging replication fails the bench.
+
+    The timing half measures the same B = 64 workload as the
+    ``batched`` section (m 1..16 x 4 seeds).  With real numba the JIT
+    is warmed outside the timed region and the section is guarded (the
+    tentpole target is >= 3x over python); in interpreted mode the
+    timing is reported for completeness but flagged ``guard_exempt`` --
+    an uncompiled kernel's wall time says nothing about the compiled
+    backend, so ``tools/check_bench_regression.py`` skips the guard.
+    """
+    import os
+
+    from repro.engine.fused import FUSED_ENV, NUMBA_AVAILABLE, fused_mode
+    from repro.perf.batch import _simulate
+
+    n, r, k, x = 3, 3, 2, 1
+    m_values = tuple(range(1, 17))
+    seeds = (0, 1, 2, 3)
+
+    if "numpy" not in available_backends():
+        return {
+            "mode": "unavailable",
+            "note": "numpy not installed; fused backend cannot run",
+            "speedup": 1.0,
+            "guard_exempt": True,
+            "identical": True,
+        }
+
+    forced = not NUMBA_AVAILABLE
+    if forced:
+        os.environ[FUSED_ENV] = "1"
+    try:
+        mode = fused_mode()
+        # Interpreted timing is apples-to-oranges; keep it cheap.
+        timed_guarded = mode == "jit"
+        steps = (500 if quick else 2000) if timed_guarded else 500
+        timing_reps = reps if timed_guarded else 1
+
+        diverged: list[dict] = []
+        id_steps = 300
+        for construction in Construction:
+            for model in MulticastModel:
+                py_att, py_reps = _simulate(
+                    n, r, k, construction, model, x, id_steps, None, 0,
+                    list(m_values), "python", True,
+                )
+                fu_att, fu_reps = _simulate(
+                    n, r, k, construction, model, x, id_steps, None, 0,
+                    list(m_values), "numba", True,
+                )
+                for m, py_rep, fu_rep in zip(m_values, py_reps, fu_reps):
+                    same = (
+                        py_att == fu_att
+                        and py_rep.blocked == fu_rep.blocked
+                        and py_rep.releases == fu_rep.releases
+                        and py_rep.kind_counts == fu_rep.kind_counts
+                        and repr(py_rep.causes) == repr(fu_rep.causes)
+                    )
+                    if not same:
+                        diverged.append(
+                            {
+                                "construction": construction.value,
+                                "model": model.value,
+                                "m": m,
+                            }
+                        )
+
+        construction = Construction.MSW_DOMINANT
+        model = MulticastModel.MSW
+
+        def run(backend):
+            return [
+                simulate_batch(
+                    n, r, k, construction, model, x, steps, None, seed,
+                    m_values, backend,
+                )
+                for seed in seeds
+            ]
+
+        if timed_guarded:
+            run("numba")  # compile outside the timed region
+        python_s, python_out = _best(lambda: run("python"), timing_reps)
+        fused_s, fused_out = _best(lambda: run("numba"), timing_reps)
+    finally:
+        if forced:
+            del os.environ[FUSED_ENV]
+
+    return {
+        "config": {
+            "n": n, "r": r, "k": k, "x": x, "m_values": list(m_values),
+            "steps": steps, "seeds": seeds, "identity_steps": id_steps,
+        },
+        "mode": mode,
+        "batch_size": len(m_values) * len(seeds),
+        "replications_checked": (
+            len(m_values) * len(Construction) * len(MulticastModel)
+        ),
+        "diverged_cells": diverged,
+        "python_s": python_s,
+        "fused_s": fused_s,
+        "speedup": python_s / fused_s,
+        "guard_exempt": not timed_guarded,
+        "identical": not diverged and python_out == fused_out,
+    }
+
+
 def bench_parallel(quick: bool, reps: int, jobs: int | str) -> dict:
     m_values = [2, 5, 8, 11, 14]
     traffic = _grid_traffic(quick)
@@ -671,6 +792,7 @@ def main(argv: list[str] | None = None) -> int:
         ("routing_replay", lambda: bench_routing_replay(args.quick, reps)),
         ("end_to_end", lambda: bench_end_to_end(args.quick, reps)),
         ("batched", lambda: bench_batched(args.quick, reps)),
+        ("fused", lambda: bench_fused(args.quick, reps)),
         ("exact_search", lambda: bench_exact_search(args.quick, reps)),
         ("cache", lambda: bench_cache(args.quick, reps)),
         ("parallel", lambda: bench_parallel(args.quick, reps, args.jobs)),

@@ -224,6 +224,7 @@ def _run_batched_cells(
     steps: int,
     max_fanout: int | None,
     batch: int | None,
+    backend: str = "auto",
 ) -> dict[tuple[int, int], tuple[int, int]]:
     """All ``(m, seed)`` traffic cells through the lockstep batch engine.
 
@@ -236,10 +237,12 @@ def _run_batched_cells(
     (kernel-tagged keys keep the two pipelines' entries separate).
     ``batch`` caps replications per work unit; None packs each seed's
     whole ``m`` column into one unit.  Each unit's fabric state runs on
-    the backend :func:`repro.engine.backends.resolve_backend` picks
-    (``WDM_REPRO_BATCH_BACKEND`` overrides); every backend drives the
-    same :mod:`repro.engine` kernels, so results are bit-identical to
-    this serial loop.
+    ``backend`` as resolved by
+    :func:`repro.engine.backends.resolve_backend` (``"auto"`` honours
+    ``WDM_REPRO_BATCH_BACKEND``, then prefers the fused ``numba``
+    kernel when usable); every backend drives the same
+    :mod:`repro.engine` kernels, so results are bit-identical to this
+    serial loop -- which is why cache keys ignore the backend entirely.
     """
     results: dict[tuple[int, int], tuple[int, int]] = {}
     keys: dict[tuple[int, int], str] = {}
@@ -272,7 +275,7 @@ def _run_batched_cells(
                     fn=simulate_batch,
                     args=(
                         n, r, k, construction, model, x, steps, max_fanout,
-                        seed, tuple(ms[start : start + size]),
+                        seed, tuple(ms[start : start + size]), backend,
                     ),
                 )
             )
@@ -303,6 +306,7 @@ def _blocking_probability_impl(
     executor: str = "process",
     debug_checks: bool | None = None,
     batch: int | None = None,
+    backend: str = "auto",
 ) -> BlockingEstimate:
     """Estimate blocking probability under random dynamic traffic.
 
@@ -327,12 +331,17 @@ def _blocking_probability_impl(
         batch: under ``routing_kernel("batched")``, the cap on lockstep
             replications per work unit (None = one unit per seed);
             ignored by the other kernels, never affects results.
+        backend: under ``routing_kernel("batched")``, the fabric-state
+            backend for the lockstep replay (``"auto"``, ``"python"``,
+            ``"numpy"``, ``"numba"`` or a registered name); ignored by
+            the other kernels, never affects results.
     """
     with ParallelSweeper(jobs, executor=executor) as sweeper:
         if get_routing_kernel() == "batched":
             by_cell = _run_batched_cells(
                 sweeper, cache, [(m, seed) for seed in seeds],
                 n, r, k, construction, model, x, steps, max_fanout, batch,
+                backend,
             )
             values = [by_cell[(m, seed)] for seed in seeds]
         else:
@@ -450,6 +459,7 @@ def _blocking_vs_m_impl(
     debug_checks: bool | None = None,
     legacy_adversary_seeds: bool = False,
     batch: int | None = None,
+    backend: str = "auto",
 ) -> list[BlockingEstimate]:
     """The blocking-probability-vs-``m`` curve (implied figure X3).
 
@@ -473,9 +483,10 @@ def _blocking_vs_m_impl(
 
     Under ``routing_kernel("batched")`` the traffic stage instead runs
     each seed's whole ``m`` column in lockstep through
-    :mod:`repro.perf.batch` (``batch`` caps replications per work
-    unit) -- per-cell results, cache entries and the adversarial stage
-    are bit-identical to the bitmask kernel's either way.
+    :mod:`repro.perf.batch` (``batch`` caps replications per work unit,
+    ``backend`` picks the fabric-state backend) -- per-cell results,
+    cache entries and the adversarial stage are bit-identical to the
+    bitmask kernel's either way.
     """
     traffic_key = (
         None
@@ -488,6 +499,7 @@ def _blocking_vs_m_impl(
                 sweeper, cache,
                 [(m, seed) for m in m_values for seed in seeds],
                 n, r, k, construction, model, x, steps, max_fanout, batch,
+                backend,
             )
         else:
             cells = sweeper.run(

@@ -107,9 +107,13 @@ class ExecConfig:
             per work unit (None packs each seed's whole ``m`` column
             into one unit).  Ignored by the other kernels; never
             affects results, only how work is sliced across workers.
-            The fabric-state backend inside each unit resolves via
-            :func:`repro.engine.backends.resolve_backend` (overridable
-            through ``WDM_REPRO_BATCH_BACKEND``); all backends are
+        backend: under ``kernel="batched"``, the fabric-state backend
+            inside each work unit -- ``"auto"`` (default; honours
+            ``WDM_REPRO_BATCH_BACKEND``, then prefers the fused
+            ``numba`` kernel when usable, else ``python``),
+            ``"python"``, ``"numpy"``, ``"numba"`` or any name added
+            through :func:`repro.engine.backends.register_backend`.
+            Ignored by the other kernels; all backends are
             bit-identical, see ``wdm-repro kernels``.
     """
 
@@ -117,6 +121,7 @@ class ExecConfig:
     executor: str = "process"
     cache_dir: str | None = None
     batch: int | None = None
+    backend: str = "auto"
 
     def cache(self) -> ResultCache | None:
         """The configured result cache, or None."""
@@ -188,6 +193,7 @@ def blocking(
             executor=execution.executor,
             debug_checks=search.debug_checks,
             batch=execution.batch,
+            backend=execution.backend,
         )
 
 
@@ -230,6 +236,7 @@ def sweep(
             executor=execution.executor,
             debug_checks=search.debug_checks,
             batch=execution.batch,
+            backend=execution.backend,
         )
 
 

@@ -76,12 +76,26 @@ def _kernel(value: str) -> str:
     return lowered
 
 
+def _backend(value: str) -> str:
+    from repro.engine.backends import BACKENDS, available_backends
+
+    lowered = value.lower()
+    known = {"auto", *BACKENDS, *available_backends()}
+    if lowered not in known:
+        raise argparse.ArgumentTypeError(
+            f"unknown backend {value!r}; choose from "
+            + ", ".join(sorted(known))
+        )
+    return lowered
+
+
 def _exec_config(args: argparse.Namespace) -> api.ExecConfig:
     """The execution config the flags ask for."""
     return api.ExecConfig(
         jobs=args.jobs,
         cache_dir=args.cache_dir if args.cache else None,
         batch=getattr(args, "batch", None),
+        backend=getattr(args, "backend", "auto"),
     )
 
 
@@ -286,15 +300,16 @@ def _cmd_kernels(args: argparse.Namespace) -> str:
 
     from repro.engine.backends import (
         BACKEND_ENV,
-        BACKENDS,
         NUMPY_WORD_BITS,
         available_backends,
+        backend_status,
         resolve_backend,
     )
     from repro.multistage.routing import _KERNELS, get_routing_kernel
 
     available = set(available_backends())
-    backends = sorted({*BACKENDS, *available})
+    status = backend_status()
+    backends = sorted(status)
     rows = []
     for kernel in _KERNELS:
         cells = []
@@ -316,6 +331,8 @@ def _cmd_kernels(args: argparse.Namespace) -> str:
     override = os.environ.get(BACKEND_ENV, "").strip()
     lines = [
         table,
+        "backend status:",
+        *(f"  {backend}: {status[backend]}" for backend in backends),
         f"active routing kernel: {get_routing_kernel()}",
         f"auto backend resolves to: "
         f"{resolve_backend('auto', m_max=1, r=1, k=1)}",
@@ -486,6 +503,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="B",
         help="with --kernel batched: cap on lockstep replications per "
         "work unit (default: one unit per seed); never affects results",
+    )
+    p.add_argument(
+        "--backend",
+        type=_backend,
+        default="auto",
+        metavar="{auto,python,numpy,numba}",
+        help="with --kernel batched: fabric-state backend for the "
+        "lockstep replay ('auto' prefers the fused numba kernel when "
+        "usable, else python); bit-identical across backends -- see "
+        "'wdm-repro kernels' for availability",
     )
     p.add_argument(
         "--jobs",

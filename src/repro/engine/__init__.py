@@ -3,7 +3,8 @@
 ``repro.engine`` is the bottom layer of the simulator stack: a frozen
 :class:`~repro.engine.geometry.FabricGeometry`, a
 :class:`~repro.engine.state.FabricState` protocol with interchangeable
-bitplane backends (pure-Python ints, numpy int64, future numba/CUDA via
+bitplane backends (pure-Python ints, numpy int64, the fused ``numba``
+whole-stream kernel of :mod:`repro.engine.fused`; more via
 :func:`~repro.engine.backends.register_backend`), the Lemma-4 cover
 search (:mod:`repro.engine.cover`), and the pure admission kernels of
 :mod:`repro.engine.kernel` (``avail``/``coverable``/``admit``/
@@ -20,13 +21,23 @@ from repro.engine.backends import (
     BACKEND_ENV,
     BACKENDS,
     NUMPY_WORD_BITS,
+    BackendSpec,
     available_backends,
+    backend_status,
     make_state,
     numpy_gate_error,
     register_backend,
     resolve_backend,
+    word_gate_error,
 )
 from repro.engine.cover import CoverSearch, find_cover_bits, iter_bits, mask_of
+from repro.engine.fused import (
+    FUSED_ENV,
+    FusedReplay,
+    FusedState,
+    fused_available,
+    fused_mode,
+)
 from repro.engine.geometry import FabricGeometry
 from repro.engine.kernel import (
     BLOCK_KINDS,
@@ -49,23 +60,30 @@ __all__ = [
     "BACKEND_ENV",
     "BACKENDS",
     "BLOCK_KINDS",
+    "FUSED_ENV",
     "NUMPY_WORD_BITS",
     "AdmissionRequest",
+    "BackendSpec",
     "CoverSearch",
     "EngineConnection",
     "FabricGeometry",
     "FabricState",
+    "FusedReplay",
+    "FusedState",
     "NumpyState",
     "PythonState",
     "admit",
     "avail",
     "available_backends",
+    "backend_status",
     "block_cause",
     "classify_block",
     "classify_kind",
     "coverable",
     "find_cover_bits",
     "free_middles",
+    "fused_available",
+    "fused_mode",
     "iter_bits",
     "make_state",
     "mask_of",
@@ -75,4 +93,5 @@ __all__ = [
     "register_backend",
     "release",
     "resolve_backend",
+    "word_gate_error",
 ]

@@ -1,20 +1,38 @@
 """Fabric-state backend registry -- the numba/CUDA seam.
 
 One place decides which :class:`~repro.engine.state.FabricState`
-implementation a replay runs on: :func:`resolve_backend` maps a request
-(``"auto"``, a concrete name, or the ``WDM_REPRO_BATCH_BACKEND``
-environment override) to a registered backend, applying the numpy
-int64 word gate (:data:`NUMPY_WORD_BITS`) with one uniform error
-message; :func:`make_state` then instantiates it.  New backends (the
-ROADMAP's numba/CUDA kernel) plug in through :func:`register_backend`
-without touching any consumer.
+implementation a replay runs on: every backend is a
+:class:`BackendSpec` (factory + availability probe + word-gate flag),
+:func:`resolve_backend` maps a request (``"auto"``, a concrete name, or
+the ``WDM_REPRO_BATCH_BACKEND`` environment override) to a registered
+backend, applying the int64 word gate (:data:`NUMPY_WORD_BITS`) with
+one uniform error message, and :func:`make_state` then instantiates it.
+
+Three backends ship built in:
+
+* ``python`` -- int-bitplane :class:`~repro.engine.state.PythonState`;
+  no dependencies, always available;
+* ``numpy`` -- int64 structure-of-arrays
+  :class:`~repro.engine.state.NumpyState`; needs numpy and the
+  ``m, r, k <= 62`` word gate;
+* ``numba`` -- the fused whole-stream replay of
+  :mod:`repro.engine.fused`; needs numpy plus numba (or the
+  ``WDM_REPRO_FUSED_PY=1`` interpreted-mode testing hook), same word
+  gate, and is what ``auto`` prefers when it can run.
+
+Additional backends (a CUDA kernel, say) plug in through
+:func:`register_backend` without touching any consumer;
+:func:`backend_status` feeds the ``wdm-repro kernels`` availability
+display.
 """
 
 from __future__ import annotations
 
 import os
 from collections.abc import Callable, Iterable
+from dataclasses import dataclass
 
+from repro.engine import fused as _fused
 from repro.engine.geometry import FabricGeometry
 from repro.engine.state import FabricState, NumpyState, PythonState
 
@@ -27,88 +45,165 @@ __all__ = [
     "BACKEND_ENV",
     "BACKENDS",
     "NUMPY_WORD_BITS",
+    "BackendSpec",
     "available_backends",
+    "backend_status",
     "make_state",
     "numpy_gate_error",
     "register_backend",
     "resolve_backend",
+    "word_gate_error",
 ]
 
 #: environment override for ``backend="auto"`` resolution.
 BACKEND_ENV = "WDM_REPRO_BATCH_BACKEND"
-#: selectable state backends (``auto`` resolves to one of these).
-BACKENDS = ("python", "numpy")
-#: widest mask the numpy backend can pack into one signed int64 word --
-#: the single source of truth for the ``m, r, k <= 62`` gate.
+#: the built-in state backends (``auto`` resolves to one of these).
+BACKENDS = ("python", "numpy", "numba")
+#: widest mask a word-gated backend can pack into one signed int64 word
+#: -- the single source of truth for the ``m, r, k <= 62`` gate.
 NUMPY_WORD_BITS = 62
 
-_FACTORIES: dict[str, Callable[[tuple[FabricGeometry, ...]], FabricState]] = {
-    "python": PythonState,
-    "numpy": NumpyState,
+
+def _always() -> str | None:
+    return None
+
+
+def _numpy_missing() -> str | None:
+    return None if _np is not None else "numpy is not installed"
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One selectable backend: how to build it and whether it can run.
+
+    Attributes:
+        factory: builds the backend's :class:`FabricState` from the
+            per-replication geometries.
+        missing: returns None when the backend can run in this process,
+            else the human-readable reason (``"numba is not
+            installed"``) -- probed dynamically so environment hooks
+            can flip availability without re-importing.
+        word_gated: True when the backend packs masks into int64 words
+            and therefore needs ``m, r, k <= `` :data:`NUMPY_WORD_BITS`.
+    """
+
+    factory: Callable[[tuple[FabricGeometry, ...]], FabricState]
+    missing: Callable[[], str | None] = _always
+    word_gated: bool = False
+
+    def available(self) -> bool:
+        """True when the backend can run in this process."""
+        return self.missing() is None
+
+
+_SPECS: dict[str, BackendSpec] = {
+    "python": BackendSpec(factory=PythonState),
+    "numpy": BackendSpec(
+        factory=NumpyState, missing=_numpy_missing, word_gated=True
+    ),
+    "numba": BackendSpec(
+        factory=_fused.FusedState,
+        missing=_fused.missing_requirement,
+        word_gated=True,
+    ),
 }
 
 
 def register_backend(
     name: str,
     factory: Callable[[tuple[FabricGeometry, ...]], FabricState],
+    *,
+    missing: Callable[[], str | None] = _always,
+    word_gated: bool = False,
 ) -> None:
     """Register an additional fabric-state backend (the plug-in seam).
 
     The factory takes a tuple of per-replication geometries and returns
     a :class:`~repro.engine.state.FabricState`.  Registered names become
     valid ``backend=`` arguments everywhere (batch engine, CLI); they
-    are never chosen by ``auto``.
+    are never chosen by ``auto``.  ``missing`` is the availability
+    probe (None = usable, else the reason shown by ``wdm-repro
+    kernels``); ``word_gated`` opts into the int64
+    ``m, r, k <= `` :data:`NUMPY_WORD_BITS` gate.
     """
     if name in ("auto",) + BACKENDS:
         raise ValueError(f"backend name {name!r} is reserved")
-    _FACTORIES[name] = factory
+    _SPECS[name] = BackendSpec(
+        factory=factory, missing=missing, word_gated=word_gated
+    )
 
 
 def available_backends() -> tuple[str, ...]:
     """The state backends usable in this process."""
-    if _np is None:
-        return tuple(n for n in _FACTORIES if n != "numpy")
-    return tuple(_FACTORIES)
+    return tuple(name for name, spec in _SPECS.items() if spec.available())
+
+
+def backend_status() -> dict[str, str]:
+    """Per-backend one-line availability/gate status (CLI display).
+
+    ``"available"``, ``"available (gated: m, r, k <= 62)"`` or
+    ``"unavailable (<reason>)"`` for every registered backend.
+    """
+    status: dict[str, str] = {}
+    for name, spec in _SPECS.items():
+        reason = spec.missing()
+        if reason is not None:
+            status[name] = f"unavailable ({reason})"
+        elif spec.word_gated:
+            status[name] = (
+                f"available (gated: m, r, k <= {NUMPY_WORD_BITS})"
+            )
+        else:
+            status[name] = "available"
+    return status
+
+
+def word_gate_error(backend: str, m_max: int, r: int, k: int) -> str:
+    """The uniform error message for a failed int64 word gate."""
+    return (
+        f"batch backend {backend!r} packs masks into int64 words and "
+        f"needs m, r, k <= {NUMPY_WORD_BITS}; got m={m_max}, r={r}, k={k}"
+    )
 
 
 def numpy_gate_error(m_max: int, r: int, k: int) -> str:
-    """The uniform error message for a failed int64 word gate."""
-    return (
-        f"batch backend 'numpy' packs masks into int64 words and "
-        f"needs m, r, k <= {NUMPY_WORD_BITS}; got m={m_max}, r={r}, k={k}"
-    )
+    """The numpy backend's word-gate message (compat wrapper)."""
+    return word_gate_error("numpy", m_max, r, k)
 
 
 def resolve_backend(backend: str = "auto", *, m_max: int, r: int, k: int) -> str:
     """Resolve a backend request to a concrete backend name.
 
     ``auto`` honours the ``WDM_REPRO_BATCH_BACKEND`` environment
-    variable, then defaults to ``python`` -- the int-bitplane replay
-    beats the int64 structure-of-arrays on CPython for paper-scale
-    networks (the numpy backend's per-replication cover search still
-    crosses the scalar boundary on every event).  Asking for ``numpy``
-    explicitly -- directly or through the environment override -- raises
-    if NumPy is missing or the configuration does not fit the
-    :data:`NUMPY_WORD_BITS` word gate.
+    variable, then prefers ``numba`` -- the fused whole-stream kernel
+    -- whenever it is importable and the configuration fits the
+    :data:`NUMPY_WORD_BITS` word gate, falling back to ``python``
+    (the int-bitplane replay, which beats the per-event numpy int64
+    backend on CPython; see EXPERIMENTS.md P4/P6).  Asking for a
+    backend explicitly -- directly or through the environment override
+    -- raises if its requirements are missing or the configuration does
+    not fit its word gate.
     """
     if backend == "auto":
         backend = os.environ.get(BACKEND_ENV, "").strip().lower() or "auto"
     if backend == "auto":
-        # Either installed backend is valid here; python wins on CPython
-        # (see EXPERIMENTS.md P4), so auto picks it even with numpy around.
+        numba_spec = _SPECS["numba"]
+        if numba_spec.available() and max(m_max, r, k) <= NUMPY_WORD_BITS:
+            return "numba"
         return "python"
-    if backend not in _FACTORIES:
-        choices = ("auto",) + tuple(_FACTORIES)
+    spec = _SPECS.get(backend)
+    if spec is None:
+        choices = ("auto",) + available_backends()
         raise ValueError(
             f"unknown batch backend {backend!r}; choose from {choices}"
         )
-    if backend == "numpy":
-        if _np is None:
-            raise ValueError(
-                "batch backend 'numpy' requested but numpy is not installed"
-            )
-        if max(m_max, r, k) > NUMPY_WORD_BITS:
-            raise ValueError(numpy_gate_error(m_max, r, k))
+    reason = spec.missing()
+    if reason is not None:
+        raise ValueError(
+            f"batch backend {backend!r} requested but {reason}"
+        )
+    if spec.word_gated and max(m_max, r, k) > NUMPY_WORD_BITS:
+        raise ValueError(word_gate_error(backend, m_max, r, k))
     return backend
 
 
@@ -125,4 +220,4 @@ def make_state(
         r=geos[0].r,
         k=geos[0].k,
     )
-    return _FACTORIES[name](geos)
+    return _SPECS[name].factory(geos)

@@ -31,10 +31,18 @@ order are all properties of those kernels, and the property tests plus
 blocked)`` and causes against the bitmask kernel.
 
 The state backends (``python`` int bitplanes, optional ``numpy`` int64
-structure-of-arrays gated at ``m, r, k <=``
+structure-of-arrays, and the fused ``numba`` backend -- the numpy-based
+pair gated at ``m, r, k <=``
 :data:`~repro.engine.backends.NUMPY_WORD_BITS`) live in
-:mod:`repro.engine.state` behind the :mod:`repro.engine.backends`
-registry; ``WDM_REPRO_BATCH_BACKEND`` overrides ``auto`` resolution.
+:mod:`repro.engine.state` / :mod:`repro.engine.fused` behind the
+:mod:`repro.engine.backends` registry; ``auto`` prefers ``numba`` when
+importable and in-gate, else ``python``, and
+``WDM_REPRO_BATCH_BACKEND`` overrides.  For the fused backend the
+per-event loop is bypassed entirely: :func:`lower_stream` flattens the
+compiled stream to int64 arrays and
+:meth:`~repro.engine.fused.FusedState.replay_ops` executes the whole
+replay in one ``@njit`` kernel -- same decisions, bit-identical counts
+and causes.
 The engine is wired in as ``routing_kernel("batched")``: single-request
 routing is untouched (identical to ``bitmask``), but the Monte-Carlo
 estimators dispatch whole seed-batches here instead of one cell at a
@@ -56,17 +64,25 @@ from repro.engine.backends import (
     make_state,
     resolve_backend,
 )
+from repro.engine.fused import FusedReplay
 from repro.engine.geometry import FabricGeometry
 from repro.engine.kernel import block_cause, classify_kind, probe_cover
 from repro.engine.state import FabricState
 from repro.switching.generators import dynamic_traffic
 
+try:  # NumPy is optional; only the fused lowering needs it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None  # type: ignore[assignment]
+
 __all__ = [
     "BACKEND_ENV",
     "BACKENDS",
     "CellOutcome",
+    "LoweredStream",
     "available_backends",
     "compile_stream",
+    "lower_stream",
     "replay_cell",
     "resolve_backend",
     "simulate_batch",
@@ -118,6 +134,59 @@ def compile_stream(
                 (_TEARDOWN, event.connection_id, g, source.wavelength, 0)
             )
     return ops
+
+
+@dataclass(frozen=True)
+class LoweredStream:
+    """One compiled stream lowered to flat int64 arrays (fused form).
+
+    The array program every model (MSW/MSDW/MAW) and both constructions
+    compile to: per-event ``tag``/``g``/``sw``/``dest`` columns plus
+    ``slot``, the dense connection index (one slot per connection id,
+    shared by its setup and teardown ops) that lets the fused kernel
+    store live branches in fixed-shape arrays instead of dicts.
+    Satisfies :class:`repro.engine.fused.LoweredOps`.
+    """
+
+    tag: object
+    slot: object
+    g: object
+    sw: object
+    dest: object
+    n_slots: int
+    n_setups: int
+
+
+def lower_stream(
+    ops: list[tuple[int, int, int, int, int]],
+) -> LoweredStream:
+    """Lower :func:`compile_stream` ops to the fused kernel's arrays."""
+    if _np is None:  # pragma: no cover - fused backend gates first
+        raise ValueError("lower_stream requires numpy")
+    n = len(ops)
+    tag = _np.zeros(n, dtype=_np.int64)
+    slot = _np.zeros(n, dtype=_np.int64)
+    g = _np.zeros(n, dtype=_np.int64)
+    sw = _np.zeros(n, dtype=_np.int64)
+    dest = _np.zeros(n, dtype=_np.int64)
+    slots: dict[int, int] = {}
+    n_setups = 0
+    for i, (op_tag, cid, op_g, op_sw, op_dest) in enumerate(ops):
+        if op_tag == _SETUP:
+            n_setups += 1
+        tag[i] = op_tag
+        cid_slot = slots.get(cid)
+        if cid_slot is None:
+            cid_slot = len(slots)
+            slots[cid] = cid_slot
+        slot[i] = cid_slot
+        g[i] = op_g
+        sw[i] = op_sw
+        dest[i] = op_dest
+    return LoweredStream(
+        tag=tag, slot=slot, g=g, sw=sw, dest=dest,
+        n_slots=len(slots), n_setups=n_setups,
+    )
 
 
 @dataclass(frozen=True)
@@ -194,7 +263,26 @@ def _replay(
     -- so this loop owns no admission semantics of its own: MSW- vs
     MAW-dominance, endpoint models and wavelength picks all live in the
     engine.
+
+    A state that offers the whole-stream ``replay_ops`` entry point
+    (the fused ``numba`` backend) takes the entire loop instead: the
+    stream is lowered to flat arrays once and every per-event decision
+    above runs inside the one compiled kernel, bit-identically.
     """
+    fused_entry = getattr(state, "replay_ops", None)
+    if fused_entry is not None:
+        replay: FusedReplay = fused_entry(
+            lower_stream(ops), want_kinds, want_causes
+        )
+        replications = []
+        for b in range(state.batch):
+            rep = _Replication()
+            rep.blocked = replay.blocked[b]
+            rep.releases = replay.releases[b]
+            rep.kind_counts = replay.kind_counts[b]
+            rep.causes = replay.causes[b]
+            replications.append(rep)
+        return replay.attempts, replications
     batch = state.batch
     x = state.x
     msw_dominant = state.msw_dominant

@@ -10,11 +10,14 @@ from repro.engine.backends import (
     BACKENDS,
     NUMPY_WORD_BITS,
     available_backends,
+    backend_status,
     make_state,
     numpy_gate_error,
     register_backend,
     resolve_backend,
+    word_gate_error,
 )
+from repro.engine.fused import FUSED_ENV, FusedState
 from repro.engine.geometry import FabricGeometry
 from repro.engine.state import NumpyState, PythonState
 
@@ -53,25 +56,116 @@ class TestGate:
             resolve_backend("auto", m_max=NUMPY_WORD_BITS + 1, r=2, k=1)
         assert str(err.value) == numpy_gate_error(NUMPY_WORD_BITS + 1, 2, 1)
 
+    def test_numba_shares_the_word_gate(self, monkeypatch):
+        pytest.importorskip("numpy")
+        monkeypatch.setenv(FUSED_ENV, "1")
+        with pytest.raises(ValueError) as err:
+            resolve_backend("numba", m_max=NUMPY_WORD_BITS + 1, r=2, k=1)
+        assert str(err.value) == word_gate_error(
+            "numba", NUMPY_WORD_BITS + 1, 2, 1
+        )
+
 
 class TestResolution:
-    def test_auto_defaults_to_python(self, monkeypatch):
+    def test_auto_defaults_to_python_without_numba(self, monkeypatch):
         monkeypatch.delenv(BACKEND_ENV, raising=False)
+        monkeypatch.delenv(FUSED_ENV, raising=False)
+        if "numba" in available_backends():
+            pytest.skip("numba installed: auto legitimately prefers it")
         assert resolve_backend("auto", m_max=4, r=2, k=1) == "python"
+
+    def test_auto_prefers_numba_when_available(self, monkeypatch):
+        pytest.importorskip("numpy")
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        monkeypatch.setenv(FUSED_ENV, "1")
+        assert resolve_backend("auto", m_max=4, r=2, k=1) == "numba"
+
+    def test_auto_falls_back_to_python_outside_the_gate(self, monkeypatch):
+        pytest.importorskip("numpy")
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        monkeypatch.setenv(FUSED_ENV, "1")
+        assert (
+            resolve_backend("auto", m_max=NUMPY_WORD_BITS + 1, r=2, k=1)
+            == "python"
+        )
 
     def test_env_override_honored(self, monkeypatch):
         pytest.importorskip("numpy")
         monkeypatch.setenv(BACKEND_ENV, "numpy")
         assert resolve_backend("auto", m_max=4, r=2, k=1) == "numpy"
 
+    def test_env_override_beats_numba_preference(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "python")
+        monkeypatch.setenv(FUSED_ENV, "1")
+        assert resolve_backend("auto", m_max=4, r=2, k=1) == "python"
+
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown batch backend"):
             resolve_backend("cuda", m_max=4, r=2, k=1)
+
+    def test_unknown_error_lists_only_available_backends(self, monkeypatch):
+        from repro.engine import backends as mod
+
+        # With every optional backend unavailable, the suggestion list
+        # must shrink to what a user could actually pick.
+        monkeypatch.setitem(
+            mod._SPECS, "numpy",
+            mod.BackendSpec(factory=NumpyState, missing=lambda: "not here"),
+        )
+        monkeypatch.setitem(
+            mod._SPECS, "numba",
+            mod.BackendSpec(factory=FusedState, missing=lambda: "not here"),
+        )
+        with pytest.raises(ValueError) as err:
+            resolve_backend("cuda", m_max=4, r=2, k=1)
+        assert "('auto', 'python')" in str(err.value)
+        assert "numpy" not in str(err.value)
+
+    def test_missing_backend_requested_explicitly(self, monkeypatch):
+        from repro.engine import backends as mod
+
+        monkeypatch.setitem(
+            mod._SPECS, "numba",
+            mod.BackendSpec(
+                factory=FusedState, missing=lambda: "numba is not installed"
+            ),
+        )
+        with pytest.raises(
+            ValueError, match="'numba' requested but numba is not installed"
+        ):
+            resolve_backend("numba", m_max=4, r=2, k=1)
 
     def test_available_backends_cover_the_registry(self):
         available = available_backends()
         assert "python" in available
         assert set(available) <= {*BACKENDS}.union(available)
+
+
+class TestStatus:
+    def test_status_covers_all_builtins(self):
+        status = backend_status()
+        assert set(BACKENDS) <= set(status)
+        assert status["python"] == "available"
+
+    def test_word_gated_backends_report_the_gate(self):
+        pytest.importorskip("numpy")
+        status = backend_status()
+        assert status["numpy"] == (
+            f"available (gated: m, r, k <= {NUMPY_WORD_BITS})"
+        )
+
+    def test_unavailable_backend_reports_reason(self, monkeypatch):
+        from repro.engine import backends as mod
+
+        monkeypatch.setitem(
+            mod._SPECS, "numba",
+            mod.BackendSpec(
+                factory=FusedState, missing=lambda: "numba is not installed"
+            ),
+        )
+        assert backend_status()["numba"] == (
+            "unavailable (numba is not installed)"
+        )
 
 
 class TestMakeState:
@@ -93,7 +187,7 @@ class TestMakeState:
 
 class TestRegistry:
     def test_reserved_names_rejected(self):
-        for name in ("auto", "python", "numpy"):
+        for name in ("auto", "python", "numpy", "numba"):
             with pytest.raises(ValueError, match="reserved"):
                 register_backend(name, PythonState)
 
@@ -108,4 +202,19 @@ class TestRegistry:
             assert isinstance(state, PythonState)
             assert name in available_backends()
         finally:
-            del mod._FACTORIES[name]
+            del mod._SPECS[name]
+
+    def test_registered_backend_with_missing_probe(self):
+        from repro.engine import backends as mod
+
+        name = "test-cuda"
+        register_backend(
+            name, PythonState, missing=lambda: "no GPU", word_gated=True
+        )
+        try:
+            assert name not in available_backends()
+            assert backend_status()[name] == "unavailable (no GPU)"
+            with pytest.raises(ValueError, match="requested but no GPU"):
+                resolve_backend(name, m_max=4, r=2, k=1)
+        finally:
+            del mod._SPECS[name]

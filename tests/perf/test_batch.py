@@ -9,7 +9,9 @@ backends.
 
 from __future__ import annotations
 
+import os
 import random
+from contextlib import contextmanager
 
 import pytest
 from hypothesis import assume, given, settings
@@ -19,6 +21,7 @@ from repro import api, obs
 from repro.analysis.montecarlo import _traffic_cell
 from repro.core.models import Construction, MulticastModel
 from repro.core.multistage import valid_x_range
+from repro.engine.fused import FUSED_ENV
 from repro.multistage.network import ThreeStageNetwork
 from repro.multistage.routing import routing_kernel
 from repro.perf.batch import (
@@ -34,6 +37,27 @@ from repro.switching.generators import dynamic_traffic
 
 BACKENDS = available_backends()
 STEPS = 150
+
+
+@contextmanager
+def fused_interpreted():
+    """Force the fused backend's interpreted mode for a block.
+
+    Makes ``numba`` available even on hosts without numba installed
+    (the kernel runs uncompiled over the same arrays), which is how
+    the three-way suites always exercise the fused array program.
+    Plain ``os.environ`` juggling instead of monkeypatch because
+    hypothesis forbids function-scoped fixtures under ``@given``.
+    """
+    previous = os.environ.get(FUSED_ENV)
+    os.environ[FUSED_ENV] = "1"
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ[FUSED_ENV]
+        else:
+            os.environ[FUSED_ENV] = previous
 
 
 def serial_cell_with_causes(n, r, m, k, construction, model, x, steps, seed):
@@ -136,6 +160,47 @@ class TestBitIdentity:
             )[1]
 
 
+@pytest.mark.skipif(
+    "numpy" not in BACKENDS, reason="fused backend needs numpy"
+)
+class TestThreeWayIdentity:
+    """python vs numpy vs numba on the same cells (satellite contract)."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(config=configs())
+    def test_counts_and_causes_agree(self, config):
+        n, r, k, x, m, seed, construction, model = config
+        with fused_interpreted():
+            backends = available_backends()
+            assert {"python", "numpy", "numba"} <= set(backends)
+            outcomes = [
+                replay_cell(
+                    n, r, m, k, construction=construction, model=model, x=x,
+                    steps=STEPS, seed=seed, backend=backend,
+                    record_causes=True,
+                )
+                for backend in ("python", "numpy", "numba")
+            ]
+            assert len({(o.attempts, o.blocked) for o in outcomes}) == 1
+            assert len({repr(o.causes) for o in outcomes}) == 1
+
+    @pytest.mark.parametrize("construction", list(Construction))
+    @pytest.mark.parametrize("model", list(MulticastModel))
+    def test_fused_batch_equals_python_batch(self, construction, model):
+        n, r, k, x, seed = 3, 3, 2, 1, 0
+        m_values = tuple(range(1, 9))
+        with fused_interpreted():
+            python = simulate_batch(
+                n, r, k, construction, model, x, 300, None, seed,
+                m_values, "python",
+            )
+            fused = simulate_batch(
+                n, r, k, construction, model, x, 300, None, seed,
+                m_values, "numba",
+            )
+        assert fused == python
+
+
 class TestStreamCompilation:
     def test_stream_is_m_independent(self):
         """The compiled ops depend on the traffic config, never on m."""
@@ -167,7 +232,23 @@ class TestStreamCompilation:
 
 class TestBackendResolution:
     def test_auto_resolves_to_python(self):
+        if "numba" in available_backends():
+            pytest.skip("numba installed: auto legitimately prefers it")
         assert resolve_backend("auto", m_max=8, r=4, k=2) == "python"
+
+    @pytest.mark.skipif(
+        "numpy" not in BACKENDS, reason="fused backend needs numpy"
+    )
+    def test_auto_prefers_numba_over_python(self):
+        with fused_interpreted():
+            assert resolve_backend("auto", m_max=8, r=4, k=2) == "numba"
+            # ... but only inside the int64 word gate.
+            assert resolve_backend("auto", m_max=100, r=4, k=2) == "python"
+
+    def test_env_python_beats_numba_preference(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "python")
+        with fused_interpreted():
+            assert resolve_backend("auto", m_max=8, r=4, k=2) == "python"
 
     def test_env_override(self, monkeypatch):
         monkeypatch.setenv(BACKEND_ENV, "python")

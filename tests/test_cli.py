@@ -159,11 +159,13 @@ class TestTraceCommand:
         out = run_cli(capsys, "kernels")
         for kernel in ("reference", "bitmask", "batched"):
             assert kernel in out
-        for backend in ("python", "numpy"):
+        for backend in ("python", "numba", "numpy"):
             assert backend in out
         assert f"m, r, k <= {NUMPY_WORD_BITS}" in out
         assert "active routing kernel: bitmask" in out
         assert f"{BACKEND_ENV}: (unset)" in out
+        assert "backend status:" in out
+        assert "python: available" in out
 
     def test_kernels_reports_env_override(self, capsys, monkeypatch):
         from repro.engine.backends import BACKEND_ENV
@@ -172,6 +174,37 @@ class TestTraceCommand:
         out = run_cli(capsys, "kernels")
         assert f"{BACKEND_ENV}=numpy" in out
         assert "auto backend resolves to: numpy" in out
+
+    def test_kernels_shows_missing_backend_reason(self, capsys, monkeypatch):
+        from repro.engine import backends as mod
+
+        monkeypatch.setitem(
+            mod._SPECS, "numba",
+            mod.BackendSpec(
+                factory=mod._SPECS["numba"].factory,
+                missing=lambda: "numba is not installed",
+                word_gated=True,
+            ),
+        )
+        out = run_cli(capsys, "kernels")
+        assert "numba: unavailable (numba is not installed)" in out
+
+    def test_kernels_shows_installed_backend_gate(self, capsys, monkeypatch):
+        from repro.engine import backends as mod
+        from repro.engine.backends import NUMPY_WORD_BITS
+
+        monkeypatch.setitem(
+            mod._SPECS, "numba",
+            mod.BackendSpec(
+                factory=mod._SPECS["numba"].factory,
+                missing=lambda: None,
+                word_gated=True,
+            ),
+        )
+        out = run_cli(capsys, "kernels")
+        assert (
+            f"numba: available (gated: m, r, k <= {NUMPY_WORD_BITS})" in out
+        )
 
 
 class TestParser:
@@ -188,6 +221,20 @@ class TestParser:
         assert "unknown kernel 'bogus'" in message
         for kernel in ("batched", "bitmask", "reference"):
             assert kernel in message
+
+    def test_unknown_backend_rejected_listing_valid_ones(self, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["blocking", "--backend", "bogus"])
+        message = capsys.readouterr().err
+        assert "unknown backend 'bogus'" in message
+        for backend in ("auto", "python"):
+            assert backend in message
+
+    def test_backend_flag_accepts_known_names(self):
+        parser = build_parser()
+        args = parser.parse_args(["blocking", "--backend", "PYTHON"])
+        assert args.backend == "python"
 
     def test_unknown_construction_rejected(self):
         parser = build_parser()

@@ -36,8 +36,12 @@ from pathlib import Path
 #: sections (cache, parallel, obs, exact_search, batched over-guard)
 #: are reported in the diff but only the kernel-critical paths gate:
 #: a slow cache disk or an adaptive-executor fallback is environmental,
-#: a cover-kernel slowdown is a code regression.
-GUARDED_SECTIONS = ("cover_kernel", "routing_replay", "end_to_end")
+#: a cover-kernel slowdown is a code regression.  A guarded section may
+#: opt out of one run by reporting ``"guard_exempt": true`` -- the
+#: ``fused`` section does this when numba is missing and its timing
+#: covers the interpreted stand-in kernel rather than the compiled one
+#: (identity is still asserted by ``bench_perf.py`` itself either way).
+GUARDED_SECTIONS = ("cover_kernel", "routing_replay", "end_to_end", "fused")
 
 DEFAULT_THRESHOLD = 0.15
 
@@ -62,10 +66,12 @@ def diff_reports(
             continue
         if "speedup" not in result:
             continue
+        exempt = bool(result.get("guard_exempt"))
         entry = {
             "fresh_speedup": result["speedup"],
             "identical": result.get("identical"),
-            "guarded": name in guarded,
+            "guarded": name in guarded and not exempt,
+            "guard_exempt": exempt,
         }
         base = baseline.get(name)
         if isinstance(base, dict) and "speedup" in base:
@@ -73,8 +79,14 @@ def diff_reports(
             entry["relative_change"] = (
                 result["speedup"] / base["speedup"] - 1.0
             )
+            # An exempt baseline measured a different code path (e.g.
+            # the interpreted fused kernel), so its ratio cannot gate a
+            # compiled fresh run either.
+            comparable = not exempt and not bool(base.get("guard_exempt"))
             entry["regressed"] = (
-                name in guarded and entry["relative_change"] < -threshold
+                name in guarded
+                and comparable
+                and entry["relative_change"] < -threshold
             )
         else:
             # A section the baseline predates cannot regress; record it
@@ -153,7 +165,12 @@ def main(argv: list[str] | None = None) -> int:
     for name, entry in diff["sections"].items():
         base = entry["baseline_speedup"]
         change = entry["relative_change"]
-        mark = "GUARD" if entry["guarded"] else "     "
+        if entry["guarded"]:
+            mark = "GUARD"
+        elif entry.get("guard_exempt"):
+            mark = "EXMPT"
+        else:
+            mark = "     "
         if base is None:
             print(
                 f"{mark} {name:15s} {entry['fresh_speedup']:6.2f}x "

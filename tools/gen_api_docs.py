@@ -47,15 +47,20 @@ state-level functions (`avail`, `coverable`, `admit`, `release`,
 
 ### The backend seam
 
-`FabricState` has two interchangeable bitplane backends -- pure-Python
-ints and numpy int64 structure-of-arrays (gated at
-`m, r, k <= NUMPY_WORD_BITS`) -- resolved by `resolve_backend`
-(`WDM_REPRO_BATCH_BACKEND` overrides `auto`) and instantiated by
-`make_state`. `register_backend` is the plug-in point for the planned
-numba/CUDA backend: registered names become valid `backend=` arguments
-everywhere without touching any consumer. `wdm-repro kernels` prints
-the kernel x backend availability matrix. The package ships `py.typed`
-and is kept fully typed (`mypy src/repro/engine` in CI).
+`FabricState` has three interchangeable bitplane backends -- pure-Python
+ints, numpy int64 structure-of-arrays, and the fused `numba` backend
+(`repro.engine.fused`), which lowers the whole compiled stream to flat
+int64 arrays and replays it in one `@njit` kernel (the numpy-based
+backends are gated at `m, r, k <= NUMPY_WORD_BITS`). `resolve_backend`
+picks one (`auto` prefers `numba` when importable and in-gate, else
+`python`; `WDM_REPRO_BATCH_BACKEND` overrides) and `make_state`
+instantiates it. `register_backend(name, factory, missing=...,
+word_gated=...)` plugs in further backends -- registered names become
+valid `backend=` arguments everywhere without touching any consumer,
+and `backend_status` / `wdm-repro kernels` report live availability.
+`WDM_REPRO_FUSED_PY=1` forces the fused kernel's interpreted mode (the
+identity-test vehicle on machines without numba). The package ships
+`py.typed` and is kept fully typed (`mypy src/repro/engine` in CI).
 """,
     "repro.multistage": """\
 ### Debug checks
@@ -127,12 +132,17 @@ replays it through B structure-of-arrays fabric states in lockstep.
 exposes one replication with `explain_block`-identical causes. The
 replay itself is one backend-parameterized event loop over the shared
 admission kernels of `repro.engine`; the fabric-state backends (the
-pure-Python int-bitplane backend -- the `auto` choice -- and an
-optional numpy int64 backend gated at m, r, k <= `NUMPY_WORD_BITS`)
-live in `repro.engine.state` behind the `repro.engine.backends`
-registry and are bit-identical to the serial simulator per
-replication. Override with the `WDM_REPRO_BATCH_BACKEND` environment
-variable; `wdm-repro kernels` prints the availability matrix.
+pure-Python int-bitplane backend, an optional numpy int64 backend, and
+the fused `numba` backend -- the `auto` choice when numba is
+importable -- the numpy-based pair gated at m, r, k <=
+`NUMPY_WORD_BITS`) live in `repro.engine.state` /
+`repro.engine.fused` behind the `repro.engine.backends` registry and
+are bit-identical to the serial simulator per replication, blocking
+causes included. For the fused backend, `lower_stream` flattens the
+compiled stream to int64 arrays and `FusedState.replay_ops` runs the
+entire event loop in one `@njit` kernel. Override with the
+`WDM_REPRO_BATCH_BACKEND` environment variable; `wdm-repro kernels`
+prints the availability matrix.
 """,
     "repro.api": """\
 ### Typed configs over kwargs sprawl
