@@ -1,6 +1,6 @@
 """Performance benchmark for the routing kernel, search and sweep engine.
 
-Ten sections, each asserting that the fast path computes *exactly*
+Eleven sections, each asserting that the fast path computes *exactly*
 what the slow path computes before reporting any speedup:
 
 * ``cover_kernel`` -- the bitmask cover search
@@ -35,6 +35,12 @@ what the slow path computes before reporting any speedup:
   the warm re-run of the same sweep (and a cache-free reference),
   asserting all three produce identical estimates -- the warm-vs-cold
   divergence guard;
+* ``adaptive`` -- the sequential-stopping sweep
+  (:mod:`repro.perf.adaptive`) vs the minimal uniform fixed budget at
+  the same per-cell CI half-width; the guarded ``speedup`` is the
+  event ratio (floored at 2x via ``min_speedup``) and ``identical``
+  asserts the interrupted-then-resumed run is bit-identical to the
+  uninterrupted one;
 * ``parallel`` -- the same sweep at ``jobs=1`` vs ``jobs="auto"``
   through :class:`repro.perf.ParallelSweeper`.  The adaptive executor
   falls back to serial whenever a pool cannot win (single effective
@@ -716,6 +722,106 @@ def bench_fused(quick: bool, reps: int) -> dict:
     }
 
 
+def bench_adaptive(quick: bool, reps: int) -> dict:
+    """The adaptive sequential-stopping sweep vs a fixed budget at equal CI.
+
+    Both paths must deliver every curve point at the same Wilson
+    half-width target.  The fixed-replication design cannot know in
+    advance which ``m`` needs the most sampling, so its minimal uniform
+    budget is the *widest* cell's replication count applied to every
+    cell; the adaptive engine spends that count only where the variance
+    is and stops the tail at the round floor.  The guarded ``speedup``
+    is the **event ratio** -- fixed-budget events over adaptive events
+    at matched precision -- which is a pure function of the stopping
+    rule (machine-independent, like the kernel sections' time ratios).
+    ``tools/check_bench_regression.py`` additionally enforces the
+    absolute floor ``min_speedup`` (>= 2x fewer events).
+
+    ``identical`` asserts the resume contract: a sweep interrupted after
+    its first rounds (persisted in a :class:`ResultCache`) and resumed
+    must reproduce the uninterrupted run bit-identically -- per-cell
+    ``(attempts, blocked)`` divergences are listed in
+    ``diverged_cells``.
+    """
+    from repro.perf.adaptive import PrecisionConfig, adaptive_sweep
+    from repro.perf.cache import ResultCache
+
+    n, r, k, x = 3, 3, 1, 1
+    m_values = list(range(1, 7 if quick else 9))
+    steps = 150 if quick else 400
+    precision = PrecisionConfig(half_width=0.01, min_rounds=2, max_rounds=64)
+    config = dict(
+        construction=Construction.MSW_DOMINANT,
+        model=MulticastModel.MSW,
+        x=x,
+        steps=steps,
+        precision=precision,
+    )
+
+    def run_adaptive():
+        with routing_kernel("batched"):
+            estimates = adaptive_sweep(n, r, k, m_values, **config)
+        return [
+            (e.m, e.attempts, e.blocked, e.adaptive.rounds, e.adaptive.converged)
+            for e in estimates
+        ]
+
+    adaptive_s, cells = _best(run_adaptive, reps)
+    rounds = [cell[3] for cell in cells]
+    converged = all(cell[4] for cell in cells)
+    per_round = precision.replications_per_round() * steps
+    adaptive_events = sum(rounds) * per_round
+    fixed_events = max(rounds) * per_round * len(m_values)
+
+    # Resume identity: persist the first rounds, then resume to the full
+    # target and compare against the uninterrupted run per cell.
+    diverged: list[dict] = []
+    with tempfile.TemporaryDirectory(prefix="wdm-bench-adaptive-") as tmp:
+        cache = ResultCache(tmp)
+        partial = dict(
+            config,
+            precision=PrecisionConfig(
+                half_width=0.01, min_rounds=2, max_rounds=2
+            ),
+        )
+        with routing_kernel("batched"):
+            adaptive_sweep(n, r, k, m_values, cache=cache, **partial)
+            resumed = adaptive_sweep(n, r, k, m_values, cache=cache, **config)
+    for cell, estimate in zip(cells, resumed):
+        if (estimate.m, estimate.attempts, estimate.blocked) != cell[:3]:
+            diverged.append(
+                {
+                    "m": estimate.m,
+                    "uninterrupted": cell[:3],
+                    "resumed": (estimate.m, estimate.attempts, estimate.blocked),
+                }
+            )
+    # The matched-precision claim only holds if every cell actually met
+    # the target (the resumed estimates are bit-identical to the timed
+    # run's cells when nothing diverged).
+    within_target = all(
+        e.half_width(precision.level) <= precision.half_width for e in resumed
+    )
+
+    return {
+        "config": {
+            "n": n, "r": r, "k": k, "x": x, "m_values": m_values,
+            "steps": steps, "half_width": precision.half_width,
+            "level": precision.level,
+        },
+        "rounds_per_m": rounds,
+        "replications_per_round": precision.replications_per_round(),
+        "adaptive_events": adaptive_events,
+        "fixed_events_at_matched_precision": fixed_events,
+        "adaptive_s": adaptive_s,
+        "all_converged": converged,
+        "diverged_cells": diverged,
+        "min_speedup": 2.0,
+        "speedup": fixed_events / adaptive_events,
+        "identical": converged and not diverged and within_target,
+    }
+
+
 def bench_parallel(quick: bool, reps: int, jobs: int | str) -> dict:
     m_values = [2, 5, 8, 11, 14]
     traffic = _grid_traffic(quick)
@@ -795,6 +901,7 @@ def main(argv: list[str] | None = None) -> int:
         ("fused", lambda: bench_fused(args.quick, reps)),
         ("exact_search", lambda: bench_exact_search(args.quick, reps)),
         ("cache", lambda: bench_cache(args.quick, reps)),
+        ("adaptive", lambda: bench_adaptive(args.quick, reps)),
         ("parallel", lambda: bench_parallel(args.quick, reps, args.jobs)),
         ("obs", lambda: bench_obs(args.quick, reps)),
     ]

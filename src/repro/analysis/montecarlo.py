@@ -33,9 +33,11 @@ cold run.
 from __future__ import annotations
 
 import json
+import math
 import random
 import warnings
 from dataclasses import dataclass, field, replace
+from statistics import NormalDist
 from typing import TYPE_CHECKING, Any
 
 from repro import obs as _obs
@@ -46,12 +48,71 @@ from repro.multistage.routing import get_routing_kernel
 from repro.obs.meta import ResultMeta
 from repro.perf.batch import simulate_batch
 from repro.perf.sweeper import ParallelSweeper, WorkUnit
-from repro.switching.generators import dynamic_traffic
+from repro.switching.generators import dynamic_traffic, stream_rng
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.perf.cache import ResultCache
 
-__all__ = ["BlockingEstimate", "blocking_probability", "blocking_vs_m"]
+__all__ = [
+    "AdaptiveInfo",
+    "BlockingEstimate",
+    "blocking_probability",
+    "blocking_vs_m",
+]
+
+
+def _z_value(level: float) -> float:
+    """Two-sided normal quantile for a confidence ``level`` in (0, 1)."""
+    if not 0.0 < level < 1.0:
+        raise ValueError(f"confidence level must be in (0, 1), got {level}")
+    return NormalDist().inv_cdf((1.0 + level) / 2.0)
+
+
+@dataclass(frozen=True)
+class AdaptiveInfo:
+    """How an adaptive (sequentially stopped) estimate was sampled.
+
+    Attached to :attr:`BlockingEstimate.adaptive` by
+    :mod:`repro.perf.adaptive`; excluded from estimate equality the same
+    way ``meta`` is, so a pooled adaptive estimate can compare equal to
+    a fixed-budget estimate with the same numbers.
+
+    Attributes:
+        rounds: sampling rounds this cell ran before stopping.
+        replications: independent replications pooled (antithetic twins
+            count individually).
+        events: total traffic events simulated
+            (``replications x steps``) -- the budget the fixed-budget
+            comparison in ``bench_perf.py`` measures against.
+        converged: whether the CI target was met (False means the
+            round cap stopped the cell first).
+        target_half_width: the requested half-width.
+        relative: whether the target is relative to the point estimate.
+        level: the confidence level of the stopping rule.
+    """
+
+    rounds: int
+    replications: int
+    events: int
+    converged: bool
+    target_half_width: float
+    relative: bool
+    level: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "rounds": self.rounds,
+            "replications": self.replications,
+            "events": self.events,
+            "converged": self.converged,
+            "target_half_width": self.target_half_width,
+            "relative": self.relative,
+            "level": self.level,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "AdaptiveInfo":
+        return cls(**data)
 
 
 def _traffic_key(
@@ -104,7 +165,18 @@ class BlockingEstimate:
     envelope (code version, routing kernel, execution plan, obs
     summary).  It is excluded from equality/hashing -- two estimates
     with identical numbers compare equal even if one ran serial and the
-    other parallel, preserving the bit-identity contracts.
+    other parallel, preserving the bit-identity contracts.  ``adaptive``
+    (how a sequentially stopped estimate was sampled) is excluded for
+    the same reason: the pooled numbers, not the sampling path, define
+    identity.
+
+    The estimate carries first-class interval statistics: ``stderr``
+    (binomial normal-approximation), ``ci(level)`` (the Wilson score
+    interval, well behaved at and near ``p = 0`` -- exactly where the
+    blocking curves live), ``half_width(level)`` (the Wilson interval's
+    half-width, the quantity the adaptive driver's stopping rule
+    targets), and ``merged``/``pooled`` for combining independent
+    estimates of the same configuration.
     """
 
     n: int
@@ -117,14 +189,101 @@ class BlockingEstimate:
     attempts: int
     blocked: int
     meta: ResultMeta | None = field(default=None, compare=False, repr=False)
+    adaptive: AdaptiveInfo | None = field(default=None, compare=False, repr=False)
 
     @property
     def probability(self) -> float:
         """Fraction of setup attempts refused."""
         return self.blocked / self.attempts if self.attempts else 0.0
 
+    @property
+    def stderr(self) -> float:
+        """Normal-approximation standard error ``sqrt(p(1-p)/n)``.
+
+        ``inf`` with no attempts -- an unsampled estimate carries no
+        information, and ``inf`` keeps stopping rules conservative.
+        """
+        if not self.attempts:
+            return math.inf
+        p = self.probability
+        return math.sqrt(p * (1.0 - p) / self.attempts)
+
+    def ci(self, level: float = 0.95) -> tuple[float, float]:
+        """Wilson score confidence interval at ``level``.
+
+        Unlike the Wald interval, Wilson never collapses to a width-zero
+        interval at ``p = 0`` (its half-width shrinks like ``z^2 / n``),
+        so a cell that has seen no blocking still reports honest
+        uncertainty -- the property that lets the adaptive driver stop
+        near-zero cells only once they are *provably* near zero.
+        """
+        if not self.attempts:
+            return (0.0, 1.0)
+        z = _z_value(level)
+        n = self.attempts
+        p = self.probability
+        z2 = z * z
+        denom = 1.0 + z2 / n
+        center = (p + z2 / (2.0 * n)) / denom
+        half = (z / denom) * math.sqrt(
+            p * (1.0 - p) / n + z2 / (4.0 * n * n)
+        )
+        return (max(0.0, center - half), min(1.0, center + half))
+
+    def half_width(self, level: float = 0.95) -> float:
+        """Half the width of :meth:`ci` (``inf`` with no attempts)."""
+        if not self.attempts:
+            return math.inf
+        low, high = self.ci(level)
+        return (high - low) / 2.0
+
+    def merged(self, other: "BlockingEstimate") -> "BlockingEstimate":
+        """Pool this estimate with an independent one of the same cell.
+
+        Attempts and blocked counts are summed, so merging the
+        per-round estimates of a split run reproduces the single-run
+        estimate *exactly* (integer sums carry no rounding).  ``meta``
+        and ``adaptive`` describe a single run's provenance and do not
+        survive a merge.
+        """
+        mine = (self.n, self.r, self.m, self.k, self.construction,
+                self.model, self.x)
+        theirs = (other.n, other.r, other.m, other.k, other.construction,
+                  other.model, other.x)
+        if mine != theirs:
+            raise ValueError(
+                f"cannot merge estimates of different cells: {mine} vs {theirs}"
+            )
+        return BlockingEstimate(
+            n=self.n, r=self.r, m=self.m, k=self.k,
+            construction=self.construction, model=self.model, x=self.x,
+            attempts=self.attempts + other.attempts,
+            blocked=self.blocked + other.blocked,
+        )
+
+    @classmethod
+    def pooled(cls, estimates: "list[BlockingEstimate]") -> "BlockingEstimate":
+        """Merge a non-empty list of independent same-cell estimates."""
+        if not estimates:
+            raise ValueError("cannot pool zero estimates")
+        result = estimates[0]
+        for estimate in estimates[1:]:
+            result = result.merged(estimate)
+        return result
+
     def to_json(self) -> str:
-        """Canonical JSON; inverse of :meth:`from_json`."""
+        """Canonical JSON; inverse of :meth:`from_json`.
+
+        Alongside the defining counts, the payload carries the derived
+        interval statistics (``stderr``, ``ci95``, ``half_width95``) so
+        downstream consumers need no recomputation, plus the
+        ``adaptive`` sampling record when present.  ``from_json``
+        ignores the derived fields (they are functions of the counts)
+        and tolerates their absence -- payloads written before they
+        existed still load.
+        """
+        ci_low, ci_high = self.ci(0.95)
+        half = self.half_width(0.95)
         return json.dumps(
             {
                 "n": self.n, "r": self.r, "m": self.m, "k": self.k,
@@ -133,6 +292,14 @@ class BlockingEstimate:
                 "x": self.x,
                 "attempts": self.attempts,
                 "blocked": self.blocked,
+                "stderr": self.stderr if self.attempts else None,
+                "ci95": [ci_low, ci_high],
+                "half_width95": half if self.attempts else None,
+                "adaptive": (
+                    self.adaptive.as_dict()
+                    if self.adaptive is not None
+                    else None
+                ),
                 "meta": self.meta.to_json() if self.meta is not None else None,
             },
             sort_keys=True,
@@ -141,9 +308,16 @@ class BlockingEstimate:
 
     @classmethod
     def from_json(cls, payload: str) -> "BlockingEstimate":
-        """Rebuild an estimate (meta included) from :meth:`to_json` output."""
+        """Rebuild an estimate (meta included) from :meth:`to_json` output.
+
+        Backward compatible with payloads written before the interval
+        statistics and ``adaptive`` record existed: missing keys simply
+        yield an estimate without an adaptive record (the interval
+        statistics are always recomputed from the counts).
+        """
         data = json.loads(payload)
         meta = data.get("meta")
+        adaptive = data.get("adaptive")
         return cls(
             n=data["n"], r=data["r"], m=data["m"], k=data["k"],
             construction=Construction[data["construction"]],
@@ -152,6 +326,11 @@ class BlockingEstimate:
             attempts=data["attempts"],
             blocked=data["blocked"],
             meta=ResultMeta.from_json(meta) if meta is not None else None,
+            adaptive=(
+                AdaptiveInfo.from_dict(adaptive)
+                if adaptive is not None
+                else None
+            ),
         )
 
 
@@ -167,18 +346,23 @@ def _traffic_cell(
     seed: int,
     max_fanout: int | None,
     debug_checks: bool | None = None,
+    antithetic: bool = False,
 ) -> tuple[int, int]:
     """One replication: ``(attempts, blocked)`` for one traffic seed.
 
     The seed's single ``random.Random`` stream drives the traffic
     generator end-to-end; nothing else in the cell draws randomness, so
     the result depends only on the arguments (the parallel-safety
-    contract of the sweep engine).  ``debug_checks`` re-verifies the
-    network invariants after every event; it cannot change the result,
-    so it is deliberately absent from the cell's cache key.
+    contract of the sweep engine).  With ``antithetic=True`` the stream
+    is the seed's antithetic mirror
+    (:class:`repro.switching.generators.AntitheticRandom`) -- the
+    variance-reduction twin the adaptive driver pairs with the plain
+    stream.  ``debug_checks`` re-verifies the network invariants after
+    every event; it cannot change the result, so it is deliberately
+    absent from the cell's cache key.
     """
     _obs.inc("mc.cells")
-    rng = random.Random(seed)
+    rng = stream_rng(seed, antithetic)
     net = ThreeStageNetwork(
         n, r, m, k, construction=construction, model=model, x=x,
         debug_checks=debug_checks,

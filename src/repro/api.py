@@ -52,12 +52,14 @@ from repro.analysis.montecarlo import (
 from repro.core.models import Construction, MulticastModel
 from repro.multistage.exhaustive import ExactMinimal, _exact_minimal_m_impl
 from repro.multistage.routing import routing_kernel
+from repro.perf.adaptive import PrecisionConfig, adaptive_sweep
 from repro.perf.cache import ResultCache
 
 __all__ = [
     "BlockingEstimate",
     "ExactMinimal",
     "ExecConfig",
+    "PrecisionConfig",
     "SearchConfig",
     "TrafficConfig",
     "blocking",
@@ -115,6 +117,16 @@ class ExecConfig:
             through :func:`repro.engine.backends.register_backend`.
             Ignored by the other kernels; all backends are
             bit-identical, see ``wdm-repro kernels``.
+        precision: switch :func:`blocking` and :func:`sweep` from the
+            fixed ``traffic.seeds`` replication budget to the adaptive
+            sequential-stopping engine
+            (:func:`repro.perf.adaptive.adaptive_sweep`): each cell
+            samples antithetic/stratified rounds until its Wilson
+            interval meets the configured half-width.  ``traffic.seeds``
+            is ignored in this mode (the round schedule derives its own
+            seeds); ``traffic.adversarial`` is rejected.  With
+            ``cache_dir`` set, completed rounds persist and an
+            interrupted sweep resumes bit-identically.
     """
 
     jobs: int | str = 1
@@ -122,6 +134,7 @@ class ExecConfig:
     cache_dir: str | None = None
     batch: int | None = None
     backend: str = "auto"
+    precision: PrecisionConfig | None = None
 
     def cache(self) -> ResultCache | None:
         """The configured result cache, or None."""
@@ -159,6 +172,44 @@ class SearchConfig:
                 yield
 
 
+def _adaptive(
+    n: int,
+    r: int,
+    k: int,
+    m_values: list[int],
+    construction: Construction,
+    model: MulticastModel,
+    x: int,
+    traffic: TrafficConfig,
+    execution: ExecConfig,
+    search: SearchConfig,
+    *,
+    default_steps: int,
+) -> list[BlockingEstimate]:
+    """Route a precision-targeted run to the adaptive engine."""
+    if traffic.adversarial:
+        raise ValueError(
+            "adversarial traffic has no precision-targeted mode; "
+            "unset TrafficConfig.adversarial or ExecConfig.precision"
+        )
+    with search.applied():
+        return adaptive_sweep(
+            n, r, k, m_values,
+            construction=construction,
+            model=model,
+            x=x,
+            steps=traffic.steps if traffic.steps is not None else default_steps,
+            max_fanout=traffic.max_fanout,
+            precision=execution.precision,
+            jobs=execution.jobs,
+            cache=execution.cache(),
+            executor=execution.executor,
+            debug_checks=search.debug_checks,
+            batch=execution.batch,
+            backend=execution.backend,
+        )
+
+
 def blocking(
     n: int,
     r: int,
@@ -178,7 +229,17 @@ def blocking(
     bit-identical to the legacy call with the same parameters.  The
     returned estimate carries a :class:`repro.obs.meta.ResultMeta`
     envelope (kernel, execution plan, obs summary when enabled).
+
+    With ``execution.precision`` set, the fixed ``traffic.seeds``
+    budget is replaced by the adaptive sequential-stopping engine and
+    the estimate carries its
+    :class:`~repro.analysis.montecarlo.AdaptiveInfo` provenance.
     """
+    if execution.precision is not None:
+        return _adaptive(
+            n, r, k, [m], construction, model, x, traffic, execution,
+            search, default_steps=2000,
+        )[0]
     with search.applied():
         return _blocking_probability_impl(
             n, r, m, k,
@@ -219,7 +280,17 @@ def sweep(
     two sweeps sharing an ``m`` value no longer reuse identical
     adversary streams.  The deprecated ``blocking_vs_m`` keeps the old
     schedule for reproducibility of golden values.
+
+    With ``execution.precision`` set, every curve point samples until
+    its Wilson interval meets the precision target instead of running
+    the fixed ``traffic.seeds`` budget (see
+    :class:`ExecConfig.precision`).
     """
+    if execution.precision is not None:
+        return _adaptive(
+            n, r, k, list(m_values), construction, model, x, traffic,
+            execution, search, default_steps=1500,
+        )
     with search.applied():
         return _blocking_vs_m_impl(
             n, r, k, m_values,

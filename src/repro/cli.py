@@ -9,6 +9,8 @@ Usage (installed as ``wdm-repro``, or ``python -m repro``)::
     wdm-repro capacity --n-ports 8 --k-max 6
     wdm-repro blocking --n 3 --r 3 --k 2 --m-max 10
     wdm-repro blocking --n 3 --r 3 --k 2 --m-max 10 --kernel batched
+    wdm-repro sweep --n 3 --r 3 --k 2 --m-max 10 --ci-halfwidth 0.01
+    wdm-repro sweep --n 3 --r 3 --k 2 --m-max 10 --resume
     wdm-repro fig10
     wdm-repro trace fig10 --trace-out -
     wdm-repro kernels
@@ -89,14 +91,24 @@ def _backend(value: str) -> str:
     return lowered
 
 
-def _exec_config(args: argparse.Namespace) -> api.ExecConfig:
+def _exec_config(
+    args: argparse.Namespace,
+    precision: api.PrecisionConfig | None = None,
+) -> api.ExecConfig:
     """The execution config the flags ask for."""
     return api.ExecConfig(
         jobs=args.jobs,
         cache_dir=args.cache_dir if args.cache else None,
         batch=getattr(args, "batch", None),
         backend=getattr(args, "backend", "auto"),
+        precision=precision,
     )
+
+
+def _ci_cell(estimate: api.BlockingEstimate) -> str:
+    """The +/- half-width column of one estimate (95% Wilson)."""
+    half = estimate.half_width()
+    return f"+/-{half:.4f}" if half == half and half != float("inf") else "-"
 
 
 def _cache_summary(args: argparse.Namespace, counters: dict) -> list[str]:
@@ -191,10 +203,11 @@ def _cmd_blocking(args: argparse.Namespace) -> str:
             search=api.SearchConfig(kernel=args.kernel),
         )
     rows = [
-        [e.m, e.attempts, e.blocked, f"{e.probability:.4f}"] for e in estimates
+        [e.m, e.attempts, e.blocked, f"{e.probability:.4f}", _ci_cell(e)]
+        for e in estimates
     ]
     table = render_table(
-        ["m", "attempts", "blocked", "P(block)"],
+        ["m", "attempts", "blocked", "P(block)", "CI95"],
         rows,
         title=(
             f"Blocking probability -- n={args.n}, r={args.r}, k={args.k}, "
@@ -207,6 +220,75 @@ def _cmd_blocking(args: argparse.Namespace) -> str:
         note = f" ({plan['reason']})" if plan["reason"] else ""
         footer.append(
             f"executor: {plan['executor']}, jobs={plan['resolved_jobs']}{note}"
+        )
+    footer.extend(_cache_summary(args, run.metrics.snapshot()["counters"]))
+    return "\n".join([table, *footer])
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    if args.resume:
+        args.cache = True
+    precision = api.PrecisionConfig(
+        half_width=args.ci_halfwidth,
+        relative=args.ci_relative,
+        level=args.ci_level,
+        min_rounds=args.min_rounds,
+        max_rounds=args.max_rounds,
+    )
+    with obs.capture() as run:
+        estimates = api.sweep(
+            args.n,
+            args.r,
+            args.k,
+            list(range(1, args.m_max + 1)),
+            model=args.model,
+            construction=args.construction,
+            x=args.x,
+            traffic=api.TrafficConfig(steps=args.steps),
+            execution=_exec_config(args, precision),
+            search=api.SearchConfig(kernel=args.kernel),
+        )
+    rows = []
+    for e in estimates:
+        info = e.adaptive
+        rows.append(
+            [
+                e.m,
+                e.attempts,
+                e.blocked,
+                f"{e.probability:.4f}",
+                _ci_cell(e),
+                info.rounds,
+                info.events,
+                "yes" if info.converged else "NO",
+            ]
+        )
+    percent = f"{args.ci_level:.0%}"
+    target = (
+        f"{args.ci_halfwidth:.0%} relative"
+        if args.ci_relative
+        else f"{args.ci_halfwidth:g} absolute"
+    )
+    table = render_table(
+        ["m", "attempts", "blocked", "P(block)", f"CI{percent[:-1]}", "rounds",
+         "events", "converged"],
+        rows,
+        title=(
+            f"Adaptive blocking sweep -- n={args.n}, r={args.r}, k={args.k}, "
+            f"x={args.x}, {args.model.value}, {args.construction.value}; "
+            f"target half-width {target} at {percent}"
+        ),
+    )
+    footer = [
+        f"events: {sum(e.adaptive.events for e in estimates)} total "
+        f"(fixed budget at the widest cell would need "
+        f"{max(e.adaptive.events for e in estimates) * len(estimates)})"
+    ]
+    unconverged = [e.m for e in estimates if not e.adaptive.converged]
+    if unconverged:
+        footer.append(
+            f"warning: m={unconverged} hit --max-rounds before the target; "
+            "raise --max-rounds or loosen --ci-halfwidth"
         )
     footer.extend(_cache_summary(args, run.metrics.snapshot()["counters"]))
     return "\n".join([table, *footer])
@@ -523,6 +605,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_flags(p)
     p.set_defaults(func=_cmd_blocking)
+
+    p = sub.add_parser(
+        "sweep",
+        help="adaptive blocking-vs-m sweep: sample each m until its "
+        "confidence interval meets a precision target",
+    )
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument("--r", type=int, default=3)
+    p.add_argument("--k", type=int, default=1)
+    p.add_argument("--m-max", type=int, default=9)
+    p.add_argument("--x", type=int, default=1)
+    p.add_argument("--steps", type=int, default=1500)
+    p.add_argument("--model", type=_model, default=MulticastModel.MSW)
+    p.add_argument("--construction", type=_construction, default=Construction.MSW_DOMINANT)
+    p.add_argument(
+        "--ci-halfwidth",
+        type=float,
+        default=0.01,
+        metavar="H",
+        help="target 95%% (see --ci-level) confidence half-width per "
+        "curve point; absolute unless --ci-relative",
+    )
+    p.add_argument(
+        "--ci-relative",
+        action="store_true",
+        help="interpret --ci-halfwidth relative to each point estimate "
+        "(0.1 = 10%% relative precision)",
+    )
+    p.add_argument(
+        "--ci-level",
+        type=float,
+        default=0.95,
+        metavar="L",
+        help="confidence level of the Wilson interval the stopping rule "
+        "tests",
+    )
+    p.add_argument("--min-rounds", type=int, default=2)
+    p.add_argument("--max-rounds", type=int, default=64)
+    p.add_argument(
+        "--kernel",
+        type=_kernel,
+        default=None,
+        metavar="{reference,bitmask,batched}",
+        help="simulation kernel (see 'wdm-repro blocking --help'); "
+        "bit-identical across all three",
+    )
+    p.add_argument(
+        "--backend",
+        type=_backend,
+        default="auto",
+        metavar="{auto,python,numpy,numba}",
+        help="with --kernel batched: fabric-state backend for the "
+        "lockstep replay",
+    )
+    p.add_argument(
+        "--jobs",
+        type=_jobs,
+        default=1,
+        help="worker processes per round ('auto' or 0 = adapt to the "
+        "host); results are identical for any value",
+    )
+    _add_cache_flags(p)
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="shorthand for --cache: completed rounds persist in "
+        "--cache-dir, so re-running an interrupted sweep replays warm "
+        "rounds and continues bit-identically",
+    )
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("fig10", help="the Fig. 10 blocking scenario")
     p.set_defaults(func=_cmd_fig10)

@@ -51,7 +51,6 @@ time.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
 from repro import obs as _obs
@@ -68,7 +67,7 @@ from repro.engine.fused import FusedReplay
 from repro.engine.geometry import FabricGeometry
 from repro.engine.kernel import block_cause, classify_kind, probe_cover
 from repro.engine.state import FabricState
-from repro.switching.generators import dynamic_traffic
+from repro.switching.generators import dynamic_traffic, stream_rng
 
 try:  # NumPy is optional; only the fused lowering needs it.
     import numpy as _np
@@ -100,14 +99,20 @@ def compile_stream(
     steps: int,
     seed: int,
     max_fanout: int | None = None,
+    antithetic: bool = False,
 ) -> list[tuple[int, int, int, int, int]]:
     """Pre-generate one seed's traffic stream as flat replay ops.
 
     The generator's own endpoint bookkeeping is independent of the
     fabric (blocked setups keep their endpoints busy until teardown),
     so the stream -- and hence this compilation -- depends only on
-    ``(model, n*r, k, steps, seed, max_fanout)``: one compile serves
-    every ``m`` of a sweep.  Each op is
+    ``(model, n*r, k, steps, seed, max_fanout, antithetic)``: one
+    compile serves every ``m`` of a sweep.  With ``antithetic=True``
+    the stream is generated from the seed's antithetic mirror
+    (:func:`repro.switching.generators.stream_rng`) -- because the
+    variance-reduction seam sits here, in the stream compiler, every
+    kernel and backend that replays compiled streams gets antithetic
+    sampling for free.  Each op is
     ``(tag, connection_id, input_module, source_wavelength, dest_mask)``
     with ``tag`` 1 for setup and 0 for teardown (``dest_mask`` is a
     bitmask over output modules; teardown ops carry the setup's module
@@ -115,7 +120,7 @@ def compile_stream(
     *guaranteed-legal* addition for the same reason, so the replay can
     skip admission validation entirely.
     """
-    rng = random.Random(seed)
+    rng = stream_rng(seed, antithetic)
     ops: list[tuple[int, int, int, int, int]] = []
     for event in dynamic_traffic(
         model, n * r, k, steps=steps, seed=rng, max_fanout=max_fanout
@@ -337,6 +342,7 @@ def _simulate(
     m_values: list[int],
     backend: str,
     record_causes: bool,
+    antithetic: bool = False,
 ) -> tuple[int, list[_Replication]]:
     """Compile seed ``seed`` once and replay it against every ``m``."""
     legal_x = valid_x_range(n, r)
@@ -361,7 +367,7 @@ def _simulate(
         backend,
     )
     want_kinds = record_causes or _obs.enabled()
-    ops = compile_stream(model, n, r, k, steps, seed, max_fanout)
+    ops = compile_stream(model, n, r, k, steps, seed, max_fanout, antithetic)
     attempts, replications = _replay(ops, state, want_kinds, record_causes)
     if _obs.enabled():
         # Aggregate increments, guarded on nonzero so the counter *set*
@@ -395,6 +401,7 @@ def simulate_batch(
     seed: int,
     m_values: tuple[int, ...] | list[int],
     backend: str = "auto",
+    antithetic: bool = False,
 ) -> list[tuple[int, tuple[int, int]]]:
     """All of one seed's ``(m, (attempts, blocked))`` cells, in lockstep.
 
@@ -402,11 +409,12 @@ def simulate_batch(
     :class:`repro.perf.ParallelSweeper` under the ``batched`` kernel
     (batch-per-process instead of cell-per-process): module-level and
     picklable, and every returned cell is bit-identical to
-    ``_traffic_cell`` run serially with the same arguments.
+    ``_traffic_cell`` run serially with the same arguments (including
+    ``antithetic``, which swaps in the seed's mirrored stream).
     """
     attempts, replications = _simulate(
         n, r, k, construction, model, x, steps, max_fanout, seed,
-        list(m_values), backend, record_causes=False,
+        list(m_values), backend, record_causes=False, antithetic=antithetic,
     )
     return [
         (m, (attempts, rep.blocked))

@@ -30,6 +30,15 @@ Robustness contract:
   least-recently-used entries (hits refresh recency) until the cache
   fits; a pruned entry is simply a future miss, recomputed and stored
   again on demand;
+* **concurrent writers** -- one cache directory may be shared by many
+  processes at once (the adaptive sweep's resume contract depends on
+  it).  Entry publication is already atomic; the LRU prune
+  additionally serializes through an advisory ``flock`` on a lock file
+  so concurrent writers never double-count sizes or stampede-evict
+  each other's fresh entries (a writer that finds the lock held simply
+  skips its prune -- the holder is already enforcing the budget), and
+  :meth:`put` recreates the cache directory if a peer removed it
+  mid-run;
 * values are stored with :mod:`pickle`, so any picklable cell result
   round-trips exactly (the warm path returns bit-identical objects).
 """
@@ -45,6 +54,11 @@ from dataclasses import dataclass
 from enum import Enum
 from pathlib import Path
 from typing import Any, Mapping
+
+try:  # pragma: no cover - absent only on non-POSIX platforms
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
 
 from repro import obs as _obs
 from repro.multistage.routing import get_routing_kernel
@@ -198,11 +212,24 @@ class ResultCache:
         return value if hit else default
 
     def put(self, key: str, value: Any) -> None:
-        """Store ``value`` under ``key`` atomically (write-temp + rename)."""
+        """Store ``value`` under ``key`` atomically (write-temp + rename).
+
+        Safe under concurrent writers: publication is a single
+        ``os.replace``, and if a peer process removed the cache
+        directory between writes the directory is recreated and the
+        write retried once.
+        """
         path = self._path(key)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.directory, prefix=".tmp-", suffix=".pkl"
-        )
+        try:
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmp-", suffix=".pkl"
+            )
+        except FileNotFoundError:
+            # A peer cleared the whole directory under us; recreate it.
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmp-", suffix=".pkl"
+            )
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
@@ -237,7 +264,35 @@ class ResultCache:
         exceeds the budget -- pruning the value the caller is about to
         rely on would turn every over-budget store into a guaranteed
         miss loop.
+
+        Serialized across processes by an advisory lock: concurrent
+        prunes would each total the directory, then each delete "down
+        to budget" against a snapshot the other is invalidating --
+        together evicting far more than the budget requires.  A writer
+        that finds the lock held skips pruning; the lock holder is
+        already enforcing the budget, and the skipper's own next store
+        will prune again if needed.
         """
+        lock_handle = None
+        if fcntl is not None:
+            try:
+                lock_handle = open(self.directory / ".prune.lock", "ab")
+                fcntl.flock(lock_handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                # Lock held by a pruning peer (or unavailable): skip.
+                if lock_handle is not None:
+                    lock_handle.close()
+                return
+        try:
+            self._prune_locked(keep)
+        finally:
+            if lock_handle is not None:
+                try:
+                    fcntl.flock(lock_handle, fcntl.LOCK_UN)
+                finally:
+                    lock_handle.close()
+
+    def _prune_locked(self, keep: Path) -> None:
         entries = []
         total = 0
         for path in self.directory.glob("*.pkl"):

@@ -432,6 +432,35 @@ class ParallelSweeper:
         """Like :meth:`run` but keyed by unit id."""
         return {result.unit_id: result for result in self.run(units, cache=cache)}
 
+    def run_adaptive(
+        self,
+        next_units: Callable[[list[SweepResult] | None], Iterable[WorkUnit] | None],
+        *,
+        cache: "ResultCache | None" = None,
+    ) -> list[SweepResult]:
+        """Run waves of units until the caller stops enqueueing more.
+
+        The sequential-stopping protocol of :mod:`repro.perf.adaptive`:
+        ``next_units(None)`` produces the first wave, every subsequent
+        call receives the previous wave's results and returns the next
+        wave -- typically one sampling *round* for every cell that has
+        not yet converged -- or ``None`` to stop.  An *empty* wave is
+        legal and does not stop the loop: it means every unit of that
+        round was satisfied elsewhere (e.g. served from a warm result
+        cache), and the caller still gets a callback to decide whether
+        another round is needed.  All executed results are returned in
+        execution order; each wave individually obeys the deterministic
+        merge and serial-fallback contracts of :meth:`run`, so an
+        adaptive sweep is bit-identical for any ``jobs`` value.
+        """
+        results: list[SweepResult] = []
+        wave = next_units(None)
+        while wave is not None:
+            executed = self.run(list(wave), cache=cache)
+            results.extend(executed)
+            wave = next_units(executed)
+        return results
+
     def map(
         self,
         fn: Callable[..., Any],

@@ -25,7 +25,50 @@ from repro.core.models import MulticastModel
 from repro.switching.enumeration import _compatible
 from repro.switching.requests import Endpoint, MulticastAssignment, MulticastConnection
 
-__all__ = ["AssignmentGenerator", "TrafficEvent", "dynamic_traffic"]
+__all__ = [
+    "AntitheticRandom",
+    "AssignmentGenerator",
+    "TrafficEvent",
+    "dynamic_traffic",
+    "stream_rng",
+]
+
+
+class AntitheticRandom(random.Random):
+    """The antithetic mirror of a seeded :class:`random.Random` stream.
+
+    Every primitive draw is complemented -- ``random()`` returns
+    ``1 - u`` and ``getrandbits(k)`` returns the bitwise complement --
+    so all derived draws (``randrange``, ``choice``, ``sample``, ...)
+    come from the mirrored stream.  The marginal distribution of each
+    draw is unchanged (``1 - U`` is uniform, the complement of uniform
+    ``k``-bit words is uniform, and rejection sampling accepts both
+    streams identically in distribution), so an antithetic replication
+    is as unbiased as its twin; but the two streams' draws are
+    negatively coupled, which is what makes averaging a
+    ``(seed, antithetic-seed)`` pair a variance-reduction device for
+    the adaptive sweep driver (:mod:`repro.perf.adaptive`).
+    """
+
+    def random(self) -> float:
+        value = 1.0 - super().random()
+        # super().random() is in [0, 1), so the mirror is in (0, 1];
+        # fold the measure-zero endpoint back to keep the contract.
+        return value if value < 1.0 else 0.0
+
+    def getrandbits(self, k: int) -> int:
+        return (1 << k) - 1 - super().getrandbits(k)
+
+
+def stream_rng(seed: int, antithetic: bool = False) -> random.Random:
+    """The RNG stream of one replication: ``seed``'s stream or its mirror.
+
+    The single constructor every traffic path (serial cell, stream
+    compiler) uses, so a ``(seed, antithetic)`` pair names the same
+    stream everywhere -- the bit-identity contract of the adaptive
+    rounds.
+    """
+    return AntitheticRandom(seed) if antithetic else random.Random(seed)
 
 
 class AssignmentGenerator:

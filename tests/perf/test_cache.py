@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import shutil
+from concurrent.futures import ProcessPoolExecutor
+
 import pytest
 
 from repro.analysis.montecarlo import blocking_probability, blocking_vs_m
@@ -14,6 +17,32 @@ from repro.perf.cache import CODE_VERSION, ResultCache
 @pytest.fixture
 def cache(tmp_path):
     return ResultCache(tmp_path / "cache")
+
+
+def _hammer(directory, worker, writes, max_bytes):
+    """One concurrent writer: interleaved puts and lookups on a shared dir.
+
+    Module-level so worker processes can unpickle it.  Returns
+    ``(bad_values, stats)`` -- ``bad_values`` counts lookups that hit
+    but returned the wrong payload, which must never happen no matter
+    how writes and prunes interleave.
+    """
+    cache = ResultCache(directory, max_bytes=max_bytes)
+    bad = 0
+    for i in range(writes):
+        # Writers deliberately collide on half the key space.
+        shared = i % (writes // 2)
+        key = cache.key("concurrent", dict(cell=shared))
+        cache.put(key, ("payload", shared))
+        hit, value = cache.lookup(key)
+        if hit and value != ("payload", shared):
+            bad += 1
+        # And probe a peer's keyspace while they write it.
+        other_key = cache.key("concurrent", dict(cell=(shared + 1) % (writes // 2)))
+        hit, value = cache.lookup(other_key)
+        if hit and not (value[0] == "payload" and isinstance(value[1], int)):
+            bad += 1
+    return bad, cache.stats.as_dict()
 
 
 class TestKeys:
@@ -199,6 +228,67 @@ class TestBoundedGrowth:
     def test_rejects_nonpositive_budget(self, tmp_path):
         with pytest.raises(ValueError, match="max_bytes"):
             ResultCache(tmp_path, max_bytes=0)
+
+
+class TestConcurrentWriters:
+    def test_concurrent_bounded_writers_roundtrip(self, tmp_path):
+        """Many processes share one bounded cache without corruption.
+
+        Every lookup that hits must return exactly the payload some
+        writer stored -- torn writes, stampeding prunes or half-deleted
+        entries would surface as a wrong value or an unpickling error.
+        """
+        directory = str(tmp_path / "shared")
+        workers, writes = 4, 40
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(
+                pool.map(
+                    _hammer,
+                    [directory] * workers,
+                    range(workers),
+                    [writes] * workers,
+                    [4096] * workers,
+                )
+            )
+        assert [bad for bad, _ in results] == [0] * workers
+        # The directory is still a healthy cache afterwards.
+        survivor = ResultCache(directory, max_bytes=4096)
+        leftovers = [
+            p for p in survivor.directory.iterdir() if p.name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+        for i in range(writes // 2):
+            hit, value = survivor.lookup(
+                survivor.key("concurrent", dict(cell=i))
+            )
+            if hit:  # pruned entries are legal; wrong values are not
+                assert value == ("payload", i)
+
+    def test_put_recreates_removed_directory(self, tmp_path):
+        """A peer wiping the cache directory costs a recompute, not a crash."""
+        cache = ResultCache(tmp_path / "wiped")
+        key = cache.key("cell", dict(seed=0))
+        cache.put(key, "before")
+        shutil.rmtree(cache.directory)
+        cache.put(key, "after")  # must recreate the directory and succeed
+        assert cache.get(key) == "after"
+
+    def test_skipped_prune_is_caught_up_by_next_store(self, tmp_path, monkeypatch):
+        """If a prune is skipped (peer holds the lock), a later store prunes.
+
+        Simulated by disabling one store's prune, then verifying the
+        following store brings the cache back under budget.
+        """
+        cache = ResultCache(tmp_path, max_bytes=150)
+        monkeypatch.setattr(ResultCache, "_prune", lambda self, keep: None)
+        for seed in range(4):
+            cache.put(cache.key("cell", dict(seed=seed)), bytes(100))
+        assert cache.total_bytes() > 150  # nothing pruned while "locked out"
+        monkeypatch.undo()
+        newest = cache.key("cell", dict(seed=99))
+        cache.put(newest, bytes(100))
+        assert cache.total_bytes() <= 150
+        assert newest in cache
 
 
 class TestSweepIntegration:

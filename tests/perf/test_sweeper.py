@@ -211,6 +211,72 @@ class TestCacheAwareRun:
         assert all(not r.cached for r in again)
 
 
+class TestRunAdaptive:
+    """The wave protocol behind the adaptive sweep driver."""
+
+    def test_waves_run_until_caller_stops(self):
+        waves = [
+            [WorkUnit(unit_id=(r, i), fn=square, args=(i,)) for i in range(3)]
+            for r in range(4)
+        ]
+        seen: list[list[int]] = []
+
+        def next_units(executed):
+            if executed is not None:
+                seen.append([r.value for r in executed])
+            return waves[len(seen)] if len(seen) < len(waves) else None
+
+        with ParallelSweeper(1) as sweeper:
+            results = sweeper.run_adaptive(next_units)
+        assert seen == [[0, 1, 4]] * 4
+        assert len(results) == 12
+
+    def test_first_callback_gets_none_not_empty(self):
+        calls: list[object] = []
+
+        def next_units(executed):
+            calls.append(executed)
+            return None
+
+        with ParallelSweeper(1) as sweeper:
+            assert sweeper.run_adaptive(next_units) == []
+        assert calls == [None]
+
+    def test_empty_wave_is_legal_and_continues(self):
+        script = iter([[], [WorkUnit(unit_id=0, fn=square, args=(7,))], None])
+
+        def next_units(executed):
+            return next(script)
+
+        with ParallelSweeper(1) as sweeper:
+            results = sweeper.run_adaptive(next_units)
+        assert [r.value for r in results] == [49]
+
+    def test_parallel_waves_match_serial(self):
+        def make_next():
+            state = {"round": 0}
+
+            def next_units(executed):
+                if state["round"] == 3:
+                    return None
+                units = [
+                    WorkUnit(unit_id=(state["round"], i), fn=square, args=(i,))
+                    for i in range(5)
+                ]
+                state["round"] += 1
+                return units
+
+            return next_units
+
+        with ParallelSweeper(1) as sweeper:
+            serial = sweeper.run_adaptive(make_next())
+        with ParallelSweeper(2, executor="thread") as sweeper:
+            threaded = sweeper.run_adaptive(make_next())
+        assert [(r.unit_id, r.value) for r in threaded] == [
+            (r.unit_id, r.value) for r in serial
+        ]
+
+
 class TestConvenience:
     def test_map_preserves_order(self):
         values = ParallelSweeper(1).map(combine, [(1, 2), (3, 4)], offset=1)

@@ -26,7 +26,13 @@ def report(quick=True, **speedups):
     return out
 
 
-GUARDED = dict(cover_kernel=3.0, routing_replay=1.5, end_to_end=1.2, fused=4.0)
+GUARDED = dict(
+    cover_kernel=3.0,
+    routing_replay=1.5,
+    end_to_end=1.2,
+    fused=4.0,
+    adaptive=2.5,
+)
 
 
 def write(tmp_path, name, payload):
@@ -116,6 +122,35 @@ class TestVerdicts:
         code, diff = run(tmp_path, report(**GUARDED), fresh)
         assert code == 1
         assert diff["regressions"] == ["fused"]
+
+
+class TestSpeedupFloor:
+    """The ``min_speedup`` absolute floor (the adaptive event-ratio gate)."""
+
+    def test_meeting_the_floor_passes(self, tmp_path):
+        fresh = report(**GUARDED)
+        fresh["adaptive"]["min_speedup"] = 2.0
+        code, diff = run(tmp_path, report(**GUARDED), fresh)
+        assert code == 0
+        assert diff["floor_failures"] == []
+
+    def test_below_the_floor_fails_even_without_baseline_drop(self, tmp_path):
+        # Baseline also at 1.5: no relative regression, but the declared
+        # floor is not met -- the absolute contract gates regardless.
+        baseline = report(**dict(GUARDED, adaptive=1.5))
+        fresh = report(**dict(GUARDED, adaptive=1.5))
+        fresh["adaptive"]["min_speedup"] = 2.0
+        code, diff = run(tmp_path, baseline, fresh)
+        assert code == 1
+        assert diff["floor_failures"] == ["adaptive"]
+        assert diff["sections"]["adaptive"]["below_floor"] is True
+
+    def test_floor_ignored_on_unguarded_sections(self, tmp_path):
+        fresh = report(cache=1.0, **GUARDED)
+        fresh["cache"]["min_speedup"] = 5.0
+        code, diff = run(tmp_path, report(**GUARDED), fresh)
+        assert code == 0
+        assert diff["floor_failures"] == []
 
 
 class TestCommittedBaseline:

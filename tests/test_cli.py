@@ -96,6 +96,44 @@ class TestCommands:
         out = run_cli(capsys, *args)
         assert "cache: 6 hits" in out
 
+    def test_blocking_prints_confidence_interval(self, capsys):
+        out = run_cli(capsys, *self.BLOCKING)
+        assert "CI95" in out and "+/-" in out
+
+    SWEEP = (
+        "sweep", "--n", "2", "--r", "2", "--k", "1", "--m-max", "3",
+        "--steps", "150", "--ci-halfwidth", "0.05",
+    )
+
+    def test_sweep_reports_ci_rounds_and_convergence(self, capsys):
+        out = run_cli(capsys, *self.SWEEP)
+        assert "Adaptive blocking sweep" in out
+        assert "CI95" in out and "rounds" in out and "converged" in out
+        assert "events:" in out
+
+    def test_sweep_kernel_flag_same_numbers(self, capsys):
+        default = run_cli(capsys, *self.SWEEP)
+        for kernel in ("bitmask", "batched"):
+            assert run_cli(capsys, *self.SWEEP, "--kernel", kernel) == default
+
+    def test_sweep_resume_is_bit_identical(self, capsys, tmp_path):
+        cold = run_cli(capsys, *self.SWEEP)
+        args = (*self.SWEEP, "--resume", "--cache-dir", str(tmp_path))
+        first = run_cli(capsys, *args)
+        warm = run_cli(capsys, *args)
+        table = lambda out: out.split("events:")[0]  # noqa: E731
+        assert table(first) == table(cold)
+        assert table(warm) == table(cold)
+        assert "0 stored" in warm  # everything replayed from the cache
+
+    def test_sweep_unconverged_cells_warn(self, capsys):
+        out = run_cli(
+            capsys, "sweep", "--n", "2", "--r", "2", "--k", "1",
+            "--m-max", "1", "--steps", "100", "--ci-halfwidth", "0.0001",
+            "--max-rounds", "2",
+        )
+        assert "NO" in out and "warning:" in out
+
 
 class TestTraceCommand:
     def _records(self, out):

@@ -41,7 +41,13 @@ from pathlib import Path
 #: ``fused`` section does this when numba is missing and its timing
 #: covers the interpreted stand-in kernel rather than the compiled one
 #: (identity is still asserted by ``bench_perf.py`` itself either way).
-GUARDED_SECTIONS = ("cover_kernel", "routing_replay", "end_to_end", "fused")
+GUARDED_SECTIONS = (
+    "cover_kernel",
+    "routing_replay",
+    "end_to_end",
+    "fused",
+    "adaptive",
+)
 
 DEFAULT_THRESHOLD = 0.15
 
@@ -61,6 +67,7 @@ def diff_reports(
     """Per-section speedup comparison plus the overall verdict."""
     sections = {}
     regressions = []
+    floor_failures = []
     for name, result in fresh.items():
         if name == "meta" or not isinstance(result, dict):
             continue
@@ -73,6 +80,15 @@ def diff_reports(
             "guarded": name in guarded and not exempt,
             "guard_exempt": exempt,
         }
+        # A section may declare an absolute floor its speedup must meet
+        # regardless of the baseline (the ``adaptive`` section floors
+        # its matched-precision event ratio at 2x).
+        floor = result.get("min_speedup")
+        if floor is not None:
+            entry["min_speedup"] = floor
+            if name in guarded and not exempt and result["speedup"] < floor:
+                entry["below_floor"] = True
+                floor_failures.append(name)
         base = baseline.get(name)
         if isinstance(base, dict) and "speedup" in base:
             entry["baseline_speedup"] = base["speedup"]
@@ -108,7 +124,8 @@ def diff_reports(
         "missing_guarded_sections": missing,
         "sections": sections,
         "regressions": regressions,
-        "ok": not regressions and not missing,
+        "floor_failures": floor_failures,
+        "ok": not regressions and not missing and not floor_failures,
     }
 
 
@@ -194,6 +211,12 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"FAIL: speedup dropped more than {args.threshold:.0%} in: "
             + ", ".join(diff["regressions"])
+        )
+        return 1
+    if diff["floor_failures"]:
+        print(
+            "FAIL: speedup below the section's declared min_speedup floor "
+            "in: " + ", ".join(diff["floor_failures"])
         )
         return 1
     print("all guarded benchmark speedups within threshold")

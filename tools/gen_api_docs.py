@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.scheduling",
     "repro.perf",
+    "repro.perf.adaptive",
     "repro.api",
     "repro.obs",
 ]
@@ -144,6 +145,42 @@ entire event loop in one `@njit` kernel. Override with the
 `WDM_REPRO_BATCH_BACKEND` environment variable; `wdm-repro kernels`
 prints the availability matrix.
 """,
+    "repro.perf.adaptive": """\
+### Sequential stopping instead of fixed budgets
+
+`adaptive_sweep` / `adaptive_blocking` replace fixed replication
+counts with a precision target: each `(m, traffic)` cell runs rounds
+of replications until the Wilson score interval on its
+`BlockingEstimate` is narrower than `PrecisionConfig.half_width`
+(absolute, or relative to the point estimate with
+`relative=True`; `zero_half_width` keeps the relative mode's stopping
+rule meaningful at p = 0, where a relative target can never be met).
+Cheap cells (deep in the nonblocking regime) stop after `min_rounds`;
+hard cells keep going to `max_rounds` and report
+`converged=False` rather than run forever.  The estimate's
+`.adaptive` field records rounds, schedule shape and convergence.
+
+### Variance reduction, deterministically
+
+Each round draws `pairs_per_round` antithetic seed pairs
+(`AntitheticRandom` replays the mirrored uniform stream) from
+stratified slices of the seed space, keyed by a `stream_key` that
+covers the full traffic configuration *except* `m` -- common random
+numbers across the whole curve, so neighboring cells share traffic
+schedules and their difference is low-variance.  The schedule is a
+pure function of (key, round); nothing depends on wall clock,
+iteration order or worker count.
+
+### Resumable by construction
+
+With a `ResultCache`, every completed round is stored under a key
+covering the cell and the schedule shape -- but *not* the precision
+target -- so an interrupted sweep replays warm rounds bit-identically
+(`wdm-repro sweep --resume`), and tightening the target reuses every
+round already paid for.  `tools/check_resume.py` (CI) SIGKILLs a
+sweep mid-run and asserts the resumed table equals an uninterrupted
+run's byte for byte.
+""",
     "repro.api": """\
 ### Typed configs over kwargs sprawl
 
@@ -161,6 +198,12 @@ through the lockstep batch engine (`repro.perf.batch`) -- same numbers,
 one compiled-stream replay per seed instead of one per `(m, seed)`
 cell; `ExecConfig(batch=B)` caps replications per work unit without
 affecting results.
+
+`ExecConfig(precision=PrecisionConfig(...))` switches `blocking` and
+`sweep` from the fixed seed list to the adaptive sequential-stopping
+driver (`repro.perf.adaptive`): replication rounds continue until the
+Wilson interval meets the requested half-width.  Adversarial traffic
+has no precision-targeted mode and is rejected with a `ValueError`.
 
 The legacy kwargs signatures (`blocking_probability`, `blocking_vs_m`,
 `exact_minimal_m`) keep working but emit `DeprecationWarning`. One
