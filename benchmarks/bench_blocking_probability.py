@@ -22,7 +22,7 @@ def test_blocking_curve(benchmark):
         k,
         list(range(1, bound + 1)),
         x=x,
-        traffic=api.TrafficConfig(steps=800, seeds=(0, 1)),
+        traffic=api.UniformConfig(steps=800, seeds=(0, 1)),
     )
     probabilities = [estimate.probability for estimate in estimates]
     assert probabilities[0] > 0.0
@@ -49,7 +49,7 @@ def test_adversarial_curve(benchmark):
         k,
         [1, 2, 3, 4, bound],
         x=x,
-        traffic=api.TrafficConfig(
+        traffic=api.UniformConfig(
             steps=300, seeds=(0,), adversarial=True, adversary_seeds=25
         ),
     )

@@ -1,6 +1,6 @@
 """Performance benchmark for the routing kernel, search and sweep engine.
 
-Eleven sections, each asserting that the fast path computes *exactly*
+Twelve sections, each asserting that the fast path computes *exactly*
 what the slow path computes before reporting any speedup:
 
 * ``cover_kernel`` -- the bitmask cover search
@@ -28,6 +28,10 @@ what the slow path computes before reporting any speedup:
   cause-dict reprs compared across every construction x model pair;
   without numba the identity half runs the interpreted kernel and the
   timing is flagged ``guard_exempt``;
+* ``workloads`` -- the batched kernel replaying non-uniform traffic
+  (:mod:`repro.workloads` hotspot and heavy-tail fanout models)
+  against the serial bitmask sweep, pooled estimates and every
+  ``(workload, m, seed)`` replication compared bit-for-bit;
 * ``exact_search`` -- the symmetry-canonicalized exhaustive model
   checker (:func:`repro.api.exact_m`) against the uncanonicalized
   reference search, asserting identical per-m verdicts and thresholds;
@@ -378,7 +382,7 @@ def bench_exact_search(quick: bool, reps: int) -> dict:
 
 def bench_cache(quick: bool, reps: int) -> dict:
     m_values = [2, 4, 6]
-    traffic = api.TrafficConfig(steps=200 if quick else 800, seeds=(0, 1))
+    traffic = api.UniformConfig(steps=200 if quick else 800, seeds=(0, 1))
 
     def run(cache_dir):
         return _estimate_key(
@@ -450,7 +454,7 @@ def bench_obs(quick: bool, reps: int) -> dict:
     with obs.capture():
         on_s, on_blocked = _best(replay, reps)
 
-    traffic = api.TrafficConfig(steps=200 if quick else 600, seeds=(0, 1))
+    traffic = api.UniformConfig(steps=200 if quick else 600, seeds=(0, 1))
 
     def sweep():
         return _estimate_key(api.sweep(4, 4, 2, [2, 5, 8], traffic=traffic))
@@ -499,8 +503,8 @@ def bench_obs(quick: bool, reps: int) -> dict:
 # -- sections: end-to-end sweep, serial vs parallel --------------------------
 
 
-def _grid_traffic(quick: bool) -> api.TrafficConfig:
-    return api.TrafficConfig(
+def _grid_traffic(quick: bool) -> api.UniformConfig:
+    return api.UniformConfig(
         steps=400 if quick else 1500,
         seeds=(0, 1) if quick else (0, 1, 2),
     )
@@ -554,7 +558,7 @@ def bench_batched(quick: bool, reps: int) -> dict:
     m_values = list(range(1, 17))
     seeds = (0, 1, 2, 3)
     batch_size = len(m_values) * len(seeds)  # 64 lockstep replications
-    traffic = api.TrafficConfig(steps=500 if quick else 2000, seeds=seeds)
+    traffic = api.UniformConfig(steps=500 if quick else 2000, seeds=seeds)
 
     def run(kernel):
         return _estimate_key(
@@ -719,6 +723,94 @@ def bench_fused(quick: bool, reps: int) -> dict:
         "speedup": python_s / fused_s,
         "guard_exempt": not timed_guarded,
         "identical": not diverged and python_out == fused_out,
+    }
+
+
+def bench_workloads(quick: bool, reps: int) -> dict:
+    """Non-uniform workloads through the batch engine vs the serial path.
+
+    The workload seam sits in the stream compiler, so a skewed model
+    must keep both halves of the lockstep contract: the batched kernel
+    replaying hotspot and heavy-tail traffic must stay bit-identical
+    *per replication* to the serial bitmask simulator on the same
+    stream, and must keep its speedup -- a workload that silently
+    forces the slow path would pass every identity test while
+    discarding the engine's reason to exist.  ``identical`` is the
+    conjunction of pooled-estimate equality and per-cell equality for
+    every ``(workload, m, seed)`` triple; the guarded ``speedup`` is
+    total serial time over total batched time across both workloads.
+    """
+    n, r, k, x = 3, 3, 2, 1
+    m_values = list(range(1, 17))
+    seeds = (0, 1, 2, 3)
+    steps = 400 if quick else 1500
+    construction = Construction.MSW_DOMINANT
+    model = MulticastModel.MSW
+    workloads = [
+        api.HotspotConfig(steps=steps, seeds=seeds, zipf_s=1.5),
+        api.HeavyTailFanoutConfig(steps=steps, seeds=seeds, alpha=0.9),
+    ]
+
+    cells = []
+    diverged: list[dict] = []
+    serial_total = batched_total = 0.0
+    pooled_identical = True
+    for workload in workloads:
+
+        def run(kernel, workload=workload):
+            return _estimate_key(
+                api.sweep(
+                    n, r, k, m_values,
+                    traffic=workload,
+                    search=api.SearchConfig(kernel=kernel),
+                )
+            )
+
+        serial_s, serial_out = _best(lambda: run("bitmask"), reps)
+        batched_s, batched_out = _best(lambda: run("batched"), reps)
+        pooled_identical = pooled_identical and serial_out == batched_out
+
+        serial_cells = {
+            (m, seed): _traffic_cell(
+                n, r, m, k, construction, model, x, steps, seed, None,
+                None, False, workload,
+            )
+            for m in m_values
+            for seed in seeds
+        }
+        for seed in seeds:
+            batch = simulate_batch(
+                n, r, k, construction, model, x, steps, None, seed,
+                m_values, "auto", False, workload,
+            )
+            for m, value in batch:
+                if value != serial_cells[(m, seed)]:
+                    diverged.append(
+                        {"workload": workload.workload, "m": m, "seed": seed}
+                    )
+        serial_total += serial_s
+        batched_total += batched_s
+        cells.append(
+            {
+                "workload": workload.workload,
+                "serial_s": serial_s,
+                "batched_s": batched_s,
+                "speedup": serial_s / batched_s,
+                "replications_checked": len(m_values) * len(seeds),
+            }
+        )
+    return {
+        "config": {
+            "n": n, "r": r, "k": k, "x": x, "m_values": m_values,
+            "steps": steps, "seeds": seeds,
+            "workloads": [w.workload for w in workloads],
+        },
+        "cells": cells,
+        "diverged_cells": diverged,
+        "serial_s": serial_total,
+        "batched_s": batched_total,
+        "speedup": serial_total / batched_total,
+        "identical": pooled_identical and not diverged,
     }
 
 
@@ -899,6 +991,7 @@ def main(argv: list[str] | None = None) -> int:
         ("end_to_end", lambda: bench_end_to_end(args.quick, reps)),
         ("batched", lambda: bench_batched(args.quick, reps)),
         ("fused", lambda: bench_fused(args.quick, reps)),
+        ("workloads", lambda: bench_workloads(args.quick, reps)),
         ("exact_search", lambda: bench_exact_search(args.quick, reps)),
         ("cache", lambda: bench_cache(args.quick, reps)),
         ("adaptive", lambda: bench_adaptive(args.quick, reps)),

@@ -72,7 +72,7 @@ def monte_carlo() -> None:
     bound = min_middle_switches_msw_dominant(3, 3, 1, x=1)
     estimates = api.sweep(
         3, 3, 1, list(range(1, bound + 1)), x=1,
-        traffic=api.TrafficConfig(steps=600, seeds=(0, 1)),
+        traffic=api.UniformConfig(steps=600, seeds=(0, 1)),
     )
     for estimate in estimates:
         bar = "#" * int(estimate.probability * 50)

@@ -49,9 +49,11 @@ from repro.obs.meta import ResultMeta
 from repro.perf.batch import simulate_batch
 from repro.perf.sweeper import ParallelSweeper, WorkUnit
 from repro.switching.generators import dynamic_traffic, stream_rng
+from repro.workloads.keys import key_fragment
 
-if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.perf.cache import ResultCache
+    from repro.workloads.base import WorkloadConfig
 
 __all__ = [
     "AdaptiveInfo",
@@ -127,14 +129,20 @@ def _traffic_key(
     steps: int,
     seed: int,
     max_fanout: int | None,
+    workload: "WorkloadConfig | None" = None,
 ) -> str:
-    return cache.key(
-        "traffic_cell",
-        dict(
-            n=n, r=r, m=m, k=k, construction=construction, model=model,
-            x=x, steps=steps, seed=seed, max_fanout=max_fanout,
-        ),
+    params = dict(
+        n=n, r=r, m=m, k=k, construction=construction, model=model,
+        x=x, steps=steps, seed=seed, max_fanout=max_fanout,
     )
+    # The workload token joins the key only when non-uniform: uniform
+    # runs keep their legacy addresses (warm caches stay warm), while a
+    # non-uniform run can never collide with them -- the cross-workload
+    # cache-poisoning guarantee.
+    token = None if workload is None else workload.token()
+    if token is not None:
+        params["workload"] = token
+    return cache.key("traffic_cell", params)
 
 
 def _adversary_key(
@@ -347,6 +355,7 @@ def _traffic_cell(
     max_fanout: int | None,
     debug_checks: bool | None = None,
     antithetic: bool = False,
+    workload: "WorkloadConfig | None" = None,
 ) -> tuple[int, int]:
     """One replication: ``(attempts, blocked)`` for one traffic seed.
 
@@ -357,9 +366,12 @@ def _traffic_cell(
     is the seed's antithetic mirror
     (:class:`repro.switching.generators.AntitheticRandom`) -- the
     variance-reduction twin the adaptive driver pairs with the plain
-    stream.  ``debug_checks`` re-verifies the network invariants after
-    every event; it cannot change the result, so it is deliberately
-    absent from the cell's cache key.
+    stream.  ``workload`` swaps in a registered traffic model from
+    :mod:`repro.workloads` (None = the uniform generator, the
+    historical behaviour); its identity must accompany the cell in any
+    cache key (see :func:`_traffic_key`).  ``debug_checks`` re-verifies
+    the network invariants after every event; it cannot change the
+    result, so it is deliberately absent from the cell's cache key.
     """
     _obs.inc("mc.cells")
     rng = stream_rng(seed, antithetic)
@@ -371,14 +383,15 @@ def _traffic_cell(
     blocked = 0
     live: dict[int, int] = {}
     dropped: set[int] = set()
-    for event in dynamic_traffic(
-        model,
-        n * r,
-        k,
-        steps=steps,
-        seed=rng,
-        max_fanout=max_fanout,
-    ):
+    if workload is None:
+        events = dynamic_traffic(
+            model, n * r, k, steps=steps, seed=rng, max_fanout=max_fanout
+        )
+    else:
+        events = workload.events(
+            model, n * r, k, steps=steps, rng=rng, max_fanout=max_fanout
+        )
+    for event in events:
         if event.kind == "setup":
             attempts += 1
             connection_id = net.try_connect(event.connection)
@@ -409,6 +422,7 @@ def _run_batched_cells(
     max_fanout: int | None,
     batch: int | None,
     backend: str = "auto",
+    workload: "WorkloadConfig | None" = None,
 ) -> dict[tuple[int, int], tuple[int, int]]:
     """All ``(m, seed)`` traffic cells through the lockstep batch engine.
 
@@ -436,7 +450,7 @@ def _run_batched_cells(
         if cache is not None:
             key = _traffic_key(
                 cache, n, r, m, k, construction, model, x, steps, seed,
-                max_fanout,
+                max_fanout, workload,
             )
             keys[cell] = key
             hit, value = cache.lookup(key)
@@ -460,6 +474,7 @@ def _run_batched_cells(
                     args=(
                         n, r, k, construction, model, x, steps, max_fanout,
                         seed, tuple(ms[start : start + size]), backend,
+                        False, workload,
                     ),
                 )
             )
@@ -491,6 +506,7 @@ def _blocking_probability_impl(
     debug_checks: bool | None = None,
     batch: int | None = None,
     backend: str = "auto",
+    workload: "WorkloadConfig | None" = None,
 ) -> BlockingEstimate:
     """Estimate blocking probability under random dynamic traffic.
 
@@ -519,13 +535,16 @@ def _blocking_probability_impl(
             backend for the lockstep replay (``"auto"``, ``"python"``,
             ``"numpy"``, ``"numba"`` or a registered name); ignored by
             the other kernels, never affects results.
+        workload: a registered traffic model from
+            :mod:`repro.workloads` (None = uniform, the historical
+            behaviour); its identity joins every cell cache key.
     """
     with ParallelSweeper(jobs, executor=executor) as sweeper:
         if get_routing_kernel() == "batched":
             by_cell = _run_batched_cells(
                 sweeper, cache, [(m, seed) for seed in seeds],
                 n, r, k, construction, model, x, steps, max_fanout, batch,
-                backend,
+                backend, workload,
             )
             values = [by_cell[(m, seed)] for seed in seeds]
         else:
@@ -536,14 +555,14 @@ def _blocking_probability_impl(
                         fn=_traffic_cell,
                         args=(
                             n, r, m, k, construction, model, x, steps, seed,
-                            max_fanout, debug_checks,
+                            max_fanout, debug_checks, False, workload,
                         ),
                         cache_key=(
                             None
                             if cache is None
                             else _traffic_key(
                                 cache, n, r, m, k, construction, model, x,
-                                steps, seed, max_fanout,
+                                steps, seed, max_fanout, workload,
                             )
                         ),
                     )
@@ -565,7 +584,7 @@ def _blocking_probability_impl(
         x=x,
         attempts=attempts,
         blocked=blocked,
-        meta=ResultMeta.capture(plan),
+        meta=ResultMeta.capture(plan, workload=workload),
     )
 
 
@@ -580,7 +599,7 @@ def blocking_probability(
     """
     warnings.warn(
         "blocking_probability(**kwargs) is deprecated; use repro.api."
-        "blocking(n, r, m, k, traffic=TrafficConfig(...), "
+        "blocking(n, r, m, k, traffic=UniformConfig(...), "
         "execution=ExecConfig(...))",
         DeprecationWarning,
         stacklevel=2,
@@ -617,9 +636,8 @@ def _adversary_traffic_key(
     x: int,
 ) -> str:
     """Configuration fingerprint mixed into the adversary-seed schedule."""
-    return (
-        f"n={n}|r={r}|k={k}|construction={construction.name}"
-        f"|model={model.name}|x={x}"
+    return key_fragment(
+        dict(n=n, r=r, k=k, construction=construction, model=model, x=x)
     )
 
 
@@ -644,6 +662,7 @@ def _blocking_vs_m_impl(
     legacy_adversary_seeds: bool = False,
     batch: int | None = None,
     backend: str = "auto",
+    workload: "WorkloadConfig | None" = None,
 ) -> list[BlockingEstimate]:
     """The blocking-probability-vs-``m`` curve (implied figure X3).
 
@@ -672,6 +691,12 @@ def _blocking_vs_m_impl(
     cache entries and the adversarial stage are bit-identical to the
     bitmask kernel's either way.
     """
+    if adversarial and workload is not None and workload.token() is not None:
+        raise ValueError(
+            "adversarial probing is defined for uniform traffic only "
+            "(the adversary constructs its own worst-case states); got "
+            f"workload {workload.workload!r}"
+        )
     traffic_key = (
         None
         if legacy_adversary_seeds
@@ -683,7 +708,7 @@ def _blocking_vs_m_impl(
                 sweeper, cache,
                 [(m, seed) for m in m_values for seed in seeds],
                 n, r, k, construction, model, x, steps, max_fanout, batch,
-                backend,
+                backend, workload,
             )
         else:
             cells = sweeper.run(
@@ -693,14 +718,14 @@ def _blocking_vs_m_impl(
                         fn=_traffic_cell,
                         args=(
                             n, r, m, k, construction, model, x, steps, seed,
-                            max_fanout, debug_checks,
+                            max_fanout, debug_checks, False, workload,
                         ),
                         cache_key=(
                             None
                             if cache is None
                             else _traffic_key(
                                 cache, n, r, m, k, construction, model, x,
-                                steps, seed, max_fanout,
+                                steps, seed, max_fanout, workload,
                             )
                         ),
                     )
@@ -728,7 +753,7 @@ def _blocking_vs_m_impl(
                 )
             )
         if not adversarial:
-            meta = ResultMeta.capture(sweeper.last_plan)
+            meta = ResultMeta.capture(sweeper.last_plan, workload=workload)
             return [replace(estimate, meta=meta) for estimate in estimates]
 
         needs_adversary = [
@@ -814,7 +839,7 @@ def _blocking_vs_m_impl(
             attempts=estimate.attempts + 1,
             blocked=1,
         )
-    meta = ResultMeta.capture(sweeper.last_plan)
+    meta = ResultMeta.capture(sweeper.last_plan, workload=workload)
     return [replace(estimate, meta=meta) for estimate in estimates]
 
 
@@ -831,7 +856,7 @@ def blocking_vs_m(
     """
     warnings.warn(
         "blocking_vs_m(**kwargs) is deprecated; use repro.api.sweep"
-        "(n, r, k, m_values, traffic=TrafficConfig(...), "
+        "(n, r, k, m_values, traffic=UniformConfig(...), "
         "execution=ExecConfig(...))",
         DeprecationWarning,
         stacklevel=2,

@@ -87,7 +87,7 @@ def generate_report(
     steps = 200 if fast else 800
     estimates = api.sweep(
         3, 3, 1, list(range(1, bound + 1)), x=1,
-        traffic=api.TrafficConfig(steps=steps, seeds=(0,)),
+        traffic=api.UniformConfig(steps=steps, seeds=(0,)),
     )
     for estimate in estimates:
         w(f"- m={estimate.m}: P(block) = {estimate.probability:.4f}\n")

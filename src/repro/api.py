@@ -4,12 +4,16 @@ The entry points grown by the perf work --
 ``blocking_probability``, ``blocking_vs_m``, ``exact_minimal_m`` --
 each sprouted their own kwargs (``jobs``, ``cache``, ``kernel``,
 ``canonicalize``, ``debug_checks``).  This module replaces that kwarg
-sprawl with three frozen config dataclasses grouped by concern:
+sprawl with frozen config dataclasses grouped by concern:
 
-* :class:`TrafficConfig` -- what traffic to offer (steps, seeds,
-  fanout cap, adversarial probing);
+* the :class:`repro.workloads.WorkloadConfig` family -- what traffic to
+  offer.  :class:`UniformConfig` is the uniform member (the legacy
+  behaviour, bit-identical); :class:`HotspotConfig`,
+  :class:`HeavyTailFanoutConfig`, :class:`PoissonErlangConfig` and
+  :class:`TraceConfig` are the non-uniform models, and any config
+  registered with :func:`repro.workloads.register_workload` works too;
 * :class:`ExecConfig` -- how to run it (worker count, pool kind,
-  result-cache directory);
+  result-cache directory, precision targeting);
 * :class:`SearchConfig` -- how to search (routing kernel,
   canonicalized exhaustive search, per-event invariant checks);
 
@@ -20,8 +24,11 @@ and three verbs that consume them:
 * :func:`exact_m` -- the exhaustive exact nonblocking threshold.
 
 Every result carries the shared :class:`repro.obs.meta.ResultMeta`
-provenance envelope.  The legacy kwargs signatures still work but emit
-``DeprecationWarning``; one behavioral fix ships only here: adversary
+provenance envelope, which now records the workload that produced the
+numbers.  The legacy kwargs signatures -- and the legacy
+:class:`TrafficConfig` name, now a deprecated alias of
+:class:`UniformConfig` -- still work bit-identically but emit
+``DeprecationWarning``.  One behavioral fix ships only here: adversary
 seeds derive from the whole configuration, not just ``m`` (the legacy
 shims keep the old ``m``-only schedule so golden values never shift).
 
@@ -32,7 +39,7 @@ Typical use::
     estimate = api.blocking(3, 3, 4, 1, x=1)
     curve = api.sweep(
         3, 3, 1, [1, 2, 3, 4],
-        traffic=api.TrafficConfig(steps=500, seeds=(0, 1)),
+        traffic=api.HotspotConfig(zipf_s=1.5, steps=500, seeds=(0, 1)),
         execution=api.ExecConfig(jobs="auto"),
     )
     exact = api.exact_m(2, 2, 1, x=1, m_max=5)
@@ -40,6 +47,7 @@ Typical use::
 
 from __future__ import annotations
 
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
@@ -54,42 +62,84 @@ from repro.multistage.exhaustive import ExactMinimal, _exact_minimal_m_impl
 from repro.multistage.routing import routing_kernel
 from repro.perf.adaptive import PrecisionConfig, adaptive_sweep
 from repro.perf.cache import ResultCache
+from repro.workloads import (
+    HeavyTailFanoutConfig,
+    HotspotConfig,
+    PoissonErlangConfig,
+    TraceConfig,
+    UniformConfig,
+    WorkloadConfig,
+    make_workload,
+    workload_from_dict,
+    workload_names,
+)
 
 __all__ = [
     "BlockingEstimate",
     "ExactMinimal",
     "ExecConfig",
+    "HeavyTailFanoutConfig",
+    "HotspotConfig",
+    "PoissonErlangConfig",
     "PrecisionConfig",
     "SearchConfig",
+    "TraceConfig",
     "TrafficConfig",
+    "UniformConfig",
+    "WorkloadConfig",
     "blocking",
     "exact_m",
+    "make_workload",
     "sweep",
+    "workload_from_dict",
+    "workload_names",
 ]
 
 
 @dataclass(frozen=True)
-class TrafficConfig:
-    """What traffic to offer in a Monte-Carlo run.
+class TrafficConfig(UniformConfig):
+    """Deprecated alias of :class:`repro.workloads.UniformConfig`.
 
-    Attributes:
-        steps: traffic events per seed; None keeps the engine default
-            (2000 for :func:`blocking`, 1500 per curve point for
-            :func:`sweep` -- the legacy defaults).
-        seeds: independent replications; pooled deterministically.
-        max_fanout: cap on destinations per request (None = unlimited).
-        adversarial: in :func:`sweep`, also run the randomized
-            adversary at every ``m`` where random traffic saw no
-            blocking, recording one synthetic blocked attempt when a
-            witness exists (worst-case rather than average-case curve).
-        adversary_seeds: adversary restarts per ``m`` point.
+    The pre-workload-library name of the uniform traffic config.  It
+    *is* a ``UniformConfig`` (same fields, same defaults, bit-identical
+    streams and cache keys), so every existing call keeps its numbers;
+    constructing it just warns.  New code should use
+    :class:`UniformConfig` -- or any other member of the
+    :class:`repro.workloads.WorkloadConfig` family.
     """
 
-    steps: int | None = None
-    seeds: tuple[int, ...] = (0, 1, 2)
-    max_fanout: int | None = None
-    adversarial: bool = False
-    adversary_seeds: int = 20
+    def __post_init__(self) -> None:
+        warnings.warn(
+            "repro.api.TrafficConfig is deprecated; use repro.api."
+            "UniformConfig (or any repro.workloads config: HotspotConfig, "
+            "HeavyTailFanoutConfig, PoissonErlangConfig, TraceConfig, ...)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        super().__post_init__()
+
+
+def _as_workload(traffic: WorkloadConfig) -> WorkloadConfig:
+    """Validate and normalize the ``traffic`` argument.
+
+    The deprecated :class:`TrafficConfig` shim (which already warned at
+    construction) is normalized to a plain :class:`UniformConfig`, so
+    downstream work units and provenance never mention the legacy type.
+    """
+    if not isinstance(traffic, WorkloadConfig):
+        raise TypeError(
+            "traffic must be a repro.workloads config (UniformConfig, "
+            f"HotspotConfig, ...), got {type(traffic).__name__}"
+        )
+    if type(traffic) is TrafficConfig:
+        return UniformConfig(
+            steps=traffic.steps,
+            seeds=traffic.seeds,
+            max_fanout=traffic.max_fanout,
+            adversarial=traffic.adversarial,
+            adversary_seeds=traffic.adversary_seeds,
+        )
+    return traffic
 
 
 @dataclass(frozen=True)
@@ -180,7 +230,7 @@ def _adaptive(
     construction: Construction,
     model: MulticastModel,
     x: int,
-    traffic: TrafficConfig,
+    traffic: WorkloadConfig,
     execution: ExecConfig,
     search: SearchConfig,
     *,
@@ -190,15 +240,21 @@ def _adaptive(
     if traffic.adversarial:
         raise ValueError(
             "adversarial traffic has no precision-targeted mode; "
-            "unset TrafficConfig.adversarial or ExecConfig.precision"
+            "unset the workload config's adversarial flag or "
+            "ExecConfig.precision"
         )
+    steps = traffic.resolved_steps(default_steps)
+    # Workloads that cannot honour the adaptive contract (trace replay:
+    # one fixed recording, no fresh streams per round) veto here with a
+    # diagnosis rather than silently re-walking their events.
+    traffic.validate_precision(execution.precision, steps)
     with search.applied():
         return adaptive_sweep(
             n, r, k, m_values,
             construction=construction,
             model=model,
             x=x,
-            steps=traffic.steps if traffic.steps is not None else default_steps,
+            steps=steps,
             max_fanout=traffic.max_fanout,
             precision=execution.precision,
             jobs=execution.jobs,
@@ -207,6 +263,7 @@ def _adaptive(
             debug_checks=search.debug_checks,
             batch=execution.batch,
             backend=execution.backend,
+            workload=traffic,
         )
 
 
@@ -219,22 +276,27 @@ def blocking(
     construction: Construction = Construction.MSW_DOMINANT,
     model: MulticastModel = MulticastModel.MSW,
     x: int = 1,
-    traffic: TrafficConfig = TrafficConfig(),
+    traffic: WorkloadConfig = UniformConfig(),
     execution: ExecConfig = ExecConfig(),
     search: SearchConfig = SearchConfig(),
 ) -> BlockingEstimate:
-    """Blocking probability of ``v(n, r, m, k)`` under random traffic.
+    """Blocking probability of ``v(n, r, m, k)`` under dynamic traffic.
 
     The typed replacement for ``blocking_probability``; numbers are
-    bit-identical to the legacy call with the same parameters.  The
-    returned estimate carries a :class:`repro.obs.meta.ResultMeta`
-    envelope (kernel, execution plan, obs summary when enabled).
+    bit-identical to the legacy call with the same parameters.
+    ``traffic`` accepts any :mod:`repro.workloads` config -- the
+    uniform default reproduces the historical generator, the others
+    reshape the offered traffic while keeping every kernel/backend
+    bit-identical per replication.  The returned estimate carries a
+    :class:`repro.obs.meta.ResultMeta` envelope (kernel, execution
+    plan, workload, obs summary when enabled).
 
     With ``execution.precision`` set, the fixed ``traffic.seeds``
     budget is replaced by the adaptive sequential-stopping engine and
     the estimate carries its
     :class:`~repro.analysis.montecarlo.AdaptiveInfo` provenance.
     """
+    traffic = _as_workload(traffic)
     if execution.precision is not None:
         return _adaptive(
             n, r, k, [m], construction, model, x, traffic, execution,
@@ -246,7 +308,7 @@ def blocking(
             construction=construction,
             model=model,
             x=x,
-            steps=traffic.steps if traffic.steps is not None else 2000,
+            steps=traffic.resolved_steps(2000),
             seeds=traffic.seeds,
             max_fanout=traffic.max_fanout,
             jobs=execution.jobs,
@@ -255,6 +317,7 @@ def blocking(
             debug_checks=search.debug_checks,
             batch=execution.batch,
             backend=execution.backend,
+            workload=traffic,
         )
 
 
@@ -267,25 +330,28 @@ def sweep(
     construction: Construction = Construction.MSW_DOMINANT,
     model: MulticastModel = MulticastModel.MSW,
     x: int = 1,
-    traffic: TrafficConfig = TrafficConfig(),
+    traffic: WorkloadConfig = UniformConfig(),
     execution: ExecConfig = ExecConfig(),
     search: SearchConfig = SearchConfig(),
 ) -> list[BlockingEstimate]:
     """The blocking-probability-vs-``m`` curve (implied figure X3).
 
-    The typed replacement for ``blocking_vs_m``.  One behavioral fix
-    over the legacy call: with ``traffic.adversarial``, the
-    adversary-seed schedule is derived from the whole configuration
+    The typed replacement for ``blocking_vs_m``; ``traffic`` accepts
+    any :mod:`repro.workloads` config (see :func:`blocking`).  One
+    behavioral fix over the legacy call: with ``traffic.adversarial``,
+    the adversary-seed schedule is derived from the whole configuration
     (topology, construction, model, x) instead of from ``m`` alone, so
     two sweeps sharing an ``m`` value no longer reuse identical
     adversary streams.  The deprecated ``blocking_vs_m`` keeps the old
-    schedule for reproducibility of golden values.
+    schedule for reproducibility of golden values.  Adversarial probing
+    is only meaningful for uniform traffic and is rejected otherwise.
 
     With ``execution.precision`` set, every curve point samples until
     its Wilson interval meets the precision target instead of running
     the fixed ``traffic.seeds`` budget (see
     :class:`ExecConfig.precision`).
     """
+    traffic = _as_workload(traffic)
     if execution.precision is not None:
         return _adaptive(
             n, r, k, list(m_values), construction, model, x, traffic,
@@ -297,7 +363,7 @@ def sweep(
             construction=construction,
             model=model,
             x=x,
-            steps=traffic.steps if traffic.steps is not None else 1500,
+            steps=traffic.resolved_steps(1500),
             seeds=traffic.seeds,
             max_fanout=traffic.max_fanout,
             adversarial=traffic.adversarial,
@@ -308,6 +374,7 @@ def sweep(
             debug_checks=search.debug_checks,
             batch=execution.batch,
             backend=execution.backend,
+            workload=traffic,
         )
 
 

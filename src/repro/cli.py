@@ -11,6 +11,11 @@ Usage (installed as ``wdm-repro``, or ``python -m repro``)::
     wdm-repro blocking --n 3 --r 3 --k 2 --m-max 10 --kernel batched
     wdm-repro sweep --n 3 --r 3 --k 2 --m-max 10 --ci-halfwidth 0.01
     wdm-repro sweep --n 3 --r 3 --k 2 --m-max 10 --resume
+    wdm-repro blocking --n 3 --r 3 --k 2 --m-max 10 --workload hotspot \\
+        --workload-param zipf_s=1.5
+    wdm-repro workloads
+    wdm-repro trace-gen --out burst.jsonl --workload heavytail_fanout \\
+        --n 3 --r 3 --k 2 --steps 500
     wdm-repro fig10
     wdm-repro trace fig10 --trace-out -
     wdm-repro kernels
@@ -91,6 +96,36 @@ def _backend(value: str) -> str:
     return lowered
 
 
+def _workload(value: str) -> str:
+    from repro.workloads import workload_names
+
+    lowered = value.lower()
+    if lowered not in workload_names():
+        raise argparse.ArgumentTypeError(
+            f"unknown workload {value!r}; choose from "
+            + ", ".join(workload_names())
+        )
+    return lowered
+
+
+def _workload_param(value: str) -> tuple[str, str]:
+    key, sep, raw = value.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"workload parameters are key=value pairs, got {value!r}"
+        )
+    return key, raw
+
+
+def _traffic(args: argparse.Namespace, **base: object) -> api.WorkloadConfig:
+    """The workload config the --workload/--workload-param flags ask for."""
+    params = dict(getattr(args, "workload_param", None) or ())
+    try:
+        return api.make_workload(args.workload, **params, **base)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"wdm-repro: error: {exc}") from exc
+
+
 def _exec_config(
     args: argparse.Namespace,
     precision: api.PrecisionConfig | None = None,
@@ -136,6 +171,31 @@ def _add_cache_flags(p: argparse.ArgumentParser) -> None:
         type=str,
         default=".wdm-repro-cache",
         help="directory for --cache entries",
+    )
+
+
+def _add_workload_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--workload",
+        type=_workload,
+        default="uniform",
+        metavar="NAME",
+        help="traffic model drawn per replication: 'uniform' (the "
+        "paper's i.i.d. requests, default), 'hotspot' (Zipf-skewed "
+        "destinations), 'heavytail_fanout' (truncated-Pareto group "
+        "sizes), 'poisson_erlang' (Poisson arrivals, exponential "
+        "holding), or 'trace' (replay a recorded file) -- see "
+        "'wdm-repro workloads'",
+    )
+    p.add_argument(
+        "--workload-param",
+        type=_workload_param,
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="shape parameter for --workload (repeatable), e.g. "
+        "--workload hotspot --workload-param zipf_s=1.5; unknown keys "
+        "list the model's parameters",
     )
 
 
@@ -189,6 +249,7 @@ def _cmd_capacity(args: argparse.Namespace) -> str:
 
 
 def _cmd_blocking(args: argparse.Namespace) -> str:
+    traffic = _traffic(args, adversarial=args.adversarial)
     with obs.capture() as run:
         estimates = api.sweep(
             args.n,
@@ -198,7 +259,7 @@ def _cmd_blocking(args: argparse.Namespace) -> str:
             model=args.model,
             construction=args.construction,
             x=args.x,
-            traffic=api.TrafficConfig(adversarial=args.adversarial),
+            traffic=traffic,
             execution=_exec_config(args),
             search=api.SearchConfig(kernel=args.kernel),
         )
@@ -211,7 +272,8 @@ def _cmd_blocking(args: argparse.Namespace) -> str:
         rows,
         title=(
             f"Blocking probability -- n={args.n}, r={args.r}, k={args.k}, "
-            f"x={args.x}, {args.model.value}, {args.construction.value}"
+            f"x={args.x}, {args.model.value}, {args.construction.value}, "
+            f"{traffic.workload} traffic"
         ),
     )
     footer = []
@@ -235,6 +297,11 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         min_rounds=args.min_rounds,
         max_rounds=args.max_rounds,
     )
+    traffic = _traffic(args, steps=args.steps)
+    try:
+        traffic.validate_precision(precision, args.steps)
+    except ValueError as exc:
+        raise SystemExit(f"wdm-repro: error: {exc}") from exc
     with obs.capture() as run:
         estimates = api.sweep(
             args.n,
@@ -244,7 +311,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             model=args.model,
             construction=args.construction,
             x=args.x,
-            traffic=api.TrafficConfig(steps=args.steps),
+            traffic=traffic,
             execution=_exec_config(args, precision),
             search=api.SearchConfig(kernel=args.kernel),
         )
@@ -275,7 +342,8 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         rows,
         title=(
             f"Adaptive blocking sweep -- n={args.n}, r={args.r}, k={args.k}, "
-            f"x={args.x}, {args.model.value}, {args.construction.value}; "
+            f"x={args.x}, {args.model.value}, {args.construction.value}, "
+            f"{traffic.workload} traffic; "
             f"target half-width {target} at {percent}"
         ),
     )
@@ -324,7 +392,7 @@ def _cmd_trace(args: argparse.Namespace) -> str:
                 model=args.model,
                 construction=args.construction,
                 x=args.x,
-                traffic=api.TrafficConfig(
+                traffic=api.UniformConfig(
                     steps=args.steps,
                     seeds=tuple(int(s) for s in args.seeds.split(",")),
                 ),
@@ -423,6 +491,67 @@ def _cmd_kernels(args: argparse.Namespace) -> str:
         f"(masks packed into int64 words)",
     ]
     return "\n".join(lines)
+
+
+def _cmd_workloads(args: argparse.Namespace) -> str:
+    from repro.workloads import workload_class, workload_names
+    from repro.workloads.base import WorkloadConfig as WorkloadConfigBase
+
+    rows = []
+    for name in workload_names():
+        cls = workload_class(name)
+        fields = cls.shape_fields()
+        params = (
+            ", ".join(f"{f.name}={f.default!r}" for f in fields)
+            if fields
+            else "-"
+        )
+        overrides_precision = (
+            cls.validate_precision is not WorkloadConfigBase.validate_precision
+        )
+        adaptive = "no (fixed recording)" if overrides_precision else "yes"
+        rows.append([name, params, adaptive])
+    table = render_table(
+        ["workload", "shape parameters (defaults)", "adaptive"],
+        rows,
+        title="Registered traffic workloads",
+    )
+    lines = [
+        table,
+        "workload notes:",
+        *(
+            f"  {name}: {workload_class(name).describe()}"
+            for name in workload_names()
+        ),
+        "select with --workload NAME --workload-param key=value "
+        "(blocking/sweep);",
+        "record any workload to a replayable file with "
+        "'wdm-repro trace-gen'.",
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_trace_gen(args: argparse.Namespace) -> str:
+    from repro.workloads import generate_trace
+
+    traffic = _traffic(args)
+    n_ports = args.n * args.r
+    count = generate_trace(
+        traffic,
+        args.out,
+        args.model,
+        n_ports,
+        args.k,
+        steps=args.steps,
+        seed=args.seed,
+        max_fanout=args.max_fanout,
+    )
+    return (
+        f"trace written to {args.out} ({count} events; workload "
+        f"{traffic.workload}, {args.model.value}, N={n_ports}, k={args.k}, "
+        f"seed {args.seed}); replay with --workload trace "
+        f"--workload-param path={args.out}"
+    )
 
 
 def _cmd_design(args: argparse.Namespace) -> str:
@@ -567,6 +696,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", type=_model, default=MulticastModel.MSW)
     p.add_argument("--construction", type=_construction, default=Construction.MSW_DOMINANT)
     p.add_argument("--adversarial", action="store_true")
+    _add_workload_flags(p)
     p.add_argument(
         "--kernel",
         type=_kernel,
@@ -619,6 +749,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=1500)
     p.add_argument("--model", type=_model, default=MulticastModel.MSW)
     p.add_argument("--construction", type=_construction, default=Construction.MSW_DOMINANT)
+    _add_workload_flags(p)
     p.add_argument(
         "--ci-halfwidth",
         type=float,
@@ -766,6 +897,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel x backend availability matrix (and active overrides)",
     )
     p.set_defaults(func=_cmd_kernels)
+
+    p = sub.add_parser(
+        "workloads",
+        help="registered traffic workloads and their shape parameters",
+    )
+    p.set_defaults(func=_cmd_workloads)
+
+    p = sub.add_parser(
+        "trace-gen",
+        help="record a workload replication as a replayable trace file",
+    )
+    p.add_argument(
+        "--out",
+        type=str,
+        required=True,
+        help="output path; '.csv' writes CSV, anything else JSONL",
+    )
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument("--r", type=int, default=3)
+    p.add_argument("--k", type=int, default=1)
+    p.add_argument("--steps", type=int, default=500)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-fanout", type=int, default=None)
+    p.add_argument("--model", type=_model, default=MulticastModel.MSW)
+    _add_workload_flags(p)
+    p.set_defaults(func=_cmd_trace_gen)
 
     p = sub.add_parser("design", help="optimal multistage + recursive design")
     p.add_argument("--n-ports", type=int, default=1024)

@@ -47,12 +47,20 @@ class ResultMeta:
             sweep, or None when no sweeper was involved.
         obs_json: canonical JSON of the observability summary captured
             during the run, or None when observability was off.
+        workload_json: canonical JSON of the tagged
+            :meth:`repro.workloads.WorkloadConfig.as_dict` form of the
+            traffic model that produced the numbers, or None for
+            results predating the workload library (or paths that
+            bypass it); ``repro.workloads.workload_from_dict`` rebuilds
+            the config, so a result names exactly the traffic that
+            produced it.
     """
 
     code_version: str
     kernel: str
     plan_json: str | None = None
     obs_json: str | None = None
+    workload_json: str | None = None
 
     # -- construction --------------------------------------------------------
 
@@ -62,6 +70,7 @@ class ResultMeta:
         plan: Any = None,
         *,
         obs_summary: dict[str, Any] | None = None,
+        workload: Any = None,
     ) -> "ResultMeta":
         """Snapshot the current process state into an envelope.
 
@@ -71,17 +80,26 @@ class ResultMeta:
             obs_summary: an explicit observability summary; by default
                 the envelope captures :func:`repro.obs.summary` when
                 observability is enabled, nothing otherwise.
+            workload: the :class:`repro.workloads.WorkloadConfig` the
+                run sampled (its tagged ``as_dict`` form is stored), an
+                equivalent dict, or None.
         """
         from repro import obs
 
         if obs_summary is None and obs.enabled():
             obs_summary = obs.summary()
         plan_dict = plan.as_dict() if hasattr(plan, "as_dict") else plan
+        workload_dict = (
+            workload.as_dict() if hasattr(workload, "as_dict") else workload
+        )
         return cls(
             code_version=CODE_VERSION,
             kernel=get_routing_kernel(),
             plan_json=_canonical(plan_dict) if plan_dict is not None else None,
             obs_json=_canonical(obs_summary) if obs_summary is not None else None,
+            workload_json=(
+                _canonical(workload_dict) if workload_dict is not None else None
+            ),
         )
 
     # -- parsed views --------------------------------------------------------
@@ -96,6 +114,15 @@ class ResultMeta:
         """The observability summary as a dict, or None."""
         return json.loads(self.obs_json) if self.obs_json is not None else None
 
+    @property
+    def workload(self) -> dict[str, Any] | None:
+        """The tagged workload-config dict, or None."""
+        return (
+            json.loads(self.workload_json)
+            if self.workload_json is not None
+            else None
+        )
+
     # -- serialization -------------------------------------------------------
 
     def as_dict(self) -> dict[str, Any]:
@@ -105,6 +132,7 @@ class ResultMeta:
             "kernel": self.kernel,
             "plan": self.plan,
             "obs": self.obs,
+            "workload": self.workload,
         }
 
     def to_json(self) -> str:
@@ -115,16 +143,22 @@ class ResultMeta:
                 "kernel": self.kernel,
                 "plan_json": self.plan_json,
                 "obs_json": self.obs_json,
+                "workload_json": self.workload_json,
             }
         )
 
     @classmethod
     def from_json(cls, payload: str) -> "ResultMeta":
-        """Rebuild an envelope from :meth:`to_json` output."""
+        """Rebuild an envelope from :meth:`to_json` output.
+
+        Backward compatible: payloads written before ``workload_json``
+        existed load with it as None.
+        """
         data = json.loads(payload)
         return cls(
             code_version=data["code_version"],
             kernel=data["kernel"],
             plan_json=data.get("plan_json"),
             obs_json=data.get("obs_json"),
+            workload_json=data.get("workload_json"),
         )

@@ -49,7 +49,6 @@ sweeps parallelize and serial-fallback exactly like fixed ones.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, NamedTuple
 
@@ -64,9 +63,11 @@ from repro.multistage.routing import get_routing_kernel
 from repro.obs.meta import ResultMeta
 from repro.perf.batch import simulate_batch
 from repro.perf.sweeper import ParallelSweeper, SweepResult, WorkUnit
+from repro.workloads.keys import key_fragment, schedule_rng, workload_fragment
 
-if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.perf.cache import ResultCache
+    from repro.workloads.base import WorkloadConfig
 
 __all__ = [
     "SCHEDULE_VERSION",
@@ -184,21 +185,28 @@ def stream_key(
     x: int,
     steps: int,
     max_fanout: int | None,
+    workload: "WorkloadConfig | None" = None,
 ) -> str:
     """The traffic key the round schedule derives from.
 
     Deliberately *without* ``m``: the compiled traffic stream is
     ``m``-independent, so sharing one schedule across the whole curve
     gives every ``m`` common random numbers.  Everything else that
-    shapes the experiment is mixed in, so two sweeps differing in any
-    configuration dimension get independent schedules -- the
-    regression guard for the PR 3 adversary-seed fix pattern.
+    shapes the experiment is mixed in -- including the workload token,
+    when the traffic is non-uniform -- so two sweeps differing in any
+    configuration dimension get independent schedules (the regression
+    guard for the PR 3 adversary-seed fix pattern).  Uniform traffic
+    contributes no token, so pre-workload schedule keys -- and the
+    golden adaptive values derived from them -- are unchanged.
     """
-    return (
-        f"n={n}|r={r}|k={k}|construction={construction.name}"
-        f"|model={model.name}|x={x}|steps={steps}|max_fanout={max_fanout}"
-        f"|schedule={SCHEDULE_VERSION}"
+    base = key_fragment(
+        dict(
+            n=n, r=r, k=k, construction=construction, model=model, x=x,
+            steps=steps, max_fanout=max_fanout, schedule=SCHEDULE_VERSION,
+        )
     )
+    token = None if workload is None else workload.token()
+    return base + workload_fragment(token)
 
 
 def round_specs(
@@ -218,7 +226,7 @@ def round_specs(
     pairs = precision.pairs_per_round
     width = _SEED_SPACE // pairs if precision.stratified else _SEED_SPACE
     for stratum in range(pairs):
-        rng = random.Random(f"{key}|round={round_index}|stratum={stratum}")
+        rng = schedule_rng(key, round_index, stratum)
         offset = stratum * width if precision.stratified else 0
         seed = offset + rng.randrange(width)
         specs.append(ReplicationSpec(seed, False))
@@ -240,6 +248,7 @@ def _round_key(
     max_fanout: int | None,
     round_index: int,
     precision: PrecisionConfig,
+    workload: "WorkloadConfig | None" = None,
 ) -> str:
     """Content address of one ``(cell, round)`` aggregate.
 
@@ -247,20 +256,23 @@ def _round_key(
     (pairs/antithetic/stratified + schedule version) -- but not by the
     precision target or level, which select how many rounds run without
     changing any round's content.  A resumed sweep with a tighter
-    target therefore reuses every warm round.
+    target therefore reuses every warm round.  The workload token joins
+    the key only when non-uniform, so uniform rounds keep their legacy
+    addresses while non-uniform traffic can never resume from them.
     """
-    return cache.key(
-        "adaptive_round",
-        dict(
-            n=n, r=r, m=m, k=k, construction=construction, model=model,
-            x=x, steps=steps, max_fanout=max_fanout,
-            round=round_index,
-            pairs=precision.pairs_per_round,
-            antithetic=precision.antithetic,
-            stratified=precision.stratified,
-            schedule=SCHEDULE_VERSION,
-        ),
+    params = dict(
+        n=n, r=r, m=m, k=k, construction=construction, model=model,
+        x=x, steps=steps, max_fanout=max_fanout,
+        round=round_index,
+        pairs=precision.pairs_per_round,
+        antithetic=precision.antithetic,
+        stratified=precision.stratified,
+        schedule=SCHEDULE_VERSION,
     )
+    token = None if workload is None else workload.token()
+    if token is not None:
+        params["workload"] = token
+    return cache.key("adaptive_round", params)
 
 
 class _AdaptiveDriver:
@@ -287,6 +299,7 @@ class _AdaptiveDriver:
         cache: "ResultCache | None",
         debug_checks: bool | None,
         backend: str,
+        workload: "WorkloadConfig | None" = None,
     ):
         self.n, self.r, self.k = n, r, k
         self.m_values = list(m_values)
@@ -296,9 +309,10 @@ class _AdaptiveDriver:
         self.cache = cache
         self.debug_checks = debug_checks
         self.backend = backend
+        self.workload = workload
         self.batched = get_routing_kernel() == "batched"
         self.key = stream_key(
-            n, r, k, construction, model, x, steps, max_fanout
+            n, r, k, construction, model, x, steps, max_fanout, workload
         )
         #: pooled (attempts, blocked) per m
         self.totals: dict[int, list[int]] = {m: [0, 0] for m in self.m_values}
@@ -384,6 +398,7 @@ class _AdaptiveDriver:
                         self.cache, self.n, self.r, m, self.k,
                         self.construction, self.model, self.x, self.steps,
                         self.max_fanout, self.round_index, self.precision,
+                        self.workload,
                     )
                     keys[m] = rkey
                     hit, value = self.cache.lookup(rkey)
@@ -406,7 +421,7 @@ class _AdaptiveDriver:
                             self.n, self.r, self.k, self.construction,
                             self.model, self.x, self.steps, self.max_fanout,
                             spec.seed, tuple(need), self.backend,
-                            spec.antithetic,
+                            spec.antithetic, self.workload,
                         ),
                     )
                     for index, spec in enumerate(specs)
@@ -419,6 +434,7 @@ class _AdaptiveDriver:
                         self.n, self.r, m, self.k, self.construction,
                         self.model, self.x, self.steps, spec.seed,
                         self.max_fanout, self.debug_checks, spec.antithetic,
+                        self.workload,
                     ),
                 )
                 for m in need
@@ -471,6 +487,7 @@ def adaptive_sweep(
     debug_checks: bool | None = None,
     batch: int | None = None,
     backend: str = "auto",
+    workload: "WorkloadConfig | None" = None,
 ) -> list[BlockingEstimate]:
     """The blocking-vs-``m`` curve at a target precision, not a budget.
 
@@ -497,14 +514,16 @@ def adaptive_sweep(
     del batch  # rounds are already seed-granular work units
     if steps < 1:
         raise ValueError(f"steps must be >= 1, got {steps}")
+    if workload is not None:
+        workload.validate_precision(precision, steps)
     driver = _AdaptiveDriver(
         n, r, k, list(m_values), construction, model, x, steps, max_fanout,
-        precision, cache, debug_checks, backend,
+        precision, cache, debug_checks, backend, workload,
     )
     with ParallelSweeper(jobs, executor=executor) as sweeper:
         sweeper.run_adaptive(driver.next_units)
         plan = sweeper.last_plan
-    return driver.estimates(ResultMeta.capture(plan))
+    return driver.estimates(ResultMeta.capture(plan, workload=workload))
 
 
 def adaptive_blocking(
@@ -525,6 +544,7 @@ def adaptive_blocking(
     debug_checks: bool | None = None,
     batch: int | None = None,
     backend: str = "auto",
+    workload: "WorkloadConfig | None" = None,
 ) -> BlockingEstimate:
     """Blocking probability of one configuration at a target precision.
 
@@ -537,5 +557,5 @@ def adaptive_blocking(
         construction=construction, model=model, x=x, steps=steps,
         max_fanout=max_fanout, precision=precision, jobs=jobs, cache=cache,
         executor=executor, debug_checks=debug_checks, batch=batch,
-        backend=backend,
+        backend=backend, workload=workload,
     )[0]

@@ -52,6 +52,7 @@ time.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro import obs as _obs
 from repro.core.models import Construction, MulticastModel
@@ -68,6 +69,9 @@ from repro.engine.geometry import FabricGeometry
 from repro.engine.kernel import block_cause, classify_kind, probe_cover
 from repro.engine.state import FabricState
 from repro.switching.generators import dynamic_traffic, stream_rng
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.workloads.base import WorkloadConfig
 
 try:  # NumPy is optional; only the fused lowering needs it.
     import numpy as _np
@@ -100,6 +104,7 @@ def compile_stream(
     seed: int,
     max_fanout: int | None = None,
     antithetic: bool = False,
+    workload: "WorkloadConfig | None" = None,
 ) -> list[tuple[int, int, int, int, int]]:
     """Pre-generate one seed's traffic stream as flat replay ops.
 
@@ -119,12 +124,26 @@ def compile_stream(
     and wavelength so releases need no lookup).  Every setup is a
     *guaranteed-legal* addition for the same reason, so the replay can
     skip admission validation entirely.
+
+    ``workload`` swaps in a registered traffic model from
+    :mod:`repro.workloads` (None keeps the uniform generator, the
+    historical behaviour): because this compiler is the one producer of
+    replay ops, a workload plugged in here automatically reaches every
+    kernel and backend -- the stream contract, not the generator, is
+    the interface.  Callers must mix ``workload.token()`` into any key
+    derived from the stream.
     """
     rng = stream_rng(seed, antithetic)
+    if workload is None:
+        events = dynamic_traffic(
+            model, n * r, k, steps=steps, seed=rng, max_fanout=max_fanout
+        )
+    else:
+        events = workload.events(
+            model, n * r, k, steps=steps, rng=rng, max_fanout=max_fanout
+        )
     ops: list[tuple[int, int, int, int, int]] = []
-    for event in dynamic_traffic(
-        model, n * r, k, steps=steps, seed=rng, max_fanout=max_fanout
-    ):
+    for event in events:
         source = event.connection.source
         g = source.port // n
         if event.kind == "setup":
@@ -343,6 +362,7 @@ def _simulate(
     backend: str,
     record_causes: bool,
     antithetic: bool = False,
+    workload: "WorkloadConfig | None" = None,
 ) -> tuple[int, list[_Replication]]:
     """Compile seed ``seed`` once and replay it against every ``m``."""
     legal_x = valid_x_range(n, r)
@@ -367,7 +387,9 @@ def _simulate(
         backend,
     )
     want_kinds = record_causes or _obs.enabled()
-    ops = compile_stream(model, n, r, k, steps, seed, max_fanout, antithetic)
+    ops = compile_stream(
+        model, n, r, k, steps, seed, max_fanout, antithetic, workload
+    )
     attempts, replications = _replay(ops, state, want_kinds, record_causes)
     if _obs.enabled():
         # Aggregate increments, guarded on nonzero so the counter *set*
@@ -402,6 +424,7 @@ def simulate_batch(
     m_values: tuple[int, ...] | list[int],
     backend: str = "auto",
     antithetic: bool = False,
+    workload: "WorkloadConfig | None" = None,
 ) -> list[tuple[int, tuple[int, int]]]:
     """All of one seed's ``(m, (attempts, blocked))`` cells, in lockstep.
 
@@ -410,11 +433,13 @@ def simulate_batch(
     (batch-per-process instead of cell-per-process): module-level and
     picklable, and every returned cell is bit-identical to
     ``_traffic_cell`` run serially with the same arguments (including
-    ``antithetic``, which swaps in the seed's mirrored stream).
+    ``antithetic``, which swaps in the seed's mirrored stream, and
+    ``workload``, which swaps in a registered traffic model).
     """
     attempts, replications = _simulate(
         n, r, k, construction, model, x, steps, max_fanout, seed,
         list(m_values), backend, record_causes=False, antithetic=antithetic,
+        workload=workload,
     )
     return [
         (m, (attempts, rep.blocked))
@@ -436,6 +461,7 @@ def replay_cell(
     max_fanout: int | None = None,
     backend: str = "auto",
     record_causes: bool = False,
+    workload: "WorkloadConfig | None" = None,
 ) -> CellOutcome:
     """One ``(m, seed)`` replication through the batch engine.
 
@@ -447,7 +473,7 @@ def replay_cell(
     """
     attempts, replications = _simulate(
         n, r, k, construction, model, x, steps, max_fanout, seed, [m],
-        backend, record_causes=record_causes,
+        backend, record_causes=record_causes, workload=workload,
     )
     rep = replications[0]
     return CellOutcome(

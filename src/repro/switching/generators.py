@@ -17,7 +17,7 @@ the caller, so every test and benchmark is reproducible.
 from __future__ import annotations
 
 import random
-from collections.abc import Iterator
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 from typing import Literal
 
@@ -29,9 +29,17 @@ __all__ = [
     "AntitheticRandom",
     "AssignmentGenerator",
     "TrafficEvent",
+    "draw_connection",
     "dynamic_traffic",
     "stream_rng",
 ]
+
+#: workload hook: ``(rng, fanout_cap) -> fanout`` (clamped to [1, cap])
+FanoutPicker = Callable[[random.Random, int], int]
+#: workload hook: ``(rng, port_options, fanout) -> ports`` where
+#: ``port_options`` maps each eligible output port to its admissible
+#: wavelengths (ascending); must return ``fanout`` distinct keys
+PortPicker = Callable[[random.Random, dict[int, list[int]], int], list[int]]
 
 
 class AntitheticRandom(random.Random):
@@ -149,6 +157,69 @@ class TrafficEvent:
     connection_id: int
 
 
+def draw_connection(
+    rng: random.Random,
+    model: MulticastModel,
+    k: int,
+    cap: int,
+    free_inputs: set[int],
+    free_outputs: set[int],
+    pick_fanout: FanoutPicker | None = None,
+    pick_ports: PortPicker | None = None,
+) -> MulticastConnection | None:
+    """One feasible random connection over the free endpoint sets.
+
+    The single draw sequence every traffic model shares (source
+    endpoint, admissible wavelength, fanout, destination ports,
+    per-port wavelength); :func:`dynamic_traffic` and the
+    continuous-time Poisson/Erlang workload both route through it, so
+    endpoint feasibility is stated once.  Endpoints are int codes
+    ``port * k + wavelength``.
+
+    The two hooks are the workload seam: ``pick_fanout`` replaces the
+    uniform fanout draw (heavy-tail group sizes), ``pick_ports`` the
+    uniform destination-port sample (hotspot skew).  With both ``None``
+    the draws -- and hence every stream compiled from them -- are
+    bit-identical to the historical generator, which is the uniform
+    workload's compatibility contract.
+
+    Returns None when no feasible connection exists (no free input, or
+    no output port offers an admissible wavelength).
+    """
+    if not free_inputs:
+        return None
+    source_code = rng.choice(sorted(free_inputs))
+    source = Endpoint(*divmod(source_code, k))
+    if model is MulticastModel.MSW:
+        allowed: int | None = source.wavelength
+    elif model is MulticastModel.MSDW:
+        allowed = rng.randrange(k)
+    else:
+        allowed = None  # MAW: every wavelength admissible
+    # Ports that offer a free endpoint on an allowed wavelength; codes
+    # iterate in sorted order so per-port wavelength lists ascend.
+    port_options: dict[int, list[int]] = {}
+    for code in sorted(free_outputs):
+        port, wavelength = divmod(code, k)
+        if allowed is None or wavelength == allowed:
+            port_options.setdefault(port, []).append(wavelength)
+    if not port_options:
+        return None
+    fanout_cap = min(cap, len(port_options))
+    if pick_fanout is None:
+        fanout = rng.randint(1, fanout_cap)
+    else:
+        fanout = max(1, min(fanout_cap, pick_fanout(rng, fanout_cap)))
+    if pick_ports is None:
+        ports = rng.sample(sorted(port_options), fanout)
+    else:
+        ports = pick_ports(rng, port_options, fanout)
+    destinations = [
+        Endpoint(port, rng.choice(port_options[port])) for port in ports
+    ]
+    return MulticastConnection(source, destinations)
+
+
 def dynamic_traffic(
     model: MulticastModel,
     n_ports: int,
@@ -158,6 +229,8 @@ def dynamic_traffic(
     seed: int | random.Random,
     max_fanout: int | None = None,
     teardown_probability: float = 0.35,
+    pick_fanout: FanoutPicker | None = None,
+    pick_ports: PortPicker | None = None,
 ) -> Iterator[TrafficEvent]:
     """Yield a random feasible sequence of connection setups/teardowns.
 
@@ -182,6 +255,8 @@ def dynamic_traffic(
         max_fanout: cap on destinations per connection (default ``N``).
         teardown_probability: chance a step tears down an active
             connection instead of setting up a new one.
+        pick_fanout, pick_ports: the :func:`draw_connection` workload
+            hooks (None keeps the bit-identical uniform draws).
     """
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     cap = n_ports if max_fanout is None else min(max_fanout, n_ports)
@@ -198,31 +273,10 @@ def dynamic_traffic(
     next_id = 0
 
     def try_setup() -> MulticastConnection | None:
-        if not free_inputs:
-            return None
-        source_code = rng.choice(sorted(free_inputs))
-        source = Endpoint(*divmod(source_code, k))
-        if model is MulticastModel.MSW:
-            allowed: int | None = source.wavelength
-        elif model is MulticastModel.MSDW:
-            allowed = rng.randrange(k)
-        else:
-            allowed = None  # MAW: every wavelength admissible
-        # Ports that offer a free endpoint on an allowed wavelength; codes
-        # iterate in sorted order so per-port wavelength lists ascend.
-        port_options: dict[int, list[int]] = {}
-        for code in sorted(free_outputs):
-            port, wavelength = divmod(code, k)
-            if allowed is None or wavelength == allowed:
-                port_options.setdefault(port, []).append(wavelength)
-        if not port_options:
-            return None
-        fanout = rng.randint(1, min(cap, len(port_options)))
-        ports = rng.sample(sorted(port_options), fanout)
-        destinations = [
-            Endpoint(port, rng.choice(port_options[port])) for port in ports
-        ]
-        return MulticastConnection(source, destinations)
+        return draw_connection(
+            rng, model, k, cap, free_inputs, free_outputs,
+            pick_fanout, pick_ports,
+        )
 
     def release(connection: MulticastConnection) -> None:
         free_inputs.add(connection.source.port * k + connection.source.wavelength)

@@ -35,19 +35,39 @@ class TestShimsWarn:
         deprecations = [w for w in caught if w.category is DeprecationWarning]
         assert deprecations and deprecations[0].filename == __file__
 
+    def test_traffic_config_warns_and_works(self):
+        with pytest.warns(DeprecationWarning, match="repro.api.UniformConfig"):
+            legacy = api.TrafficConfig(steps=50, seeds=(0, 1))
+        estimate = api.blocking(2, 2, 2, 1, x=1, traffic=legacy)
+        fresh = api.blocking(2, 2, 2, 1, x=1,
+                             traffic=api.UniformConfig(steps=50, seeds=(0, 1)))
+        assert estimate == fresh
+
+    def test_traffic_config_warning_points_at_the_caller(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            api.TrafficConfig(steps=20, seeds=(0,))
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert deprecations and deprecations[0].filename == __file__
+
 
 class TestFacadeIsClean:
     """The new entry points never route through the deprecated shims."""
 
     @pytest.mark.parametrize("call", [
         lambda: api.blocking(2, 2, 2, 1, x=1,
-                             traffic=api.TrafficConfig(steps=30, seeds=(0,))),
+                             traffic=api.UniformConfig(steps=30, seeds=(0,))),
         lambda: api.sweep(2, 2, 1, [1, 2], x=1,
-                          traffic=api.TrafficConfig(steps=30, seeds=(0,))),
+                          traffic=api.UniformConfig(steps=30, seeds=(0,))),
         lambda: api.sweep(2, 2, 1, [1, 2], x=1,
-                          traffic=api.TrafficConfig(
+                          traffic=api.UniformConfig(
                               steps=30, seeds=(0,), adversarial=True,
                               adversary_seeds=3)),
+        lambda: api.blocking(2, 2, 2, 1, x=1,
+                             traffic=api.HotspotConfig(steps=30, seeds=(0,))),
+        lambda: api.blocking(2, 2, 2, 1, x=1,
+                             traffic=api.HeavyTailFanoutConfig(
+                                 steps=30, seeds=(0,))),
         lambda: api.exact_m(2, 2, 1, x=1, m_max=4),
     ])
     def test_no_deprecation_warning_escapes(self, call):

@@ -18,7 +18,7 @@ def strip_meta(estimate):
 
 class TestFrozenConfigs:
     @pytest.mark.parametrize("config", [
-        api.TrafficConfig(), api.ExecConfig(), api.SearchConfig()])
+        api.UniformConfig(), api.ExecConfig(), api.SearchConfig()])
     def test_configs_are_frozen(self, config):
         field = dataclasses.fields(config)[0].name
         with pytest.raises(dataclasses.FrozenInstanceError):
@@ -44,14 +44,14 @@ class TestFrozenConfigs:
 class TestBlockingEquivalence:
     def test_matches_legacy_call_bit_for_bit(self):
         new = api.blocking(3, 3, 2, 1, x=1,
-                           traffic=api.TrafficConfig(steps=200, seeds=(0, 1)))
+                           traffic=api.UniformConfig(steps=200, seeds=(0, 1)))
         with pytest.warns(DeprecationWarning):
             old = blocking_probability(3, 3, 2, 1, x=1, steps=200, seeds=(0, 1))
         assert strip_meta(new) == strip_meta(old)
 
     def test_default_steps_match_legacy_default(self):
         new = api.blocking(2, 2, 2, 1, x=1,
-                           traffic=api.TrafficConfig(seeds=(0,)))
+                           traffic=api.UniformConfig(seeds=(0,)))
         with pytest.warns(DeprecationWarning):
             old = blocking_probability(2, 2, 2, 1, x=1, seeds=(0,))
         assert strip_meta(new) == strip_meta(old)
@@ -59,7 +59,7 @@ class TestBlockingEquivalence:
 
 class TestSweepEquivalence:
     def test_random_traffic_curve_matches_legacy(self):
-        traffic = api.TrafficConfig(steps=150, seeds=(0, 1))
+        traffic = api.UniformConfig(steps=150, seeds=(0, 1))
         new = api.sweep(3, 3, 1, [1, 2, 3], x=1, traffic=traffic)
         with pytest.warns(DeprecationWarning):
             old = blocking_vs_m(3, 3, 1, [1, 2, 3], x=1, steps=150, seeds=(0, 1))
@@ -67,7 +67,7 @@ class TestSweepEquivalence:
 
     def test_max_fanout_is_honored(self):
         capped = api.sweep(2, 2, 1, [2], x=1,
-                           traffic=api.TrafficConfig(
+                           traffic=api.UniformConfig(
                                steps=150, seeds=(0,), max_fanout=1))
         with pytest.warns(DeprecationWarning):
             legacy = blocking_vs_m(2, 2, 1, [2], x=1, steps=150, seeds=(0,),
@@ -75,7 +75,7 @@ class TestSweepEquivalence:
         assert strip_meta(capped[0]) == strip_meta(legacy[0])
 
     def test_alternate_construction_and_model(self):
-        traffic = api.TrafficConfig(steps=100, seeds=(0,))
+        traffic = api.UniformConfig(steps=100, seeds=(0,))
         new = api.sweep(2, 2, 2, [1, 2], construction=Construction.MAW_DOMINANT,
                         model=MulticastModel.MAW, x=1, traffic=traffic)
         with pytest.warns(DeprecationWarning):

@@ -58,7 +58,7 @@ class TestEndToEnd:
     def test_adversarial_sweep_remains_deterministic(self, construction):
         from repro import api
 
-        traffic = api.TrafficConfig(steps=80, seeds=(0,), adversarial=True,
+        traffic = api.UniformConfig(steps=80, seeds=(0,), adversarial=True,
                                     adversary_seeds=4)
         first = api.sweep(2, 2, 1, [1, 2], construction=construction, x=1,
                           traffic=traffic)

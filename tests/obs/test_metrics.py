@@ -95,7 +95,7 @@ def two_cpus(monkeypatch):
 
 
 class TestCrossProcessAggregation:
-    CONFIG = dict(x=1, traffic=api.TrafficConfig(steps=120, seeds=(0, 1)))
+    CONFIG = dict(x=1, traffic=api.UniformConfig(steps=120, seeds=(0, 1)))
 
     def _counters(self, jobs):
         with obs.capture() as run:

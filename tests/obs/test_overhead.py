@@ -71,13 +71,13 @@ class TestDisabledPathDoesNoWork:
         obs.reset()
         assert not obs.enabled()
         api.blocking(2, 2, 2, 1, x=1,
-                     traffic=api.TrafficConfig(steps=50, seeds=(0,)))
+                     traffic=api.UniformConfig(steps=50, seeds=(0,)))
         assert obs.REGISTRY.snapshot()["counters"] == {}
 
 
 class TestObsOnDoesNotChangeResults:
     def test_estimates_bit_identical_on_vs_off(self):
-        traffic = api.TrafficConfig(steps=150, seeds=(0, 1))
+        traffic = api.UniformConfig(steps=150, seeds=(0, 1))
         off = api.blocking(3, 3, 2, 1, x=1, traffic=traffic)
         with obs.capture():
             on = api.blocking(3, 3, 2, 1, x=1, traffic=traffic)

@@ -72,7 +72,7 @@ class TestResultMeta:
 class TestSharedEnvelopeOnResults:
     def test_blocking_estimate_carries_and_round_trips_meta(self):
         estimate = api.blocking(
-            2, 2, 2, 1, x=1, traffic=api.TrafficConfig(steps=60, seeds=(0,)))
+            2, 2, 2, 1, x=1, traffic=api.UniformConfig(steps=60, seeds=(0,)))
         meta = estimate.meta
         assert isinstance(meta, ResultMeta)
         assert meta.plan["units"] == 1
@@ -88,7 +88,7 @@ class TestSharedEnvelopeOnResults:
     def test_sweep_estimates_share_one_plan_envelope(self):
         estimates = api.sweep(
             2, 2, 1, [1, 2], x=1,
-            traffic=api.TrafficConfig(steps=60, seeds=(0,)))
+            traffic=api.UniformConfig(steps=60, seeds=(0,)))
         plans = {e.meta.plan_json for e in estimates}
         assert len(plans) == 1
         assert estimates[0].meta.plan["units"] == 2

@@ -114,7 +114,7 @@ class TestNetworkEmitsTrace:
         with obs.capture(tracer=tracer):
             estimate = api.blocking(
                 2, 2, 2, 1, x=1,
-                traffic=api.TrafficConfig(steps=150, seeds=(0, 1)),
+                traffic=api.UniformConfig(steps=150, seeds=(0, 1)),
             )
         assert tracer.blocked == estimate.blocked
         assert tracer.admitted + tracer.blocked == estimate.attempts

@@ -314,7 +314,7 @@ class TestApiIntegration:
         direct = adaptive_sweep(3, 3, 2, [1, 2], precision=QUICK, **CONFIG)
         via_api = api.sweep(
             3, 3, 2, [1, 2],
-            traffic=api.TrafficConfig(steps=120),
+            traffic=api.UniformConfig(steps=120),
             execution=api.ExecConfig(precision=QUICK),
         )
         assert _identity(via_api) == _identity(direct)
@@ -325,7 +325,7 @@ class TestApiIntegration:
 
         estimate = api.blocking(
             3, 3, 2, 2,
-            traffic=api.TrafficConfig(steps=120),
+            traffic=api.UniformConfig(steps=120),
             execution=api.ExecConfig(precision=QUICK),
         )
         assert estimate.adaptive is not None
@@ -337,6 +337,6 @@ class TestApiIntegration:
         with pytest.raises(ValueError, match="adversarial"):
             api.sweep(
                 3, 3, 2, [1, 2],
-                traffic=api.TrafficConfig(adversarial=True),
+                traffic=api.UniformConfig(adversarial=True),
                 execution=api.ExecConfig(precision=QUICK),
             )

@@ -279,7 +279,7 @@ class TestBackendResolution:
 
 
 class TestApiIntegration:
-    TRAFFIC = api.TrafficConfig(steps=200, seeds=(0, 1, 2))
+    TRAFFIC = api.UniformConfig(steps=200, seeds=(0, 1, 2))
 
     def sweep(self, kernel, **kwargs):
         return api.sweep(
@@ -319,7 +319,7 @@ class TestApiIntegration:
         assert batched.meta is not None and batched.meta.kernel == "batched"
 
     def test_adversarial_sweep_matches_bitmask(self):
-        traffic = api.TrafficConfig(steps=150, seeds=(0, 1), adversarial=True)
+        traffic = api.UniformConfig(steps=150, seeds=(0, 1), adversarial=True)
         bitmask = api.sweep(
             2, 2, 1, [2, 3, 4], traffic=traffic,
             search=api.SearchConfig(kernel="bitmask"),
@@ -363,7 +363,7 @@ class TestCacheIntegration:
     def sweep(self, kernel, cache_dir, batch=None):
         return api.sweep(
             2, 2, 1, [1, 2, 3],
-            traffic=api.TrafficConfig(**self.CONFIG),
+            traffic=api.UniformConfig(**self.CONFIG),
             execution=api.ExecConfig(cache_dir=str(cache_dir), batch=batch),
             search=api.SearchConfig(kernel=kernel),
         )

@@ -31,6 +31,7 @@ GUARDED = dict(
     routing_replay=1.5,
     end_to_end=1.2,
     fused=4.0,
+    workloads=10.0,
     adaptive=2.5,
 )
 

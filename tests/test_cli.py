@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import pytest
 
+from repro import api
 from repro.cli import build_parser, main
+from repro.core.models import MulticastModel
+from repro.workloads import generate_trace
 
 
 def run_cli(capsys, *argv):
@@ -170,7 +173,7 @@ class TestTraceCommand:
         from repro import api
 
         estimate = api.blocking(
-            2, 2, 2, 1, x=1, traffic=api.TrafficConfig(steps=150, seeds=(0, 1)))
+            2, 2, 2, 1, x=1, traffic=api.UniformConfig(steps=150, seeds=(0, 1)))
         assert summary["blocked"] == estimate.blocked
         assert summary["attempts"] == estimate.attempts
 
@@ -314,3 +317,88 @@ class TestNewCommands:
         )
         assert "report written" in out
         assert "# WDM multicast reproduction report" in target.read_text()
+
+
+class TestWorkloadCommands:
+    def test_workloads_matrix(self, capsys):
+        out = run_cli(capsys, "workloads")
+        assert "Registered traffic workloads" in out
+        for name in ("uniform", "hotspot", "heavytail_fanout",
+                     "poisson_erlang", "trace"):
+            assert name in out
+        assert "zipf_s=1.2" in out
+        assert "no (fixed recording)" in out
+
+    def test_blocking_with_workload_flag(self, capsys):
+        base = run_cli(capsys, "blocking", "--n", "2", "--r", "2", "--k", "1",
+                       "--m-max", "2")
+        skewed = run_cli(
+            capsys, "blocking", "--n", "2", "--r", "2", "--k", "1",
+            "--m-max", "2", "--workload", "hotspot",
+            "--workload-param", "zipf_s=2.0",
+        )
+        assert "uniform traffic" in base
+        assert "hotspot traffic" in skewed
+        assert base != skewed
+
+    def test_sweep_with_workload_flag(self, capsys):
+        out = run_cli(
+            capsys, "sweep", "--n", "2", "--r", "2", "--k", "1",
+            "--m-max", "2", "--steps", "150", "--ci-halfwidth", "0.05",
+            "--max-rounds", "3", "--workload", "heavytail_fanout",
+        )
+        assert "heavytail_fanout traffic" in out
+
+    def test_trace_gen_round_trips_through_blocking(self, capsys, tmp_path):
+        target = tmp_path / "burst.jsonl"
+        out = run_cli(
+            capsys, "trace-gen", "--out", str(target), "--workload",
+            "hotspot", "--workload-param", "zipf_s=1.5",
+            "--n", "2", "--r", "2", "--k", "1", "--steps", "200",
+        )
+        assert "trace written" in out and target.exists()
+        replay = run_cli(
+            capsys, "blocking", "--n", "2", "--r", "2", "--k", "1",
+            "--m-max", "2", "--workload", "trace",
+            "--workload-param", f"path={target}",
+        )
+        assert "trace traffic" in replay
+
+    def test_unknown_workload_rejected_listing_models(self, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["blocking", "--workload", "bogus"])
+        message = capsys.readouterr().err
+        assert "unknown workload 'bogus'" in message
+        for name in ("uniform", "hotspot", "heavytail_fanout",
+                     "poisson_erlang", "trace"):
+            assert name in message
+
+    def test_unknown_workload_param_rejected_listing_fields(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["blocking", "--n", "2", "--r", "2", "--k", "1",
+                  "--m-max", "2", "--workload", "hotspot",
+                  "--workload-param", "gamma=3"])
+        assert "no parameter 'gamma'" in str(excinfo.value)
+        assert "zipf_s" in str(excinfo.value)
+
+    def test_malformed_workload_param_rejected(self, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["blocking", "--workload-param", "zipf_s"])
+        assert "key=value" in capsys.readouterr().err
+
+    def test_adaptive_sweep_over_trace_rejected_cleanly(self, tmp_path):
+        target = tmp_path / "fixed.jsonl"
+        generate_trace(
+            api.make_workload("uniform"), str(target),
+            MulticastModel.MSW, 4, 1, steps=40, seed=0,
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--n", "2", "--r", "2", "--k", "1",
+                  "--m-max", "2", "--ci-halfwidth", "0.05",
+                  "--workload", "trace",
+                  "--workload-param", f"path={target}"])
+        message = str(excinfo.value)
+        assert message.startswith("wdm-repro: error:")
+        assert "40 events" in message

@@ -46,6 +46,7 @@ GUARDED_SECTIONS = (
     "routing_replay",
     "end_to_end",
     "fused",
+    "workloads",
     "adaptive",
 )
 

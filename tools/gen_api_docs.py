@@ -26,6 +26,7 @@ PACKAGES = [
     "repro.scheduling",
     "repro.perf",
     "repro.perf.adaptive",
+    "repro.workloads",
     "repro.api",
     "repro.obs",
 ]
@@ -181,17 +182,62 @@ round already paid for.  `tools/check_resume.py` (CI) SIGKILLs a
 sweep mid-run and asserts the resumed table equals an uninterrupted
 run's byte for byte.
 """,
+    "repro.workloads": """\
+### The traffic seam
+
+A workload is a frozen config dataclass plus a pure generator: given a
+fabric (`model`, `n_ports`, `k`), a `random.Random` stream and an
+optional fanout cap, `events()` yields the same guaranteed-legal
+`TrafficEvent` stream contract `compile_stream` consumes -- so every
+registered model runs unchanged through the serial simulator, the
+lockstep batch engine and the fused numba backend, bit-identically per
+replication. `register_workload` adds a model to the registry; the tag
+becomes a `--workload` name, a `wdm-repro workloads` row and a
+`workload_from_dict` tag with no consumer changes.
+
+### Identity and caching
+
+`token()` is a workload's cache/stream-key identity. `uniform` returns
+None -- it joins no key, so every pre-workload cache entry and adaptive
+schedule keeps its address (the compatibility anchor). Every other
+model returns `{"workload": tag, **shape_params}`, which joins every
+traffic-cell cache key, adaptive stream key and round key -- a warm
+uniform cache can never answer for skewed traffic. `TraceConfig`'s
+token is content-addressed (a digest of the file), so the same
+recording at two paths shares cache entries and an edited recording
+never aliases the old one.
+
+### Shipped models
+
+`uniform` (the historical generator, bit-identical), `hotspot`
+(Zipf-skewed destination popularity over a configurable hot set),
+`heavytail_fanout` (truncated-Pareto multicast group sizes),
+`poisson_erlang` (continuous-time Poisson arrivals with exponential
+holding, offered load in Erlangs) and `trace` (JSONL/CSV replay of a
+recorded stream; `wdm-repro trace-gen` writes one, `generate_trace` /
+`write_trace` / `load_trace` are the library surface). Traces are one
+fixed recording, so combining them with a precision target raises.
+""",
     "repro.api": """\
 ### Typed configs over kwargs sprawl
 
 The three verbs take frozen config dataclasses grouped by concern:
-`TrafficConfig` (steps, seeds, fanout cap, adversarial probing),
-`ExecConfig` (jobs, executor kind, cache directory) and `SearchConfig`
-(routing kernel, canonicalization, debug checks). Results are
-bit-identical to the legacy entry points with the same parameters and
-carry a `repro.obs.meta.ResultMeta` provenance envelope (code version,
-kernel id, execution plan, obs summary) on `.meta`; the envelope and
-`BlockingEstimate` both round-trip through `to_json()`/`from_json()`.
+a `repro.workloads.WorkloadConfig` as `traffic=` (steps, seeds, fanout
+cap, adversarial probing on the base surface, model shape on each
+subclass), `ExecConfig` (jobs, executor kind, cache directory) and
+`SearchConfig` (routing kernel, canonicalization, debug checks).
+Results are bit-identical to the legacy entry points with the same
+parameters and carry a `repro.obs.meta.ResultMeta` provenance envelope
+(code version, kernel id, execution plan, obs summary, workload
+identity) on `.meta`; the envelope and `BlockingEstimate` both
+round-trip through `to_json()`/`from_json()`.
+
+`blocking` and `sweep` accept any registered workload config --
+`UniformConfig` (the default), `HotspotConfig`,
+`HeavyTailFanoutConfig`, `PoissonErlangConfig`, `TraceConfig` -- and
+the estimators, kernels, caches and the adaptive driver treat them
+uniformly. `TrafficConfig` is a deprecated alias of `UniformConfig`
+(same fields, same numbers, plus a `DeprecationWarning`).
 
 `SearchConfig(kernel="batched")` routes the Monte-Carlo estimators
 through the lockstep batch engine (`repro.perf.batch`) -- same numbers,
