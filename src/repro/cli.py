@@ -455,6 +455,7 @@ def _cmd_kernels(args: argparse.Namespace) -> str:
         backend_status,
         resolve_backend,
     )
+    from repro.engine.planes import PlaneLayout
     from repro.multistage.routing import _KERNELS, get_routing_kernel
 
     available = set(available_backends())
@@ -487,8 +488,10 @@ def _cmd_kernels(args: argparse.Namespace) -> str:
         f"auto backend resolves to: "
         f"{resolve_backend('auto', m_max=1, r=1, k=1)}",
         f"{BACKEND_ENV}={override}" if override else f"{BACKEND_ENV}: (unset)",
-        f"numpy backend gate: m, r, k <= {NUMPY_WORD_BITS} "
-        f"(masks packed into int64 words)",
+        f"plane width: W = ceil(max(m, r, k) / {NUMPY_WORD_BITS}) int64 "
+        f"words per mask (multi-word above {NUMPY_WORD_BITS}; e.g. "
+        f"m=r=k=100 -> W="
+        f"{PlaneLayout.for_fabric(100, 100, 100).width})",
     ]
     return "\n".join(lines)
 

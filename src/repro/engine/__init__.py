@@ -25,10 +25,10 @@ from repro.engine.backends import (
     available_backends,
     backend_status,
     make_state,
-    numpy_gate_error,
+    plane_width,
+    plane_width_error,
     register_backend,
     resolve_backend,
-    word_gate_error,
 )
 from repro.engine.cover import CoverSearch, find_cover_bits, iter_bits, mask_of
 from repro.engine.fused import (
@@ -39,6 +39,7 @@ from repro.engine.fused import (
     fused_mode,
 )
 from repro.engine.geometry import FabricGeometry
+from repro.engine.planes import WORD_BITS, PlaneLayout
 from repro.engine.kernel import (
     BLOCK_KINDS,
     AdmissionRequest,
@@ -62,6 +63,7 @@ __all__ = [
     "BLOCK_KINDS",
     "FUSED_ENV",
     "NUMPY_WORD_BITS",
+    "WORD_BITS",
     "AdmissionRequest",
     "BackendSpec",
     "CoverSearch",
@@ -71,6 +73,7 @@ __all__ = [
     "FusedReplay",
     "FusedState",
     "NumpyState",
+    "PlaneLayout",
     "PythonState",
     "admit",
     "avail",
@@ -87,11 +90,11 @@ __all__ = [
     "iter_bits",
     "make_state",
     "mask_of",
-    "numpy_gate_error",
+    "plane_width",
+    "plane_width_error",
     "probe_cover",
     "reach_map",
     "register_backend",
     "release",
     "resolve_backend",
-    "word_gate_error",
 ]

@@ -2,28 +2,32 @@
 
 One place decides which :class:`~repro.engine.state.FabricState`
 implementation a replay runs on: every backend is a
-:class:`BackendSpec` (factory + availability probe + word-gate flag),
-:func:`resolve_backend` maps a request (``"auto"``, a concrete name, or
-the ``WDM_REPRO_BATCH_BACKEND`` environment override) to a registered
-backend, applying the int64 word gate (:data:`NUMPY_WORD_BITS`) with
-one uniform error message, and :func:`make_state` then instantiates it.
+:class:`BackendSpec` (factory + availability probe + plane-width
+capability), :func:`resolve_backend` maps a request (``"auto"``, a
+concrete name, or the ``WDM_REPRO_BATCH_BACKEND`` environment
+override) to a registered backend, checking the geometry's plane width
+``W = ceil(bits / 62)`` against the backend's capability with one
+uniform error message, and :func:`make_state` then instantiates it.
 
-Three backends ship built in:
+Three backends ship built in, all width-unlimited (masks wider than
+one int64 word get multi-word planes; see
+:mod:`repro.engine.planes`):
 
 * ``python`` -- int-bitplane :class:`~repro.engine.state.PythonState`;
   no dependencies, always available;
 * ``numpy`` -- int64 structure-of-arrays
-  :class:`~repro.engine.state.NumpyState`; needs numpy and the
-  ``m, r, k <= 62`` word gate;
+  :class:`~repro.engine.state.NumpyState`; needs numpy;
 * ``numba`` -- the fused whole-stream replay of
   :mod:`repro.engine.fused`; needs numpy plus numba (or the
-  ``WDM_REPRO_FUSED_PY=1`` interpreted-mode testing hook), same word
-  gate, and is what ``auto`` prefers when it can run.
+  ``WDM_REPRO_FUSED_PY=1`` interpreted-mode testing hook), and is what
+  ``auto`` prefers when it can run.
 
 Additional backends (a CUDA kernel, say) plug in through
-:func:`register_backend` without touching any consumer;
-:func:`backend_status` feeds the ``wdm-repro kernels`` availability
-display.
+:func:`register_backend` without touching any consumer; a backend that
+only handles single-word planes declares ``max_plane_width=1`` and
+:func:`resolve_backend` refuses wider geometries with a message naming
+the capability.  :func:`backend_status` feeds the ``wdm-repro
+kernels`` availability display.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from dataclasses import dataclass
 
 from repro.engine import fused as _fused
 from repro.engine.geometry import FabricGeometry
+from repro.engine.planes import WORD_BITS, PlaneLayout
 from repro.engine.state import FabricState, NumpyState, PythonState
 
 try:  # NumPy is optional everywhere in this repo.
@@ -49,19 +54,19 @@ __all__ = [
     "available_backends",
     "backend_status",
     "make_state",
-    "numpy_gate_error",
+    "plane_width",
+    "plane_width_error",
     "register_backend",
     "resolve_backend",
-    "word_gate_error",
 ]
 
 #: environment override for ``backend="auto"`` resolution.
 BACKEND_ENV = "WDM_REPRO_BATCH_BACKEND"
 #: the built-in state backends (``auto`` resolves to one of these).
 BACKENDS = ("python", "numpy", "numba")
-#: widest mask a word-gated backend can pack into one signed int64 word
-#: -- the single source of truth for the ``m, r, k <= 62`` gate.
-NUMPY_WORD_BITS = 62
+#: usable bits per int64 plane word -- masks wider than this span
+#: ``W = ceil(bits / NUMPY_WORD_BITS)`` words (no longer a hard gate).
+NUMPY_WORD_BITS = WORD_BITS
 
 
 def _always() -> str | None:
@@ -70,6 +75,11 @@ def _always() -> str | None:
 
 def _numpy_missing() -> str | None:
     return None if _np is not None else "numpy is not installed"
+
+
+def plane_width(m_max: int, r: int, k: int) -> int:
+    """The plane width W (int64 words per widest mask) of a geometry."""
+    return PlaneLayout.for_fabric(m_max, r, k).width
 
 
 @dataclass(frozen=True)
@@ -83,28 +93,29 @@ class BackendSpec:
             else the human-readable reason (``"numba is not
             installed"``) -- probed dynamically so environment hooks
             can flip availability without re-importing.
-        word_gated: True when the backend packs masks into int64 words
-            and therefore needs ``m, r, k <= `` :data:`NUMPY_WORD_BITS`.
+        max_plane_width: the widest plane (int64 words per mask) the
+            backend handles; None means unlimited (multi-word planes).
     """
 
     factory: Callable[[tuple[FabricGeometry, ...]], FabricState]
     missing: Callable[[], str | None] = _always
-    word_gated: bool = False
+    max_plane_width: int | None = None
 
     def available(self) -> bool:
         """True when the backend can run in this process."""
         return self.missing() is None
 
+    def supports_width(self, width: int) -> bool:
+        """True when the backend handles ``width``-word planes."""
+        return self.max_plane_width is None or width <= self.max_plane_width
+
 
 _SPECS: dict[str, BackendSpec] = {
     "python": BackendSpec(factory=PythonState),
-    "numpy": BackendSpec(
-        factory=NumpyState, missing=_numpy_missing, word_gated=True
-    ),
+    "numpy": BackendSpec(factory=NumpyState, missing=_numpy_missing),
     "numba": BackendSpec(
         factory=_fused.FusedState,
         missing=_fused.missing_requirement,
-        word_gated=True,
     ),
 }
 
@@ -114,6 +125,7 @@ def register_backend(
     factory: Callable[[tuple[FabricGeometry, ...]], FabricState],
     *,
     missing: Callable[[], str | None] = _always,
+    max_plane_width: int | None = None,
     word_gated: bool = False,
 ) -> None:
     """Register an additional fabric-state backend (the plug-in seam).
@@ -123,13 +135,17 @@ def register_backend(
     valid ``backend=`` arguments everywhere (batch engine, CLI); they
     are never chosen by ``auto``.  ``missing`` is the availability
     probe (None = usable, else the reason shown by ``wdm-repro
-    kernels``); ``word_gated`` opts into the int64
-    ``m, r, k <= `` :data:`NUMPY_WORD_BITS` gate.
+    kernels``); ``max_plane_width`` caps the plane width (int64 words
+    per mask) the backend handles, None meaning unlimited.
+    ``word_gated=True`` is the legacy spelling of
+    ``max_plane_width=1`` (single-word masks only).
     """
     if name in ("auto",) + BACKENDS:
         raise ValueError(f"backend name {name!r} is reserved")
+    if word_gated and max_plane_width is None:
+        max_plane_width = 1
     _SPECS[name] = BackendSpec(
-        factory=factory, missing=missing, word_gated=word_gated
+        factory=factory, missing=missing, max_plane_width=max_plane_width
     )
 
 
@@ -138,37 +154,44 @@ def available_backends() -> tuple[str, ...]:
     return tuple(name for name, spec in _SPECS.items() if spec.available())
 
 
-def backend_status() -> dict[str, str]:
-    """Per-backend one-line availability/gate status (CLI display).
+def _width_label(spec: BackendSpec) -> str:
+    if spec.max_plane_width is None:
+        return "any"
+    unit = "word" if spec.max_plane_width == 1 else "words"
+    return f"{spec.max_plane_width} {unit}"
 
-    ``"available"``, ``"available (gated: m, r, k <= 62)"`` or
-    ``"unavailable (<reason>)"`` for every registered backend.
+
+def backend_status() -> dict[str, str]:
+    """Per-backend one-line availability/capability status (CLI display).
+
+    ``"available (plane width: any)"``, ``"available (max plane
+    width: N words)"`` or ``"unavailable (<reason>)"`` for every
+    registered backend.
     """
     status: dict[str, str] = {}
     for name, spec in _SPECS.items():
         reason = spec.missing()
         if reason is not None:
             status[name] = f"unavailable ({reason})"
-        elif spec.word_gated:
-            status[name] = (
-                f"available (gated: m, r, k <= {NUMPY_WORD_BITS})"
-            )
+        elif spec.max_plane_width is None:
+            status[name] = "available (plane width: any)"
         else:
-            status[name] = "available"
+            status[name] = (
+                f"available (max plane width: {_width_label(spec)})"
+            )
     return status
 
 
-def word_gate_error(backend: str, m_max: int, r: int, k: int) -> str:
-    """The uniform error message for a failed int64 word gate."""
+def plane_width_error(
+    backend: str, m_max: int, r: int, k: int, max_width: int
+) -> str:
+    """The uniform error message for a plane too wide for a backend."""
+    width = plane_width(m_max, r, k)
     return (
-        f"batch backend {backend!r} packs masks into int64 words and "
-        f"needs m, r, k <= {NUMPY_WORD_BITS}; got m={m_max}, r={r}, k={k}"
+        f"batch backend {backend!r} handles at most {max_width} int64 "
+        f"word(s) per mask but m={m_max}, r={r}, k={k} needs "
+        f"{width}-word planes ({NUMPY_WORD_BITS} bits per word)"
     )
-
-
-def numpy_gate_error(m_max: int, r: int, k: int) -> str:
-    """The numpy backend's word-gate message (compat wrapper)."""
-    return word_gate_error("numpy", m_max, r, k)
 
 
 def resolve_backend(backend: str = "auto", *, m_max: int, r: int, k: int) -> str:
@@ -176,34 +199,43 @@ def resolve_backend(backend: str = "auto", *, m_max: int, r: int, k: int) -> str
 
     ``auto`` honours the ``WDM_REPRO_BATCH_BACKEND`` environment
     variable, then prefers ``numba`` -- the fused whole-stream kernel
-    -- whenever it is importable and the configuration fits the
-    :data:`NUMPY_WORD_BITS` word gate, falling back to ``python``
-    (the int-bitplane replay, which beats the per-event numpy int64
-    backend on CPython; see EXPERIMENTS.md P4/P6).  Asking for a
-    backend explicitly -- directly or through the environment override
-    -- raises if its requirements are missing or the configuration does
-    not fit its word gate.
+    -- whenever it is importable (at any plane width, since the word
+    gate was lifted), falling back to ``python`` (the int-bitplane
+    replay, which beats the per-event numpy int64 backend on CPython;
+    see EXPERIMENTS.md P4/P6).  Asking for a backend explicitly --
+    directly or through the environment override -- raises if its
+    requirements are missing or the geometry's plane width exceeds the
+    backend's ``max_plane_width`` capability.
     """
     if backend == "auto":
         backend = os.environ.get(BACKEND_ENV, "").strip().lower() or "auto"
     if backend == "auto":
-        numba_spec = _SPECS["numba"]
-        if numba_spec.available() and max(m_max, r, k) <= NUMPY_WORD_BITS:
+        if _SPECS["numba"].available():
             return "numba"
         return "python"
     spec = _SPECS.get(backend)
     if spec is None:
         choices = ("auto",) + available_backends()
+        widths = ", ".join(
+            f"{name}={_width_label(sp)}"
+            for name, sp in _SPECS.items()
+            if sp.available()
+        )
         raise ValueError(
-            f"unknown batch backend {backend!r}; choose from {choices}"
+            f"unknown batch backend {backend!r}; choose from {choices} "
+            f"(max plane widths: {widths})"
         )
     reason = spec.missing()
     if reason is not None:
         raise ValueError(
             f"batch backend {backend!r} requested but {reason}"
         )
-    if spec.word_gated and max(m_max, r, k) > NUMPY_WORD_BITS:
-        raise ValueError(word_gate_error(backend, m_max, r, k))
+    width = plane_width(m_max, r, k)
+    if not spec.supports_width(width):
+        assert spec.max_plane_width is not None
+        raise ValueError(
+            plane_width_error(backend, m_max, r, k, spec.max_plane_width)
+        )
     return backend
 
 

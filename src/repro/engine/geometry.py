@@ -16,6 +16,7 @@ from dataclasses import dataclass, replace
 
 from repro.core.models import Construction, MulticastModel
 from repro.core.multistage import valid_x_range
+from repro.engine.planes import PlaneLayout
 
 __all__ = ["FabricGeometry"]
 
@@ -71,6 +72,11 @@ class FabricGeometry:
     def k_full(self) -> int:
         """Bitmask of a fully busy fiber (all ``k`` wavelengths set)."""
         return (1 << self.k) - 1
+
+    @property
+    def plane_layout(self) -> PlaneLayout:
+        """Words-per-mask descriptor for this fabric's three mask families."""
+        return PlaneLayout.for_fabric(self.m, self.r, self.k)
 
     def with_m(self, m: int) -> "FabricGeometry":
         """The same fabric resized to ``m`` middle switches."""

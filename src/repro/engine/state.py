@@ -20,8 +20,10 @@ Two backends implement it bit-identically:
   networks;
 * :class:`NumpyState` -- the same masks packed into ``int64``
   structure-of-arrays (one row per replication), which vectorizes the
-  per-event view extraction across the batch; gated to
-  ``m, r, k <= 62`` so every mask fits one signed word.
+  per-event view extraction across the batch; mask families wider than
+  one signed word get a trailing word axis per the fabric's
+  :class:`~repro.engine.planes.PlaneLayout` (``W == 1`` keeps the
+  historical single-word layout bit for bit).
 
 The storage layouts are chosen so :meth:`~FabricState.setup_views` is
 (near) allocation-free: the python backend keeps the batch axis
@@ -38,6 +40,13 @@ from collections.abc import Iterable, Mapping, Sequence
 from typing import Any, Protocol
 
 from repro.engine.geometry import FabricGeometry
+from repro.engine.planes import (
+    WORD_BITS,
+    WORD_MASK,
+    PlaneLayout,
+    combine_words,
+    join_words,
+)
 
 try:  # NumPy is optional everywhere in this repo.
     import numpy as _np
@@ -61,6 +70,7 @@ class FabricState(Protocol):
     msw_dominant: bool
     all_masks: list[int]
     failed_mask: int
+    plane_layout: PlaneLayout
 
     def setup_views(
         self, g: int, sw: int
@@ -99,6 +109,34 @@ def _check_family(geometries: tuple[FabricGeometry, ...]) -> None:
             )
 
 
+def _set_bit(row: Any, bit: int) -> None:
+    """Set one bit in a little-endian word row (1-D int64 view)."""
+    row[bit // WORD_BITS] |= 1 << (bit % WORD_BITS)
+
+
+def _clear_bit(row: Any, bit: int) -> None:
+    """Clear one bit in a little-endian word row (1-D int64 view)."""
+    row[bit // WORD_BITS] &= ~(1 << (bit % WORD_BITS))
+
+
+def _or_mask(row: Any, mask: int) -> None:
+    """OR a (possibly wide) Python-int mask into a word row."""
+    wi = 0
+    while mask:
+        row[wi] |= mask & WORD_MASK
+        mask >>= WORD_BITS
+        wi += 1
+
+
+def _andnot_mask(row: Any, mask: int) -> None:
+    """Clear a (possibly wide) Python-int mask's bits in a word row."""
+    wi = 0
+    while mask:
+        row[wi] &= ~(mask & WORD_MASK)
+        mask >>= WORD_BITS
+        wi += 1
+
+
 class PythonState:
     """Int-bitplane fabric state (the dependency-free backend).
 
@@ -130,6 +168,9 @@ class PythonState:
         self.msw_dominant = head.msw_dominant
         self.all_masks = [geo.all_middles_mask for geo in geos]
         self.failed_mask = 0
+        self.plane_layout = PlaneLayout.for_fabric(
+            max(geo.m for geo in geos), head.r, head.k
+        )
         self._model_msw = head.model_msw
         self._k_full = head.k_full
         r, k, batch = head.r, head.k, self.batch
@@ -232,8 +273,12 @@ class NumpyState:
     the batch dimension is the leading axis of every array, so the
     per-event views for *all* replications come out of one vectorized
     slice + ``.tolist()`` (the cover search itself then runs per
-    replication on plain ints).  Gated by the backend registry to
-    ``m, r, k <= 62`` so every mask fits one signed word.
+    replication on plain ints).  When any of ``m, r, k`` exceeds one
+    signed word (:data:`~repro.engine.planes.WORD_BITS` bits), the
+    affected planes carry a trailing little-endian word axis
+    (``[..., W]``) and the views combine words back into Python ints in
+    one vectorized pass per word; the ``W == 1`` layout is unchanged
+    from the single-word backend, bit for bit and byte for byte.
     """
 
     def __init__(self, geometries: Iterable[FabricGeometry]):
@@ -252,14 +297,28 @@ class NumpyState:
         self._k_full = head.k_full
         r, k, batch = head.r, head.k, self.batch
         m_max = max(geo.m for geo in geos)
-        self._out_busy = _np.zeros((batch, m_max, k), dtype=_np.int64)
+        layout = PlaneLayout.for_fabric(m_max, r, k)
+        self.plane_layout = layout
+        self._multiword = layout.multiword
+        if not self._multiword:
+            self._out_busy = _np.zeros((batch, m_max, k), dtype=_np.int64)
+            if self.msw_dominant:
+                self._in_busy = _np.zeros((batch, r, k), dtype=_np.int64)
+            else:
+                self._in_wave = _np.zeros((batch, r, m_max), dtype=_np.int64)
+                self._in_full = _np.zeros((batch, r), dtype=_np.int64)
+                self._out_wave = _np.zeros((batch, m_max, r), dtype=_np.int64)
+                self._out_full = _np.zeros((batch, m_max), dtype=_np.int64)
+            return
+        wm, wr, wk = layout.m_words, layout.r_words, layout.k_words
+        self._out_busy = _np.zeros((batch, m_max, k, wr), dtype=_np.int64)
         if self.msw_dominant:
-            self._in_busy = _np.zeros((batch, r, k), dtype=_np.int64)
+            self._in_busy = _np.zeros((batch, r, k, wm), dtype=_np.int64)
         else:
-            self._in_wave = _np.zeros((batch, r, m_max), dtype=_np.int64)
-            self._in_full = _np.zeros((batch, r), dtype=_np.int64)
-            self._out_wave = _np.zeros((batch, m_max, r), dtype=_np.int64)
-            self._out_full = _np.zeros((batch, m_max), dtype=_np.int64)
+            self._in_wave = _np.zeros((batch, r, m_max, wk), dtype=_np.int64)
+            self._in_full = _np.zeros((batch, r, wm), dtype=_np.int64)
+            self._out_wave = _np.zeros((batch, m_max, r, wk), dtype=_np.int64)
+            self._out_full = _np.zeros((batch, m_max, wr), dtype=_np.int64)
 
     def setup_views(
         self, g: int, sw: int
@@ -272,11 +331,17 @@ class NumpyState:
             blockers = (
                 self._out_busy[:, :, sw] if self._model_msw else self._out_full
             )
+        if self._multiword:
+            return combine_words(blocked).tolist(), combine_words(
+                blockers
+            ).tolist()
         return blocked.tolist(), blockers.tolist()
 
     def allocate(
         self, b: int, g: int, sw: int, cover: Mapping[int, int]
     ) -> Branches:
+        if self._multiword:
+            return self._allocate_mw(b, g, sw, cover)
         branches: list[tuple[Any, ...]] = []
         if self.msw_dominant:
             busy = int(self._in_busy[b, g, sw])
@@ -318,6 +383,8 @@ class NumpyState:
         return tuple(branches)
 
     def free(self, b: int, g: int, sw: int, branches: Branches) -> None:
+        if self._multiword:
+            return self._free_mw(b, g, sw, branches)
         if self.msw_dominant:
             busy = int(self._in_busy[b, g, sw])
             for j, assigned in branches:
@@ -337,3 +404,69 @@ class NumpyState:
                     self._out_full[b, j] &= ~(1 << p)
                 self._out_wave[b, j, p] = fiber & ~(1 << out_w)
                 self._out_busy[b, j, out_w] &= ~(1 << p)
+
+    # -- multi-word (W > 1) paths; same decisions as above, word rows
+    #    addressed through the plane-layout packing ------------------------
+
+    def _allocate_mw(
+        self, b: int, g: int, sw: int, cover: Mapping[int, int]
+    ) -> Branches:
+        branches: list[tuple[Any, ...]] = []
+        if self.msw_dominant:
+            busy_row = self._in_busy[b, g, sw]
+            for j in sorted(cover):
+                _set_bit(busy_row, j)
+                _or_mask(self._out_busy[b, j, sw], cover[j])
+                branches.append((j, cover[j]))
+            return tuple(branches)
+        k_full = self._k_full
+        for j in sorted(cover):
+            wave_row = self._in_wave[b, g, j]
+            waves = join_words(wave_row)
+            free = k_full & ~waves
+            in_w = (free & -free).bit_length() - 1
+            waves |= 1 << in_w
+            _set_bit(wave_row, in_w)
+            if waves == k_full:
+                _set_bit(self._in_full[b, g], j)
+            deliveries = []
+            assigned = cover[j]
+            while assigned:
+                low = assigned & -assigned
+                assigned ^= low
+                p = low.bit_length() - 1
+                fiber_row = self._out_wave[b, j, p]
+                fiber = join_words(fiber_row)
+                if self._model_msw:
+                    out_w = sw
+                else:
+                    free_out = k_full & ~fiber
+                    out_w = (free_out & -free_out).bit_length() - 1
+                fiber |= 1 << out_w
+                _set_bit(fiber_row, out_w)
+                if fiber == k_full:
+                    _set_bit(self._out_full[b, j], p)
+                _set_bit(self._out_busy[b, j, out_w], p)
+                deliveries.append((p, out_w))
+            branches.append((j, in_w, tuple(deliveries)))
+        return tuple(branches)
+
+    def _free_mw(self, b: int, g: int, sw: int, branches: Branches) -> None:
+        if self.msw_dominant:
+            busy_row = self._in_busy[b, g, sw]
+            for j, assigned in branches:
+                _clear_bit(busy_row, j)
+                _andnot_mask(self._out_busy[b, j, sw], assigned)
+            return
+        k_full = self._k_full
+        for j, in_w, deliveries in branches:
+            wave_row = self._in_wave[b, g, j]
+            if join_words(wave_row) == k_full:
+                _clear_bit(self._in_full[b, g], j)
+            _clear_bit(wave_row, in_w)
+            for p, out_w in deliveries:
+                fiber_row = self._out_wave[b, j, p]
+                if join_words(fiber_row) == k_full:
+                    _clear_bit(self._out_full[b, j], p)
+                _clear_bit(fiber_row, out_w)
+                _clear_bit(self._out_busy[b, j, out_w], p)

@@ -32,14 +32,16 @@ blocked)`` and causes against the bitmask kernel.
 
 The state backends (``python`` int bitplanes, optional ``numpy`` int64
 structure-of-arrays, and the fused ``numba`` backend -- the numpy-based
-pair gated at ``m, r, k <=``
-:data:`~repro.engine.backends.NUMPY_WORD_BITS`) live in
+pair packing masks wider than
+:data:`~repro.engine.backends.NUMPY_WORD_BITS` bits into multi-word
+planes per :class:`~repro.engine.planes.PlaneLayout`) live in
 :mod:`repro.engine.state` / :mod:`repro.engine.fused` behind the
 :mod:`repro.engine.backends` registry; ``auto`` prefers ``numba`` when
-importable and in-gate, else ``python``, and
+importable (at any plane width), else ``python``, and
 ``WDM_REPRO_BATCH_BACKEND`` overrides.  For the fused backend the
 per-event loop is bypassed entirely: :func:`lower_stream` flattens the
-compiled stream to int64 arrays and
+compiled stream to int64 arrays (dest masks become ``[events, W]``
+word columns when the module family is wider than one word) and
 :meth:`~repro.engine.fused.FusedState.replay_ops` executes the whole
 replay in one ``@njit`` kernel -- same decisions, bit-identical counts
 and causes.
@@ -67,6 +69,8 @@ from repro.engine.backends import (
 from repro.engine.fused import FusedReplay
 from repro.engine.geometry import FabricGeometry
 from repro.engine.kernel import block_cause, classify_kind, probe_cover
+from repro.engine.planes import WORD_BITS as _WORD_BITS
+from repro.engine.planes import WORD_MASK as _WORD_MASK
 from repro.engine.state import FabricState
 from repro.switching.generators import dynamic_traffic, stream_rng
 
@@ -169,6 +173,9 @@ class LoweredStream:
     ``slot``, the dense connection index (one slot per connection id,
     shared by its setup and teardown ops) that lets the fused kernel
     store live branches in fixed-shape arrays instead of dicts.
+    ``dest`` is 1-D int64 in the historical single-word layout
+    (``r_words == 1``) and ``[events, r_words]`` little-endian word
+    columns when the output-module family is wider than one word.
     Satisfies :class:`repro.engine.fused.LoweredOps`.
     """
 
@@ -179,12 +186,20 @@ class LoweredStream:
     dest: object
     n_slots: int
     n_setups: int
+    r_words: int = 1
 
 
 def lower_stream(
     ops: list[tuple[int, int, int, int, int]],
+    r_words: int = 1,
 ) -> LoweredStream:
-    """Lower :func:`compile_stream` ops to the fused kernel's arrays."""
+    """Lower :func:`compile_stream` ops to the fused kernel's arrays.
+
+    ``r_words`` is the output-module mask family's plane width
+    (:attr:`~repro.engine.planes.PlaneLayout.r_words`): 1 keeps the
+    historical 1-D ``dest`` column, wider splits each dest mask into
+    ``[events, r_words]`` little-endian int64 words.
+    """
     if _np is None:  # pragma: no cover - fused backend gates first
         raise ValueError("lower_stream requires numpy")
     n = len(ops)
@@ -192,7 +207,10 @@ def lower_stream(
     slot = _np.zeros(n, dtype=_np.int64)
     g = _np.zeros(n, dtype=_np.int64)
     sw = _np.zeros(n, dtype=_np.int64)
-    dest = _np.zeros(n, dtype=_np.int64)
+    if r_words == 1:
+        dest = _np.zeros(n, dtype=_np.int64)
+    else:
+        dest = _np.zeros((n, r_words), dtype=_np.int64)
     slots: dict[int, int] = {}
     n_setups = 0
     for i, (op_tag, cid, op_g, op_sw, op_dest) in enumerate(ops):
@@ -206,10 +224,14 @@ def lower_stream(
         slot[i] = cid_slot
         g[i] = op_g
         sw[i] = op_sw
-        dest[i] = op_dest
+        if r_words == 1:
+            dest[i] = op_dest
+        else:
+            for wi in range(r_words):
+                dest[i, wi] = (op_dest >> (_WORD_BITS * wi)) & _WORD_MASK
     return LoweredStream(
         tag=tag, slot=slot, g=g, sw=sw, dest=dest,
-        n_slots=len(slots), n_setups=n_setups,
+        n_slots=len(slots), n_setups=n_setups, r_words=r_words,
     )
 
 
@@ -295,8 +317,11 @@ def _replay(
     """
     fused_entry = getattr(state, "replay_ops", None)
     if fused_entry is not None:
+        r_words = getattr(state, "plane_layout", None)
         replay: FusedReplay = fused_entry(
-            lower_stream(ops), want_kinds, want_causes
+            lower_stream(ops, r_words.r_words if r_words else 1),
+            want_kinds,
+            want_causes,
         )
         replications = []
         for b in range(state.batch):

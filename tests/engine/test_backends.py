@@ -1,4 +1,4 @@
-"""Backend registry: the numpy word gate, overrides, and the plug-in seam."""
+"""Backend registry: plane-width capabilities, overrides, the plug-in seam."""
 
 from __future__ import annotations
 
@@ -12,10 +12,10 @@ from repro.engine.backends import (
     available_backends,
     backend_status,
     make_state,
-    numpy_gate_error,
+    plane_width,
+    plane_width_error,
     register_backend,
     resolve_backend,
-    word_gate_error,
 )
 from repro.engine.fused import FUSED_ENV, FusedState
 from repro.engine.geometry import FabricGeometry
@@ -34,36 +34,53 @@ def geometries(m_values=(2, 3), k=1):
     )
 
 
-class TestGate:
+class TestPlaneWidth:
     def test_named_constant(self):
         assert NUMPY_WORD_BITS == 62
 
+    def test_plane_width_of_a_geometry(self):
+        assert plane_width(4, 2, 1) == 1
+        assert plane_width(NUMPY_WORD_BITS, 2, 1) == 1
+        assert plane_width(NUMPY_WORD_BITS + 1, 2, 1) == 2
+        assert plane_width(4, 200, 1) == 4
+
     def test_uniform_error_message(self):
-        message = numpy_gate_error(70, 2, 1)
-        assert f"m, r, k <= {NUMPY_WORD_BITS}" in message
+        message = plane_width_error("numpy", 70, 2, 1, 1)
+        assert "at most 1 int64 word(s)" in message
         assert "m=70, r=2, k=1" in message
+        assert "2-word planes" in message
 
-    def test_resolve_rejects_oversized_numpy(self):
+    def test_builtin_backends_accept_wide_planes(self):
         pytest.importorskip("numpy")
-        with pytest.raises(ValueError) as err:
-            resolve_backend("numpy", m_max=NUMPY_WORD_BITS + 1, r=2, k=1)
-        assert str(err.value) == numpy_gate_error(NUMPY_WORD_BITS + 1, 2, 1)
+        wide = NUMPY_WORD_BITS + 1
+        assert resolve_backend("numpy", m_max=wide, r=2, k=1) == "numpy"
+        assert resolve_backend("numpy", m_max=4, r=wide, k=wide) == "numpy"
 
-    def test_env_override_is_gated_too(self, monkeypatch):
+    def test_env_override_accepts_wide_planes(self, monkeypatch):
         pytest.importorskip("numpy")
         monkeypatch.setenv(BACKEND_ENV, "numpy")
-        with pytest.raises(ValueError) as err:
-            resolve_backend("auto", m_max=NUMPY_WORD_BITS + 1, r=2, k=1)
-        assert str(err.value) == numpy_gate_error(NUMPY_WORD_BITS + 1, 2, 1)
+        wide = NUMPY_WORD_BITS + 1
+        assert resolve_backend("auto", m_max=wide, r=2, k=1) == "numpy"
 
-    def test_numba_shares_the_word_gate(self, monkeypatch):
+    def test_numba_accepts_wide_planes(self, monkeypatch):
         pytest.importorskip("numpy")
         monkeypatch.setenv(FUSED_ENV, "1")
-        with pytest.raises(ValueError) as err:
-            resolve_backend("numba", m_max=NUMPY_WORD_BITS + 1, r=2, k=1)
-        assert str(err.value) == word_gate_error(
-            "numba", NUMPY_WORD_BITS + 1, 2, 1
-        )
+        wide = NUMPY_WORD_BITS + 1
+        assert resolve_backend("numba", m_max=wide, r=2, k=1) == "numba"
+
+    def test_width_capped_backend_rejected_when_too_wide(self):
+        from repro.engine import backends as mod
+
+        name = "test-narrow"
+        register_backend(name, PythonState, max_plane_width=1)
+        try:
+            wide = NUMPY_WORD_BITS + 1
+            with pytest.raises(ValueError) as err:
+                resolve_backend(name, m_max=wide, r=2, k=1)
+            assert str(err.value) == plane_width_error(name, wide, 2, 1, 1)
+            assert resolve_backend(name, m_max=4, r=2, k=1) == name
+        finally:
+            del mod._SPECS[name]
 
 
 class TestResolution:
@@ -80,13 +97,13 @@ class TestResolution:
         monkeypatch.setenv(FUSED_ENV, "1")
         assert resolve_backend("auto", m_max=4, r=2, k=1) == "numba"
 
-    def test_auto_falls_back_to_python_outside_the_gate(self, monkeypatch):
+    def test_auto_keeps_numba_on_wide_planes(self, monkeypatch):
         pytest.importorskip("numpy")
         monkeypatch.delenv(BACKEND_ENV, raising=False)
         monkeypatch.setenv(FUSED_ENV, "1")
         assert (
             resolve_backend("auto", m_max=NUMPY_WORD_BITS + 1, r=2, k=1)
-            == "python"
+            == "numba"
         )
 
     def test_env_override_honored(self, monkeypatch):
@@ -121,6 +138,21 @@ class TestResolution:
         assert "('auto', 'python')" in str(err.value)
         assert "numpy" not in str(err.value)
 
+    def test_unknown_error_lists_per_backend_max_widths(self):
+        from repro.engine import backends as mod
+
+        name = "test-capped"
+        register_backend(name, PythonState, max_plane_width=2)
+        try:
+            with pytest.raises(ValueError) as err:
+                resolve_backend("cuda", m_max=4, r=2, k=1)
+            message = str(err.value)
+            assert "max plane widths:" in message
+            assert "python=any" in message
+            assert f"{name}=2 words" in message
+        finally:
+            del mod._SPECS[name]
+
     def test_missing_backend_requested_explicitly(self, monkeypatch):
         from repro.engine import backends as mod
 
@@ -145,14 +177,24 @@ class TestStatus:
     def test_status_covers_all_builtins(self):
         status = backend_status()
         assert set(BACKENDS) <= set(status)
-        assert status["python"] == "available"
+        assert status["python"] == "available (plane width: any)"
 
-    def test_word_gated_backends_report_the_gate(self):
+    def test_builtin_backends_report_unlimited_width(self):
         pytest.importorskip("numpy")
         status = backend_status()
-        assert status["numpy"] == (
-            f"available (gated: m, r, k <= {NUMPY_WORD_BITS})"
-        )
+        assert status["numpy"] == "available (plane width: any)"
+
+    def test_width_capped_backend_reports_its_cap(self):
+        from repro.engine import backends as mod
+
+        name = "test-single-word"
+        register_backend(name, PythonState, max_plane_width=1)
+        try:
+            assert backend_status()[name] == (
+                "available (max plane width: 1 word)"
+            )
+        finally:
+            del mod._SPECS[name]
 
     def test_unavailable_backend_reports_reason(self, monkeypatch):
         from repro.engine import backends as mod
@@ -179,6 +221,14 @@ class TestMakeState:
         state = make_state(geometries(), backend="numpy")
         assert isinstance(state, NumpyState)
         assert state.batch == 2
+
+    def test_numpy_state_on_wide_planes(self):
+        pytest.importorskip("numpy")
+        state = make_state(
+            geometries(m_values=(NUMPY_WORD_BITS + 8,)), backend="numpy"
+        )
+        assert isinstance(state, NumpyState)
+        assert state.plane_layout.m_words == 2
 
     def test_empty_geometries_rejected(self):
         with pytest.raises(ValueError, match="at least one FabricGeometry"):
@@ -208,13 +258,23 @@ class TestRegistry:
         from repro.engine import backends as mod
 
         name = "test-cuda"
-        register_backend(
-            name, PythonState, missing=lambda: "no GPU", word_gated=True
-        )
+        register_backend(name, PythonState, missing=lambda: "no GPU")
         try:
             assert name not in available_backends()
             assert backend_status()[name] == "unavailable (no GPU)"
             with pytest.raises(ValueError, match="requested but no GPU"):
                 resolve_backend(name, m_max=4, r=2, k=1)
+        finally:
+            del mod._SPECS[name]
+
+    def test_legacy_word_gated_flag_maps_to_width_one(self):
+        from repro.engine import backends as mod
+
+        name = "test-legacy"
+        register_backend(name, PythonState, word_gated=True)
+        try:
+            assert mod._SPECS[name].max_plane_width == 1
+            with pytest.raises(ValueError, match="at most 1 int64"):
+                resolve_backend(name, m_max=NUMPY_WORD_BITS + 1, r=2, k=1)
         finally:
             del mod._SPECS[name]

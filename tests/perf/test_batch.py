@@ -242,8 +242,8 @@ class TestBackendResolution:
     def test_auto_prefers_numba_over_python(self):
         with fused_interpreted():
             assert resolve_backend("auto", m_max=8, r=4, k=2) == "numba"
-            # ... but only inside the int64 word gate.
-            assert resolve_backend("auto", m_max=100, r=4, k=2) == "python"
+            # ... at any plane width, now that the word gate is lifted.
+            assert resolve_backend("auto", m_max=100, r=4, k=2) == "numba"
 
     def test_env_python_beats_numba_preference(self, monkeypatch):
         monkeypatch.setenv(BACKEND_ENV, "python")
@@ -262,11 +262,10 @@ class TestBackendResolution:
             resolve_backend("fortran", m_max=8, r=4, k=2)
 
     @pytest.mark.skipif("numpy" not in BACKENDS, reason="numpy not installed")
-    def test_numpy_word_gate(self):
-        with pytest.raises(ValueError, match="int64"):
-            resolve_backend("numpy", m_max=100, r=4, k=2)
-        # auto quietly falls back instead of failing.
-        assert resolve_backend("auto", m_max=100, r=4, k=2) == "python"
+    def test_numpy_accepts_wide_planes(self):
+        # The int64 word gate is lifted: wide fabrics resolve to the
+        # multi-word numpy planes instead of erroring.
+        assert resolve_backend("numpy", m_max=100, r=4, k=2) == "numpy"
 
     @pytest.mark.skipif("numpy" in BACKENDS, reason="numpy is installed")
     def test_numpy_missing_rejected(self):

@@ -28,9 +28,11 @@ def report(quick=True, **speedups):
 
 GUARDED = dict(
     cover_kernel=3.0,
+    engine=2.5,
     routing_replay=1.5,
     end_to_end=1.2,
     fused=4.0,
+    wide=9.0,
     workloads=10.0,
     adaptive=2.5,
 )

@@ -202,7 +202,9 @@ class TestTraceCommand:
             assert kernel in out
         for backend in ("python", "numba", "numpy"):
             assert backend in out
-        assert f"m, r, k <= {NUMPY_WORD_BITS}" in out
+        assert (
+            f"plane width: W = ceil(max(m, r, k) / {NUMPY_WORD_BITS})" in out
+        )
         assert "active routing kernel: bitmask" in out
         assert f"{BACKEND_ENV}: (unset)" in out
         assert "backend status:" in out
@@ -224,28 +226,37 @@ class TestTraceCommand:
             mod.BackendSpec(
                 factory=mod._SPECS["numba"].factory,
                 missing=lambda: "numba is not installed",
-                word_gated=True,
             ),
         )
         out = run_cli(capsys, "kernels")
         assert "numba: unavailable (numba is not installed)" in out
 
-    def test_kernels_shows_installed_backend_gate(self, capsys, monkeypatch):
+    def test_kernels_shows_installed_backend_width(self, capsys, monkeypatch):
         from repro.engine import backends as mod
-        from repro.engine.backends import NUMPY_WORD_BITS
 
         monkeypatch.setitem(
             mod._SPECS, "numba",
             mod.BackendSpec(
                 factory=mod._SPECS["numba"].factory,
                 missing=lambda: None,
-                word_gated=True,
             ),
         )
         out = run_cli(capsys, "kernels")
-        assert (
-            f"numba: available (gated: m, r, k <= {NUMPY_WORD_BITS})" in out
+        assert "numba: available (plane width: any)" in out
+
+    def test_kernels_shows_width_capped_backend(self, capsys, monkeypatch):
+        from repro.engine import backends as mod
+
+        monkeypatch.setitem(
+            mod._SPECS, "test-cuda",
+            mod.BackendSpec(
+                factory=mod._SPECS["numpy"].factory,
+                missing=lambda: None,
+                max_plane_width=1,
+            ),
         )
+        out = run_cli(capsys, "kernels")
+        assert "test-cuda: available (max plane width: 1 word)" in out
 
 
 class TestParser:

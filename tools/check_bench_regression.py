@@ -41,11 +41,19 @@ from pathlib import Path
 #: ``fused`` section does this when numba is missing and its timing
 #: covers the interpreted stand-in kernel rather than the compiled one
 #: (identity is still asserted by ``bench_perf.py`` itself either way).
+#: Sections may also declare an absolute ``min_speedup`` floor enforced
+#: regardless of the baseline: ``engine`` floors at 1.0 (the
+#: probe_cover shortcut must never lose to the composition it
+#: short-circuits), ``wide`` at 3.0 (the multi-word numpy backend over
+#: the serial path wide fabrics were once gated onto) and ``adaptive``
+#: at 2.0 (the matched-precision event ratio).
 GUARDED_SECTIONS = (
     "cover_kernel",
+    "engine",
     "routing_replay",
     "end_to_end",
     "fused",
+    "wide",
     "workloads",
     "adaptive",
 )

@@ -52,14 +52,18 @@ state-level functions (`avail`, `coverable`, `admit`, `release`,
 `FabricState` has three interchangeable bitplane backends -- pure-Python
 ints, numpy int64 structure-of-arrays, and the fused `numba` backend
 (`repro.engine.fused`), which lowers the whole compiled stream to flat
-int64 arrays and replays it in one `@njit` kernel (the numpy-based
-backends are gated at `m, r, k <= NUMPY_WORD_BITS`). `resolve_backend`
-picks one (`auto` prefers `numba` when importable and in-gate, else
-`python`; `WDM_REPRO_BATCH_BACKEND` overrides) and `make_state`
-instantiates it. `register_backend(name, factory, missing=...,
-word_gated=...)` plugs in further backends -- registered names become
-valid `backend=` arguments everywhere without touching any consumer,
-and `backend_status` / `wdm-repro kernels` report live availability.
+int64 arrays and replays it in one `@njit` kernel. Masks pack into
+`W = ceil(bits / NUMPY_WORD_BITS)` signed int64 words per the fabric's
+`PlaneLayout` (`repro.engine.planes`), so every built-in backend
+accepts fabrics of any width; the `W == 1` layout is byte-identical to
+the historical single-word one. `resolve_backend` picks one (`auto`
+prefers `numba` when importable, else `python`;
+`WDM_REPRO_BATCH_BACKEND` overrides) and `make_state` instantiates it.
+`register_backend(name, factory, missing=..., max_plane_width=...)`
+plugs in further backends -- registered names become valid `backend=`
+arguments everywhere without touching any consumer, and
+`backend_status` / `wdm-repro kernels` report live availability plus
+each backend's plane-width capability.
 `WDM_REPRO_FUSED_PY=1` forces the fused kernel's interpreted mode (the
 identity-test vehicle on machines without numba). The package ships
 `py.typed` and is kept fully typed (`mypy src/repro/engine` in CI).
@@ -136,8 +140,8 @@ replay itself is one backend-parameterized event loop over the shared
 admission kernels of `repro.engine`; the fabric-state backends (the
 pure-Python int-bitplane backend, an optional numpy int64 backend, and
 the fused `numba` backend -- the `auto` choice when numba is
-importable -- the numpy-based pair gated at m, r, k <=
-`NUMPY_WORD_BITS`) live in `repro.engine.state` /
+importable -- the numpy-based pair carrying `[..., W]` word planes on
+fabrics wider than `NUMPY_WORD_BITS` bits) live in `repro.engine.state` /
 `repro.engine.fused` behind the `repro.engine.backends` registry and
 are bit-identical to the serial simulator per replication, blocking
 causes included. For the fused backend, `lower_stream` flattens the
