@@ -1006,6 +1006,128 @@ def bench_workloads(quick: bool, reps: int) -> dict:
     }
 
 
+def bench_topology(quick: bool, reps: int) -> dict:
+    """Every registered fabric model head-to-head on one shared stream.
+
+    The fabric seam's contract is the same lockstep one the workload
+    seam keeps: a fabric changes *which* setups are admitted, never the
+    traffic stream itself, so every registered fabric replays the same
+    compiled streams and must produce per-replication identical
+    ``(attempts, blocked, releases)`` on every available state backend
+    (python, numpy, and the fused kernel -- forced to interpreted mode
+    when numba is absent).  Two live oracles ride along: the crossbar
+    must record exactly zero blocked events (it is nonblocking by
+    construction), and no fabric may block *less* than the crossbar.
+    The payload is the paper-style blocking-vs-cost curve per fabric
+    (crosspoints from each spec's cost model), the reason the zoo
+    exists.  The section is identity-only: ``speedup`` is 1.0 by
+    construction and the regression guard watches ``identical``.
+    """
+    import os
+
+    from repro.engine.fabrics import fabric_names, get_fabric
+    from repro.engine.fused import FUSED_ENV, NUMBA_AVAILABLE
+    from repro.perf.batch import _simulate
+
+    n, r, k, x = 3, 3, 2, 1
+    m_values = list(range(1, 9)) if quick else list(range(1, 13))
+    seeds = (0, 1) if quick else (0, 1, 2, 3)
+    steps = 300 if quick else 1000
+    construction = Construction.MSW_DOMINANT
+    model = MulticastModel.MSW
+
+    backends = ["python"]
+    if "numpy" in available_backends():
+        backends += ["numpy", "numba"]
+    forced = "numba" in backends and not NUMBA_AVAILABLE
+    if forced:
+        os.environ[FUSED_ENV] = "1"
+    try:
+        diverged: list[dict] = []
+        fabric_rows = []
+        blocked_by_fabric: dict[str, list[int]] = {}
+        for fabric in fabric_names():
+            spec = get_fabric(fabric)
+            per_backend: dict[str, list] = {}
+            for backend in backends:
+                runs = []
+                for seed in seeds:
+                    attempts, replications = _simulate(
+                        n, r, k, construction, model, x, steps, None,
+                        seed, m_values, backend, False, False, None,
+                        fabric,
+                    )
+                    runs.append(
+                        (
+                            attempts,
+                            tuple(
+                                (rep.blocked, rep.releases)
+                                for rep in replications
+                            ),
+                        )
+                    )
+                per_backend[backend] = runs
+            reference = per_backend[backends[0]]
+            for backend in backends[1:]:
+                if per_backend[backend] != reference:
+                    diverged.append({"fabric": fabric, "backend": backend})
+            attempts_total = sum(run[0] for run in reference)
+            blocked_per_m = [
+                sum(run[1][mi][0] for run in reference)
+                for mi in range(len(m_values))
+            ]
+            blocked_by_fabric[fabric] = blocked_per_m
+            if spec.nonblocking and any(blocked_per_m):
+                diverged.append(
+                    {"fabric": fabric, "backend": "nonblocking-oracle"}
+                )
+            curve = [
+                {
+                    "m": m,
+                    "crosspoints": spec.cost(n, r, m, k, construction, model),
+                    "blocked": blocked_per_m[mi],
+                    "probability": (
+                        blocked_per_m[mi] / attempts_total
+                        if attempts_total
+                        else 0.0
+                    ),
+                }
+                for mi, m in enumerate(m_values)
+            ]
+            fabric_rows.append(
+                {
+                    "fabric": fabric,
+                    "nonblocking": spec.nonblocking,
+                    "attempts": attempts_total,
+                    "replications_checked": len(m_values) * len(seeds),
+                    "backends": backends,
+                    "curve": curve,
+                }
+            )
+        floor = blocked_by_fabric.get("crossbar")
+        if floor is not None:
+            for fabric, blocked_per_m in blocked_by_fabric.items():
+                if any(b < f for b, f in zip(blocked_per_m, floor)):
+                    diverged.append(
+                        {"fabric": fabric, "backend": "crossbar-floor"}
+                    )
+    finally:
+        if forced:
+            del os.environ[FUSED_ENV]
+
+    return {
+        "config": {
+            "n": n, "r": r, "k": k, "x": x, "m_values": m_values,
+            "steps": steps, "seeds": seeds,
+            "construction": construction.name, "model": model.name,
+        },
+        "fabrics": fabric_rows,
+        "diverged_cells": diverged,
+        "speedup": 1.0,
+        "identical": not diverged,
+    }
+
+
 def bench_adaptive(quick: bool, reps: int) -> dict:
     """The adaptive sequential-stopping sweep vs a fixed budget at equal CI.
 
@@ -1191,6 +1313,7 @@ def main(argv: list[str] | None = None) -> int:
         ("fused", lambda: bench_fused(args.quick, reps)),
         ("wide", lambda: bench_wide(args.quick, reps)),
         ("workloads", lambda: bench_workloads(args.quick, reps)),
+        ("topology", lambda: bench_topology(args.quick, reps)),
         ("exact_search", lambda: bench_exact_search(args.quick, reps)),
         ("cache", lambda: bench_cache(args.quick, reps)),
         ("adaptive", lambda: bench_adaptive(args.quick, reps)),

@@ -41,7 +41,13 @@ from statistics import NormalDist
 from typing import TYPE_CHECKING, Any
 
 from repro import obs as _obs
-from repro.core.models import Construction, MulticastModel
+from repro.core.models import (
+    Construction,
+    MulticastModel,
+    parse_construction,
+    parse_multicast_model,
+)
+from repro.engine.fabrics import get_fabric
 from repro.multistage.adversary import search_blocking_state
 from repro.multistage.network import ThreeStageNetwork
 from repro.multistage.routing import get_routing_kernel
@@ -130,6 +136,7 @@ def _traffic_key(
     seed: int,
     max_fanout: int | None,
     workload: "WorkloadConfig | None" = None,
+    fabric: str = "clos",
 ) -> str:
     params = dict(
         n=n, r=r, m=m, k=k, construction=construction, model=model,
@@ -142,6 +149,12 @@ def _traffic_key(
     token = None if workload is None else workload.token()
     if token is not None:
         params["workload"] = token
+    # The fabric token follows the same anchor rule: the Clos (token
+    # None) keeps every legacy address, any other fabric model gets its
+    # own -- Clos results can never be served for another topology.
+    fabric_token = get_fabric(fabric).token()
+    if fabric_token is not None:
+        params["fabric"] = fabric_token
     return cache.key("traffic_cell", params)
 
 
@@ -328,8 +341,8 @@ class BlockingEstimate:
         adaptive = data.get("adaptive")
         return cls(
             n=data["n"], r=data["r"], m=data["m"], k=data["k"],
-            construction=Construction[data["construction"]],
-            model=MulticastModel[data["model"]],
+            construction=parse_construction(data["construction"]),
+            model=parse_multicast_model(data["model"]),
             x=data["x"],
             attempts=data["attempts"],
             blocked=data["blocked"],
@@ -356,6 +369,7 @@ def _traffic_cell(
     debug_checks: bool | None = None,
     antithetic: bool = False,
     workload: "WorkloadConfig | None" = None,
+    fabric: str = "clos",
 ) -> tuple[int, int]:
     """One replication: ``(attempts, blocked)`` for one traffic seed.
 
@@ -372,7 +386,16 @@ def _traffic_cell(
     cache key (see :func:`_traffic_key`).  ``debug_checks`` re-verifies
     the network invariants after every event; it cannot change the
     result, so it is deliberately absent from the cell's cache key.
+    ``fabric`` selects the registered fabric model; the serial
+    ``ThreeStageNetwork`` below *is* the Clos admission program, so any
+    other fabric delegates to the batch engine (which replays the same
+    compiled stream through the same shared kernels, bit-identically).
     """
+    if fabric != "clos":
+        return simulate_batch(
+            n, r, k, construction, model, x, steps, max_fanout, seed,
+            (m,), "auto", antithetic, workload, fabric,
+        )[0][1]
     _obs.inc("mc.cells")
     rng = stream_rng(seed, antithetic)
     net = ThreeStageNetwork(
@@ -423,6 +446,7 @@ def _run_batched_cells(
     batch: int | None,
     backend: str = "auto",
     workload: "WorkloadConfig | None" = None,
+    fabric: str = "clos",
 ) -> dict[tuple[int, int], tuple[int, int]]:
     """All ``(m, seed)`` traffic cells through the lockstep batch engine.
 
@@ -450,7 +474,7 @@ def _run_batched_cells(
         if cache is not None:
             key = _traffic_key(
                 cache, n, r, m, k, construction, model, x, steps, seed,
-                max_fanout, workload,
+                max_fanout, workload, fabric,
             )
             keys[cell] = key
             hit, value = cache.lookup(key)
@@ -474,7 +498,7 @@ def _run_batched_cells(
                     args=(
                         n, r, k, construction, model, x, steps, max_fanout,
                         seed, tuple(ms[start : start + size]), backend,
-                        False, workload,
+                        False, workload, fabric,
                     ),
                 )
             )
@@ -507,6 +531,7 @@ def _blocking_probability_impl(
     batch: int | None = None,
     backend: str = "auto",
     workload: "WorkloadConfig | None" = None,
+    fabric: str = "clos",
 ) -> BlockingEstimate:
     """Estimate blocking probability under random dynamic traffic.
 
@@ -538,13 +563,17 @@ def _blocking_probability_impl(
         workload: a registered traffic model from
             :mod:`repro.workloads` (None = uniform, the historical
             behaviour); its identity joins every cell cache key.
+        fabric: the registered fabric model the traffic replays through
+            (:mod:`repro.engine.fabrics`; ``"clos"`` is the paper's
+            network and the bit-identical legacy path).  Its token
+            joins every non-Clos cell cache key.
     """
     with ParallelSweeper(jobs, executor=executor) as sweeper:
         if get_routing_kernel() == "batched":
             by_cell = _run_batched_cells(
                 sweeper, cache, [(m, seed) for seed in seeds],
                 n, r, k, construction, model, x, steps, max_fanout, batch,
-                backend, workload,
+                backend, workload, fabric,
             )
             values = [by_cell[(m, seed)] for seed in seeds]
         else:
@@ -555,14 +584,14 @@ def _blocking_probability_impl(
                         fn=_traffic_cell,
                         args=(
                             n, r, m, k, construction, model, x, steps, seed,
-                            max_fanout, debug_checks, False, workload,
+                            max_fanout, debug_checks, False, workload, fabric,
                         ),
                         cache_key=(
                             None
                             if cache is None
                             else _traffic_key(
                                 cache, n, r, m, k, construction, model, x,
-                                steps, seed, max_fanout, workload,
+                                steps, seed, max_fanout, workload, fabric,
                             )
                         ),
                     )
@@ -663,6 +692,7 @@ def _blocking_vs_m_impl(
     batch: int | None = None,
     backend: str = "auto",
     workload: "WorkloadConfig | None" = None,
+    fabric: str = "clos",
 ) -> list[BlockingEstimate]:
     """The blocking-probability-vs-``m`` curve (implied figure X3).
 
@@ -697,6 +727,12 @@ def _blocking_vs_m_impl(
             "(the adversary constructs its own worst-case states); got "
             f"workload {workload.workload!r}"
         )
+    if adversarial and get_fabric(fabric).token() is not None:
+        raise ValueError(
+            "adversarial probing is defined for the Clos fabric only "
+            "(the adversary constructs three-stage worst-case states); "
+            f"got fabric {fabric!r}"
+        )
     traffic_key = (
         None
         if legacy_adversary_seeds
@@ -708,7 +744,7 @@ def _blocking_vs_m_impl(
                 sweeper, cache,
                 [(m, seed) for m in m_values for seed in seeds],
                 n, r, k, construction, model, x, steps, max_fanout, batch,
-                backend, workload,
+                backend, workload, fabric,
             )
         else:
             cells = sweeper.run(
@@ -718,14 +754,14 @@ def _blocking_vs_m_impl(
                         fn=_traffic_cell,
                         args=(
                             n, r, m, k, construction, model, x, steps, seed,
-                            max_fanout, debug_checks, False, workload,
+                            max_fanout, debug_checks, False, workload, fabric,
                         ),
                         cache_key=(
                             None
                             if cache is None
                             else _traffic_key(
                                 cache, n, r, m, k, construction, model, x,
-                                steps, seed, max_fanout, workload,
+                                steps, seed, max_fanout, workload, fabric,
                             )
                         ),
                     )

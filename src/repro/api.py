@@ -58,6 +58,7 @@ from repro.analysis.montecarlo import (
     _blocking_vs_m_impl,
 )
 from repro.core.models import Construction, MulticastModel
+from repro.engine.fabrics import fabric_names, get_fabric
 from repro.multistage.exhaustive import ExactMinimal, _exact_minimal_m_impl
 from repro.multistage.routing import routing_kernel
 from repro.perf.adaptive import PrecisionConfig, adaptive_sweep
@@ -78,6 +79,7 @@ __all__ = [
     "BlockingEstimate",
     "ExactMinimal",
     "ExecConfig",
+    "FabricConfig",
     "HeavyTailFanoutConfig",
     "HotspotConfig",
     "PoissonErlangConfig",
@@ -89,6 +91,7 @@ __all__ = [
     "WorkloadConfig",
     "blocking",
     "exact_m",
+    "fabric_names",
     "make_workload",
     "sweep",
     "workload_from_dict",
@@ -140,6 +143,37 @@ def _as_workload(traffic: WorkloadConfig) -> WorkloadConfig:
             adversary_seeds=traffic.adversary_seeds,
         )
     return traffic
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Which registered fabric model to replay traffic through.
+
+    Attributes:
+        name: a :mod:`repro.engine.fabrics` registry name -- ``"clos"``
+            (the paper's three-stage network; the default and the
+            bit-identical legacy path), ``"crossbar"`` (the single-stage
+            nonblocking baseline), ``"awg_clos"`` (the AWG-routed Clos
+            variant), or any name added with
+            :func:`repro.engine.fabrics.register_fabric`.
+
+    :func:`blocking` and :func:`sweep` also accept a bare fabric-name
+    string; this config exists for symmetry with the other grouped
+    configs and for future per-fabric options.  Unknown names raise the
+    registry's uniform error at construction.
+    """
+
+    name: str = "clos"
+
+    def __post_init__(self) -> None:
+        get_fabric(self.name)
+
+
+def _as_fabric(fabric: "str | FabricConfig") -> str:
+    """Validate and normalize the ``fabric`` argument to a registry name."""
+    name = fabric.name if isinstance(fabric, FabricConfig) else fabric
+    get_fabric(name)
+    return name
 
 
 @dataclass(frozen=True)
@@ -235,6 +269,7 @@ def _adaptive(
     search: SearchConfig,
     *,
     default_steps: int,
+    fabric: str = "clos",
 ) -> list[BlockingEstimate]:
     """Route a precision-targeted run to the adaptive engine."""
     if traffic.adversarial:
@@ -264,6 +299,7 @@ def _adaptive(
             batch=execution.batch,
             backend=execution.backend,
             workload=traffic,
+            fabric=fabric,
         )
 
 
@@ -279,6 +315,7 @@ def blocking(
     traffic: WorkloadConfig = UniformConfig(),
     execution: ExecConfig = ExecConfig(),
     search: SearchConfig = SearchConfig(),
+    fabric: "str | FabricConfig" = "clos",
 ) -> BlockingEstimate:
     """Blocking probability of ``v(n, r, m, k)`` under dynamic traffic.
 
@@ -295,12 +332,17 @@ def blocking(
     budget is replaced by the adaptive sequential-stopping engine and
     the estimate carries its
     :class:`~repro.analysis.montecarlo.AdaptiveInfo` provenance.
+
+    ``fabric`` (a registry name or :class:`FabricConfig`) swaps the
+    Clos for another registered fabric model -- see
+    :mod:`repro.engine.fabrics`.
     """
     traffic = _as_workload(traffic)
+    fabric_name = _as_fabric(fabric)
     if execution.precision is not None:
         return _adaptive(
             n, r, k, [m], construction, model, x, traffic, execution,
-            search, default_steps=2000,
+            search, default_steps=2000, fabric=fabric_name,
         )[0]
     with search.applied():
         return _blocking_probability_impl(
@@ -318,6 +360,7 @@ def blocking(
             batch=execution.batch,
             backend=execution.backend,
             workload=traffic,
+            fabric=fabric_name,
         )
 
 
@@ -333,6 +376,7 @@ def sweep(
     traffic: WorkloadConfig = UniformConfig(),
     execution: ExecConfig = ExecConfig(),
     search: SearchConfig = SearchConfig(),
+    fabric: "str | FabricConfig" = "clos",
 ) -> list[BlockingEstimate]:
     """The blocking-probability-vs-``m`` curve (implied figure X3).
 
@@ -350,12 +394,17 @@ def sweep(
     its Wilson interval meets the precision target instead of running
     the fixed ``traffic.seeds`` budget (see
     :class:`ExecConfig.precision`).
+
+    ``fabric`` (a registry name or :class:`FabricConfig`) swaps the
+    Clos for another registered fabric model; adversarial probing is
+    Clos-only and rejected for any other fabric.
     """
     traffic = _as_workload(traffic)
+    fabric_name = _as_fabric(fabric)
     if execution.precision is not None:
         return _adaptive(
             n, r, k, list(m_values), construction, model, x, traffic,
-            execution, search, default_steps=1500,
+            execution, search, default_steps=1500, fabric=fabric_name,
         )
     with search.applied():
         return _blocking_vs_m_impl(
@@ -375,6 +424,7 @@ def sweep(
             batch=execution.batch,
             backend=execution.backend,
             workload=traffic,
+            fabric=fabric_name,
         )
 
 

@@ -16,6 +16,8 @@ Usage (installed as ``wdm-repro``, or ``python -m repro``)::
     wdm-repro workloads
     wdm-repro trace-gen --out burst.jsonl --workload heavytail_fanout \\
         --n 3 --r 3 --k 2 --steps 500
+    wdm-repro blocking --n 3 --r 3 --k 2 --m-max 10 --fabric awg_clos
+    wdm-repro fabrics
     wdm-repro fig10
     wdm-repro trace fig10 --trace-out -
     wdm-repro kernels
@@ -32,7 +34,12 @@ from repro import api, obs
 from repro.analysis.figures import bound_vs_x, capacity_growth, find_crossover
 from repro.analysis.rendering import render_table
 from repro.analysis.tables import render_table1, render_table2
-from repro.core.models import Construction, MulticastModel
+from repro.core.models import (
+    Construction,
+    MulticastModel,
+    parse_construction,
+    parse_multicast_model,
+)
 from repro.core.multistage import optimal_design
 from repro.multistage.adversary import fig10_scenario
 from repro.multistage.recursive import best_recursive_design
@@ -42,22 +49,27 @@ __all__ = ["main"]
 
 def _model(value: str) -> MulticastModel:
     try:
-        return MulticastModel(value.upper())
+        return parse_multicast_model(value)
     except ValueError as exc:
-        raise argparse.ArgumentTypeError(
-            f"unknown model {value!r}; choose from MSW, MSDW, MAW"
-        ) from exc
+        raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
 def _construction(value: str) -> Construction:
+    try:
+        return parse_construction(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _fabric(value: str) -> str:
+    from repro.engine.fabrics import get_fabric
+
     lowered = value.lower()
-    if lowered in ("msw", "msw-dominant"):
-        return Construction.MSW_DOMINANT
-    if lowered in ("maw", "maw-dominant"):
-        return Construction.MAW_DOMINANT
-    raise argparse.ArgumentTypeError(
-        f"unknown construction {value!r}; choose msw-dominant or maw-dominant"
-    )
+    try:
+        get_fabric(lowered)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    return lowered
 
 
 def _jobs(value: str) -> int | str:
@@ -174,6 +186,19 @@ def _add_cache_flags(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fabric_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--fabric",
+        type=_fabric,
+        default="clos",
+        metavar="NAME",
+        help="fabric model simulated: 'clos' (the paper's three-stage "
+        "network, default), 'crossbar' (single-stage nonblocking WDM "
+        "crossbar -- blocking is exactly zero), or 'awg_clos' "
+        "(AWG-constrained middle stage) -- see 'wdm-repro fabrics'",
+    )
+
+
 def _add_workload_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--workload",
@@ -260,6 +285,7 @@ def _cmd_blocking(args: argparse.Namespace) -> str:
             construction=args.construction,
             x=args.x,
             traffic=traffic,
+            fabric=args.fabric,
             execution=_exec_config(args),
             search=api.SearchConfig(kernel=args.kernel),
         )
@@ -267,13 +293,14 @@ def _cmd_blocking(args: argparse.Namespace) -> str:
         [e.m, e.attempts, e.blocked, f"{e.probability:.4f}", _ci_cell(e)]
         for e in estimates
     ]
+    fabric_note = "" if args.fabric == "clos" else f", {args.fabric} fabric"
     table = render_table(
         ["m", "attempts", "blocked", "P(block)", "CI95"],
         rows,
         title=(
             f"Blocking probability -- n={args.n}, r={args.r}, k={args.k}, "
             f"x={args.x}, {args.model.value}, {args.construction.value}, "
-            f"{traffic.workload} traffic"
+            f"{traffic.workload} traffic{fabric_note}"
         ),
     )
     footer = []
@@ -312,6 +339,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             construction=args.construction,
             x=args.x,
             traffic=traffic,
+            fabric=args.fabric,
             execution=_exec_config(args, precision),
             search=api.SearchConfig(kernel=args.kernel),
         )
@@ -336,6 +364,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         if args.ci_relative
         else f"{args.ci_halfwidth:g} absolute"
     )
+    fabric_note = "" if args.fabric == "clos" else f", {args.fabric} fabric"
     table = render_table(
         ["m", "attempts", "blocked", "P(block)", f"CI{percent[:-1]}", "rounds",
          "events", "converged"],
@@ -343,7 +372,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         title=(
             f"Adaptive blocking sweep -- n={args.n}, r={args.r}, k={args.k}, "
             f"x={args.x}, {args.model.value}, {args.construction.value}, "
-            f"{traffic.workload} traffic; "
+            f"{traffic.workload} traffic{fabric_note}; "
             f"target half-width {target} at {percent}"
         ),
     )
@@ -492,6 +521,51 @@ def _cmd_kernels(args: argparse.Namespace) -> str:
         f"words per mask (multi-word above {NUMPY_WORD_BITS}; e.g. "
         f"m=r=k=100 -> W="
         f"{PlaneLayout.for_fabric(100, 100, 100).width})",
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_fabrics(args: argparse.Namespace) -> str:
+    from repro.engine.backends import NUMPY_WORD_BITS, available_backends, backend_status
+    from repro.engine.fabrics import fabric_status, get_fabric
+    from repro.engine.planes import PlaneLayout
+
+    status = fabric_status()
+    backend_avail = set(available_backends())
+    backends = sorted(backend_status())
+    rows = []
+    for name in status:
+        spec = get_fabric(name)
+        cells = []
+        for backend in backends:
+            if spec.nonblocking:
+                # The nonblocking fast path counts setup ops without
+                # replaying state, so no backend is ever consulted.
+                cells.append("n/a (no replay)")
+            elif backend in backend_avail:
+                cells.append("yes")
+            else:
+                cells.append("not installed")
+        constructions = (
+            ", ".join(c.name for c in spec.constructions)
+            if spec.constructions
+            else "any"
+        )
+        rows.append([name, *cells, constructions])
+    table = render_table(
+        ["fabric", *backends, "constructions"],
+        rows,
+        title="Fabric models x batch state backends",
+    )
+    lines = [
+        table,
+        "fabric notes:",
+        *(f"  {name}: {status[name]}" for name in status),
+        f"plane width: W = ceil(max(m, r, k) / {NUMPY_WORD_BITS}) int64 "
+        f"words per mask, identical for every fabric (e.g. m=r=k=100 -> "
+        f"W={PlaneLayout.for_fabric(100, 100, 100).width})",
+        "select with --fabric NAME (blocking/sweep); 'clos' is the "
+        "paper's three-stage network and the default.",
     ]
     return "\n".join(lines)
 
@@ -699,6 +773,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", type=_model, default=MulticastModel.MSW)
     p.add_argument("--construction", type=_construction, default=Construction.MSW_DOMINANT)
     p.add_argument("--adversarial", action="store_true")
+    _add_fabric_flag(p)
     _add_workload_flags(p)
     p.add_argument(
         "--kernel",
@@ -752,6 +827,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=1500)
     p.add_argument("--model", type=_model, default=MulticastModel.MSW)
     p.add_argument("--construction", type=_construction, default=Construction.MSW_DOMINANT)
+    _add_fabric_flag(p)
     _add_workload_flags(p)
     p.add_argument(
         "--ci-halfwidth",
@@ -900,6 +976,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel x backend availability matrix (and active overrides)",
     )
     p.set_defaults(func=_cmd_kernels)
+
+    p = sub.add_parser(
+        "fabrics",
+        help="fabric model x backend availability matrix (topology zoo)",
+    )
+    p.set_defaults(func=_cmd_fabrics)
 
     p = sub.add_parser(
         "workloads",

@@ -26,7 +26,12 @@ from __future__ import annotations
 
 import enum
 
-__all__ = ["Construction", "MulticastModel"]
+__all__ = [
+    "Construction",
+    "MulticastModel",
+    "parse_construction",
+    "parse_multicast_model",
+]
 
 
 class MulticastModel(enum.Enum):
@@ -117,3 +122,54 @@ class Construction(enum.Enum):
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+
+def parse_multicast_model(value: MulticastModel | str) -> MulticastModel:
+    """Coerce a model spelled any reasonable way into the enum.
+
+    Accepts the enum itself, the member name / value (``"MSW"``), or any
+    case variant (``"msw"``).  Every entry point that reads a model from
+    the outside world -- CLI flags, JSON payloads, cached artifacts --
+    funnels through here so the accepted spellings and the error message
+    are stated once.
+
+    Raises:
+        ValueError: for unknown values, listing the valid names.
+    """
+    if isinstance(value, MulticastModel):
+        return value
+    if isinstance(value, str):
+        try:
+            return MulticastModel(value.upper())
+        except ValueError:
+            pass
+    valid = ", ".join(m.name for m in MulticastModel)
+    raise ValueError(f"unknown multicast model {value!r}; choose from: {valid}")
+
+
+def parse_construction(value: Construction | str) -> Construction:
+    """Coerce a construction spelled any reasonable way into the enum.
+
+    Accepts the enum itself, the member name (``"MSW_DOMINANT"``), the
+    value (``"MSW-dominant"``), the shorthand (``"msw"``), or any case
+    variant of those.  The single home of the coercion previously
+    duplicated across the CLI, the multistage serializer and the
+    Monte-Carlo cache loader.
+
+    Raises:
+        ValueError: for unknown values, listing the valid names.
+    """
+    if isinstance(value, Construction):
+        return value
+    if isinstance(value, str):
+        lowered = value.lower()
+        for member in Construction:
+            shorthand = member.value.split("-", 1)[0].lower()
+            if lowered in (
+                member.name.lower(),
+                member.value.lower(),
+                shorthand,
+            ):
+                return member
+    valid = ", ".join(c.name for c in Construction)
+    raise ValueError(f"unknown construction {value!r}; choose from: {valid}")

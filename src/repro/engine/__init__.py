@@ -31,6 +31,14 @@ from repro.engine.backends import (
     resolve_backend,
 )
 from repro.engine.cover import CoverSearch, find_cover_bits, iter_bits, mask_of
+from repro.engine.fabrics import (
+    CLOS,
+    FabricSpec,
+    fabric_names,
+    fabric_status,
+    get_fabric,
+    register_fabric,
+)
 from repro.engine.fused import (
     FUSED_ENV,
     FusedReplay,
@@ -41,6 +49,7 @@ from repro.engine.fused import (
 from repro.engine.geometry import FabricGeometry
 from repro.engine.planes import WORD_BITS, PlaneLayout
 from repro.engine.kernel import (
+    ALL_BLOCK_KINDS,
     BLOCK_KINDS,
     AdmissionRequest,
     EngineConnection,
@@ -58,9 +67,11 @@ from repro.engine.kernel import (
 from repro.engine.state import FabricState, NumpyState, PythonState
 
 __all__ = [
+    "ALL_BLOCK_KINDS",
     "BACKEND_ENV",
     "BACKENDS",
     "BLOCK_KINDS",
+    "CLOS",
     "FUSED_ENV",
     "NUMPY_WORD_BITS",
     "WORD_BITS",
@@ -69,6 +80,7 @@ __all__ = [
     "CoverSearch",
     "EngineConnection",
     "FabricGeometry",
+    "FabricSpec",
     "FabricState",
     "FusedReplay",
     "FusedState",
@@ -83,10 +95,13 @@ __all__ = [
     "classify_block",
     "classify_kind",
     "coverable",
+    "fabric_names",
+    "fabric_status",
     "find_cover_bits",
     "free_middles",
     "fused_available",
     "fused_mode",
+    "get_fabric",
     "iter_bits",
     "make_state",
     "mask_of",
@@ -95,6 +110,7 @@ __all__ = [
     "probe_cover",
     "reach_map",
     "register_backend",
+    "register_fabric",
     "release",
     "resolve_backend",
 ]

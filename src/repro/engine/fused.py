@@ -13,8 +13,8 @@ depth-first search with the bound pruning of
 updates and per-cause block classification -- inside one
 nopython-compilable kernel per ``(stream, batch)`` pair.  The kernel
 returns per-replication blocked counts, release counts and
-:data:`~repro.engine.kernel.BLOCK_KINDS` histograms (cause codes are
-indices into that tuple) with zero Python in the hot loop.
+:data:`~repro.engine.kernel.ALL_BLOCK_KINDS` histograms (cause codes
+are indices into that tuple) with zero Python in the hot loop.
 
 Three execution modes share the single kernel source:
 
@@ -50,7 +50,7 @@ import os
 from collections.abc import Callable
 from typing import Any, Protocol
 
-from repro.engine.kernel import BLOCK_KINDS, block_cause
+from repro.engine.kernel import ALL_BLOCK_KINDS, block_cause
 from repro.engine.planes import WORD_BITS, join_words, pack_masks, split_mask
 from repro.engine.state import NumpyState
 
@@ -321,6 +321,7 @@ def _replay_loop(  # noqa: PLR0912, PLR0915 - the fused hot loop
     x: int,
     k_full: int,
     m_max: int,
+    static_unreach: Any,
     in_busy: Any,
     out_busy: Any,
     in_wave: Any,
@@ -425,6 +426,10 @@ def _replay_loop(  # noqa: PLR0912, PLR0915 - the fused hot loop
                     if want_kinds:
                         if avail == 0:
                             kind = 0 if msw_dominant else 1
+                        elif dest & static_unreach[b, sw]:
+                            # awg_no_path: structural, checked before
+                            # full_middles (mirrors classify_kind).
+                            kind = 4
                         else:
                             union = 0
                             for c in range(ncov):
@@ -741,6 +746,7 @@ def _replay_loop_mw(  # noqa: PLR0912, PLR0915 - the fused hot loop, word form
     wm: int,
     wr: int,
     wk: int,
+    static_unreach: Any,
     in_busy: Any,
     out_busy: Any,
     in_wave: Any,
@@ -865,14 +871,23 @@ def _replay_loop_mw(  # noqa: PLR0912, PLR0915 - the fused hot loop, word form
                         if avail_zero:
                             kind = 0 if msw_dominant else 1
                         else:
-                            missing = False
+                            structural = False
                             for wi in range(wr):
-                                union = 0
-                                for c in range(ncov):
-                                    union |= cov_reach[c, wi]
-                                if dest_w[wi] & ~union:
-                                    missing = True
-                            kind = 2 if missing else 3
+                                if dest_w[wi] & static_unreach[b, sw, wi]:
+                                    structural = True
+                            if structural:
+                                # awg_no_path: structural, checked before
+                                # full_middles (mirrors classify_kind).
+                                kind = 4
+                            else:
+                                missing = False
+                                for wi in range(wr):
+                                    union = 0
+                                    for c in range(ncov):
+                                        union |= cov_reach[c, wi]
+                                    if dest_w[wi] & ~union:
+                                        missing = True
+                                kind = 2 if missing else 3
                         kind_counts[b, kind] += 1
                         if want_causes:
                             ci = n_causes[b]
@@ -1109,7 +1124,15 @@ class FusedState(NumpyState):
         dropped = _np.zeros((batch, n_slots), dtype=_np.bool_)
         blocked_ct = _np.zeros(batch, dtype=_np.int64)
         releases_ct = _np.zeros(batch, dtype=_np.int64)
-        kind_counts = _np.zeros((batch, len(BLOCK_KINDS)), dtype=_np.int64)
+        kind_counts = _np.zeros((batch, len(ALL_BLOCK_KINDS)), dtype=_np.int64)
+        # The fabric model's static per-wavelength unreachability, as a
+        # [batch, k] array the kernel can index (all zeros on the Clos).
+        static_unreach = _np.zeros((batch, k), dtype=_np.int64)
+        su = self.static_unreach_masks
+        if su is not None:
+            for b in range(batch):
+                for sw in range(k):
+                    static_unreach[b, sw] = su[b][sw]
         n_causes = _np.zeros(batch, dtype=_np.int64)
         if want_causes:
             cap = max(lowered.n_setups, 1)
@@ -1123,7 +1146,7 @@ class FusedState(NumpyState):
         attempts = _kernel()(
             lowered.tag, lowered.slot, lowered.g, lowered.sw, lowered.dest,
             all_masks, self.msw_dominant, self._model_msw, x,
-            self._k_full, m_max,
+            self._k_full, m_max, static_unreach,
             in_busy, self._out_busy, in_wave, in_full, out_wave, out_full,
             conn_n, br_j, br_mask, br_inw, br_outw, dropped,
             want_kinds, want_causes,
@@ -1135,8 +1158,8 @@ class FusedState(NumpyState):
         for b in range(batch):
             kind_dicts.append(
                 {
-                    BLOCK_KINDS[kidx]: int(kind_counts[b, kidx])
-                    for kidx in range(len(BLOCK_KINDS))
+                    ALL_BLOCK_KINDS[kidx]: int(kind_counts[b, kidx])
+                    for kidx in range(len(ALL_BLOCK_KINDS))
                     if kind_counts[b, kidx]
                 }
             )
@@ -1162,7 +1185,7 @@ class FusedState(NumpyState):
         """Replay a lowered stream on the word-looped multi-word kernel."""
         head = self.geometries[0]
         batch = self.batch
-        r, x = head.r, self.x
+        r, k, x = head.r, head.k, self.x
         m_max = max(geo.m for geo in self.geometries)
         layout = self.plane_layout
         wm, wr, wk = layout.m_words, layout.r_words, layout.k_words
@@ -1207,7 +1230,16 @@ class FusedState(NumpyState):
         dropped = _np.zeros((batch, n_slots), dtype=_np.bool_)
         blocked_ct = _np.zeros(batch, dtype=_np.int64)
         releases_ct = _np.zeros(batch, dtype=_np.int64)
-        kind_counts = _np.zeros((batch, len(BLOCK_KINDS)), dtype=_np.int64)
+        kind_counts = _np.zeros((batch, len(ALL_BLOCK_KINDS)), dtype=_np.int64)
+        # The fabric model's static per-wavelength unreachability, split
+        # into a [batch, k, wr] word array (all zeros on the Clos).
+        static_unreach = _np.zeros((batch, k, wr), dtype=_np.int64)
+        su = self.static_unreach_masks
+        if su is not None:
+            for b in range(batch):
+                for sw in range(k):
+                    for wi, word in enumerate(split_mask(su[b][sw], wr)):
+                        static_unreach[b, sw, wi] = word
         n_causes = _np.zeros(batch, dtype=_np.int64)
         if want_causes:
             cap = max(lowered.n_setups, 1)
@@ -1222,7 +1254,7 @@ class FusedState(NumpyState):
         attempts = _kernel_mw()(
             lowered.tag, lowered.slot, lowered.g, lowered.sw, dest,
             all_masks, self.msw_dominant, self._model_msw, x,
-            k_full, m_max, wm, wr, wk,
+            k_full, m_max, wm, wr, wk, static_unreach,
             in_busy, self._out_busy, in_wave, in_full, out_wave, out_full,
             conn_n, br_j, br_mask, br_inw, br_outw, dropped,
             want_kinds, want_causes,
@@ -1234,8 +1266,8 @@ class FusedState(NumpyState):
         for b in range(batch):
             kind_dicts.append(
                 {
-                    BLOCK_KINDS[kidx]: int(kind_counts[b, kidx])
-                    for kidx in range(len(BLOCK_KINDS))
+                    ALL_BLOCK_KINDS[kidx]: int(kind_counts[b, kidx])
+                    for kidx in range(len(ALL_BLOCK_KINDS))
                     if kind_counts[b, kidx]
                 }
             )
@@ -1267,9 +1299,12 @@ class FusedState(NumpyState):
         cause_reach: Any,
     ) -> list[dict[str, Any]]:
         """Rebuild ``block_cause`` dicts from multi-word evidence rows."""
+        fabric = self.geometries[b].fabric
+        su = self.static_unreach_masks
         out: list[dict[str, Any]] = []
         for ci in range(count):
             i = int(cause_op[b, ci])
+            sw = int(lowered.sw[i])
             avail = join_words(cause_avail[b, ci])
             cov: dict[int, int] = {}
             scan = avail
@@ -1284,13 +1319,15 @@ class FusedState(NumpyState):
                 block_cause(
                     x=self.x,
                     input_module=int(lowered.g[i]),
-                    source_wavelength=int(lowered.sw[i]),
+                    source_wavelength=sw,
                     blocked_mask=join_words(cause_blocked[b, ci]),
                     available=avail,
                     coverable=cov,
                     dest_mask=join_words(dest[i]),
                     msw_dominant=self.msw_dominant,
                     failed_mask=self.failed_mask,
+                    fabric=None if fabric == "clos" else fabric,
+                    static_unreachable=0 if su is None else su[b][sw],
                 )
             )
         return out
@@ -1312,9 +1349,12 @@ class FusedState(NumpyState):
         the dicts -- down to key order and per-destination lists -- are
         the same objects the python backend produces.
         """
+        fabric = self.geometries[b].fabric
+        su = self.static_unreach_masks
         out: list[dict[str, Any]] = []
         for ci in range(count):
             i = int(cause_op[b, ci])
+            sw = int(lowered.sw[i])
             avail = int(cause_avail[b, ci])
             cov: dict[int, int] = {}
             scan = avail
@@ -1329,13 +1369,15 @@ class FusedState(NumpyState):
                 block_cause(
                     x=self.x,
                     input_module=int(lowered.g[i]),
-                    source_wavelength=int(lowered.sw[i]),
+                    source_wavelength=sw,
                     blocked_mask=int(cause_blocked[b, ci]),
                     available=avail,
                     coverable=cov,
                     dest_mask=int(lowered.dest[i]),
                     msw_dominant=self.msw_dominant,
                     failed_mask=self.failed_mask,
+                    fabric=None if fabric == "clos" else fabric,
+                    static_unreachable=0 if su is None else su[b][sw],
                 )
             )
         return out

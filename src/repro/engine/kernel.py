@@ -37,6 +37,7 @@ from repro.engine.cover import find_cover_bits, iter_bits
 from repro.engine.state import FabricState
 
 __all__ = [
+    "ALL_BLOCK_KINDS",
     "BLOCK_KINDS",
     "AdmissionRequest",
     "EngineConnection",
@@ -52,14 +53,22 @@ __all__ = [
     "release",
 ]
 
-#: the four blocking causes ``classify_kind`` distinguishes -- the
-#: contention modes the paper's constructions trade off.
+#: the four blocking causes ``classify_kind`` distinguishes on the
+#: paper's Clos -- the contention modes its constructions trade off.
 BLOCK_KINDS = (
     "saturated_wavelength",
     "converter_exhaustion",
     "full_middles",
     "no_cover",
 )
+
+#: the full taxonomy across registered fabric models: the Clos kinds
+#: plus ``awg_no_path`` -- a destination module that *no* middle switch
+#: can reach on the request's wavelength under a fabric's static
+#: routing constraint (:mod:`repro.engine.fabrics`), however idle the
+#: fabric is.  Fused kind histograms and ``repro.obs`` cause labels
+#: index this tuple; Clos-only consumers keep seeing ``BLOCK_KINDS``.
+ALL_BLOCK_KINDS = BLOCK_KINDS + ("awg_no_path",)
 
 
 # -- mask level --------------------------------------------------------------
@@ -121,10 +130,20 @@ def classify_kind(
     coverable: Mapping[int, int],
     dest_mask: int,
     msw_dominant: bool,
+    static_unreachable: int = 0,
 ) -> str:
-    """The blocking-cause kind for one blocked setup (see BLOCK_KINDS)."""
+    """The blocking-cause kind for one blocked setup (ALL_BLOCK_KINDS).
+
+    ``static_unreachable`` is the fabric model's per-wavelength
+    structural mask (modules no middle can ever reach on the request's
+    wavelength -- zero on the Clos): a blocked request touching it is
+    ``awg_no_path``, checked before ``full_middles`` because the
+    structural explanation subsumes the occupancy one.
+    """
     if available == 0:
         return "saturated_wavelength" if msw_dominant else "converter_exhaustion"
+    if dest_mask & static_unreachable:
+        return "awg_no_path"
     union = 0
     for reach in coverable.values():
         union |= reach
@@ -144,12 +163,17 @@ def block_cause(
     dest_mask: int,
     msw_dominant: bool,
     failed_mask: int = 0,
+    fabric: str | None = None,
+    static_unreachable: int = 0,
 ) -> dict[str, Any]:
     """The full ``explain_block``-shaped evidence dict for one blocked setup.
 
     Matches ``repro.obs.trace.CAUSE_SCHEMA``: alongside ``kind`` it
     carries the raw evidence masks, the requested modules, the
     unreachable subset, and per-module ``[module, middles_mask]`` pairs.
+    With a non-None ``fabric`` (a non-Clos fabric model) the dict also
+    names the fabric and lists the structurally unreachable destination
+    modules; the Clos dict is unchanged key for key.
     """
     per_destination = []
     reachable_union = 0
@@ -162,13 +186,16 @@ def block_cause(
         if middles:
             reachable_union |= 1 << p
     unreachable = dest_mask & ~reachable_union
+    structural = dest_mask & static_unreachable
     if available == 0:
         kind = "saturated_wavelength" if msw_dominant else "converter_exhaustion"
+    elif structural:
+        kind = "awg_no_path"
     elif unreachable:
         kind = "full_middles"
     else:
         kind = "no_cover"
-    return {
+    cause = {
         "kind": kind,
         "x": x,
         "input_module": input_module,
@@ -180,6 +207,10 @@ def block_cause(
         "unreachable_modules": list(iter_bits(unreachable)),
         "per_destination": per_destination,
     }
+    if fabric is not None:
+        cause["fabric"] = fabric
+        cause["awg_unreachable_modules"] = list(iter_bits(structural))
+    return cause
 
 
 # -- state level -------------------------------------------------------------
@@ -277,6 +308,8 @@ def classify_block(state: FabricState, req: AdmissionRequest) -> dict[str, Any]:
         state.all_masks[b], blocked_mask, state.failed_mask
     )
     cov = reach_map(available, req.dest_mask, blockers[b])
+    su = getattr(state, "static_unreach_masks", None)
+    fabric = state.geometries[b].fabric
     return block_cause(
         x=state.x,
         input_module=req.input_module,
@@ -287,4 +320,8 @@ def classify_block(state: FabricState, req: AdmissionRequest) -> dict[str, Any]:
         dest_mask=req.dest_mask,
         msw_dominant=state.msw_dominant,
         failed_mask=state.failed_mask,
+        fabric=None if fabric == "clos" else fabric,
+        static_unreachable=(
+            0 if su is None else su[b][req.source_wavelength]
+        ),
     )

@@ -71,6 +71,11 @@ class FabricState(Protocol):
     all_masks: list[int]
     failed_mask: int
     plane_layout: PlaneLayout
+    #: ``[b][sw]`` -> modules no middle can reach on that wavelength
+    #: (the fabric model's static routing constraint); None for fabrics
+    #: without one (the Clos -- the bitplanes then start all-zero,
+    #: byte-identical to the pre-seam layout).
+    static_unreach_masks: list[list[int]] | None
 
     def setup_views(
         self, g: int, sw: int
@@ -105,8 +110,44 @@ def _check_family(geometries: tuple[FabricGeometry, ...]) -> None:
         if geo.with_m(head.m) != head:
             raise ValueError(
                 "batched state needs one fabric family (same n, r, k, "
-                f"construction, model, x); got {head} vs {geo}"
+                f"construction, model, x, fabric); got {head} vs {geo}"
             )
+
+
+def _static_masks(
+    geometries: tuple[FabricGeometry, ...],
+) -> tuple[list[list[list[int]]], list[list[int]]] | None:
+    """The fabric model's static blocker seed, or None for Clos-like fabrics.
+
+    Returns ``(blocks, unreach)`` where ``blocks[b][sw][j]`` is the
+    module mask middle ``j`` can never reach on wavelength ``sw`` in
+    replication ``b`` (OR-ed into the second-stage blocker planes at
+    construction -- ``allocate``/``free`` only ever touch assigned
+    bits, which are disjoint from the statics, so the seed persists)
+    and ``unreach[b][sw]`` is their intersection over the middles --
+    the ``awg_no_path`` evidence mask.
+    """
+    head = geometries[0]
+    spec = head.fabric_spec
+    if spec.reach_rule is None:
+        return None
+    r, k = head.r, head.k
+    all_modules = (1 << r) - 1
+    blocks: list[list[list[int]]] = []
+    unreach: list[list[int]] = []
+    for geo in geometries:
+        per_sw_blocks: list[list[int]] = []
+        per_sw_unreach: list[int] = []
+        for sw in range(k):
+            row = [spec.reach_rule(j, sw, r, k) for j in range(geo.m)]
+            acc = all_modules
+            for mask in row:
+                acc &= mask
+            per_sw_blocks.append(row)
+            per_sw_unreach.append(acc)
+        blocks.append(per_sw_blocks)
+        unreach.append(per_sw_unreach)
+    return blocks, unreach
 
 
 def _set_bit(row: Any, bit: int) -> None:
@@ -187,6 +228,15 @@ class PythonState:
             self._in_full = [[0] * batch for _ in range(r)]
             self._out_wave = [[[0] * r for _ in range(m)] for m in m_values]
             self._out_full = [[0] * m for m in m_values]
+        self.static_unreach_masks: list[list[int]] | None = None
+        seed = _static_masks(geos)
+        if seed is not None:
+            blocks, self.static_unreach_masks = seed
+            for b in range(batch):
+                for sw in range(k):
+                    row = self._out_busy[sw][b]
+                    for j, blk in enumerate(blocks[b][sw]):
+                        row[j] |= blk
 
     def setup_views(
         self, g: int, sw: int
@@ -309,16 +359,29 @@ class NumpyState:
                 self._in_full = _np.zeros((batch, r), dtype=_np.int64)
                 self._out_wave = _np.zeros((batch, m_max, r), dtype=_np.int64)
                 self._out_full = _np.zeros((batch, m_max), dtype=_np.int64)
-            return
-        wm, wr, wk = layout.m_words, layout.r_words, layout.k_words
-        self._out_busy = _np.zeros((batch, m_max, k, wr), dtype=_np.int64)
-        if self.msw_dominant:
-            self._in_busy = _np.zeros((batch, r, k, wm), dtype=_np.int64)
         else:
-            self._in_wave = _np.zeros((batch, r, m_max, wk), dtype=_np.int64)
-            self._in_full = _np.zeros((batch, r, wm), dtype=_np.int64)
-            self._out_wave = _np.zeros((batch, m_max, r, wk), dtype=_np.int64)
-            self._out_full = _np.zeros((batch, m_max, wr), dtype=_np.int64)
+            wm, wr, wk = layout.m_words, layout.r_words, layout.k_words
+            self._out_busy = _np.zeros((batch, m_max, k, wr), dtype=_np.int64)
+            if self.msw_dominant:
+                self._in_busy = _np.zeros((batch, r, k, wm), dtype=_np.int64)
+            else:
+                self._in_wave = _np.zeros((batch, r, m_max, wk), dtype=_np.int64)
+                self._in_full = _np.zeros((batch, r, wm), dtype=_np.int64)
+                self._out_wave = _np.zeros((batch, m_max, r, wk), dtype=_np.int64)
+                self._out_full = _np.zeros((batch, m_max, wr), dtype=_np.int64)
+        self.static_unreach_masks: list[list[int]] | None = None
+        seed = _static_masks(geos)
+        if seed is not None:
+            blocks, self.static_unreach_masks = seed
+            for b in range(batch):
+                for sw in range(k):
+                    for j, blk in enumerate(blocks[b][sw]):
+                        if not blk:
+                            continue
+                        if self._multiword:
+                            _or_mask(self._out_busy[b, j, sw], blk)
+                        else:
+                            self._out_busy[b, j, sw] |= blk
 
     def setup_views(
         self, g: int, sw: int

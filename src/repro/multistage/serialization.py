@@ -11,7 +11,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
-from repro.core.models import Construction, MulticastModel
+from repro.core.models import parse_construction, parse_multicast_model
 from repro.core.multistage import MultistageDesign, multistage_cost
 from repro.multistage.adversary import BlockingWitness
 from repro.switching.requests import Endpoint, MulticastAssignment, MulticastConnection
@@ -94,8 +94,8 @@ def witness_from_dict(payload: dict[str, Any]) -> BlockingWitness:
         r=payload["r"],
         m=payload["m"],
         k=payload["k"],
-        construction=Construction[payload["construction"]],
-        model=MulticastModel(payload["model"]),
+        construction=parse_construction(payload["construction"]),
+        model=parse_multicast_model(payload["model"]),
         x=payload["x"],
         prior=tuple(connection_from_dict(item) for item in payload["prior"]),
         blocked_request=connection_from_dict(payload["blocked_request"]),
@@ -126,8 +126,8 @@ def design_from_dict(payload: dict[str, Any]) -> MultistageDesign:
     """Inverse of :func:`design_to_dict`; re-derives and cross-checks cost."""
     if payload.get("kind") != "multistage_design":
         raise ValueError(f"not a design payload: {payload.get('kind')!r}")
-    construction = Construction[payload["construction"]]
-    output_model = MulticastModel(payload["output_model"])
+    construction = parse_construction(payload["construction"])
+    output_model = parse_multicast_model(payload["output_model"])
     cost = multistage_cost(
         payload["n"],
         payload["r"],

@@ -59,11 +59,17 @@ from repro.analysis.montecarlo import (
     _traffic_cell,
 )
 from repro.core.models import Construction, MulticastModel
+from repro.engine.fabrics import get_fabric
 from repro.multistage.routing import get_routing_kernel
 from repro.obs.meta import ResultMeta
 from repro.perf.batch import simulate_batch
 from repro.perf.sweeper import ParallelSweeper, SweepResult, WorkUnit
-from repro.workloads.keys import key_fragment, schedule_rng, workload_fragment
+from repro.workloads.keys import (
+    fabric_fragment,
+    key_fragment,
+    schedule_rng,
+    workload_fragment,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.perf.cache import ResultCache
@@ -186,6 +192,7 @@ def stream_key(
     steps: int,
     max_fanout: int | None,
     workload: "WorkloadConfig | None" = None,
+    fabric: str = "clos",
 ) -> str:
     """The traffic key the round schedule derives from.
 
@@ -193,11 +200,13 @@ def stream_key(
     ``m``-independent, so sharing one schedule across the whole curve
     gives every ``m`` common random numbers.  Everything else that
     shapes the experiment is mixed in -- including the workload token,
-    when the traffic is non-uniform -- so two sweeps differing in any
+    when the traffic is non-uniform, and the fabric token, when the
+    fabric is not the Clos -- so two sweeps differing in any
     configuration dimension get independent schedules (the regression
-    guard for the PR 3 adversary-seed fix pattern).  Uniform traffic
-    contributes no token, so pre-workload schedule keys -- and the
-    golden adaptive values derived from them -- are unchanged.
+    guard for the PR 3 adversary-seed fix pattern).  Uniform traffic on
+    the Clos contributes no tokens, so pre-workload and pre-seam
+    schedule keys -- and the golden adaptive values derived from them --
+    are unchanged.
     """
     base = key_fragment(
         dict(
@@ -206,7 +215,11 @@ def stream_key(
         )
     )
     token = None if workload is None else workload.token()
-    return base + workload_fragment(token)
+    return (
+        base
+        + workload_fragment(token)
+        + fabric_fragment(get_fabric(fabric).token())
+    )
 
 
 def round_specs(
@@ -249,6 +262,7 @@ def _round_key(
     round_index: int,
     precision: PrecisionConfig,
     workload: "WorkloadConfig | None" = None,
+    fabric: str = "clos",
 ) -> str:
     """Content address of one ``(cell, round)`` aggregate.
 
@@ -272,6 +286,9 @@ def _round_key(
     token = None if workload is None else workload.token()
     if token is not None:
         params["workload"] = token
+    fabric_token = get_fabric(fabric).token()
+    if fabric_token is not None:
+        params["fabric"] = fabric_token
     return cache.key("adaptive_round", params)
 
 
@@ -300,6 +317,7 @@ class _AdaptiveDriver:
         debug_checks: bool | None,
         backend: str,
         workload: "WorkloadConfig | None" = None,
+        fabric: str = "clos",
     ):
         self.n, self.r, self.k = n, r, k
         self.m_values = list(m_values)
@@ -310,9 +328,11 @@ class _AdaptiveDriver:
         self.debug_checks = debug_checks
         self.backend = backend
         self.workload = workload
+        self.fabric = fabric
         self.batched = get_routing_kernel() == "batched"
         self.key = stream_key(
-            n, r, k, construction, model, x, steps, max_fanout, workload
+            n, r, k, construction, model, x, steps, max_fanout, workload,
+            fabric,
         )
         #: pooled (attempts, blocked) per m
         self.totals: dict[int, list[int]] = {m: [0, 0] for m in self.m_values}
@@ -398,7 +418,7 @@ class _AdaptiveDriver:
                         self.cache, self.n, self.r, m, self.k,
                         self.construction, self.model, self.x, self.steps,
                         self.max_fanout, self.round_index, self.precision,
-                        self.workload,
+                        self.workload, self.fabric,
                     )
                     keys[m] = rkey
                     hit, value = self.cache.lookup(rkey)
@@ -421,7 +441,7 @@ class _AdaptiveDriver:
                             self.n, self.r, self.k, self.construction,
                             self.model, self.x, self.steps, self.max_fanout,
                             spec.seed, tuple(need), self.backend,
-                            spec.antithetic, self.workload,
+                            spec.antithetic, self.workload, self.fabric,
                         ),
                     )
                     for index, spec in enumerate(specs)
@@ -434,7 +454,7 @@ class _AdaptiveDriver:
                         self.n, self.r, m, self.k, self.construction,
                         self.model, self.x, self.steps, spec.seed,
                         self.max_fanout, self.debug_checks, spec.antithetic,
-                        self.workload,
+                        self.workload, self.fabric,
                     ),
                 )
                 for m in need
@@ -488,6 +508,7 @@ def adaptive_sweep(
     batch: int | None = None,
     backend: str = "auto",
     workload: "WorkloadConfig | None" = None,
+    fabric: str = "clos",
 ) -> list[BlockingEstimate]:
     """The blocking-vs-``m`` curve at a target precision, not a budget.
 
@@ -518,7 +539,7 @@ def adaptive_sweep(
         workload.validate_precision(precision, steps)
     driver = _AdaptiveDriver(
         n, r, k, list(m_values), construction, model, x, steps, max_fanout,
-        precision, cache, debug_checks, backend, workload,
+        precision, cache, debug_checks, backend, workload, fabric,
     )
     with ParallelSweeper(jobs, executor=executor) as sweeper:
         sweeper.run_adaptive(driver.next_units)
@@ -545,6 +566,7 @@ def adaptive_blocking(
     batch: int | None = None,
     backend: str = "auto",
     workload: "WorkloadConfig | None" = None,
+    fabric: str = "clos",
 ) -> BlockingEstimate:
     """Blocking probability of one configuration at a target precision.
 
@@ -557,5 +579,5 @@ def adaptive_blocking(
         construction=construction, model=model, x=x, steps=steps,
         max_fanout=max_fanout, precision=precision, jobs=jobs, cache=cache,
         executor=executor, debug_checks=debug_checks, batch=batch,
-        backend=backend, workload=workload,
+        backend=backend, workload=workload, fabric=fabric,
     )[0]

@@ -66,6 +66,7 @@ from repro.engine.backends import (
     make_state,
     resolve_backend,
 )
+from repro.engine.fabrics import get_fabric
 from repro.engine.fused import FusedReplay
 from repro.engine.geometry import FabricGeometry
 from repro.engine.kernel import block_cause, classify_kind, probe_cover
@@ -273,6 +274,8 @@ def _record_block(
     coverable: dict[int, int],
     dest_mask: int,
     msw_dominant: bool,
+    fabric: str | None = None,
+    static_unreachable: int = 0,
 ) -> None:
     rep.blocked += 1
     dropped.add(cid)
@@ -287,11 +290,15 @@ def _record_block(
                 coverable=coverable,
                 dest_mask=dest_mask,
                 msw_dominant=msw_dominant,
+                fabric=fabric,
+                static_unreachable=static_unreachable,
             )
             rep.causes.append(cause)
             kind = cause["kind"]
         else:
-            kind = classify_kind(avail, coverable, dest_mask, msw_dominant)
+            kind = classify_kind(
+                avail, coverable, dest_mask, msw_dominant, static_unreachable
+            )
         rep.kind_counts[kind] = rep.kind_counts.get(kind, 0) + 1
 
 
@@ -336,6 +343,12 @@ def _replay(
     x = state.x
     msw_dominant = state.msw_dominant
     all_masks = state.all_masks
+    # The fabric model's static reach constraint (one family per batch,
+    # enforced by the state's _check_family): None on the Clos, so the
+    # legacy path stays untouched.
+    su = getattr(state, "static_unreach_masks", None)
+    fabric_name = state.geometries[0].fabric
+    fab_token = None if fabric_name == "clos" else fabric_name
     replications = [_Replication() for _ in range(batch)]
     live: list[dict[int, tuple]] = [{} for _ in range(batch)]
     dropped: list[set[int]] = [set() for _ in range(batch)]
@@ -358,7 +371,8 @@ def _replay(
                     _record_block(
                         replications[b], cid, dropped[b], want_kinds,
                         want_causes, x, g, sw, blocked, avail, coverable,
-                        dest_mask, msw_dominant,
+                        dest_mask, msw_dominant, fab_token,
+                        0 if su is None else su[b][sw],
                     )
                 else:
                     live[b][cid] = allocate(b, g, sw, cover)
@@ -388,6 +402,7 @@ def _simulate(
     record_causes: bool,
     antithetic: bool = False,
     workload: "WorkloadConfig | None" = None,
+    fabric: str = "clos",
 ) -> tuple[int, list[_Replication]]:
     """Compile seed ``seed`` once and replay it against every ``m``."""
     legal_x = valid_x_range(n, r)
@@ -401,21 +416,38 @@ def _simulate(
     for m in m_values:
         if m < 1:
             raise ValueError(f"m must be >= 1, got {m}")
-    state = make_state(
-        (
-            FabricGeometry(
-                n=n, r=r, k=k, m=m,
-                construction=construction, model=model, x=x,
-            )
-            for m in m_values
-        ),
-        backend,
-    )
+    spec = get_fabric(fabric)
+    geometries = [
+        FabricGeometry(
+            n=n, r=r, k=k, m=m,
+            construction=construction, model=model, x=x, fabric=fabric,
+        )
+        for m in m_values
+    ]
     want_kinds = record_causes or _obs.enabled()
     ops = compile_stream(
         model, n, r, k, steps, seed, max_fanout, antithetic, workload
     )
-    attempts, replications = _replay(ops, state, want_kinds, record_causes)
+    if spec.nonblocking:
+        # Single-stage nonblocking fabric: every compiled setup is a
+        # legal request and the fabric admits it by construction, so
+        # there is no middle-stage state to replay -- attempts are the
+        # stream's setup count, blocked is exactly zero (the live
+        # oracle property), and every teardown releases.  The backend
+        # is still resolved so unknown-backend errors stay uniform.
+        resolve_backend(backend, m_max=max(m_values), r=r, k=k)
+        attempts = sum(1 for op in ops if op[0] == _SETUP)
+        teardowns = len(ops) - attempts
+        replications = []
+        for _ in m_values:
+            rep = _Replication()
+            rep.releases = teardowns
+            replications.append(rep)
+    else:
+        state = make_state(geometries, backend)
+        attempts, replications = _replay(
+            ops, state, want_kinds, record_causes
+        )
     if _obs.enabled():
         # Aggregate increments, guarded on nonzero so the counter *set*
         # (not just the totals) matches a serial run's -- serial counters
@@ -450,6 +482,7 @@ def simulate_batch(
     backend: str = "auto",
     antithetic: bool = False,
     workload: "WorkloadConfig | None" = None,
+    fabric: str = "clos",
 ) -> list[tuple[int, tuple[int, int]]]:
     """All of one seed's ``(m, (attempts, blocked))`` cells, in lockstep.
 
@@ -460,11 +493,14 @@ def simulate_batch(
     ``_traffic_cell`` run serially with the same arguments (including
     ``antithetic``, which swaps in the seed's mirrored stream, and
     ``workload``, which swaps in a registered traffic model).
+    ``fabric`` selects the registered fabric model the stream replays
+    through (:mod:`repro.engine.fabrics`); the default Clos path is
+    bit-identical to the pre-seam engine.
     """
     attempts, replications = _simulate(
         n, r, k, construction, model, x, steps, max_fanout, seed,
         list(m_values), backend, record_causes=False, antithetic=antithetic,
-        workload=workload,
+        workload=workload, fabric=fabric,
     )
     return [
         (m, (attempts, rep.blocked))
@@ -487,6 +523,7 @@ def replay_cell(
     backend: str = "auto",
     record_causes: bool = False,
     workload: "WorkloadConfig | None" = None,
+    fabric: str = "clos",
 ) -> CellOutcome:
     """One ``(m, seed)`` replication through the batch engine.
 
@@ -499,6 +536,7 @@ def replay_cell(
     attempts, replications = _simulate(
         n, r, k, construction, model, x, steps, max_fanout, seed, [m],
         backend, record_causes=record_causes, workload=workload,
+        fabric=fabric,
     )
     rep = replications[0]
     return CellOutcome(

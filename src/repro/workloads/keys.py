@@ -36,6 +36,7 @@ from typing import Any, Mapping
 from repro.switching.generators import stream_rng
 
 __all__ = [
+    "fabric_fragment",
     "key_fragment",
     "schedule_rng",
     "stream_rng",
@@ -73,6 +74,20 @@ def workload_fragment(token: Mapping[str, Any] | None) -> str:
         return ""
     body = json.dumps(dict(token), sort_keys=True, separators=(",", ":"))
     return f"|workload={body}"
+
+
+def fabric_fragment(token: str | None) -> str:
+    """The stream-key suffix of a fabric-model token.
+
+    The same anchor rule as :func:`workload_fragment`: the Clos fabric's
+    token is ``None`` (:meth:`repro.engine.fabrics.FabricSpec.token`)
+    and contributes nothing, so every pre-seam stream key, warm cache
+    and golden adaptive schedule stays valid verbatim; any other fabric
+    appends its name, so its schedules and cache entries are disjoint.
+    """
+    if token is None:
+        return ""
+    return f"|fabric={token}"
 
 
 def schedule_rng(key: str, round_index: int, stratum: int) -> random.Random:

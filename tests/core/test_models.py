@@ -74,3 +74,42 @@ class TestConstruction:
     @pytest.mark.parametrize("construction", list(Construction))
     def test_str(self, construction):
         assert "dominant" in str(construction)
+
+
+class TestParseHelpers:
+    """The single home of string -> enum coercion (used by the CLI, the
+    multistage serializer and the Monte-Carlo cache loader alike)."""
+
+    def test_parse_model_accepts_all_spellings(self):
+        from repro.core.models import parse_multicast_model
+
+        for model in MulticastModel:
+            assert parse_multicast_model(model) is model
+            assert parse_multicast_model(model.name) is model
+            assert parse_multicast_model(model.value.lower()) is model
+
+    def test_parse_model_unknown_lists_names(self):
+        from repro.core.models import parse_multicast_model
+
+        with pytest.raises(ValueError, match="choose from: MSW, MSDW, MAW"):
+            parse_multicast_model("broadcast")
+
+    def test_parse_construction_accepts_all_spellings(self):
+        from repro.core.models import parse_construction
+
+        for construction in Construction:
+            assert parse_construction(construction) is construction
+            assert parse_construction(construction.name) is construction
+            assert parse_construction(construction.name.lower()) is construction
+            assert parse_construction(construction.value) is construction
+            assert parse_construction(construction.value.upper()) is construction
+        assert parse_construction("msw") is Construction.MSW_DOMINANT
+        assert parse_construction("MAW") is Construction.MAW_DOMINANT
+
+    def test_parse_construction_unknown_lists_names(self):
+        from repro.core.models import parse_construction
+
+        with pytest.raises(
+            ValueError, match="choose from: MSW_DOMINANT, MAW_DOMINANT"
+        ):
+            parse_construction("clos")

@@ -84,7 +84,10 @@ class TestValidateRecord:
 
     def test_schema_covers_the_emitted_events(self):
         assert set(TRACE_SCHEMA) == {"admit", "block", "release", "summary"}
-        assert len(CAUSE_KINDS) == 4
+        # The four Clos kinds plus the structural awg_no_path of the
+        # AWG-routed fabric (the full ALL_BLOCK_KINDS taxonomy).
+        assert len(CAUSE_KINDS) == 5
+        assert "awg_no_path" in CAUSE_KINDS
 
 
 class TestNetworkEmitsTrace:

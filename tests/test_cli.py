@@ -413,3 +413,62 @@ class TestWorkloadCommands:
         message = str(excinfo.value)
         assert message.startswith("wdm-repro: error:")
         assert "40 events" in message
+
+
+class TestFabricCommands:
+    def test_fabrics_matrix_lists_registry(self, capsys):
+        out = run_cli(capsys, "fabrics")
+        assert "Fabric models x batch state backends" in out
+        for name in ("clos", "crossbar", "awg_clos"):
+            assert name in out
+        assert "n/a (no replay)" in out
+        assert "--fabric NAME" in out
+
+    def test_blocking_crossbar_blocks_nothing(self, capsys):
+        out = run_cli(
+            capsys, "blocking", "--n", "2", "--r", "2", "--k", "2",
+            "--m-max", "3", "--fabric", "crossbar",
+        )
+        assert "crossbar fabric" in out
+        for line in out.splitlines():
+            cells = line.split()
+            if cells and cells[0] in {"1", "2", "3"}:
+                assert cells[2] == "0"
+
+    def test_blocking_awg_blocks_at_least_clos(self, capsys):
+        def blocked_column(out):
+            rows = {}
+            for line in out.splitlines():
+                cells = line.split()
+                if cells and cells[0] in {"1", "2", "3"}:
+                    rows[int(cells[0])] = int(cells[2])
+            return rows
+
+        base = ["blocking", "--n", "2", "--r", "2", "--k", "2", "--m-max", "3"]
+        clos = blocked_column(run_cli(capsys, *base))
+        awg = blocked_column(run_cli(capsys, *base, "--fabric", "awg_clos"))
+        assert set(clos) == set(awg) == {1, 2, 3}
+        assert all(awg[m] >= clos[m] for m in clos)
+
+    def test_sweep_accepts_fabric(self, capsys):
+        out = run_cli(
+            capsys, "sweep", "--n", "2", "--r", "2", "--k", "2",
+            "--m-max", "2", "--steps", "150", "--max-rounds", "2",
+            "--fabric", "awg_clos",
+        )
+        assert "awg_clos fabric" in out
+
+    def test_unknown_fabric_rejected_listing_registry(self, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["blocking", "--fabric", "bogus"])
+        message = capsys.readouterr().err
+        assert "unknown fabric 'bogus'" in message
+        for name in ("awg_clos", "clos", "crossbar"):
+            assert name in message
+
+    def test_adversarial_non_clos_rejected(self):
+        with pytest.raises(ValueError, match="Clos fabric only"):
+            main(["blocking", "--n", "2", "--r", "2", "--k", "1",
+                  "--m-max", "2", "--adversarial",
+                  "--fabric", "awg_clos"])

@@ -55,6 +55,7 @@ GUARDED_SECTIONS = (
     "fused",
     "wide",
     "workloads",
+    "topology",
     "adaptive",
 )
 
